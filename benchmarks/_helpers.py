@@ -1,0 +1,64 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper's
+evaluation.  Conventions:
+
+* every benchmark runs through the ``benchmark`` fixture (pytest-benchmark)
+  with a single round — the interesting output is the regenerated table,
+  not the harness timing,
+* regenerated tables are printed AND written to
+  ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference them,
+* scale knobs come from the environment:
+
+  - ``REPRO_BENCH_REPS``  — repetitions to average (paper: 5; default 1),
+  - ``REPRO_BENCH_SCALE`` — multiplier on evaluation budgets (default 1.0;
+    the paper-scale budgets are already the default, so this mainly exists
+    to *shrink* runs on slow machines).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def reps() -> int:
+    """Number of repetitions to average over."""
+    return max(1, int(os.environ.get("REPRO_BENCH_REPS", "1")))
+
+
+def scale() -> float:
+    """Budget multiplier."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def budget(n: int) -> int:
+    """Scale an evaluation budget, keeping it >= 10."""
+    return max(10, int(round(n * scale())))
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    cols = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(v) for v in col) for col in cols]
+    def fmt_row(values):
+        return "  ".join(str(v).ljust(w) for v, w in zip(values, widths))
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines += [fmt_row(r) for r in rows]
+    return "\n".join(lines)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Ablation — the interdependence cut-off.
+
+The paper: "There is no a one-size-fits-all cut-off, it depends on the
+specific characteristics of the problem".  This ablation sweeps the
+cut-off on synthetic Case 3 (the borderline "medium influence" case) and
+on the RT-TDDFT application, recording the resulting partition:
+
+* a near-zero cut-off merges everything reachable (noise edges included),
+* the paper's operating points (25% synthetic / 10% RT-TDDFT) isolate the
+  designed interdependencies,
+* a huge cut-off dissolves all edges (fully independent searches).
+"""
+
+from repro.core import TuningMethodology
+from repro.synthetic import SyntheticFunction
+from repro.tddft import RTTDDFTApplication, case_study
+
+from _helpers import format_table, once, write_result
+
+CUTOFFS = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+
+
+def synthetic_partitions():
+    out = {}
+    f = SyntheticFunction(3, random_state=0)
+    tm = TuningMethodology(
+        f.search_space(), f.routines(), cutoff=0.25, n_variations=100,
+        random_state=0,
+    )
+    res = tm.analyze()  # one sensitivity pass, re-pruned per cut-off
+    for cut in CUTOFFS:
+        dag = res.dag if cut == 0.25 else tm._planner(res.influence, None)
+        # Re-prune from the raw influence matrix at each cut-off.
+        from repro.core import InterdependenceDAG
+
+        d = InterdependenceDAG.from_influence(res.influence, cutoff=cut)
+        out[cut] = d.partition()
+    return out
+
+
+def tddft_partitions():
+    app = RTTDDFTApplication(case_study(1), random_state=42)
+    tm = TuningMethodology(
+        app.search_space(), app.routines(), cutoff=0.10, n_variations=5,
+        n_baselines=5, variation_mode="random", hierarchy=app.hierarchy(),
+        random_state=42,
+    )
+    res = tm.analyze()
+    out = {}
+    for cut in CUTOFFS:
+        planner = TuningMethodology(
+            app.search_space(), app.routines(), cutoff=cut,
+            hierarchy=app.hierarchy(), random_state=42,
+        )._planner(res.influence, None)
+        out[cut] = [list(s.routines) for s in planner.plan().searches]
+    return out
+
+
+def test_ablation_cutoff_synthetic(benchmark):
+    parts = once(benchmark, synthetic_partitions)
+    rows = [
+        [f"{100 * cut:.0f}%", " | ".join("+".join(c) for c in parts[cut])]
+        for cut in CUTOFFS
+    ]
+    write_result(
+        "ablation_cutoff_synthetic",
+        format_table(["cut-off", "partition (case 3)"], rows),
+    )
+    # The paper's 25% operating point: {G1}, {G2}, {G3+G4}.
+    assert parts[0.25] == [["Group 1"], ["Group 2"], ["Group 3", "Group 4"]]
+    # A huge cut-off dissolves all interdependence.
+    assert parts[1.00] == [["Group 1"], ["Group 2"], ["Group 3"], ["Group 4"]]
+    # Partition granularity is monotone: components never split as the
+    # cut-off decreases.
+    sizes = [max(len(c) for c in parts[cut]) for cut in CUTOFFS]
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_ablation_cutoff_tddft(benchmark):
+    parts = once(benchmark, tddft_partitions)
+    rows = [
+        [f"{100 * cut:.0f}%", " | ".join("+".join(c) for c in parts[cut])]
+        for cut in CUTOFFS
+    ]
+    write_result(
+        "ablation_cutoff_tddft",
+        format_table(["cut-off", "searches (case study 1)"], rows),
+    )
+    # The paper's 10% operating point merges exactly Group 2 with Group 3.
+    assert ["Group 2", "Group 3"] in parts[0.10]
+    # At 100% even the cache coupling is ignored.
+    assert all(len(c) == 1 for c in parts[1.00])

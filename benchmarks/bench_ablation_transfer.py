@@ -1,0 +1,89 @@
+"""Ablation — transfer learning from Case Study 1 to Case Study 2.
+
+The paper tunes CS2 "us[ing] transfer learning to benefit from Case Study
+1's configuration database".  This ablation runs the merged Group 2+3
+search on CS2 three ways under the same budget:
+
+* cold start,
+* transfer with the full CS1 database (N = 100 source records),
+* transfer with a thin CS1 database (N = 15 source records),
+
+and reports the minima plus the early incumbent (after 10 evaluations) —
+where transfer should show its value.
+"""
+
+import numpy as np
+
+from repro.bo import BayesianOptimizer, transfer_bo
+from repro.tddft import RTTDDFTApplication, case_study
+
+from _helpers import budget, format_table, once, reps, write_result
+
+G23 = [
+    "u_pair", "tb_pair", "tb_sm_pair",
+    "u_zcopy", "tb_zcopy", "tb_sm_zcopy",
+    "u_dscal", "tb_dscal", "tb_sm_dscal",
+    "u_zvec",
+]
+
+
+def problem(cs: int, seed: int):
+    app = RTTDDFTApplication(case_study(cs), random_state=seed)
+    sub = app.search_space().subspace(G23, name=f"G2+3 CS{cs}")
+    obj = lambda c: app.group_runtime("Group 2", c) + app.group_runtime("Group 3", c)  # noqa: E731
+    return sub, obj
+
+
+def sweep():
+    rows = {"cold": [], "transfer-full": [], "transfer-thin": []}
+    early = {"cold": [], "transfer-full": [], "transfer-thin": []}
+    for rep in range(max(2, reps())):
+        sub1, obj1 = problem(1, seed=rep)
+        src_full = BayesianOptimizer(
+            sub1, obj1, max_evaluations=budget(100), random_state=rep
+        ).run().database
+        src_thin = BayesianOptimizer(
+            sub1, obj1, max_evaluations=15, random_state=rep
+        ).run().database
+
+        for label, runner in (
+            ("cold", lambda sub, obj: BayesianOptimizer(
+                sub, obj, max_evaluations=budget(100), random_state=rep
+            ).run()),
+            ("transfer-full", lambda sub, obj: transfer_bo(
+                sub, obj, src_full, max_evaluations=budget(100), random_state=rep
+            )),
+            ("transfer-thin", lambda sub, obj: transfer_bo(
+                sub, obj, src_thin, max_evaluations=budget(100), random_state=rep
+            )),
+        ):
+            sub2, obj2 = problem(2, seed=100 + rep)
+            r = runner(sub2, obj2)
+            rows[label].append(r.best_objective)
+            early[label].append(r.trajectory[9])
+    return (
+        {k: float(np.mean(v)) for k, v in rows.items()},
+        {k: float(np.mean(v)) for k, v in early.items()},
+    )
+
+
+def test_ablation_transfer(benchmark):
+    final, early = once(benchmark, sweep)
+    rows = [
+        [label, f"{1000 * early[label]:.3f}", f"{1000 * final[label]:.3f}"]
+        for label in ("cold", "transfer-full", "transfer-thin")
+    ]
+    write_result(
+        "ablation_transfer",
+        format_table(
+            ["variant", "incumbent @10 evals (ms)", "final minimum (ms)"], rows
+        ),
+    )
+
+    # Transfer accelerates the early search (the Figure 6 effect).
+    assert early["transfer-full"] <= early["cold"] * 1.02
+    # Final quality is at least on par with cold start.
+    assert final["transfer-full"] <= final["cold"] * 1.08
+    # A thin source database transfers less reliably but must not be
+    # catastrophic (the prior is corrected by target evidence).
+    assert final["transfer-thin"] <= final["cold"] * 1.25

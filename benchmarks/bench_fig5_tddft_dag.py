@@ -1,0 +1,57 @@
+"""Figure 5 — the RT-TDDFT dependency diagram (10% cut-off).
+
+Renders the interdependence DAG the methodology derives for the simulated
+application and asserts its structure: nbatches links the Slater region to
+all three kernel groups, the MPI grid links to the Slater region through
+nstb, and the only *peer* (non-hierarchical) dependence is Group 2 ->
+Group 3 via the pairwise kernel's threadblock parameters.
+"""
+
+from repro.core import TuningMethodology
+from repro.tddft import RTTDDFTApplication, case_study
+
+from _helpers import once, write_result
+from bench_table5_cs1_sensitivity import run_sensitivity
+
+HIERARCHICAL = {"MPI Grid", "Slater Determinant"}
+
+
+def test_fig5_dependency_diagram(benchmark):
+    app, res = once(benchmark, lambda: run_sensitivity(1))
+    dag = res.dag
+
+    write_result(
+        "fig5_tddft_dag",
+        "RT-TDDFT interdependence DAG (Case Study 1, 10% cut-off)\n\n"
+        + (res.dag_diagram or dag.format_diagram())
+        + "\n\nplanned searches:\n"
+        + res.plan.format_table(),
+    )
+
+    edges = dag.edges()
+    # nbatches (Slater region) reaches every kernel group.
+    nb_targets = {
+        dst for src, dst, params in edges
+        if src == "Slater Determinant" and "nbatches" in params
+    }
+    assert {"Group 1", "Group 2", "Group 3"} <= nb_targets
+
+    # nstb (MPI grid) reaches the Slater region.
+    assert any(
+        src == "MPI Grid" and dst == "Slater Determinant" and "nstb" in params
+        for src, dst, params in edges
+    )
+
+    # The only peer edge (between kernel groups) is Group 2 -> Group 3.
+    peer_edges = [
+        (src, dst)
+        for src, dst, _ in edges
+        if src not in HIERARCHICAL and dst not in HIERARCHICAL
+    ]
+    assert peer_edges
+    assert set(peer_edges) == {("Group 2", "Group 3")}
+
+    # And its parameters are the pairwise kernel's (correlated) tb pair.
+    for src, dst, params in edges:
+        if (src, dst) == ("Group 2", "Group 3"):
+            assert set(params) <= {"tb_pair", "tb_sm_pair", "u_pair"}

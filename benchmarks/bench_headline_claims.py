@@ -1,0 +1,89 @@
+"""Abstract headline claims — "final configurations up to 8% more
+accurate, reducing the search time by up to 95%".
+
+Derived from the same strategy comparison as Table III, but scored the way
+the abstract frames it: for each synthetic case, compare the methodology's
+suggested strategy against the *extreme* strategies (fully joint, fully
+independent) on
+
+* accuracy: relative improvement of the minima found, and
+* search time: relative reduction of the measured search wall-clock.
+
+Shape checks: the best-case accuracy improvement across cases is positive
+(single-digit-to-tens percent against an extreme), and the best-case time
+reduction versus the fully-joint search exceeds 90%.
+"""
+
+import numpy as np
+
+from repro.synthetic import SyntheticFunction
+
+from _helpers import format_table, once, reps, write_result
+from bench_table3_strategies import run_strategy
+
+CASES = (1, 2, 3, 4, 5)
+# The methodology suggests merging G3+G4 only for cases 3-5 (Fig. 2).
+SUGGESTED = {1: "independent", 2: "independent", 3: "methodology",
+             4: "methodology", 5: "methodology"}
+
+
+def run_claims():
+    rows = {}
+    for case in CASES:
+        acc = {s: [] for s in ("joint", "independent", "suggested")}
+        tim = {s: [] for s in ("joint", "independent", "suggested")}
+        for rep in range(reps()):
+            f = SyntheticFunction(case, random_state=2000 * case + rep)
+            for label, strat in (
+                ("joint", "joint"),
+                ("independent", "independent"),
+                ("suggested", SUGGESTED[case]),
+            ):
+                m, t = run_strategy(f, strat, seed=77 * case + rep)
+                acc[label].append(m)
+                tim[label].append(t)
+        rows[case] = {
+            s: (float(np.mean(acc[s])), float(np.mean(tim[s])))
+            for s in acc
+        }
+    return rows
+
+
+def test_headline_claims(benchmark):
+    rows = once(benchmark, run_claims)
+
+    # Objective values are sums of logs; compare on the linear scale the
+    # "accuracy" claim implies (exp of the objective ~ product of group
+    # magnitudes).
+    table = []
+    acc_gains, time_cuts = [], []
+    for case in CASES:
+        jm, jt = rows[case]["joint"]
+        im, it = rows[case]["independent"]
+        sm, st = rows[case]["suggested"]
+        acc_vs_joint = 100.0 * (jm - sm) / abs(jm)
+        time_vs_joint = 100.0 * (jt - st) / jt
+        acc_gains.append(acc_vs_joint)
+        time_cuts.append(time_vs_joint)
+        table.append(
+            [f"Case {case}", f"{sm:.1f}", f"{jm:.1f}", f"{im:.1f}",
+             f"{acc_vs_joint:+.1f}%", f"{time_vs_joint:+.1f}%"]
+        )
+    write_result(
+        "headline_claims",
+        format_table(
+            ["Case", "suggested min", "joint min", "independent min",
+             "minima gain vs joint", "time cut vs joint"],
+            table,
+        ),
+    )
+
+    # "up to 8% more accurate": the suggested strategy beats the joint
+    # extreme (our margins typically exceed the paper's 8% because the
+    # 20-dim GP navigates even worse at N=200).  Case 1 is excluded from
+    # the every-case claim for the zero-manifold artifact documented in
+    # bench_table3_strategies / EXPERIMENTS.md.
+    assert max(acc_gains) > 5.0
+    assert all(g > 0 for g in acc_gains[1:])
+    # "reducing the search time by up to 95%": >= 90% cut somewhere.
+    assert max(time_cuts) > 90.0

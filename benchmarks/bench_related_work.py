@@ -1,0 +1,86 @@
+"""Section II comparison — the methodology versus related high-dimensional
+BO strategies.
+
+The paper surveys three high-dimensional BO families (random embeddings,
+dropout, additive decomposition) and argues for decomposing by *measured*
+interdependence instead.  This bench runs all of them on synthetic Case 4
+(strong G3-G4 coupling) under the same total budget:
+
+* REMBO-style random embedding (distortion-prone projections),
+* dropout BO (d of D dims per iteration),
+* additive BO with the *naive* per-routine grouping (assumes G3 and G4
+  independent — the wrong decomposition the methodology would have
+  corrected),
+* the methodology's decomposed campaign (G1, G2, G3+G4),
+* random search.
+
+Shape: the methodology's decomposition is the best or tied-best, and in
+particular beats additive BO with the wrong grouping.
+"""
+
+import numpy as np
+
+from repro.bo import AdditiveBO, DropoutBO, RandomEmbeddingBO
+from repro.synthetic import GROUP_VARIABLES, SyntheticFunction
+
+from _helpers import budget, format_table, once, reps, write_result
+from bench_table3_strategies import run_strategy
+
+TOTAL_BUDGET = 200
+
+
+def run_all():
+    out = {k: [] for k in ("rembo", "dropout", "additive", "methodology", "random")}
+    for rep in range(reps()):
+        f = SyntheticFunction(4, random_state=500 + rep)
+        sp = f.search_space()
+        b = budget(TOTAL_BUDGET)
+
+        r = RandomEmbeddingBO(
+            sp, f, latent_dim=8, max_evaluations=b, random_state=rep
+        ).run()
+        out["rembo"].append(f(r.best_config))
+
+        r = DropoutBO(
+            sp, f, active_dims=8, max_evaluations=b, random_state=rep
+        ).run()
+        out["dropout"].append(f(r.best_config))
+
+        naive_groups = [list(GROUP_VARIABLES[g]) for g in GROUP_VARIABLES]
+        r = AdditiveBO(
+            sp, f, naive_groups, max_evaluations=b, random_state=rep
+        ).run()
+        out["additive"].append(f(r.best_config))
+
+        m, _ = run_strategy(f, "methodology", seed=rep)
+        out["methodology"].append(m)
+        m, _ = run_strategy(f, "random", seed=rep)
+        out["random"].append(m)
+    return {k: float(np.mean(v)) for k, v in out.items()}
+
+
+def test_related_work_comparison(benchmark):
+    out = once(benchmark, run_all)
+    rows = [
+        [name, f"{out[name]:.2f}"]
+        for name in ("methodology", "additive", "dropout", "rembo", "random")
+    ]
+    write_result(
+        "related_work",
+        format_table(["strategy", "minimum found (case 4, F)"], rows),
+    )
+
+    # The methodology's measured decomposition is best or tied-best.
+    best_other = min(out[k] for k in ("rembo", "dropout", "additive", "random"))
+    assert out["methodology"] <= best_other + 2.0
+    # And beats the *wrong* additive decomposition outright: Case 4's
+    # G3-G4 coupling breaks the per-routine independence assumption.
+    assert out["methodology"] < out["additive"]
+    # Dropout and additive at least keep up with random search.
+    for k in ("dropout", "additive"):
+        assert out[k] < out["random"] + 2.0
+    # REMBO may lose to random here: the clipped random projection
+    # distorts this objective badly — the paper's own criticism of
+    # embedding strategies ("these projections can create distortions").
+    # It must merely stay within a modest band of random search.
+    assert out["rembo"] < out["random"] * 1.25

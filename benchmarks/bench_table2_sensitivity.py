@@ -1,0 +1,74 @@
+"""Table II — variability of Group 3's output for the five synthetic cases.
+
+Reruns the paper's sensitivity analysis ("a baseline configuration was
+randomly selected, and subsequently, 100 individual variations were
+systematically applied to each parameter ... increasing the variable value
+by 10% relative to the preceding iteration") with Group 3's output as the
+target, and checks the paper's reading of the table:
+
+* Cases 1-2: variability comes mainly from Group 3's own variables
+  (x10..x14),
+* Case 3: both groups contribute comparably,
+* Cases 4-5: Group 4's variables (x15..x19) dominate.
+"""
+
+import numpy as np
+
+from repro.insights import SensitivityAnalysis
+from repro.synthetic import SyntheticFunction
+
+from _helpers import format_table, once, write_result
+
+
+def group3_variability(case: int, seed: int = 7) -> dict[str, float]:
+    f = SyntheticFunction(case, random_state=seed)
+    sa = SensitivityAnalysis(
+        f.search_space(),
+        {"Group 3": lambda c: f.group_outputs(c)["Group 3"]},
+        n_variations=100,
+        variation=0.10,
+        mode="relative",
+        random_state=seed,
+    )
+    res = sa.run()
+    return res.scores["Group 3"]
+
+
+def test_table2_group3_variability(benchmark):
+    scores = once(
+        benchmark, lambda: {c: group3_variability(c) for c in range(1, 6)}
+    )
+
+    rows = []
+    for i in range(10, 20):
+        rows.append(
+            [f"x{i}"] + [f"{100 * scores[c][f'x{i}']:.1f}%" for c in range(1, 6)]
+        )
+    write_result(
+        "table2_sensitivity",
+        format_table(
+            ["Feature", "Case 1", "Case 2", "Case 3", "Case 4", "Case 5"], rows
+        ),
+    )
+
+    own = {c: np.mean([scores[c][f"x{i}"] for i in range(10, 15)]) for c in scores}
+    ext = {c: np.mean([scores[c][f"x{i}"] for i in range(15, 20)]) for c in scores}
+    other = {
+        c: np.mean([scores[c][f"x{i}"] for i in range(0, 10)]) for c in scores
+    }
+
+    # Cases 1-2: own variables dominate; cases 4-5: Group 4 dominates.
+    assert own[1] > 5 * ext[1]
+    assert own[2] > ext[2]
+    assert ext[4] > own[4]
+    assert ext[5] > own[5]
+    # Group 4's share rises monotonically with the case grading.
+    shares = [ext[c] / (ext[c] + own[c]) for c in range(1, 6)]
+    assert all(a < b + 0.05 for a, b in zip(shares, shares[1:]))
+    # Variables from Groups 1-2 never matter for Group 3 (noise floor).
+    for c in range(1, 6):
+        assert other[c] < 0.01
+    # The top-10 sensitive variables are exactly x10..x19 (paper caption).
+    for c in range(1, 6):
+        top10 = sorted(scores[c], key=scores[c].get, reverse=True)[:10]
+        assert set(top10) == {f"x{i}" for i in range(10, 20)}

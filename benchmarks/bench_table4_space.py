@@ -1,0 +1,86 @@
+"""Table IV — the RT-TDDFT tuning parameters and search-space size.
+
+Regenerates the parameter table from the implemented search space and
+checks the cardinality structure: per GPU kernel 4 x 32 x 32
+configurations, 32 x 32 for nstreams x nbatches, and the MPI-grid factor
+``N_nstb x N_nkpb x N_nspb``.
+
+Note on the paper's headline number: Table IV prints the GPU-parameter
+product as 41,943,040.  The actual product of the listed cardinalities is
+``(4*32*32)^5 * 32 * 32 = 1.18e18``; 41,943,040 equals
+``(4*32*32) * (32*32) * 10`` and appears to be a typo.  We report the true
+product and additionally the *valid* fraction under the occupancy
+constraint (which the paper's frameworks must handle).
+"""
+
+import numpy as np
+
+from repro.tddft import KERNEL_KEYS, RTTDDFTApplication, a100, case_study
+
+from _helpers import format_table, once, write_result
+
+
+def build_table():
+    gpu = a100()
+    rows = []
+    apps = {}
+    for cs in (1, 2):
+        app = RTTDDFTApplication(case_study(cs), random_state=0)
+        sp = app.search_space()
+        apps[cs] = (app, sp)
+    app1, sp1 = apps[1]
+
+    rows.append(["nstb, nkpb, nspb (CS1)",
+                 f"{sp1['nstb'].cardinality} x {sp1['nkpb'].cardinality} x "
+                 f"{sp1['nspb'].cardinality}"])
+    _, sp2 = apps[2]
+    rows.append(["nstb, nkpb, nspb (CS2)",
+                 f"{sp2['nstb'].cardinality} x {sp2['nkpb'].cardinality} x "
+                 f"{sp2['nspb'].cardinality}"])
+    for k in KERNEL_KEYS:
+        rows.append(
+            [f"u_{k.upper()}, tb_{k.upper()}, tb_sm_{k.upper()}",
+             f"{sp1[f'u_{k}'].cardinality} x {sp1[f'tb_{k}'].cardinality} x "
+             f"{sp1[f'tb_sm_{k}'].cardinality}"]
+        )
+    rows.append(["nstreams, nbatches",
+                 f"{sp1['nstreams'].cardinality} x {sp1['nbatches'].cardinality}"])
+
+    gpu_product = (4 * 32 * 32) ** 5 * 32 * 32
+    rows.append(["GPU-parameter product", f"{gpu_product:.3e}"])
+
+    # Valid fraction of one kernel's (tb, tb_sm) grid under the paper's
+    # occupancy rule tb * tb_sm <= max threads per SM.
+    valid = sum(
+        1
+        for tb in gpu.tb_values()
+        for sm in gpu.tb_sm_values()
+        if gpu.threadblock_valid(tb, sm)
+    )
+    rows.append(
+        ["valid (tb, tb_sm) pairs / kernel", f"{valid} / {32 * 32}"]
+    )
+    return rows, apps, gpu_product, valid
+
+
+def test_table4_search_space(benchmark):
+    rows, apps, gpu_product, valid = once(benchmark, build_table)
+    write_result("table4_space", format_table(["Parameter", "Configurations"], rows))
+
+    app1, sp1 = apps[1]
+    _, sp2 = apps[2]
+    # 20 tunable parameters for both case studies.
+    assert sp1.dimension == 20 and sp2.dimension == 20
+    # Per-kernel 4 x 32 x 32 structure.
+    for k in KERNEL_KEYS:
+        assert sp1[f"u_{k}"].cardinality == 4
+        assert sp1[f"tb_{k}"].cardinality == 32
+        assert sp1[f"tb_sm_{k}"].cardinality == 32
+    assert gpu_product == (4 * 32 * 32) ** 5 * 1024
+    # The occupancy rule discards most raw (tb, tb_sm) pairs.
+    assert valid < 0.3 * 1024
+
+    # Expert constraints: the degenerate CS1 dims are pinned and CS2's
+    # k-point factor spans the divisors of 36.
+    assert sp1["nkpb"].cardinality == 1 and sp1["nspb"].cardinality == 1
+    assert sp2["nkpb"].cardinality == 9

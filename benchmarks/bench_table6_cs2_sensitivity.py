@@ -1,0 +1,48 @@
+"""Table VI — per-region sensitivity analysis on Case Study 2 (hBN slab).
+
+Same analysis as Table V on the 36-k-point periodic slab.  Additional
+CS2-specific checks: nkpb joins nstb as a dominant Slater/total-runtime
+driver ("The presence of several k-points in Case Study 2 emphasizes the
+significance of nkpb"), and the overall interdependence conclusions match
+Case Study 1 ("results for Case Study 1 and Case Study 2 yielded similar
+conclusions; therefore, the same search strategy is executed").
+"""
+
+import numpy as np
+
+from repro.core import TuningMethodology
+from repro.tddft import RTTDDFTApplication, case_study
+
+from _helpers import format_table, once, write_result
+from bench_table5_cs1_sensitivity import CUTOFF, render, run_sensitivity
+
+
+def test_table6_cs2_sensitivity(benchmark):
+    app, res = once(benchmark, lambda: run_sensitivity(2))
+    render(res, "table6_cs2_sensitivity")
+    s = res.sensitivity.scores
+
+    # Same qualitative couplings as Case Study 1.
+    for g in ("Group 1", "Group 2", "Group 3"):
+        assert s[g]["nbatches"] > CUTOFF
+    assert max(s["Group 3"]["tb_pair"], s["Group 3"]["tb_sm_pair"]) > CUTOFF
+
+    # CS2's k-points: nkpb is a top-2 driver of the MPI-level runtime.
+    mpi_top2 = [p for p, _ in res.sensitivity.top("MPI Grid", 2)]
+    assert "nkpb" in mpi_top2 or "nstb" in mpi_top2
+    assert s["MPI Grid"]["nkpb"] > CUTOFF
+
+    # Same search plan as Case Study 1 (the paper's "similar conclusions").
+    _, res1 = run_sensitivity(1)
+    plan_names = lambda r: [set(p.routines) for p in r.plan.searches]  # noqa: E731
+    assert plan_names(res) == plan_names(res1)
+
+
+def test_table6_plan_structure(benchmark):
+    """The resulting plan: MPI -> Slater -> {Group 1, Group 2+3}."""
+    app, res = once(benchmark, lambda: run_sensitivity(2, seed=7))
+    stages = {tuple(p.routines): p.stage for p in res.plan.searches}
+    assert stages[("MPI Grid",)] == 0
+    assert stages[("Slater Determinant",)] == 1
+    assert stages[("Group 1",)] == 2
+    assert stages[("Group 2", "Group 3")] == 2

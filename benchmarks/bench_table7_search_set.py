@@ -1,0 +1,86 @@
+"""Table VII — the final set of lower-dimensional searches.
+
+The paper's methodology reduces the 20-parameter RT-TDDFT problem to:
+
+=============  ====  ============================================
+MPI Grid        3    nstb, nkpb, nspb
+Iterations      2    nbatches, nstreams
+Group 1         3    u_VEC, tb_VEC, tb_sm_VEC
+Group 2+3      10    PAIR(3) + ZCOPY(3) + DSCAL(3) + one ZVEC
+                     parameter; the other two ZVEC parameters are
+                     dropped by the 10-dimension cap
+=============  ====  ============================================
+
+with the shared cuZcopy kernel ceded to Group 3 (rule 5) so Group 1 tunes
+only its cuVec2Zvec parameters.  This bench regenerates the table from the
+measured sensitivity data for both case studies.
+"""
+
+from _helpers import format_table, once, write_result
+from bench_table5_cs1_sensitivity import run_sensitivity
+
+PAIR = {"u_pair", "tb_pair", "tb_sm_pair"}
+ZCOPY = {"u_zcopy", "tb_zcopy", "tb_sm_zcopy"}
+DSCAL = {"u_dscal", "tb_dscal", "tb_sm_dscal"}
+ZVEC = {"u_zvec", "tb_zvec", "tb_sm_zvec"}
+VEC = {"u_vec", "tb_vec", "tb_sm_vec"}
+
+
+def check_plan(plan):
+    by_routines = {tuple(s.routines): s for s in plan.searches}
+
+    mpi = by_routines[("MPI Grid",)]
+    assert set(mpi.tuned) <= {"nstb", "nkpb", "nspb"}
+
+    slater = by_routines[("Slater Determinant",)]
+    assert set(slater.tuned) == {"nbatches", "nstreams"}
+    assert slater.dimension == 2
+
+    g1 = by_routines[("Group 1",)]
+    # Rule 5: ZCOPY ceded to the higher-impact Group 3.
+    assert set(g1.tuned) == VEC
+    assert set(g1.dropped) == ZCOPY
+    assert all(v == "owned-elsewhere" for v in g1.dropped.values())
+
+    g23 = by_routines[("Group 2", "Group 3")]
+    assert g23.dimension == 10
+    tuned = set(g23.tuned)
+    # PAIR + ZCOPY + DSCAL always kept (9 parameters) ...
+    assert PAIR <= tuned and ZCOPY <= tuned and DSCAL <= tuned
+    # ... plus exactly one ZVEC parameter; the other two hit the cap.
+    assert len(tuned & ZVEC) == 1
+    assert set(g23.dropped) == ZVEC - tuned
+    assert all(v == "dimension-cap" for v in g23.dropped.values())
+    return by_routines
+
+
+def test_table7_search_set_cs1(benchmark):
+    app, res = once(benchmark, lambda: run_sensitivity(1))
+    check_plan(res.plan)
+
+    rows = []
+    for s in res.plan.searches:
+        rows.append(
+            ["+".join(s.routines), str(s.stage), str(s.dimension), ", ".join(s.tuned)]
+        )
+        for p, why in sorted(s.dropped.items()):
+            rows.append(["", "", "", f"[dropped {p}: {why}]"])
+    write_result(
+        "table7_search_set",
+        format_table(["Search", "Stage", "Dims", "Parameters"], rows),
+    )
+
+
+def test_table7_search_set_cs2(benchmark):
+    _, res = once(benchmark, lambda: run_sensitivity(2))
+    check_plan(res.plan)
+
+
+def test_table7_budgets(benchmark):
+    """Each search gets the paper's 10 x dims budget; the merged search
+    dominates the evaluation cost."""
+    _, res = once(benchmark, lambda: run_sensitivity(1))
+    budgets = {tuple(s.routines): s.budget for s in res.plan.searches}
+    assert budgets[("Group 2", "Group 3")] == 100
+    assert budgets[("Slater Determinant",)] == 20
+    assert budgets[("Group 1",)] == 30

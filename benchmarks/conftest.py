@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration: show regenerated tables on the console."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _helpers module importable from every bench file even
+# when pytest is invoked from a different working directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Real-time propagation and an absorption-spectrum-style observable.
+
+The physics workflow RT-TDDFT exists for: kick the system with a weak
+delta perturbation, propagate the wavefunction in real time through the
+FFT <-> pointwise pipeline (the pattern the whole tuning study optimizes),
+record the dipole signal, and Fourier-transform it into a spectrum.
+
+Also shows why the tuning matters end to end: the tuned band batch size
+from the mini-app study is reused here, and every propagation step runs
+the batched FFT pipeline.
+
+Run:  python examples/realtime_spectrum.py
+"""
+
+import numpy as np
+
+from repro.tddft import ImaginaryTimeSolver, NumericSlaterApp, SplitOperatorPropagator
+
+
+def main() -> None:
+    app = NumericSlaterApp(grid_shape=(24, 24, 24), nbands=8, random_state=0)
+
+    # Start from the DFT-style ground state (imaginary-time relaxation),
+    # exactly as an RT-TDDFT run would.
+    print("relaxing to the ground state (imaginary time)...")
+    gs = ImaginaryTimeSolver(app, dtau=0.2).solve(
+        max_iterations=150, tol=1e-9, config={"nbatches": 4}
+    )
+    app.coefficients = gs.coefficients
+    print(f"  band energies: {np.array2string(gs.band_energies, precision=3)}")
+
+    dt, steps = 0.05, 200
+    prop = SplitOperatorPropagator(app, dt=dt, kick=0.2)
+
+    print(f"\npropagating {app.nbands} bands on a {app.grid_shape} grid "
+          f"for {steps} steps (dt={dt})...")
+    res = prop.propagate(steps, config={"nbatches": 4})
+
+    norm_drift = np.ptp(res.norms) / res.norms[0]
+    energy_drift = np.ptp(res.energies) / abs(res.energies[0])
+    print(f"wall time     : {res.wall_time:.2f}s")
+    print(f"norm drift    : {norm_drift:.2e}  (unitary propagator)")
+    print(f"energy drift  : {energy_drift:.2e}  (Trotter wobble)")
+
+    # Spectrum: |FFT| of the windowed dipole signal.
+    signal = res.dipole - res.dipole.mean()
+    window = np.hanning(len(signal))
+    spectrum = np.abs(np.fft.rfft(signal * window))
+    freqs = np.fft.rfftfreq(len(signal), d=dt) * 2 * np.pi
+
+    print("\ndipole power spectrum (text plot):")
+    top = spectrum[1:].max()
+    for i in range(1, min(len(freqs), 30)):
+        bar = "#" * int(50 * spectrum[i] / top)
+        print(f"  w={freqs[i]:6.2f} {bar}")
+
+    peak = freqs[1 + int(np.argmax(spectrum[1:]))]
+    print(f"\ndominant excitation frequency: {peak:.2f}")
+
+    print("\npropagation region profile:")
+    print(res.timings.format())
+
+
+if __name__ == "__main__":
+    main()

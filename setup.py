@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to the legacy develop
+install through this file; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

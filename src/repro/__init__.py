@@ -1,0 +1,71 @@
+"""repro — reproduction of "Cost-Effective Methodology for Complex Tuning
+Searches in HPC: Navigating Interdependencies and Dimensionality"
+(Dieguez et al., IPDPS 2024).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the methodology: routines, influence matrices, the
+  interdependence DAG, the search planner, and the end-to-end
+  :class:`~repro.core.TuningMethodology` pipeline.
+* :mod:`repro.space` — constrained mixed-type search spaces.
+* :mod:`repro.bo` — the Bayesian-optimization engine (GP surrogates,
+  acquisitions, crash-recoverable databases, transfer learning).
+* :mod:`repro.search` — random/grid baselines and the campaign runner.
+* :mod:`repro.insights` — sensitivity analysis, correlation, random-forest
+  feature importance.
+* :mod:`repro.synthetic` — the paper's five 20-dimensional synthetic cases.
+* :mod:`repro.tddft` — the simulated GPU-offloaded RT-TDDFT application.
+* :mod:`repro.mpisim` — the simulated MPI cluster substrate.
+
+Quickstart
+----------
+>>> from repro.synthetic import SyntheticFunction
+>>> from repro.core import TuningMethodology
+>>> f = SyntheticFunction(case=3, random_state=0)
+>>> tm = TuningMethodology(f.search_space(), f.routines(),
+...                        cutoff=0.25, n_variations=20, random_state=0)
+>>> result = tm.analyze()
+>>> [s.name for s in result.plan.searches]
+['Group 1', 'Group 2', 'Group 3+Group 4']
+"""
+
+from . import bo, core, insights, mpisim, profiling, search, space, synthetic, tddft
+from .core import (
+    InfluenceMatrix,
+    InterdependenceDAG,
+    MethodologyResult,
+    Routine,
+    RoutineSet,
+    SearchPlan,
+    SearchPlanner,
+    TuningMethodology,
+)
+from .space import Categorical, Integer, Ordinal, Real, SearchSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bo",
+    "core",
+    "insights",
+    "mpisim",
+    "profiling",
+    "search",
+    "space",
+    "synthetic",
+    "tddft",
+    "Routine",
+    "RoutineSet",
+    "InfluenceMatrix",
+    "InterdependenceDAG",
+    "SearchPlanner",
+    "SearchPlan",
+    "TuningMethodology",
+    "MethodologyResult",
+    "SearchSpace",
+    "Real",
+    "Integer",
+    "Ordinal",
+    "Categorical",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Bayesian-optimization substrate (the GPTune stand-in).
+
+Self-contained BO engine: Gaussian-process surrogates with MLE-fit ARD
+kernels, the standard acquisition functions, constraint-aware candidate
+generation, crash-recoverable evaluation databases, and stacked-GP transfer
+learning.
+"""
+
+from .acquisition import (
+    AcquisitionFunction,
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+    ThompsonSampling,
+    acquisition_by_name,
+    maximize_acquisition,
+)
+from .batch import BatchBayesianOptimizer
+from .gp import GaussianProcess, GPFitError
+from .highdim import AdditiveBO, DropoutBO, RandomEmbeddingBO
+from .history import Evaluation, EvaluationDatabase, EvaluationStatus
+from .kernels import RBF, Kernel, Matern32, Matern52, kernel_by_name
+from .optimizer import BayesianOptimizer, BOResult
+from .transfer import TransferLearner, transfer_bo
+
+__all__ = [
+    "Kernel",
+    "RBF",
+    "Matern32",
+    "Matern52",
+    "kernel_by_name",
+    "GaussianProcess",
+    "GPFitError",
+    "AcquisitionFunction",
+    "ExpectedImprovement",
+    "ProbabilityOfImprovement",
+    "LowerConfidenceBound",
+    "ThompsonSampling",
+    "acquisition_by_name",
+    "maximize_acquisition",
+    "Evaluation",
+    "EvaluationDatabase",
+    "EvaluationStatus",
+    "BayesianOptimizer",
+    "BatchBayesianOptimizer",
+    "RandomEmbeddingBO",
+    "DropoutBO",
+    "AdditiveBO",
+    "BOResult",
+    "TransferLearner",
+    "transfer_bo",
+]

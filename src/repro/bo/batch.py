@@ -1,0 +1,159 @@
+"""Batch (parallel) Bayesian optimization via the constant-liar heuristic.
+
+The paper's Table III notes that "inherent sequentiality made BO slower
+than parallelizable Random Search" and cites Ginsbourger et al.'s
+parallel-kriging work [17].  This module provides that capability: the
+*constant liar* approximation of q-EI — suggest a point, pretend it
+returned the incumbent ("lie"), refit, suggest the next — yields a batch
+of ``q`` diverse candidates per round that can be evaluated concurrently.
+
+:class:`BatchBayesianOptimizer` mirrors
+:class:`repro.bo.BayesianOptimizer`'s interface but evaluates in rounds of
+``batch_size``; its simulated search time charges each round at the
+*maximum* evaluation cost in the round (the parallel wall-clock), closing
+most of the gap to random search while keeping model guidance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..space import SearchSpace
+from .acquisition import maximize_acquisition
+from .gp import GaussianProcess, GPFitError
+from .kernels import kernel_by_name
+from .optimizer import BayesianOptimizer, BOResult, Objective
+
+__all__ = ["BatchBayesianOptimizer"]
+
+
+class BatchBayesianOptimizer(BayesianOptimizer):
+    """Constant-liar batch BO.
+
+    Parameters
+    ----------
+    batch_size:
+        Suggestions per round (``q``); all are evaluated "in parallel"
+        (cost accounting: max over the round).
+    lie:
+        The fantasy value assigned to pending suggestions: ``"min"``
+        (optimistic — spreads the batch, the usual choice), ``"mean"``, or
+        ``"max"`` (pessimistic — exploits harder).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objective: Objective,
+        *,
+        batch_size: int = 4,
+        lie: str = "min",
+        **kwargs,
+    ):
+        super().__init__(space, objective, **kwargs)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if lie not in ("min", "mean", "max"):
+            raise ValueError("lie must be 'min', 'mean', or 'max'")
+        self.batch_size = int(batch_size)
+        self.lie = lie
+
+    # ------------------------------------------------------------------
+    def _lie_value(self, y: np.ndarray) -> float:
+        if self.lie == "min":
+            return float(np.min(y))
+        if self.lie == "max":
+            return float(np.max(y))
+        return float(np.mean(y))
+
+    def suggest_batch(self) -> list[dict]:
+        """One constant-liar round: ``batch_size`` diverse suggestions."""
+        ok = self.database.ok_records()
+        if len(ok) < 2:
+            return self.space.sample_batch(self.batch_size, self.rng, unique=True)
+
+        configs = [{k: r.config[k] for k in self.space.names} for r in ok]
+        X = self.space.encode_batch(configs)
+        y = np.array([r.objective for r in ok], dtype=float)
+        incumbent = float(np.min(y))
+        incumbent_cfg = configs[int(np.argmin(y))]
+        lie = self._lie_value(y)
+
+        batch: list[dict] = []
+        evaluated = list(configs)
+        Xl, yl = X.copy(), y.copy()
+        for _ in range(self.batch_size):
+            gp = GaussianProcess(
+                kernel=kernel_by_name(self.kernel_name, self.space.dimension),
+                random_state=self.rng,
+                n_restarts=1,
+            )
+            try:
+                gp.fit(Xl, yl, optimize=len(batch) == 0)
+            except GPFitError:
+                batch.append(self.space.sample(self.rng))
+                continue
+            cfg = maximize_acquisition(
+                self.acquisition,
+                gp,
+                self.space,
+                incumbent,
+                self.rng,
+                n_candidates=self.n_candidates,
+                incumbent_config=incumbent_cfg,
+                exclude=evaluated + batch,
+            )
+            batch.append(cfg)
+            # The lie: pretend the new point already returned `lie`.
+            Xl = np.vstack([Xl, self.space.encode(cfg)])
+            yl = np.append(yl, lie)
+        return batch
+
+    # ------------------------------------------------------------------
+    def run(self) -> BOResult:
+        """Run the batched loop; rounds of ``batch_size`` evaluations
+        are charged the max member cost (parallel wall-clock)."""
+        eval_cost = 0.0
+        model_cost = 0.0
+        n_new = 0
+
+        n_have = len(self.database.ok_records())
+        n_seed = max(0, self.n_initial - n_have)
+        if n_seed > 0:
+            for config in self.space.latin_hypercube(n_seed, self.rng):
+                rec = self._evaluate(config)
+                self.database.append(rec)
+                n_new += 1
+            eval_cost += max(
+                (r.cost for r in self.database.records[-n_seed:]), default=0.0
+            )
+
+        while len(self.database.ok_records()) < self.max_evaluations:
+            room = self.max_evaluations - len(self.database.ok_records())
+            batch = self.suggest_batch()[: max(1, min(self.batch_size, room))]
+            n = len(self.database.ok_records())
+            d = self.space.dimension
+            # One refit per batch member (the liar loop), O(N^3) each.
+            model_cost += self.model_unit_cost * len(batch) * (
+                n**3 + n * n * d + self.n_candidates * n * d
+            )
+            round_costs = []
+            for cfg in batch:
+                rec = self._evaluate(cfg)
+                self.database.append(rec)
+                round_costs.append(rec.cost)
+                n_new += 1
+            # Parallel round: wall-clock is the slowest member.
+            eval_cost += max(round_costs, default=0.0)
+            if n_new > 4 * self.max_evaluations:
+                break
+
+        best = self.database.best()
+        return BOResult(
+            best_config=dict(best.config),
+            best_objective=best.objective,
+            database=self.database,
+            n_evaluations=n_new,
+            evaluation_cost=eval_cost,
+            modeling_overhead=model_cost,
+        )

@@ -1,0 +1,217 @@
+"""Evaluation records, databases, and crash recovery.
+
+GPTune's selling points cited by the paper include *crash recovery* and a
+reusable evaluation database for *transfer learning*.  This module provides
+both:
+
+:class:`Evaluation`
+    one (configuration, objective, cost, status) record,
+:class:`EvaluationDatabase`
+    an append-only store with atomic JSON checkpointing.  A crashed search
+    can be resumed by constructing the optimizer with ``database=`` pointing
+    at the checkpoint file — completed evaluations are replayed instead of
+    re-run, and failed evaluations are remembered so the search does not
+    re-suggest configurations that crash the application.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["Evaluation", "EvaluationDatabase", "EvaluationStatus"]
+
+
+class EvaluationStatus:
+    """Status labels for evaluation records."""
+
+    OK = "ok"
+    FAILED = "failed"     # objective raised
+    TIMEOUT = "timeout"   # exceeded the evaluation timeout (paper: 15 min)
+
+    ALL = (OK, FAILED, TIMEOUT)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars to plain Python for JSON serialization."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One objective evaluation.
+
+    Attributes
+    ----------
+    config:
+        The full configuration dict that was evaluated.
+    objective:
+        Observed objective value (runtime); ``nan`` for failed/timeout runs.
+    cost:
+        Wall-clock cost of the evaluation in seconds.  Search-time
+        accounting (paper Table III "Time" columns) sums these plus the
+        modeling overhead.
+    status:
+        One of :class:`EvaluationStatus`.
+    meta:
+        Free-form extras (e.g. per-routine runtimes from the TDDFT app).
+    """
+
+    config: Mapping[str, Any]
+    objective: float
+    cost: float = 0.0
+    status: str = EvaluationStatus.OK
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.status not in EvaluationStatus.ALL:
+            raise ValueError(f"unknown status {self.status!r}")
+        if self.status == EvaluationStatus.OK and not np.isfinite(self.objective):
+            raise ValueError("OK evaluations require a finite objective")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == EvaluationStatus.OK
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": _jsonable(dict(self.config)),
+            "objective": _jsonable(self.objective),
+            "cost": float(self.cost),
+            "status": self.status,
+            "meta": _jsonable(dict(self.meta)),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Evaluation":
+        return cls(
+            config=dict(d["config"]),
+            objective=float(d["objective"]),
+            cost=float(d.get("cost", 0.0)),
+            status=d.get("status", EvaluationStatus.OK),
+            meta=dict(d.get("meta", {})),
+        )
+
+
+class EvaluationDatabase:
+    """Append-only evaluation store with atomic JSON checkpoints.
+
+    Parameters
+    ----------
+    path:
+        Optional checkpoint file.  When given and the file exists, records
+        are loaded on construction (crash recovery); every :meth:`append`
+        rewrites the checkpoint atomically (write-to-temp + ``os.replace``)
+        so a crash mid-write never corrupts the database.
+    task:
+        Label identifying the tuning task (used by transfer learning to
+        select source databases).
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, task: str = "task"):
+        self.path = os.fspath(path) if path is not None else None
+        self.task = task
+        self._records: list[Evaluation] = []
+        if self.path and os.path.exists(self.path):
+            self.load(self.path)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Evaluation]:
+        return iter(self._records)
+
+    def __getitem__(self, i: int) -> Evaluation:
+        return self._records[i]
+
+    @property
+    def records(self) -> list[Evaluation]:
+        return list(self._records)
+
+    # ------------------------------------------------------------------
+    def append(self, record: Evaluation) -> None:
+        """Add a record and (when a path is set) checkpoint atomically."""
+        self._records.append(record)
+        if self.path:
+            self.save(self.path)
+
+    def extend(self, records: Iterator[Evaluation] | list[Evaluation]) -> None:
+        for r in records:
+            self._records.append(r)
+        if self.path:
+            self.save(self.path)
+
+    # ------------------------------------------------------------------
+    def ok_records(self) -> list[Evaluation]:
+        """Successful evaluations only (the GP training set)."""
+        return [r for r in self._records if r.ok]
+
+    def failed_configs(self) -> list[Mapping[str, Any]]:
+        """Configurations that failed or timed out (to be avoided)."""
+        return [r.config for r in self._records if not r.ok]
+
+    def best(self) -> Evaluation:
+        """The successful record with the smallest objective."""
+        ok = self.ok_records()
+        if not ok:
+            raise LookupError("no successful evaluations in database")
+        return min(ok, key=lambda r: r.objective)
+
+    def total_cost(self) -> float:
+        """Total evaluation wall-clock across all records."""
+        return float(sum(r.cost for r in self._records))
+
+    def objectives(self) -> np.ndarray:
+        """Objective values of successful records, in insertion order."""
+        return np.array([r.objective for r in self._records if r.ok], dtype=float)
+
+    def best_so_far(self) -> np.ndarray:
+        """Running minimum over successful evaluations — the series behind
+        the paper's Figure 6 progression plots."""
+        obj = self.objectives()
+        if obj.size == 0:
+            return obj
+        return np.minimum.accumulate(obj)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Atomic checkpoint: temp file in the same directory + replace."""
+        path = os.fspath(path)
+        payload = {
+            "task": self.task,
+            "records": [r.to_dict() for r in self._records],
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def load(self, path: str | os.PathLike) -> None:
+        """Replace in-memory records with the checkpoint contents."""
+        with open(os.fspath(path)) as f:
+            payload = json.load(f)
+        self.task = payload.get("task", self.task)
+        self._records = [Evaluation.from_dict(d) for d in payload.get("records", [])]

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``synthetic``
+    Run the methodology on one of the five synthetic cases and print the
+    analysis + tuning summary.
+``tddft``
+    Run the staged methodology on a simulated RT-TDDFT case study.
+``info``
+    Print the package inventory and the per-experiment benchmark map.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main"]
+
+
+def _cmd_synthetic(args: argparse.Namespace) -> int:
+    from .core import TuningMethodology
+    from .synthetic import SyntheticFunction
+
+    app = SyntheticFunction(args.case, random_state=args.seed)
+    tm = TuningMethodology(
+        app.search_space(),
+        app.routines(),
+        cutoff=args.cutoff,
+        n_variations=args.variations,
+        random_state=args.seed,
+    )
+    result = tm.run() if not args.plan_only else tm.analyze()
+    print(result.summary())
+    if not args.plan_only:
+        print(f"\ncombined best F = {app(result.best_config):.3f}")
+    return 0
+
+
+def _cmd_tddft(args: argparse.Namespace) -> int:
+    from .core import TuningMethodology
+    from .tddft import RTTDDFTApplication, case_study
+
+    app = RTTDDFTApplication(case_study(args.case_study), random_state=args.seed)
+    tm = TuningMethodology(
+        app.search_space(),
+        app.routines(),
+        cutoff=args.cutoff,
+        n_variations=args.variations,
+        n_baselines=args.baselines,
+        variation_mode="random",
+        hierarchy=app.hierarchy(),
+        random_state=args.seed,
+    )
+    result = tm.run() if not args.plan_only else tm.analyze()
+    print(result.summary())
+    if not args.plan_only:
+        app.noise_scale = 0.0
+        before = app.total_runtime(app.defaults())
+        after = app.total_runtime(result.best_config)
+        print(f"\ndefault : {1000 * before:9.2f} ms/iteration")
+        print(f"tuned   : {1000 * after:9.2f} ms/iteration "
+              f"({before / after:.2f}x speedup)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — IPDPS'24 cost-effective tuning methodology")
+    print(__doc__ or "")
+    print("experiment -> benchmark map:")
+    experiments = [
+        ("Table I", "bench_table1_synthetic.py"),
+        ("Table II", "bench_table2_sensitivity.py"),
+        ("Figure 2", "bench_fig2_dag.py"),
+        ("Table III", "bench_table3_strategies.py"),
+        ("Table IV", "bench_table4_space.py"),
+        ("Table V", "bench_table5_cs1_sensitivity.py"),
+        ("Table VI", "bench_table6_cs2_sensitivity.py"),
+        ("Figure 5", "bench_fig5_tddft_dag.py"),
+        ("Table VII", "bench_table7_search_set.py"),
+        ("Figure 6", "bench_fig6_progression.py"),
+        ("Sec. V motivation", "bench_cpu_motivation.py"),
+        ("Sec. VIII joint-vs-separate", "bench_joint_vs_separate.py"),
+        ("Sec. IV-C observation cost", "bench_orthogonality_cost.py"),
+        ("Abstract headline claims", "bench_headline_claims.py"),
+    ]
+    for exp, bench in experiments:
+        print(f"  {exp:<28} benchmarks/{bench}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-effective tuning-search methodology (IPDPS'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthetic", help="tune a synthetic case")
+    p.add_argument("--case", type=int, default=3, choices=range(1, 6))
+    p.add_argument("--cutoff", type=float, default=0.25)
+    p.add_argument("--variations", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plan-only", action="store_true",
+                   help="run the analysis phases without executing searches")
+    p.set_defaults(func=_cmd_synthetic)
+
+    p = sub.add_parser("tddft", help="tune a simulated RT-TDDFT case study")
+    p.add_argument("--case-study", type=int, default=1, choices=(1, 2))
+    p.add_argument("--cutoff", type=float, default=0.10)
+    p.add_argument("--variations", type=int, default=5)
+    p.add_argument("--baselines", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plan-only", action="store_true")
+    p.set_defaults(func=_cmd_tddft)
+
+    p = sub.add_parser("info", help="package inventory and experiment map")
+    p.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the cost-effective tuning methodology.
+
+Routine abstraction, influence scoring, interdependence DAG partitioning,
+the 10-dimension search planner, and the end-to-end
+:class:`TuningMethodology` pipeline.
+"""
+
+from .dag import InterdependenceDAG
+from .influence import ExternalInfluence, InfluenceMatrix
+from .methodology import MethodologyResult, TuningMethodology
+from .planner import PlannedSearch, SearchPlan, SearchPlanner
+from .routine import Routine, RoutineSet
+
+__all__ = [
+    "Routine",
+    "RoutineSet",
+    "InfluenceMatrix",
+    "ExternalInfluence",
+    "InterdependenceDAG",
+    "SearchPlanner",
+    "SearchPlan",
+    "PlannedSearch",
+    "TuningMethodology",
+    "MethodologyResult",
+]

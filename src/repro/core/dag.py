@@ -1,0 +1,178 @@
+"""The interdependence DAG and its partition (methodology phase 2).
+
+The paper conceptualizes phase 2 "as a partitioning problem on Directed
+Acyclic Graphs (DAGs), where vertices represent routines, and their edges
+denote how their parameters affect the runtime variability of routines".
+Edges from a routine to *itself* (a parameter moving its own routine) are
+the expected case and are kept as self-records only; an edge between two
+*different* routines is interdependence evidence.  "To avoid weak
+performance impacts ... we implement an edge-pruning mechanism based on a
+cut-off"; after pruning, routines still connected must be searched jointly
+— the partition is the set of weakly-connected components.
+
+Built on :mod:`networkx` so the graph can be exported, visualized, and
+queried with standard tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+
+from .influence import InfluenceMatrix
+from .routine import RoutineSet
+
+__all__ = ["InterdependenceDAG"]
+
+
+class InterdependenceDAG:
+    """Routine-level interdependence graph.
+
+    Vertices are routine names.  A directed edge ``A -> B`` means "some
+    parameter owned by A moves B's runtime above the cut-off"; the edge
+    carries ``parameters``: a dict of ``{parameter: score}`` accumulating
+    every parameter that creates the dependence (edge weight = max score).
+
+    Construction is via :meth:`from_influence`, which applies the cut-off
+    prune at build time; :meth:`prune` re-prunes an existing graph at a
+    stricter cut-off (for the cut-off ablation).
+    """
+
+    def __init__(self, routines: RoutineSet):
+        self.routines = routines
+        self.graph = nx.DiGraph()
+        for r in routines.names:
+            self.graph.add_node(r)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_influence(
+        cls,
+        influence: InfluenceMatrix,
+        *,
+        cutoff: float,
+    ) -> "InterdependenceDAG":
+        """Build the pruned DAG from an influence matrix.
+
+        ``cutoff`` is the paper's interdependence threshold (0.25 for the
+        synthetic study, 0.10 for RT-TDDFT): external influences with
+        score <= cutoff are discarded as "weak performance impacts on
+        other vertices or runtime fluctuations".
+        """
+        dag = cls(influence.routines)
+        for ext in influence.external_influences(cutoff):
+            dag.add_dependence(ext.source, ext.target, ext.parameter, ext.score)
+        return dag
+
+    def add_dependence(
+        self, source: str, target: str, parameter: str, score: float
+    ) -> None:
+        """Record that ``parameter`` (owned by ``source``) moves
+        ``target``."""
+        for name in (source, target):
+            if name not in self.graph:
+                raise KeyError(f"unknown routine {name!r}")
+        if source == target:
+            raise ValueError("self-dependences are implicit; add cross-routine edges only")
+        if score < 0:
+            raise ValueError("score must be >= 0")
+        if self.graph.has_edge(source, target):
+            params = self.graph.edges[source, target]["parameters"]
+            params[parameter] = max(score, params.get(parameter, 0.0))
+            self.graph.edges[source, target]["weight"] = max(params.values())
+        else:
+            self.graph.add_edge(source, target, parameters={parameter: score}, weight=score)
+
+    # ------------------------------------------------------------------
+    def prune(self, cutoff: float) -> "InterdependenceDAG":
+        """Return a new DAG keeping only edges whose strongest parameter
+        influence exceeds ``cutoff``."""
+        out = InterdependenceDAG(self.routines)
+        for src, dst, data in self.graph.edges(data=True):
+            kept = {p: s for p, s in data["parameters"].items() if s > cutoff}
+            for p, s in kept.items():
+                out.add_dependence(src, dst, p, s)
+        return out
+
+    # ------------------------------------------------------------------
+    def partition(self) -> list[list[str]]:
+        """The search groups: weakly-connected components.
+
+        Each component is one (joint) search; singleton components are
+        independent searches.  Output order: components sorted by the
+        routine order of the application, members likewise — deterministic
+        for tests and reports.
+        """
+        order = {name: i for i, name in enumerate(self.routines.names)}
+        comps = [
+            sorted(c, key=order.__getitem__)
+            for c in nx.weakly_connected_components(self.graph)
+        ]
+        comps.sort(key=lambda c: order[c[0]])
+        return comps
+
+    def edges(self) -> list[tuple[str, str, dict[str, float]]]:
+        """All cross-routine edges with their parameter score dicts."""
+        return [
+            (src, dst, dict(data["parameters"]))
+            for src, dst, data in self.graph.edges(data=True)
+        ]
+
+    def dependent_pairs(self) -> set[frozenset[str]]:
+        """Unordered routine pairs connected by at least one edge."""
+        return {frozenset((a, b)) for a, b, _ in self.graph.edges(data=True)}
+
+    def is_independent(self, routine: str) -> bool:
+        """True when the routine shares no edge with any other routine."""
+        return self.graph.degree(routine) == 0
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying graph for external tooling."""
+        return self.graph.copy()
+
+    # ------------------------------------------------------------------
+    def format_diagram(
+        self,
+        is_hierarchical: "Callable[[str, str], bool] | None" = None,
+    ) -> str:
+        """ASCII rendering of the DAG (Figure 2 / Figure 5 material).
+
+        With ``is_hierarchical`` given (routine-pair predicate), edges
+        between an enclosing region and its members are listed under a
+        "staged" section instead of merging their endpoints — the display
+        counterpart of the planner's hierarchical staging.
+        """
+        pred = is_hierarchical or (lambda a, b: False)
+        peer = InterdependenceDAG(self.routines)
+        staged_lines: list[str] = []
+        for src, dst, data in self.graph.edges(data=True):
+            if pred(src, dst):
+                for p, s in sorted(data["parameters"].items(), key=lambda kv: -kv[1]):
+                    staged_lines.append(
+                        f"    {src} --{p} ({100 * s:.1f}%)--> {dst}"
+                    )
+            else:
+                for p, s in data["parameters"].items():
+                    peer.add_dependence(src, dst, p, s)
+
+        lines = []
+        for comp in peer.partition():
+            if len(comp) == 1 and peer.is_independent(comp[0]):
+                lines.append(f"[{comp[0]}]  (independent)")
+                continue
+            lines.append("[" + " + ".join(comp) + "]  (merged)")
+            for src, dst, data in peer.graph.edges(data=True):
+                if src in comp:
+                    for p, s in sorted(data["parameters"].items(), key=lambda kv: -kv[1]):
+                        lines.append(f"    {src} --{p} ({100 * s:.1f}%)--> {dst}")
+        if staged_lines:
+            lines.append("staged (enclosing-region) dependencies:")
+            lines.extend(staged_lines)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InterdependenceDAG(routines={len(self.routines)}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

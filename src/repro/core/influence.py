@@ -1,0 +1,149 @@
+"""Influence scores: the output of methodology phase 1.
+
+Phase 1 of the paper's methodology "tags the influence of different tuning
+parameters on each routine with an influence score", obtained from the
+sensitivity analysis (one baseline + V one-at-a-time variations, see
+:mod:`repro.insights.sensitivity`).  :class:`InfluenceMatrix` stores these
+``(parameter, routine)`` scores together with routine ownership so phase 2
+can distinguish
+
+* **internal** influence — a parameter moving its *own* routine (expected;
+  never creates a cross-routine DAG edge), from
+* **external** influence — a parameter owned by routine A moving routine
+  B's runtime (the interdependence signal that, above the cut-off, forces
+  A and B into a joint search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..insights.sensitivity import SensitivityResult
+from .routine import RoutineSet
+
+__all__ = ["InfluenceMatrix", "ExternalInfluence"]
+
+
+@dataclass(frozen=True)
+class ExternalInfluence:
+    """One cross-routine influence record.
+
+    ``parameter`` is owned by ``source`` (one of possibly several owners)
+    and moves ``target``'s runtime by ``score`` (mean relative
+    variability).
+    """
+
+    parameter: str
+    source: str
+    target: str
+    score: float
+
+
+class InfluenceMatrix:
+    """Dense (parameter x routine) influence-score table with ownership.
+
+    Parameters
+    ----------
+    routines:
+        The application's routines (ownership source of truth).
+    scores:
+        ``{routine: {parameter: score}}`` — the layout produced by
+        :class:`repro.insights.SensitivityResult`.
+    """
+
+    def __init__(self, routines: RoutineSet, scores: Mapping[str, Mapping[str, float]]):
+        self.routines = routines
+        missing = [r for r in routines.names if r not in scores]
+        if missing:
+            raise ValueError(f"scores missing for routines: {missing}")
+        self.parameters: list[str] = routines.all_parameters()
+        self._scores: dict[str, dict[str, float]] = {}
+        for rname in routines.names:
+            row = dict(scores[rname])
+            absent = [p for p in self.parameters if p not in row]
+            if absent:
+                raise ValueError(
+                    f"scores for routine {rname!r} missing parameters: {absent}"
+                )
+            bad = {p: s for p, s in row.items() if s < 0 or not np.isfinite(s)}
+            if bad:
+                raise ValueError(f"invalid (negative/non-finite) scores: {bad}")
+            self._scores[rname] = row
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sensitivity(
+        cls, routines: RoutineSet, result: SensitivityResult
+    ) -> "InfluenceMatrix":
+        """Adopt a sensitivity analysis whose targets are the routines."""
+        return cls(routines, result.scores)
+
+    # ------------------------------------------------------------------
+    def score(self, parameter: str, routine: str) -> float:
+        """Influence of ``parameter`` on ``routine``'s runtime."""
+        return self._scores[routine][parameter]
+
+    def is_internal(self, parameter: str, routine: str) -> bool:
+        """True when ``routine`` owns ``parameter``."""
+        return parameter in self.routines[routine].parameters
+
+    def routine_scores(self, routine: str) -> dict[str, float]:
+        return dict(self._scores[routine])
+
+    def parameter_scores(self, parameter: str) -> dict[str, float]:
+        """Influence of one parameter across all routines."""
+        return {r: self._scores[r][parameter] for r in self.routines.names}
+
+    def max_influence(self, parameter: str) -> float:
+        """Largest influence the parameter exerts on any routine — the
+        ranking key used when the planner drops parameters under the
+        dimension cap."""
+        return max(self.parameter_scores(parameter).values())
+
+    # ------------------------------------------------------------------
+    def external_influences(self, cutoff: float = 0.0) -> list[ExternalInfluence]:
+        """Cross-routine influences with ``score > cutoff``.
+
+        For a shared parameter (several owners) one record per owner is
+        emitted, excluding targets that themselves own the parameter.
+        Sorted by descending score for stable reporting.
+        """
+        if cutoff < 0:
+            raise ValueError("cutoff must be >= 0")
+        out: list[ExternalInfluence] = []
+        for target in self.routines.names:
+            for param, s in self._scores[target].items():
+                if s <= cutoff or self.is_internal(param, target):
+                    continue
+                for owner in self.routines.owners(param):
+                    out.append(
+                        ExternalInfluence(
+                            parameter=param,
+                            source=owner.name,
+                            target=target,
+                            score=s,
+                        )
+                    )
+        out.sort(key=lambda e: (-e.score, e.parameter, e.source, e.target))
+        return out
+
+    def as_array(self) -> tuple[np.ndarray, list[str], list[str]]:
+        """Scores as ``(n_routines, n_parameters)`` + labels."""
+        R = self.routines.names
+        P = self.parameters
+        M = np.array([[self._scores[r][p] for p in P] for r in R], dtype=float)
+        return M, R, P
+
+    def format_table(self, k: int = 10) -> str:
+        """Top-``k`` parameters per routine, Tables II/V/VI style."""
+        lines = []
+        for r in self.routines.names:
+            lines.append(f"== {r} ==")
+            top = sorted(self._scores[r].items(), key=lambda kv: -kv[1])[:k]
+            for p, s in top:
+                marker = "" if self.is_internal(p, r) else "  <- external"
+                lines.append(f"  {p:<16} {100.0 * s:8.2f}%{marker}")
+        return "\n".join(lines)

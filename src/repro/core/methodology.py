@@ -1,0 +1,337 @@
+"""The end-to-end tuning methodology (the paper's Section IV pipeline).
+
+:class:`TuningMethodology` wires the five guideline steps together:
+
+1. **Constrain the search and fix the budget** — the caller provides an
+   already-constrained :class:`~repro.space.SearchSpace` (domain-expert
+   knowledge) and an optional evaluation budget / timeout.
+2. **Statistical insights** — an optional random evaluation sample feeds
+   Pearson + random-forest feature importance
+   (:func:`repro.insights.analyze_parameters`), with the one-in-ten rule
+   checked.
+3. **Interdependence discovery** — a per-routine sensitivity analysis
+   produces the influence matrix (phase 1).
+4. **Merge dependent searches, drop parameters** — the
+   :class:`~repro.core.SearchPlanner` prunes the DAG at the cut-off,
+   partitions it, and caps each search at 10 dimensions (phase 2).
+5. **Shared-kernel priority** — handled inside the planner.
+
+:meth:`TuningMethodology.run` then executes the planned searches with the
+chosen engine (BO by default) through a :class:`~repro.search.SearchCampaign`
+and returns a :class:`MethodologyResult` carrying every intermediate
+artifact, the combined best configuration, and the full observation
+accounting that backs the paper's cost claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..insights.importance import ParameterInsights, analyze_parameters
+from ..insights.sensitivity import SensitivityAnalysis, SensitivityResult
+from ..search.result import CampaignResult
+from ..search.runner import SearchCampaign, SearchSpec
+from ..space import SearchSpace
+from .dag import InterdependenceDAG
+from .influence import InfluenceMatrix
+from .planner import SearchPlan, SearchPlanner
+from .routine import RoutineSet
+
+__all__ = ["TuningMethodology", "MethodologyResult"]
+
+
+@dataclass
+class MethodologyResult:
+    """Everything the methodology produced, end to end.
+
+    Attributes
+    ----------
+    sensitivity:
+        Phase-1 per-routine sensitivity analysis.
+    influence:
+        The influence matrix derived from it.
+    dag:
+        The pruned interdependence DAG.
+    plan:
+        The final set of searches (Table VII material).
+    insights:
+        Step-2 statistical insights (``None`` when skipped).
+    campaign:
+        Search execution results (``None`` for ``plan_only`` runs).
+    analysis_evaluations:
+        Objective evaluations spent on sensitivity + insights — the
+        methodology's *overhead*, which the paper argues is small compared
+        to a traditional orthogonality analysis.
+    """
+
+    sensitivity: SensitivityResult
+    influence: InfluenceMatrix
+    dag: InterdependenceDAG
+    plan: SearchPlan
+    insights: ParameterInsights | None = None
+    campaign: CampaignResult | None = None
+    analysis_evaluations: int = 0
+    dag_diagram: str = ""
+    """Hierarchy-aware rendering of the DAG (staged edges separated)."""
+
+    @property
+    def best_config(self) -> dict[str, Any]:
+        if self.campaign is None:
+            raise RuntimeError("methodology was run plan-only; no best_config")
+        return self.campaign.combined_config
+
+    @property
+    def staged_wall_time(self) -> float:
+        """Wall-clock respecting stages: searches within a stage run in
+        parallel; stages run back to back."""
+        if self.campaign is None:
+            return 0.0
+        by_name = {s.name: s for s in self.campaign.searches}
+        total = 0.0
+        for stage in self.plan.stages():
+            total += max(
+                (by_name[p.name].search_time for p in stage if p.name in by_name),
+                default=0.0,
+            )
+        return total
+
+    @property
+    def total_evaluations(self) -> int:
+        n = self.analysis_evaluations
+        if self.campaign is not None:
+            n += self.campaign.n_evaluations
+        return n
+
+    def summary(self) -> str:
+        lines = [
+            f"cut-off: {100 * self.plan.cutoff:.0f}%  "
+            f"dimension cap: {self.plan.dimension_cap}",
+            f"analysis evaluations: {self.analysis_evaluations}",
+            "",
+            "interdependence DAG:",
+            (self.dag_diagram or self.dag.format_diagram())
+            or "  (no cross-routine edges)",
+            "",
+            "planned searches:",
+            self.plan.format_table(),
+        ]
+        if self.campaign is not None:
+            lines += [
+                "",
+                f"campaign wall-time: {self.campaign.measured_wall_time:.2f}s "
+                f"(measured)  evaluations: {self.campaign.n_evaluations}",
+            ]
+        return "\n".join(lines)
+
+
+class TuningMethodology:
+    """Cost-effective complex-tuning-search methodology.
+
+    Parameters
+    ----------
+    space:
+        Constrained full application search space (step 1).
+    routines:
+        The application's tunable routines with ownership and objectives.
+    cutoff:
+        Interdependence cut-off (paper: 0.25 synthetic, 0.10 RT-TDDFT).
+    dimension_cap:
+        Maximum dimensions per search (paper: 10).
+    n_variations / variation / variation_mode:
+        Sensitivity-analysis controls (paper: V=100 at +10% for synthetic,
+        V=5 expert-guided for RT-TDDFT).
+    n_baselines:
+        Independent random baselines to average the sensitivity scores
+        over (>1 stabilizes the influence ranking at proportional
+        observation cost).
+    insight_samples:
+        Size of the random sample for step-2 statistics (0 disables; the
+        paper uses 100-200 application runs).
+    total_objective:
+        Optional full-application objective used for the insight sample
+        (defaults to the weighted sum of routine objectives).
+    engine / engine_options:
+        Search engine for the planned searches.
+    hierarchy:
+        Optional region nesting forwarded to the planner (see
+        :class:`~repro.core.SearchPlanner`); enables staged plans like the
+        paper's batch-first / MPI-first RT-TDDFT sequencing.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        routines: RoutineSet,
+        *,
+        cutoff: float = 0.10,
+        dimension_cap: int = 10,
+        n_variations: int = 5,
+        n_baselines: int = 1,
+        variation: float = 0.10,
+        variation_mode: str = "relative",
+        insight_samples: int = 0,
+        total_objective: Callable[[Mapping[str, Any]], float] | None = None,
+        engine: str = "bo",
+        engine_options: dict[str, Any] | None = None,
+        hierarchy: Mapping[str, Sequence[str]] | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.space = space
+        self.routines = routines
+        self.cutoff = float(cutoff)
+        self.dimension_cap = int(dimension_cap)
+        self.hierarchy = dict(hierarchy) if hierarchy else None
+        self.n_variations = int(n_variations)
+        self.n_baselines = int(n_baselines)
+        self.variation = float(variation)
+        self.variation_mode = variation_mode
+        self.insight_samples = int(insight_samples)
+        self.total_objective = total_objective
+        self.engine = engine
+        self.engine_options = dict(engine_options or {})
+        self.rng = (
+            random_state
+            if isinstance(random_state, np.random.Generator)
+            else np.random.default_rng(random_state)
+        )
+
+    # ------------------------------------------------------------------
+    def _default_total(self, config: Mapping[str, Any]) -> float:
+        return float(sum(r.weight * r.evaluate(config) for r in self.routines))
+
+    def collect_insights(self) -> tuple[ParameterInsights, int]:
+        """Step 2: random evaluation sample -> statistical insights."""
+        total = self.total_objective or self._default_total
+        configs = self.space.sample_batch(self.insight_samples, self.rng)
+        objectives = [total(c) for c in configs]
+        ins = analyze_parameters(
+            self.space, configs, objectives, random_state=self.rng
+        )
+        return ins, len(configs)
+
+    def run_sensitivity(
+        self, baseline: Mapping[str, Any] | None = None
+    ) -> SensitivityResult:
+        """Step 3 / phase 1: per-routine sensitivity analysis."""
+        sa = SensitivityAnalysis.from_routines(
+            self.space,
+            self.routines,
+            n_variations=self.n_variations,
+            variation=self.variation,
+            mode=self.variation_mode,
+            random_state=self.rng,
+        )
+        if self.n_baselines > 1 and baseline is None:
+            return sa.run_averaged(self.n_baselines)
+        return sa.run(baseline)
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        baseline: Mapping[str, Any] | None = None,
+        *,
+        checkpoint: str | None = None,
+    ) -> MethodologyResult:
+        """Run the analysis phases only (no search execution).
+
+        With ``checkpoint`` set, the phase-1 sensitivity result is loaded
+        from that JSON file when it exists (skipping the ``1 + V x d``
+        application runs) and saved there after a fresh analysis — crash
+        recovery for the observation-expensive phase, mirroring the
+        evaluation database's role for the searches.  Phase 2 is pure
+        computation and always re-runs (so cut-off/cap changes re-plan
+        from cached observations for free).
+        """
+        import json
+        import os
+
+        insights: ParameterInsights | None = None
+        analysis_evals = 0
+        if self.insight_samples > 0:
+            insights, n = self.collect_insights()
+            analysis_evals += n
+
+        sens: SensitivityResult | None = None
+        if checkpoint and os.path.exists(checkpoint):
+            with open(checkpoint) as f:
+                sens = SensitivityResult.from_dict(json.load(f))
+        if sens is None:
+            sens = self.run_sensitivity(baseline)
+            analysis_evals += sens.n_evaluations
+            if checkpoint:
+                with open(checkpoint, "w") as f:
+                    json.dump(sens.to_dict(), f)
+
+        influence = InfluenceMatrix.from_sensitivity(self.routines, sens)
+        planner = self._planner(influence, insights)
+        plan = planner.plan()
+        dag = planner.build_dag()
+        return MethodologyResult(
+            sensitivity=sens,
+            influence=influence,
+            dag=dag,
+            plan=plan,
+            insights=insights,
+            analysis_evaluations=analysis_evals,
+            dag_diagram=planner.format_dag(dag),
+        )
+
+    def _planner(self, influence, insights) -> SearchPlanner:
+        return SearchPlanner(
+            self.routines,
+            influence,
+            self.space,
+            cutoff=self.cutoff,
+            dimension_cap=self.dimension_cap,
+            insights=insights,
+            hierarchy=self.hierarchy,
+        )
+
+    def run(
+        self,
+        baseline: Mapping[str, Any] | None = None,
+        *,
+        defaults: Mapping[str, Any] | None = None,
+    ) -> MethodologyResult:
+        """Full pipeline: analyze, plan, and execute the searches.
+
+        Stages run in order; each stage's searches execute (logically in
+        parallel) with every parameter tuned by an *earlier* stage pinned
+        to its found optimum.
+        """
+        result = self.analyze(baseline)
+        planner = self._planner(result.influence, result.insights)
+
+        carried: dict[str, Any] = dict(defaults or {})
+        campaign = CampaignResult(
+            strategy=", ".join(s.name for s in result.plan.searches)
+        )
+        for stage in range(result.plan.n_stages):
+            specs = [
+                SearchSpec(
+                    space=sub,
+                    objective=obj,
+                    engine=self.engine,
+                    max_evaluations=s.budget,
+                    engine_options=dict(self.engine_options),
+                )
+                for s, sub, obj in planner.materialize(
+                    result.plan, defaults=carried, stage=stage
+                )
+            ]
+            if not specs:
+                continue
+            stage_campaign = SearchCampaign(
+                specs,
+                strategy=f"stage-{stage}",
+                random_state=self.rng,
+            )
+            stage_result = stage_campaign.run()
+            campaign.searches.extend(stage_result.searches)
+            for s in stage_result.searches:
+                carried.update(s.tuned_config)
+        result.campaign = campaign
+        return result

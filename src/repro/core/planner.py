@@ -1,0 +1,408 @@
+"""Search planning: turn the DAG partition into concrete searches.
+
+Implements methodology steps 4 and 5 (paper Section IV):
+
+4. *"Merge dependent searches and drop parameters: we limit to 10
+   dimensions per search."*  Each weakly-connected DAG component becomes
+   one planned search over the union of its routines' parameters.  When a
+   component's parameter count exceeds ``dimension_cap``, the "ten most
+   influential variables (based on the data insights)" are kept; the rest
+   are pinned to their defaults.
+5. *"If the same kernel appears in different regions, and its parameter
+   values must be the same across all regions, prioritize the kernel with
+   highest impact."*  A parameter owned by routines that land in different
+   components is tuned only in the component whose owning routine has the
+   highest ``weight``; the other components treat it as pinned.
+
+The planner is a pure function of (routines, influence matrix, space,
+cut-off, cap, optional importance ranking): it performs **no** objective
+evaluations, so it can be unit-tested exhaustively and re-run for the
+cut-off / cap ablations at zero cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..insights.importance import ParameterInsights
+from ..space import PinnedSubspace, SearchSpace
+from .dag import InterdependenceDAG
+from .influence import InfluenceMatrix
+from .routine import RoutineSet
+
+__all__ = ["PlannedSearch", "SearchPlan", "SearchPlanner"]
+
+
+@dataclass
+class PlannedSearch:
+    """One search the methodology decided to run.
+
+    Attributes
+    ----------
+    name:
+        e.g. ``"Group 3+Group 4"`` for a merged search.
+    routines:
+        Member routine names (singleton for independent searches).
+    tuned:
+        Parameter names actually searched (post cap, post shared-kernel
+        resolution), in influence-rank order.
+    dropped:
+        Parameters this search *would* own but pins instead: either cut by
+        the dimension cap or ceded to a higher-impact component.  Values
+        are the reasons (``"dimension-cap"`` / ``"owned-elsewhere"``).
+    budget:
+        Evaluation budget (the paper's ``10 x dims``).
+    """
+
+    name: str
+    routines: tuple[str, ...]
+    tuned: tuple[str, ...]
+    dropped: dict[str, str] = field(default_factory=dict)
+    stage: int = 0
+
+    @property
+    def dimension(self) -> int:
+        return len(self.tuned)
+
+    @property
+    def budget(self) -> int:
+        return 10 * self.dimension
+
+    @property
+    def is_merged(self) -> bool:
+        return len(self.routines) > 1
+
+
+@dataclass
+class SearchPlan:
+    """The full set of planned searches plus shared context.
+
+    ``pinned`` collects the default assignments of every dropped
+    parameter so callers can build consistent full configurations.
+    """
+
+    searches: list[PlannedSearch]
+    cutoff: float
+    dimension_cap: int
+    pinned: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_searches(self) -> int:
+        return len(self.searches)
+
+    @property
+    def n_stages(self) -> int:
+        return 1 + max((s.stage for s in self.searches), default=0)
+
+    def stages(self) -> list[list[PlannedSearch]]:
+        """Searches grouped by execution stage.
+
+        Stage k+1 searches start only after stage k finished, pinning the
+        values stage k tuned — the paper's "we first determine the batch
+        value that optimizes the overall execution of the Slater
+        Determinant region" sequencing.
+        """
+        out: list[list[PlannedSearch]] = [[] for _ in range(self.n_stages)]
+        for s in self.searches:
+            out[s.stage].append(s)
+        return out
+
+    def search_for(self, routine: str) -> PlannedSearch:
+        for s in self.searches:
+            if routine in s.routines:
+                return s
+        raise KeyError(f"no planned search contains routine {routine!r}")
+
+    def all_tuned(self) -> list[str]:
+        out: list[str] = []
+        for s in self.searches:
+            out.extend(s.tuned)
+        return out
+
+    def format_table(self) -> str:
+        """Table VII-style rendering of the plan."""
+        lines = [f"{'Search':<28} {'Stage':>5} {'Dims':>4}  Parameters"]
+        for s in self.searches:
+            label = "+".join(s.routines)
+            lines.append(
+                f"{label:<28} {s.stage:>5} {s.dimension:>4}  {', '.join(s.tuned)}"
+            )
+            for p, why in sorted(s.dropped.items()):
+                lines.append(f"{'':<28} {'':>5} {'':>4}  [dropped {p}: {why}]")
+        return "\n".join(lines)
+
+
+class SearchPlanner:
+    """Build a :class:`SearchPlan` and materialize its subspaces/objectives.
+
+    Parameters
+    ----------
+    routines, influence:
+        Phase-1 outputs.
+    space:
+        The full application search space (domains + constraints).
+    cutoff:
+        Interdependence cut-off for the DAG prune (fractional: 0.25 = 25%).
+    dimension_cap:
+        Maximum dimensions per search (paper: 10).
+    insights:
+        Optional :class:`repro.insights.ParameterInsights`; when present,
+        the drop ranking combines sensitivity influence with forest
+        importance (both normalized ranks, sensitivity first) — matching
+        the paper's "leveraging insights from sensitivity analysis and
+        feature importance analysis".
+    hierarchy:
+        Optional region nesting, ``{enclosing routine: [enclosed
+        routines]}`` (direct children; transitive nesting is derived).
+        Interdependence edges between an enclosing region and its own
+        members do not merge searches — an outer loop's parameter
+        (``nbatches``) trivially moves every kernel it launches.  Instead
+        they *stage* the plan: the enclosing region's search runs first
+        and its tuned values are pinned for the enclosed searches, exactly
+        the paper's handling of ``nbatches``/``nstreams`` and the MPI
+        grid for RT-TDDFT.
+    """
+
+    def __init__(
+        self,
+        routines: RoutineSet,
+        influence: InfluenceMatrix,
+        space: SearchSpace,
+        *,
+        cutoff: float = 0.10,
+        dimension_cap: int = 10,
+        insights: ParameterInsights | None = None,
+        hierarchy: Mapping[str, Sequence[str]] | None = None,
+    ):
+        if cutoff < 0:
+            raise ValueError("cutoff must be >= 0")
+        if dimension_cap < 1:
+            raise ValueError("dimension_cap must be >= 1")
+        missing = [p for p in routines.all_parameters() if p not in space]
+        if missing:
+            raise ValueError(f"routines reference parameters not in the space: {missing}")
+        self.routines = routines
+        self.influence = influence
+        self.space = space
+        self.cutoff = float(cutoff)
+        self.dimension_cap = int(dimension_cap)
+        self.insights = insights
+        self._ancestors = self._close_hierarchy(hierarchy or {})
+
+    def _close_hierarchy(
+        self, hierarchy: Mapping[str, Sequence[str]]
+    ) -> dict[str, set[str]]:
+        """``{routine: set of its (transitive) ancestors}``."""
+        parent: dict[str, set[str]] = {r: set() for r in self.routines.names}
+        for anc, members in hierarchy.items():
+            if anc not in self.routines:
+                raise KeyError(f"unknown routine in hierarchy: {anc!r}")
+            for m in members:
+                if m not in self.routines:
+                    raise KeyError(f"unknown routine in hierarchy: {m!r}")
+                if m == anc:
+                    raise ValueError(f"routine {anc!r} cannot enclose itself")
+                parent[m].add(anc)
+        # Transitive closure (hierarchies are tiny; repeated passes fine).
+        changed = True
+        while changed:
+            changed = False
+            for r, anc in parent.items():
+                extra = set().union(*(parent[a] for a in anc)) - anc if anc else set()
+                if r in extra or r in anc:
+                    raise ValueError(f"hierarchy contains a cycle through {r!r}")
+                if extra:
+                    anc.update(extra)
+                    changed = True
+        return parent
+
+    def _is_hierarchical(self, a: str, b: str) -> bool:
+        """True when one routine (transitively) encloses the other."""
+        return a in self._ancestors[b] or b in self._ancestors[a]
+
+    # ------------------------------------------------------------------
+    def build_dag(self) -> InterdependenceDAG:
+        return InterdependenceDAG.from_influence(self.influence, cutoff=self.cutoff)
+
+    def format_dag(self, dag: InterdependenceDAG) -> str:
+        """Hierarchy-aware rendering of ``dag`` (staged edges separate)."""
+        return dag.format_diagram(is_hierarchical=self._is_hierarchical)
+
+    def _peer_dag(self, full: InterdependenceDAG) -> InterdependenceDAG:
+        """Copy of the DAG without hierarchical (enclosing<->enclosed)
+        edges — the graph whose components define merged searches."""
+        peer = InterdependenceDAG(self.routines)
+        for src, dst, params in full.edges():
+            if self._is_hierarchical(src, dst):
+                continue
+            for p, s in params.items():
+                peer.add_dependence(src, dst, p, s)
+        return peer
+
+    def _assign_stages(
+        self, full: InterdependenceDAG, components: list[list[str]]
+    ) -> dict[int, int]:
+        """Stage index per component (longest-path depth over the
+        enclosing->enclosed edges between components)."""
+        import networkx as nx
+
+        comp_of = {r: i for i, comp in enumerate(components) for r in comp}
+        H = nx.DiGraph()
+        H.add_nodes_from(range(len(components)))
+        for src, dst, _params in full.edges():
+            if not self._is_hierarchical(src, dst):
+                continue
+            anc, desc = (src, dst) if src in self._ancestors[dst] else (dst, src)
+            ca, cd = comp_of[anc], comp_of[desc]
+            if ca != cd:
+                H.add_edge(ca, cd)
+        if not nx.is_directed_acyclic_graph(H):
+            # A component both encloses and is enclosed by another (merged
+            # across hierarchy levels); no consistent order exists, run
+            # everything concurrently.
+            return {i: 0 for i in range(len(components))}
+        stages = {}
+        for c in nx.topological_sort(H):
+            preds = list(H.predecessors(c))
+            stages[c] = 1 + max((stages[p] for p in preds), default=-1)
+        return stages
+
+    def _rank_key(self, component: Sequence[str]) -> Callable[[str], tuple]:
+        """Descending-influence ranking for parameters of one component.
+
+        Primary key: max sensitivity influence on any member routine.
+        Tie-break: forest importance (when available), then name.
+        """
+        imp = self.insights.importances if self.insights is not None else {}
+
+        def key(param: str) -> tuple:
+            sens = max(self.influence.score(param, r) for r in component)
+            return (-sens, -imp.get(param, 0.0), param)
+
+        return key
+
+    def _component_parameters(self, component: Sequence[str]) -> list[str]:
+        seen: dict[str, None] = {}
+        for rname in component:
+            for p in self.routines[rname].parameters:
+                seen.setdefault(p)
+        return list(seen)
+
+    def _resolve_shared(
+        self, components: list[list[str]]
+    ) -> dict[str, str]:
+        """Shared-kernel rule: parameter -> winning routine name.
+
+        Only parameters whose owners span *different* components need
+        resolution; the winner is the owner on which the parameter has
+        the highest measured influence — "the region with highest impact"
+        (ties: higher routine weight, then routine order).  For the
+        paper's shared cuZcopy kernel this selects Group 3, whose forward
+        transpose&padding moves far more data than Group 1's backward
+        transpose.
+        """
+        comp_of = {r: i for i, comp in enumerate(components) for r in comp}
+        winners: dict[str, str] = {}
+        for param, owner_names in self.routines.shared_parameters().items():
+            comps = {comp_of[o] for o in owner_names}
+            if len(comps) <= 1:
+                continue  # all owners merged anyway
+            order = {n: i for i, n in enumerate(self.routines.names)}
+            best = max(
+                owner_names,
+                key=lambda o: (
+                    self.influence.score(param, o),
+                    self.routines[o].weight,
+                    -order[o],
+                ),
+            )
+            winners[param] = best
+        return winners
+
+    # ------------------------------------------------------------------
+    def plan(self) -> SearchPlan:
+        """Produce the search plan (no objective evaluations)."""
+        full = self.build_dag()
+        components = self._peer_dag(full).partition()
+        stages = self._assign_stages(full, components)
+        shared_winners = self._resolve_shared(components)
+        comp_of = {r: i for i, comp in enumerate(components) for r in comp}
+
+        searches: list[PlannedSearch] = []
+        pinned: dict[str, Any] = {}
+        for ci, comp in enumerate(components):
+            params = self._component_parameters(comp)
+            dropped: dict[str, str] = {}
+
+            # Rule 5: cede shared parameters won by another component.
+            kept = []
+            for p in params:
+                winner = shared_winners.get(p)
+                if winner is not None and comp_of[winner] != comp_of[comp[0]]:
+                    dropped[p] = "owned-elsewhere"
+                else:
+                    kept.append(p)
+
+            # Rule 4: dimension cap, keep the most influential.
+            kept.sort(key=self._rank_key(comp))
+            if len(kept) > self.dimension_cap:
+                for p in kept[self.dimension_cap:]:
+                    dropped[p] = "dimension-cap"
+                kept = kept[: self.dimension_cap]
+
+            for p, why in dropped.items():
+                if why == "dimension-cap":
+                    pinned[p] = self.space[p].default
+
+            searches.append(
+                PlannedSearch(
+                    name="+".join(comp),
+                    routines=tuple(comp),
+                    tuned=tuple(kept),
+                    dropped=dropped,
+                    stage=stages.get(ci, 0),
+                )
+            )
+        searches.sort(key=lambda s: s.stage)
+        return SearchPlan(
+            searches=searches,
+            cutoff=self.cutoff,
+            dimension_cap=self.dimension_cap,
+            pinned=pinned,
+        )
+
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        plan: SearchPlan,
+        *,
+        defaults: Mapping[str, Any] | None = None,
+        stage: int | None = None,
+    ) -> list[tuple[PlannedSearch, PinnedSubspace, Callable[[Mapping[str, Any]], float]]]:
+        """Turn a plan into (search, subspace, objective) triples.
+
+        Each subspace keeps the search's tuned parameters and pins the
+        rest (plan pins > caller ``defaults`` > parameter defaults).  The
+        objective of a search is the **weighted sum of its member
+        routines' objectives** — for a merged search this is the paper's
+        "minimize joint runtime".  With ``stage`` given, only that stage's
+        searches are materialized (callers pass earlier stages' tuned
+        values through ``defaults``).
+        """
+        base = self.space.defaults()
+        base.update(defaults or {})
+        base.update(plan.pinned)
+
+        out = []
+        for s in plan.searches:
+            if stage is not None and s.stage != stage:
+                continue
+            sub = self.space.subspace(list(s.tuned), pinned=base, name=s.name)
+            members = [self.routines[r] for r in s.routines]
+
+            def objective(config: Mapping[str, Any], _members=members) -> float:
+                return float(sum(m.weight * m.evaluate(config) for m in _members))
+
+            out.append((s, sub, objective))
+        return out

@@ -1,0 +1,124 @@
+"""The `routine` abstraction consumed by the methodology.
+
+The paper's unit of decomposition is a *routine* (a kernel or code region
+"executing independently, offering the opportunity for separate
+optimization").  A routine here is:
+
+* a name,
+* the set of parameter names the routine *owns* (its "visible performance
+  parameters" — e.g. Group 1 owns ``x0..x4``; the GPU ZCOPY kernel owns
+  ``u_zcopy, tb_zcopy, tb_sm_zcopy``),
+* an objective callable returning that routine's runtime (or objective
+  contribution) for a **full** application configuration.
+
+Crucially, the objective receives the full configuration: whether
+parameters outside the owned set actually influence the routine's runtime
+is exactly what the methodology's sensitivity analysis discovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["Routine", "RoutineSet"]
+
+
+@dataclass(frozen=True)
+class Routine:
+    """One tunable routine of an application.
+
+    Attributes
+    ----------
+    name:
+        Identifier used as the DAG vertex label (e.g. ``"Group 3"``).
+    parameters:
+        Names of the parameters this routine owns.  Ownership determines
+        which edges of the interdependence DAG are *internal* (expected)
+        versus *external* (evidence of interdependence).
+    objective:
+        ``config -> runtime`` for this routine alone, evaluated on a full
+        application configuration.
+    weight:
+        Relative importance of the routine (e.g. its share of total
+        runtime).  Used by the planner's rule 5: when a kernel appears in
+        several regions "prioritize the kernel with highest impact".
+    """
+
+    name: str
+    parameters: tuple[str, ...]
+    objective: Callable[[Mapping[str, Any]], float]
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("routine name must be non-empty")
+        if not self.parameters:
+            raise ValueError(f"routine {self.name!r} owns no parameters")
+        if len(set(self.parameters)) != len(self.parameters):
+            raise ValueError(f"routine {self.name!r} lists duplicate parameters")
+        if self.weight < 0:
+            raise ValueError("routine weight must be >= 0")
+
+    def evaluate(self, config: Mapping[str, Any]) -> float:
+        """Evaluate this routine's objective on a full configuration."""
+        return float(self.objective(config))
+
+
+class RoutineSet:
+    """An ordered collection of routines forming one application.
+
+    Validates that routine names are unique and exposes ownership lookups
+    used when classifying DAG edges.  Parameters may be owned by multiple
+    routines (the paper's shared cuZcopy kernel appears in Groups 1 and 3);
+    :meth:`owners` returns all of them.
+    """
+
+    def __init__(self, routines: Sequence[Routine]):
+        rs = list(routines)
+        if not rs:
+            raise ValueError("a routine set needs at least one routine")
+        names = [r.name for r in rs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate routine names: {dupes}")
+        self.routines: list[Routine] = rs
+        self._by_name = {r.name: r for r in rs}
+
+    def __iter__(self):
+        return iter(self.routines)
+
+    def __len__(self) -> int:
+        return len(self.routines)
+
+    def __getitem__(self, name: str) -> Routine:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> list[str]:
+        return [r.name for r in self.routines]
+
+    def all_parameters(self) -> list[str]:
+        """Union of owned parameters, first-owner order, deduplicated."""
+        seen: dict[str, None] = {}
+        for r in self.routines:
+            for p in r.parameters:
+                seen.setdefault(p)
+        return list(seen)
+
+    def owners(self, parameter: str) -> list[Routine]:
+        """Routines that own ``parameter`` (possibly several: shared
+        kernels)."""
+        return [r for r in self.routines if parameter in r.parameters]
+
+    def shared_parameters(self) -> dict[str, list[str]]:
+        """Parameters owned by more than one routine -> owner names."""
+        out: dict[str, list[str]] = {}
+        for p in self.all_parameters():
+            owning = [r.name for r in self.owners(p)]
+            if len(owning) > 1:
+                out[p] = owning
+        return out

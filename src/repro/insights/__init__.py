@@ -1,0 +1,47 @@
+"""Statistical insight substrate (paper Section IV-B).
+
+Sensitivity analysis, Pearson/partial correlation, from-scratch random
+forests for feature importance, and the one-in-ten sample-sufficiency rule.
+"""
+
+from .correlation import (
+    correlated_pairs,
+    design_matrix,
+    partial_correlation_matrix,
+    pearson_matrix,
+    pearson_with_target,
+)
+from .forest import DecisionTreeRegressor, RandomForestRegressor
+from .importance import (
+    ParameterInsights,
+    analyze_parameters,
+    one_in_ten_ok,
+    required_samples,
+)
+from .orthogonality import (
+    OrthogonalityResult,
+    PairwiseOrthogonalityAnalysis,
+    observation_cost,
+    sensitivity_observation_cost,
+)
+from .sensitivity import SensitivityAnalysis, SensitivityResult
+
+__all__ = [
+    "SensitivityAnalysis",
+    "SensitivityResult",
+    "PairwiseOrthogonalityAnalysis",
+    "OrthogonalityResult",
+    "observation_cost",
+    "sensitivity_observation_cost",
+    "pearson_matrix",
+    "pearson_with_target",
+    "partial_correlation_matrix",
+    "correlated_pairs",
+    "design_matrix",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "ParameterInsights",
+    "analyze_parameters",
+    "one_in_ten_ok",
+    "required_samples",
+]

@@ -1,0 +1,121 @@
+"""Correlation analyses over evaluation samples (paper Section IV-B).
+
+The paper uses Pearson correlation to reveal linear relationships between
+parameters ("threadblock size and active threadblocks per SM exhibit around
+0.6 correlation due to the maximum number of active threads allowed per
+SM") and notes that "more intricate analyses like partial correlation
+exist, [but] they require larger samples" — both are provided here, with
+the one-in-ten-rule sample check living in :mod:`repro.insights.importance`.
+
+All functions operate on a plain ``(n_samples, n_features)`` design matrix
+plus feature names, which :func:`design_matrix` builds from configuration
+dicts via the space's unit encoding (so Ordinal/Categorical parameters are
+handled consistently).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..space import SearchSpace
+
+__all__ = [
+    "design_matrix",
+    "pearson_matrix",
+    "pearson_with_target",
+    "partial_correlation_matrix",
+    "correlated_pairs",
+]
+
+
+def design_matrix(
+    space: SearchSpace, configs: Sequence[Mapping[str, Any]]
+) -> tuple[np.ndarray, list[str]]:
+    """Encode configurations into an ``(n, d)`` unit-cube design matrix."""
+    if not configs:
+        raise ValueError("need at least one configuration")
+    return space.encode_batch(configs), space.names
+
+
+def _standardize(X: np.ndarray) -> np.ndarray:
+    Xc = X - X.mean(axis=0, keepdims=True)
+    sd = Xc.std(axis=0, keepdims=True)
+    sd[sd < 1e-12] = 1.0  # constant columns -> zero correlation, not NaN
+    return Xc / sd
+
+
+def pearson_matrix(X: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlation of the columns of ``X`` -> ``(d, d)``.
+
+    Constant columns yield zero off-diagonal correlation (instead of NaN),
+    and the diagonal is exactly 1.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("Pearson correlation needs at least 2 samples")
+    Z = _standardize(X)
+    C = (Z.T @ Z) / n
+    np.fill_diagonal(C, 1.0)
+    return np.clip(C, -1.0, 1.0)
+
+
+def pearson_with_target(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Correlation of each column of ``X`` with the target ``y`` ->
+    ``(d,)``."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y, dtype=float).reshape(-1)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y disagree on sample count")
+    if X.shape[0] < 2:
+        raise ValueError("Pearson correlation needs at least 2 samples")
+    Zx = _standardize(X)
+    yc = y - y.mean()
+    sd = y.std()
+    if sd < 1e-12:
+        return np.zeros(X.shape[1])
+    zy = yc / sd
+    return np.clip((Zx.T @ zy) / X.shape[0], -1.0, 1.0)
+
+
+def partial_correlation_matrix(X: np.ndarray, *, shrinkage: float = 1e-6) -> np.ndarray:
+    """Partial correlations via the inverse correlation (precision) matrix.
+
+    ``rho_ij.rest = -P_ij / sqrt(P_ii P_jj)`` where ``P = C^{-1}``.  A small
+    ridge ``shrinkage`` keeps the inversion stable when n_samples is close
+    to n_features — the "requires larger samples" caveat the paper raises.
+    """
+    C = pearson_matrix(X)
+    d = C.shape[0]
+    P = np.linalg.inv(C + shrinkage * np.eye(d))
+    denom = np.sqrt(np.outer(np.diag(P), np.diag(P)))
+    R = -P / denom
+    np.fill_diagonal(R, 1.0)
+    return np.clip(R, -1.0, 1.0)
+
+
+def correlated_pairs(
+    X: np.ndarray,
+    names: Sequence[str],
+    *,
+    threshold: float = 0.5,
+) -> list[tuple[str, str, float]]:
+    """Feature pairs with ``|pearson| >= threshold``, strongest first.
+
+    This is the analysis that surfaces the paper's (tb, tb_sm) ~ 0.6
+    coupling induced by the occupancy constraint, "suggesting grouping them
+    on the same search".
+    """
+    names = list(names)
+    C = pearson_matrix(X)
+    if C.shape[0] != len(names):
+        raise ValueError("names length must match feature count")
+    out = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if abs(C[i, j]) >= threshold:
+                out.append((names[i], names[j], float(C[i, j])))
+    out.sort(key=lambda t: -abs(t[2]))
+    return out

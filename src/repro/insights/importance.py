@@ -1,0 +1,159 @@
+"""Feature importance and data-sufficiency checks (paper Section IV-B).
+
+Combines the three data-driven analyses the methodology runs before its
+interdependence phase:
+
+* **one-in-ten rule** — "building regression models would need at least 10
+  observations for each independent variable" (Harrell); violated analyses
+  are flagged, not blocked,
+* **random-forest feature importance** — parameters that drive modeling
+  accuracy should be conserved in searches; unimportant ones are candidates
+  for dropping under the dimension cap,
+* **Pearson correlation screening** — parameter pairs with strong linear
+  coupling (the paper's tb/tb_sm ~ 0.6) are suggested for grouping in the
+  same search.
+
+:class:`ParameterInsights` bundles them over one evaluation sample
+(configurations + objective values) into a single report object consumed by
+the planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..space import SearchSpace
+from .correlation import correlated_pairs, design_matrix, pearson_with_target
+from .forest import RandomForestRegressor
+
+__all__ = [
+    "one_in_ten_ok",
+    "required_samples",
+    "ParameterInsights",
+    "analyze_parameters",
+]
+
+
+def required_samples(n_features: int, *, per_feature: int = 10) -> int:
+    """Minimum sample count the one-in-ten rule asks for."""
+    if n_features < 1:
+        raise ValueError("n_features must be >= 1")
+    return per_feature * n_features
+
+
+def one_in_ten_ok(n_samples: int, n_features: int, *, per_feature: int = 10) -> bool:
+    """True when ``n_samples`` satisfies the one-in-ten rule."""
+    return n_samples >= required_samples(n_features, per_feature=per_feature)
+
+
+@dataclass
+class ParameterInsights:
+    """Aggregated statistical insights over one evaluation sample.
+
+    Attributes
+    ----------
+    importances:
+        ``{parameter: normalized forest importance}`` (sums to 1).
+    target_correlations:
+        ``{parameter: pearson(parameter, objective)}``.
+    correlated_parameter_pairs:
+        ``(a, b, rho)`` with ``|rho|`` above the screening threshold —
+        grouping hints for the planner.
+    one_in_ten_satisfied:
+        Whether the sample met the rule; when ``False`` the report is
+        still produced but flagged as under-sampled.
+    oob_r2:
+        Out-of-bag R^2 of the forest (``None`` when unavailable) — the
+        sanity signal for trusting the importances.
+    n_samples:
+        Size of the evaluation sample used.
+    """
+
+    importances: dict[str, float]
+    target_correlations: dict[str, float]
+    correlated_parameter_pairs: list[tuple[str, str, float]]
+    one_in_ten_satisfied: bool
+    oob_r2: float | None
+    n_samples: int
+
+    def top_important(self, k: int = 10) -> list[tuple[str, float]]:
+        """The ``k`` parameters with highest modeling importance."""
+        return sorted(self.importances.items(), key=lambda kv: -kv[1])[:k]
+
+    def least_important(self, k: int = 10) -> list[tuple[str, float]]:
+        """The ``k`` parameters with lowest importance — drop candidates."""
+        return sorted(self.importances.items(), key=lambda kv: kv[1])[:k]
+
+    def importance_rank(self) -> list[str]:
+        """All parameters, most important first (ties broken by name for
+        determinism)."""
+        return [
+            name
+            for name, _ in sorted(
+                self.importances.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+
+    def format_report(self, k: int = 10) -> str:
+        lines = [
+            f"samples: {self.n_samples}"
+            + ("" if self.one_in_ten_satisfied else "  [WARNING: one-in-ten rule violated]"),
+            f"forest OOB R^2: {self.oob_r2:.3f}" if self.oob_r2 is not None else "forest OOB R^2: n/a",
+            "",
+            f"{'Parameter':<16} {'Importance':>10} {'Corr(target)':>13}",
+        ]
+        for name, imp in self.top_important(k):
+            lines.append(
+                f"{name:<16} {100 * imp:9.1f}% {self.target_correlations[name]:13.2f}"
+            )
+        if self.correlated_parameter_pairs:
+            lines.append("")
+            lines.append("correlated parameter pairs (grouping hints):")
+            for a, b, rho in self.correlated_parameter_pairs:
+                lines.append(f"  {a} ~ {b}: rho={rho:.2f}")
+        return "\n".join(lines)
+
+
+def analyze_parameters(
+    space: SearchSpace,
+    configs: Sequence[Mapping[str, Any]],
+    objectives: Sequence[float],
+    *,
+    n_estimators: int = 100,
+    correlation_threshold: float = 0.5,
+    random_state: int | np.random.Generator | None = None,
+) -> ParameterInsights:
+    """Run the full Section IV-B statistical battery on a sample.
+
+    Parameters
+    ----------
+    configs / objectives:
+        The evaluation sample — in the paper, 100+100 application runs per
+        case study; here, any list of (configuration, runtime) pairs such
+        as a :class:`repro.bo.EvaluationDatabase`'s OK records.
+    """
+    y = np.asarray(objectives, dtype=float).reshape(-1)
+    if len(configs) != y.shape[0]:
+        raise ValueError("configs and objectives disagree on sample count")
+    if y.shape[0] < 2:
+        raise ValueError("need at least 2 samples for parameter insights")
+    X, names = design_matrix(space, configs)
+
+    forest = RandomForestRegressor(
+        n_estimators=n_estimators, random_state=random_state
+    ).fit(X, y)
+    importances = dict(zip(names, forest.feature_importances_.tolist()))
+    corr = dict(zip(names, pearson_with_target(X, y).tolist()))
+    pairs = correlated_pairs(X, names, threshold=correlation_threshold)
+
+    return ParameterInsights(
+        importances=importances,
+        target_correlations=corr,
+        correlated_parameter_pairs=pairs,
+        one_in_ten_satisfied=one_in_ten_ok(y.shape[0], space.dimension),
+        oob_r2=forest.oob_score_,
+        n_samples=int(y.shape[0]),
+    )

@@ -1,0 +1,30 @@
+"""Simulated MPI/cluster substrate.
+
+Machine models (Perlmutter-like GPU nodes), collective-communication cost
+models (Hockney/LogGP style), and a simulated communicator with QBox's 4-D
+Cartesian rank grid.
+"""
+
+from .cluster import ClusterSpec, InterconnectSpec, NodeSpec, perlmutter_gpu
+from .collectives import (
+    allreduce_time,
+    alltoall_time,
+    broadcast_time,
+    point_to_point_time,
+    transpose_padding_time,
+)
+from .comm import CartGrid, SimCommunicator
+
+__all__ = [
+    "NodeSpec",
+    "InterconnectSpec",
+    "ClusterSpec",
+    "perlmutter_gpu",
+    "point_to_point_time",
+    "allreduce_time",
+    "broadcast_time",
+    "alltoall_time",
+    "transpose_padding_time",
+    "SimCommunicator",
+    "CartGrid",
+]

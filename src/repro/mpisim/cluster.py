@@ -1,0 +1,116 @@
+"""Machine model for the simulated cluster (Perlmutter-like GPU nodes).
+
+The paper measures on NERSC Perlmutter GPU nodes: one AMD EPYC 7763 (64
+cores), 256 GB DDR4 at 204.8 GB/s, four NVIDIA A100 GPUs per node on
+PCIe 4.0, nodes connected by Slingshot-11.  This module encodes those
+machine parameters as plain data consumed by the communication cost models
+(:mod:`repro.mpisim.collectives`) and the GPU kernel models
+(:mod:`repro.tddft.gpu`).
+
+All bandwidths are bytes/second, latencies seconds.  The numbers are
+nominal public figures; the reproduction's claims are about *shape*
+(who wins, where crossovers fall), not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NodeSpec", "InterconnectSpec", "ClusterSpec", "perlmutter_gpu"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node.
+
+    Attributes
+    ----------
+    cores:
+        CPU cores (Perlmutter GPU node: 64).
+    memory_bandwidth:
+        Host DRAM bandwidth (204.8 GB/s).
+    gpus:
+        GPUs per node (4).
+    pcie_bandwidth:
+        Effective host<->GPU bandwidth per direction (PCIe 4.0 x16:
+        ~25 GB/s nominal, ~21 GB/s effective).
+    pcie_latency:
+        Per-transfer setup latency.
+    """
+
+    cores: int = 64
+    memory_bandwidth: float = 204.8e9
+    gpus: int = 4
+    pcie_bandwidth: float = 21.0e9
+    pcie_latency: float = 10e-6
+
+    def __post_init__(self):
+        if self.cores < 1 or self.gpus < 0:
+            raise ValueError("invalid node spec")
+        if min(self.memory_bandwidth, self.pcie_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Inter-node network (Slingshot-11-like).
+
+    ``injection_bandwidth`` is per-NIC (node) one-direction bandwidth;
+    ``latency`` the small-message one-way latency; ``per_message_overhead``
+    the software/rendezvous cost added per MPI message.
+    """
+
+    injection_bandwidth: float = 25.0e9
+    latency: float = 2.0e-6
+    per_message_overhead: float = 1.0e-6
+
+    def __post_init__(self):
+        if self.injection_bandwidth <= 0 or self.latency < 0:
+            raise ValueError("invalid interconnect spec")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: N identical nodes + interconnect.
+
+    ``ranks_per_node`` reflects the paper's placement policy ("we have
+    restricted each GPU to a single task, resulting in 4 MPI tasks per
+    node").
+    """
+
+    name: str = "cluster"
+    nodes: int = 10
+    node: NodeSpec = field(default_factory=NodeSpec)
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    ranks_per_node: int = 4
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if not (1 <= self.ranks_per_node <= max(self.node.cores, 1)):
+            raise ValueError("ranks_per_node out of range")
+
+    @property
+    def total_ranks(self) -> int:
+        """MPI ranks available across the whole allocation."""
+        return self.nodes * self.ranks_per_node
+
+    def node_of_rank(self, rank: int) -> int:
+        """Block placement: ranks fill node 0 first, then node 1, ..."""
+        if not (0 <= rank < self.total_ranks):
+            raise ValueError(f"rank {rank} outside [0, {self.total_ranks})")
+        return rank // self.ranks_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of_rank(a) == self.node_of_rank(b)
+
+    def intra_node_bandwidth(self) -> float:
+        """Rank-to-rank bandwidth within a node (shared-memory copy,
+        bounded by DRAM bandwidth split between reader and writer)."""
+        return self.node.memory_bandwidth / 2.0
+
+
+def perlmutter_gpu(nodes: int = 10) -> ClusterSpec:
+    """The paper's computational setup: ``nodes`` Perlmutter GPU nodes
+    with 4 MPI tasks per node (one per A100)."""
+    return ClusterSpec(name="perlmutter-gpu", nodes=nodes)

@@ -1,0 +1,123 @@
+"""Analytic cost models for the MPI collectives RT-TDDFT exercises.
+
+QBox's CPU path spends "around 40-50% of the runtime ... in communication
+primitives", mostly the matrix transpose&padding (an alltoall among the
+``ngb`` ranks) inside the distributed 3D-FFT, plus the accumulation
+allreduces at the end of the Slater-determinant loop.  These closed-form
+cost models follow the standard Hockney/LogGP-style formulations used by
+MPI performance literature:
+
+* point-to-point: ``latency + overhead + bytes / bandwidth`` with the
+  intra-node fast path,
+* allreduce: Rabenseifner (reduce-scatter + allgather),
+  ``2 log2(P) * latency + 2 (P-1)/P * bytes / bw`` for large messages,
+* alltoall: pairwise exchange, ``(P-1)`` steps of ``bytes/P`` each,
+* the FFT transpose: an alltoall of the wavefunction slab plus a local
+  repack (padding) pass at memory bandwidth.
+
+``P = 1`` is always free — the identity the GPU port exploits by setting
+``ngb = 1`` and replacing the distributed transpose with an on-device
+cuZcopy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .cluster import ClusterSpec
+
+__all__ = [
+    "point_to_point_time",
+    "allreduce_time",
+    "alltoall_time",
+    "transpose_padding_time",
+    "broadcast_time",
+]
+
+
+def _check(bytes_total: float, ranks: int) -> None:
+    if bytes_total < 0:
+        raise ValueError("byte count must be >= 0")
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+
+
+def _effective_bandwidth(cluster: ClusterSpec, ranks: int) -> float:
+    """Mean per-rank bandwidth for a rank group of size ``ranks``.
+
+    Groups that fit in one node ride shared memory; larger groups are
+    bounded by the NIC injection bandwidth shared by the node's ranks.
+    """
+    if ranks <= cluster.ranks_per_node:
+        return cluster.intra_node_bandwidth()
+    return cluster.interconnect.injection_bandwidth / cluster.ranks_per_node
+
+
+def point_to_point_time(cluster: ClusterSpec, bytes_total: float, *, same_node: bool) -> float:
+    """One message between two ranks."""
+    _check(bytes_total, 1)
+    ic = cluster.interconnect
+    if same_node:
+        return ic.per_message_overhead + bytes_total / cluster.intra_node_bandwidth()
+    return ic.latency + ic.per_message_overhead + bytes_total / (
+        ic.injection_bandwidth / cluster.ranks_per_node
+    )
+
+
+def allreduce_time(cluster: ClusterSpec, bytes_total: float, ranks: int) -> float:
+    """Rabenseifner allreduce of ``bytes_total`` over ``ranks`` ranks."""
+    _check(bytes_total, ranks)
+    if ranks == 1 or bytes_total == 0:
+        return 0.0
+    ic = cluster.interconnect
+    bw = _effective_bandwidth(cluster, ranks)
+    steps = math.ceil(math.log2(ranks))
+    return 2.0 * steps * (ic.latency + ic.per_message_overhead) + (
+        2.0 * (ranks - 1) / ranks
+    ) * bytes_total / bw
+
+
+def broadcast_time(cluster: ClusterSpec, bytes_total: float, ranks: int) -> float:
+    """Binomial-tree broadcast."""
+    _check(bytes_total, ranks)
+    if ranks == 1 or bytes_total == 0:
+        return 0.0
+    ic = cluster.interconnect
+    bw = _effective_bandwidth(cluster, ranks)
+    steps = math.ceil(math.log2(ranks))
+    return steps * (ic.latency + ic.per_message_overhead + bytes_total / bw)
+
+
+def alltoall_time(cluster: ClusterSpec, bytes_total: float, ranks: int) -> float:
+    """Pairwise-exchange alltoall; ``bytes_total`` is the per-rank buffer
+    (each rank sends ``bytes_total / ranks`` to every peer)."""
+    _check(bytes_total, ranks)
+    if ranks == 1 or bytes_total == 0:
+        return 0.0
+    ic = cluster.interconnect
+    bw = _effective_bandwidth(cluster, ranks)
+    per_peer = bytes_total / ranks
+    return (ranks - 1) * (
+        ic.latency + ic.per_message_overhead + per_peer / bw
+    )
+
+
+def transpose_padding_time(
+    cluster: ClusterSpec,
+    bytes_total: float,
+    ranks: int,
+    *,
+    padding_factor: float = 1.15,
+) -> float:
+    """The QBox FFT transpose&padding step among ``ranks`` MPI tasks.
+
+    alltoall of the slab + a local strided repack (with zero padding —
+    hence ``padding_factor`` extra bytes moved) through host memory.  This
+    is the dominant CPU-path communication the GPU offload eliminates.
+    """
+    _check(bytes_total, ranks)
+    if padding_factor < 1.0:
+        raise ValueError("padding_factor must be >= 1")
+    comm = alltoall_time(cluster, bytes_total, ranks)
+    repack = padding_factor * bytes_total / cluster.node.memory_bandwidth
+    return comm + repack

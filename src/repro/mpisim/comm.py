@@ -1,0 +1,175 @@
+"""Simulated MPI communicator and Cartesian rank grids.
+
+Provides just enough MPI semantics for the RT-TDDFT simulator: a
+communicator over a cluster, Cartesian sub-grids matching QBox's 4-D
+process grid (``nspb x nkpb x nstb x ngb``), and collective *timing*
+(not data movement — objective functions only need the seconds).
+
+:class:`CartGrid` mirrors how QBox maps the wavefunction dimensions onto
+MPI tasks (Figure 3 of the paper): rank ``r`` owns coordinates
+``(s, k, b, g)`` in row-major order over ``(nspb, nkpb, nstb, ngb)``, and
+sub-communicators along one axis group the ranks that participate in that
+axis' collectives (e.g. the ``ngb`` ranks of one FFT transpose).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from . import collectives
+from .cluster import ClusterSpec
+
+__all__ = ["SimCommunicator", "CartGrid"]
+
+
+class SimCommunicator:
+    """A group of ranks on a simulated cluster with collective cost
+    queries.
+
+    Parameters
+    ----------
+    cluster:
+        The machine model.
+    ranks:
+        Global rank ids in this communicator (default: all).
+    """
+
+    def __init__(self, cluster: ClusterSpec, ranks: Sequence[int] | None = None):
+        self.cluster = cluster
+        if ranks is None:
+            ranks = range(cluster.total_ranks)
+        self.ranks = tuple(ranks)
+        if not self.ranks:
+            raise ValueError("communicator needs at least one rank")
+        seen = set()
+        for r in self.ranks:
+            if not (0 <= r < cluster.total_ranks):
+                raise ValueError(f"rank {r} outside the cluster allocation")
+            if r in seen:
+                raise ValueError(f"duplicate rank {r}")
+            seen.add(r)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def split(self, groups: Sequence[Sequence[int]]) -> list["SimCommunicator"]:
+        """Partition into sub-communicators (indices into this comm)."""
+        covered: set[int] = set()
+        out = []
+        for g in groups:
+            local = [self.ranks[i] for i in g]
+            overlap = covered.intersection(local)
+            if overlap:
+                raise ValueError(f"ranks in multiple groups: {sorted(overlap)}")
+            covered.update(local)
+            out.append(SimCommunicator(self.cluster, local))
+        return out
+
+    # -- collective timing ------------------------------------------------
+    def allreduce_time(self, bytes_total: float) -> float:
+        return collectives.allreduce_time(self.cluster, bytes_total, self.size)
+
+    def alltoall_time(self, bytes_total: float) -> float:
+        return collectives.alltoall_time(self.cluster, bytes_total, self.size)
+
+    def broadcast_time(self, bytes_total: float) -> float:
+        return collectives.broadcast_time(self.cluster, bytes_total, self.size)
+
+    def transpose_padding_time(self, bytes_total: float) -> float:
+        return collectives.transpose_padding_time(self.cluster, bytes_total, self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimCommunicator(size={self.size})"
+
+
+@dataclass(frozen=True)
+class CartGrid:
+    """QBox's 4-D MPI grid: ``nspb x nkpb x nstb x ngb`` (Figure 3).
+
+    The grid must fit the communicator: ``prod(dims) <= comm.size``; ranks
+    beyond the grid stay idle (the work-unbalance case the paper's search
+    constraints avoid).
+    """
+
+    nspb: int
+    nkpb: int
+    nstb: int
+    ngb: int = 1
+
+    def __post_init__(self):
+        for name, v in self.dims.items():
+            if v < 1:
+                raise ValueError(f"{name} must be >= 1, got {v}")
+
+    @property
+    def dims(self) -> dict[str, int]:
+        return {"nspb": self.nspb, "nkpb": self.nkpb, "nstb": self.nstb, "ngb": self.ngb}
+
+    @property
+    def size(self) -> int:
+        return self.nspb * self.nkpb * self.nstb * self.ngb
+
+    def rank_of(self, s: int, k: int, b: int, g: int) -> int:
+        """Row-major rank of grid coordinate ``(s, k, b, g)``."""
+        for v, n, name in ((s, self.nspb, "s"), (k, self.nkpb, "k"), (b, self.nstb, "b"), (g, self.ngb, "g")):
+            if not (0 <= v < n):
+                raise ValueError(f"coordinate {name}={v} outside [0, {n})")
+        return ((s * self.nkpb + k) * self.nstb + b) * self.ngb + g
+
+    def coords_of(self, rank: int) -> tuple[int, int, int, int]:
+        """Inverse of :meth:`rank_of`."""
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} outside grid of size {self.size}")
+        g = rank % self.ngb
+        rank //= self.ngb
+        b = rank % self.nstb
+        rank //= self.nstb
+        k = rank % self.nkpb
+        s = rank // self.nkpb
+        return s, k, b, g
+
+    def axis_group(self, axis: str, s: int = 0, k: int = 0, b: int = 0, g: int = 0) -> list[int]:
+        """Ranks that vary only along ``axis`` from the given coordinate —
+        the members of that axis' sub-communicator (e.g. the ``ngb`` ranks
+        of one distributed FFT)."""
+        if axis not in self.dims:
+            raise ValueError(f"unknown axis {axis!r}")
+        base = {"s": s, "k": k, "b": b, "g": g}
+        n = self.dims[axis]
+        key = {"nspb": "s", "nkpb": "k", "nstb": "b", "ngb": "g"}[axis]
+        out = []
+        for i in range(n):
+            c = dict(base)
+            c[key] = i
+            out.append(self.rank_of(c["s"], c["k"], c["b"], c["g"]))
+        return out
+
+    def local_counts(self, nspin: int, nkpoints: int, nbands: int) -> tuple[int, int, int]:
+        """Per-rank work: (spins_loc, kpoints_loc, bands_loc), ceil-divided.
+
+        Ceil division models the load imbalance of non-divisible
+        partitions — the reason the paper constrains ``nstb`` to divisors
+        of the band count.
+        """
+        if min(nspin, nkpoints, nbands) < 1:
+            raise ValueError("problem dimensions must be >= 1")
+        return (
+            math.ceil(nspin / self.nspb),
+            math.ceil(nkpoints / self.nkpb),
+            math.ceil(nbands / self.nstb),
+        )
+
+    def is_balanced(self, nspin: int, nkpoints: int, nbands: int) -> bool:
+        """True when every grid dimension divides its problem dimension
+        and no grid dimension exceeds it (no idle ranks)."""
+        return (
+            nspin % self.nspb == 0
+            and nkpoints % self.nkpb == 0
+            and nbands % self.nstb == 0
+            and self.nspb <= nspin
+            and self.nkpb <= nkpoints
+            and self.nstb <= nbands
+        )

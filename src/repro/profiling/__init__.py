@@ -1,0 +1,5 @@
+"""Profiling utilities (region timers, timing reports)."""
+
+from .timers import RegionTimer, TimingReport
+
+__all__ = ["RegionTimer", "TimingReport"]

@@ -1,0 +1,23 @@
+"""Search engines and campaign orchestration.
+
+Baseline engines (random, grid) plus the :class:`SearchCampaign` runner
+that executes a *set* of searches as a strategy with the paper's
+parallel-wall-clock cost accounting.
+"""
+
+from .grid_search import GridSearch
+from .local_search import HillClimbing, SimulatedAnnealing
+from .random_search import RandomSearch
+from .result import CampaignResult, SearchResult
+from .runner import SearchCampaign, SearchSpec
+
+__all__ = [
+    "RandomSearch",
+    "GridSearch",
+    "HillClimbing",
+    "SimulatedAnnealing",
+    "SearchResult",
+    "CampaignResult",
+    "SearchCampaign",
+    "SearchSpec",
+]

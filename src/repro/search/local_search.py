@@ -1,0 +1,179 @@
+"""Local-search baselines: hill climbing and simulated annealing.
+
+The paper's opening taxonomy: "Autotuning has traditionally accomplished
+this task by either empirical searches or analytical models.  However,
+these methods are becoming infeasible due to the complexity of large
+search spaces."  These two classical empirical engines complete the
+baseline set (random, grid, BO) so that claim is measurable on the same
+problems.
+
+Both operate on the spaces' native neighborhood structure
+(:meth:`repro.space.SearchSpace.neighbors` — one-parameter moves that
+respect constraints), so they require no encoding tricks and work on any
+mixed discrete/continuous constrained space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..bo.history import Evaluation, EvaluationDatabase, EvaluationStatus
+from ..bo.optimizer import Objective
+from ..space import SearchSpace
+from .result import SearchResult
+
+__all__ = ["HillClimbing", "SimulatedAnnealing"]
+
+
+class _LocalSearchBase:
+    def __init__(
+        self,
+        space: SearchSpace,
+        objective: Objective,
+        *,
+        max_evaluations: int | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.space = space
+        self.objective = objective
+        self.max_evaluations = (
+            int(max_evaluations) if max_evaluations is not None
+            else 10 * space.dimension
+        )
+        if self.max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        self.rng = (
+            random_state
+            if isinstance(random_state, np.random.Generator)
+            else np.random.default_rng(random_state)
+        )
+        self.database = EvaluationDatabase()
+
+    def _complete(self, config: Mapping[str, Any]) -> dict[str, Any]:
+        complete = getattr(self.space, "complete", None)
+        return complete(config) if complete is not None else dict(config)
+
+    def _evaluate(self, config: Mapping[str, Any]) -> float | None:
+        """Evaluate and record; returns the value or None on failure."""
+        full = self._complete(config)
+        try:
+            out = self.objective(full)
+            value = float(out[0] if isinstance(out, tuple) else out)
+        except Exception as exc:
+            self.database.append(
+                Evaluation(
+                    config=full, objective=float("nan"), cost=0.0,
+                    status=EvaluationStatus.FAILED, meta={"error": repr(exc)},
+                )
+            )
+            return None
+        if not np.isfinite(value):
+            self.database.append(
+                Evaluation(
+                    config=full, objective=float("nan"), cost=0.0,
+                    status=EvaluationStatus.FAILED,
+                )
+            )
+            return None
+        self.database.append(
+            Evaluation(config=full, objective=value, cost=max(value, 0.0))
+        )
+        return value
+
+    def _result(self, engine: str) -> SearchResult:
+        best = self.database.best()
+        return SearchResult(
+            name=self.space.name,
+            engine=engine,
+            best_config=dict(best.config),
+            best_objective=best.objective,
+            search_time=self.database.total_cost(),  # inherently sequential
+            n_evaluations=len(self.database),
+            database=self.database,
+            tuned_names=tuple(self.space.names),
+        )
+
+
+class HillClimbing(_LocalSearchBase):
+    """Steepest-descent hill climbing with random restarts.
+
+    From the current point, all feasible one-parameter neighbors are
+    evaluated; the best strictly-improving one becomes the next point.  At
+    a local optimum the search restarts from a fresh random configuration
+    until the budget is exhausted.
+    """
+
+    def run(self) -> SearchResult:
+        """Climb (with restarts) until the evaluation budget is spent."""
+        budget = self.max_evaluations
+        while len(self.database) < budget:
+            current = self.space.sample(self.rng)
+            current_val = self._evaluate(current)
+            if current_val is None:
+                continue
+            improved = True
+            while improved and len(self.database) < budget:
+                improved = False
+                best_n, best_v = None, current_val
+                for n in self.space.neighbors(current):
+                    if len(self.database) >= budget:
+                        break
+                    v = self._evaluate(n)
+                    if v is not None and v < best_v:
+                        best_n, best_v = n, v
+                if best_n is not None:
+                    current, current_val = best_n, best_v
+                    improved = True
+        return self._result("hillclimb")
+
+
+class SimulatedAnnealing(_LocalSearchBase):
+    """Metropolis annealing over the neighborhood graph.
+
+    Parameters
+    ----------
+    t_initial / t_final:
+        Temperature schedule endpoints; geometric decay over the budget.
+        Temperatures scale acceptance of *relative* objective increases,
+        so runtimes of any magnitude work without tuning.
+    """
+
+    def __init__(self, space, objective, *, t_initial: float = 0.3,
+                 t_final: float = 0.005, **kwargs):
+        super().__init__(space, objective, **kwargs)
+        if t_initial <= 0 or t_final <= 0 or t_final > t_initial:
+            raise ValueError("need t_initial >= t_final > 0")
+        self.t_initial = float(t_initial)
+        self.t_final = float(t_final)
+
+    def _temperature(self, i: int) -> float:
+        frac = i / max(1, self.max_evaluations - 1)
+        return self.t_initial * (self.t_final / self.t_initial) ** frac
+
+    def run(self) -> SearchResult:
+        """Anneal over the neighborhood graph until the budget is spent."""
+        current = self.space.sample(self.rng)
+        current_val = self._evaluate(current)
+        while current_val is None and len(self.database) < self.max_evaluations:
+            current = self.space.sample(self.rng)
+            current_val = self._evaluate(current)
+        if current_val is None:
+            raise RuntimeError(f"no feasible start found in {self.space.name!r}")
+
+        while len(self.database) < self.max_evaluations:
+            neighbors = self.space.neighbors(current)
+            if not neighbors:
+                candidate = self.space.sample(self.rng)
+            else:
+                candidate = neighbors[int(self.rng.integers(0, len(neighbors)))]
+            v = self._evaluate(candidate)
+            if v is None:
+                continue
+            t = self._temperature(len(self.database))
+            rel = (v - current_val) / max(abs(current_val), 1e-12)
+            if rel <= 0 or self.rng.random() < math.exp(-rel / t):
+                current, current_val = candidate, v
+        return self._result("anneal")

@@ -1,0 +1,179 @@
+"""Constraint handling for HPC search spaces.
+
+Real HPC tuning spaces are heavily constrained — the paper's RT-TDDFT space
+requires ``nstb * nkpb * nspb <= total_ranks`` and, per GPU kernel,
+``tb * tb_sm <= max_active_threads_per_SM``.  The paper notes that how a BO
+framework handles such constraints materially changes search cost; GPTune
+filters candidates up front, which is the behaviour implemented here.
+
+Two constraint flavors are supported:
+
+:class:`Constraint`
+    wraps a predicate ``config -> bool`` over full configurations, plus the
+    subset of parameter names it reads (used for constraint-aware repair and
+    for restricting checks to sub-spaces).
+:class:`ExpressionConstraint`
+    compiles a Python expression string (e.g. ``"tb * tb_sm <= 2048"``)
+    evaluated against the configuration dict — convenient for declarative
+    space definitions and for serializing spaces to JSON checkpoints.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Constraint",
+    "ExpressionConstraint",
+    "ConstraintViolation",
+    "check_all",
+]
+
+
+class ConstraintViolation(ValueError):
+    """Raised when a configuration violates a constraint and strict checking
+    was requested."""
+
+    def __init__(self, constraint: "Constraint", config: Mapping[str, Any]):
+        self.constraint = constraint
+        self.config = dict(config)
+        super().__init__(f"configuration violates constraint {constraint.name!r}")
+
+
+class Constraint:
+    """A predicate over configurations.
+
+    Parameters
+    ----------
+    fn:
+        ``config -> bool``; must return ``True`` for feasible configurations.
+        Receives the configuration as a plain dict.  Exceptions raised by the
+        predicate are treated as *infeasible* (matching GPTune's behaviour of
+        rejecting configurations its constraint lambdas cannot evaluate).
+    names:
+        Parameter names the predicate reads.  A constraint is only enforced
+        when all its names are present in the configuration, which lets the
+        same constraint set be reused across sub-spaces produced by the
+        search planner.
+    name:
+        Human-readable label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Mapping[str, Any]], bool],
+        names: Sequence[str],
+        name: str = "",
+    ):
+        if not callable(fn):
+            raise TypeError("constraint fn must be callable")
+        self.fn = fn
+        self.names = tuple(names)
+        if not self.names:
+            raise ValueError("constraint must declare the parameter names it reads")
+        self.name = name or getattr(fn, "__name__", "constraint")
+
+    def applies_to(self, available: Iterable[str]) -> bool:
+        """True when every parameter the constraint reads is available."""
+        avail = set(available)
+        return all(n in avail for n in self.names)
+
+    def is_satisfied(self, config: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate; exceptions count as infeasible."""
+        if not self.applies_to(config.keys()):
+            return True
+        try:
+            return bool(self.fn(config))
+        except Exception:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constraint({self.name!r}, names={list(self.names)})"
+
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BoolOp, ast.And, ast.Or,
+    ast.UnaryOp, ast.Not, ast.USub, ast.UAdd,
+    ast.BinOp, ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.Compare, ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+    ast.In, ast.NotIn,
+    ast.Name, ast.Load, ast.Constant,
+    ast.Tuple, ast.List,
+    ast.Call,
+)
+
+_ALLOWED_FUNCS = {"min": min, "max": max, "abs": abs, "len": len, "int": int, "float": float}
+
+
+def _validate_expression(tree: ast.Expression) -> set[str]:
+    """Walk the AST, reject anything outside the arithmetic subset, and
+    return the free variable names."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise ValueError(
+                f"disallowed syntax in constraint expression: {type(node).__name__}"
+            )
+        if isinstance(node, ast.Call):
+            if not (isinstance(node.func, ast.Name) and node.func.id in _ALLOWED_FUNCS):
+                raise ValueError("only min/max/abs/len/int/float calls are allowed")
+        if isinstance(node, ast.Name):
+            if node.id not in _ALLOWED_FUNCS:
+                names.add(node.id)
+    return names
+
+
+class ExpressionConstraint(Constraint):
+    """Constraint compiled from a restricted Python expression string.
+
+    Example
+    -------
+    >>> c = ExpressionConstraint("tb * tb_sm <= 2048")
+    >>> c.is_satisfied({"tb": 32, "tb_sm": 32})
+    True
+    >>> c.is_satisfied({"tb": 128, "tb_sm": 32})
+    False
+
+    Only arithmetic, comparisons, boolean operators, and ``min``/``max``/
+    ``abs``/``len``/``int``/``float`` calls are accepted; this keeps the
+    expression serializable and safe to re-load from JSON checkpoints.
+    """
+
+    def __init__(self, expression: str, name: str = ""):
+        tree = ast.parse(expression, mode="eval")
+        free = _validate_expression(tree)
+        if not free:
+            raise ValueError("constraint expression references no parameters")
+        code = compile(tree, "<constraint>", "eval")
+
+        def fn(config: Mapping[str, Any]) -> bool:
+            env = dict(_ALLOWED_FUNCS)
+            env.update({k: config[k] for k in free})
+            return bool(eval(code, {"__builtins__": {}}, env))  # noqa: S307
+
+        super().__init__(fn, sorted(free), name or expression)
+        self.expression = expression
+
+    def __reduce__(self):  # support pickling despite the closure
+        return (ExpressionConstraint, (self.expression, self.name))
+
+
+def check_all(
+    constraints: Iterable[Constraint],
+    config: Mapping[str, Any],
+    *,
+    strict: bool = False,
+) -> bool:
+    """Evaluate every applicable constraint against ``config``.
+
+    With ``strict=True`` a :class:`ConstraintViolation` is raised on the
+    first failing constraint instead of returning ``False``.
+    """
+    for c in constraints:
+        if not c.is_satisfied(config):
+            if strict:
+                raise ConstraintViolation(c, config)
+            return False
+    return True

@@ -1,0 +1,499 @@
+"""Tuning-parameter types for constrained HPC search spaces.
+
+Every parameter exposes a uniform interface used by the samplers, the
+Bayesian-optimization surrogate, and the sensitivity analysis:
+
+* ``sample(rng)``        -- draw one value uniformly from the domain,
+* ``to_unit(value)``     -- map a value into ``[0, 1]`` (surrogate encoding),
+* ``from_unit(u)``       -- inverse of :meth:`to_unit` (snaps to the grid for
+  discrete parameters),
+* ``neighbors(value)``   -- values adjacent to ``value`` (local search moves),
+* ``perturb(value, frac, rng)`` -- the +/-``frac`` relative variation used by
+  the paper's sensitivity analysis (Section IV-B).
+
+The concrete types mirror what HPC autotuners such as GPTune expose:
+
+``Real``
+    continuous parameter on ``[low, high]`` (optionally log-scaled),
+``Integer``
+    integral parameter on ``[low, high]`` (optionally log-scaled),
+``Ordinal``
+    explicit ordered grid of numeric values (e.g. power-of-two threadblock
+    sizes ``32, 64, ..., 1024``),
+``Categorical``
+    unordered set of choices (encoded by index; no metric structure is
+    assumed by the surrogate beyond the index embedding).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "Real",
+    "Integer",
+    "Ordinal",
+    "Categorical",
+    "Constant",
+]
+
+
+class Parameter(ABC):
+    """Abstract base class for a single tunable parameter.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in configurations (dictionaries keyed by name).
+    default:
+        Value assigned when the parameter is *dropped* from a search by the
+        dimensionality cap (paper Section IV-D).  When ``None`` the midpoint
+        of the domain is used.
+    """
+
+    def __init__(self, name: str, default: Any | None = None):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"parameter name must be a non-empty string, got {name!r}")
+        self.name = name
+        self._default = default
+
+    # ------------------------------------------------------------------
+    # Core interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one value uniformly at random from the domain."""
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> list[Any]:
+        """Draw ``n`` independent values; vectorized in the subclasses so
+        constrained rejection sampling stays out of per-value Python
+        overhead."""
+        return [self.sample(rng) for _ in range(n)]
+
+    @abstractmethod
+    def to_unit(self, value: Any) -> float:
+        """Encode ``value`` into the unit interval ``[0, 1]``."""
+
+    @abstractmethod
+    def from_unit(self, u: float) -> Any:
+        """Decode a unit-interval coordinate back into the domain."""
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Return ``True`` when ``value`` lies inside the domain."""
+
+    @abstractmethod
+    def neighbors(self, value: Any) -> list[Any]:
+        """Return the domain values adjacent to ``value``."""
+
+    @abstractmethod
+    def grid(self, max_points: int = 0) -> list[Any]:
+        """Return the full value grid (or ``max_points`` quantiles for
+        continuous parameters)."""
+
+    @property
+    def default(self) -> Any:
+        """Default value used when the parameter is pinned (dropped)."""
+        if self._default is not None:
+            return self._default
+        return self.from_unit(0.5)
+
+    # ------------------------------------------------------------------
+    # Sensitivity-analysis support
+    # ------------------------------------------------------------------
+    def perturb(self, value: Any, frac: float, rng: np.random.Generator) -> Any:
+        """Return ``value`` varied by a relative fraction ``frac``.
+
+        This implements the "increase the variable value by 10% relative to
+        the preceding iteration" operation from the paper's sensitivity
+        analysis.  Discrete parameters snap to the nearest grid point; when
+        the perturbation does not leave the current grid point, the next
+        grid point in the direction of the perturbation is returned so that
+        a variation always changes the configuration (otherwise the
+        sensitivity score would be spuriously zero).
+        """
+        u = self.to_unit(value)
+        step = frac if frac != 0.0 else 0.1
+        nu = min(1.0, max(0.0, u * (1.0 + step) if u > 0 else step))
+        candidate = self.from_unit(nu)
+        if candidate == value:
+            neigh = self.neighbors(value)
+            if neigh:
+                ups = [n for n in neigh if self.to_unit(n) > u]
+                candidate = ups[0] if ups else neigh[-1]
+        return candidate
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.__dict__ == other.__dict__  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+
+def _check_bounds(low: float, high: float) -> None:
+    if not (math.isfinite(low) and math.isfinite(high)):
+        raise ValueError(f"bounds must be finite, got [{low}, {high}]")
+    if low >= high:
+        raise ValueError(f"low must be < high, got [{low}, {high}]")
+
+
+class Real(Parameter):
+    """Continuous parameter on ``[low, high]``.
+
+    Parameters
+    ----------
+    log:
+        When ``True`` the unit encoding is logarithmic, which makes the
+        surrogate and samplers treat e.g. ``[1e-6, 1e-1]`` sensibly.  Both
+        bounds must then be strictly positive.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        low: float,
+        high: float,
+        *,
+        log: bool = False,
+        default: float | None = None,
+    ):
+        super().__init__(name, default)
+        _check_bounds(low, high)
+        if log and low <= 0:
+            raise ValueError("log-scaled Real requires low > 0")
+        self.low = float(low)
+        self.high = float(high)
+        self.log = bool(log)
+        if default is not None and not self.contains(default):
+            raise ValueError(f"default {default} outside [{low}, {high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.from_unit(float(rng.random()))
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> list[float]:
+        u = rng.random(n)
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            return np.exp(lo + u * (hi - lo)).tolist()
+        return (self.low + u * (self.high - self.low)).tolist()
+
+    def to_unit(self, value: Any) -> float:
+        v = float(value)
+        if self.log:
+            return (math.log(v) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(1.0, max(0.0, float(u)))
+        if self.log:
+            return float(
+                math.exp(math.log(self.low) + u * (math.log(self.high) - math.log(self.low)))
+            )
+        return float(self.low + u * (self.high - self.low))
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return self.low <= v <= self.high
+
+    def neighbors(self, value: Any) -> list[float]:
+        # Continuous parameters use a 5% span step in each direction.
+        span = 0.05
+        u = self.to_unit(value)
+        out = []
+        for nu in (u - span, u + span):
+            if 0.0 <= nu <= 1.0:
+                out.append(self.from_unit(nu))
+        return out
+
+    def grid(self, max_points: int = 0) -> list[float]:
+        n = max_points if max_points > 0 else 11
+        return [self.from_unit(u) for u in np.linspace(0.0, 1.0, n)]
+
+
+class Integer(Parameter):
+    """Integral parameter on ``{low, ..., high}`` (inclusive)."""
+
+    def __init__(
+        self,
+        name: str,
+        low: int,
+        high: int,
+        *,
+        log: bool = False,
+        default: int | None = None,
+    ):
+        super().__init__(name, default)
+        if int(low) != low or int(high) != high:
+            raise ValueError("Integer bounds must be whole numbers")
+        _check_bounds(low, high)
+        if log and low <= 0:
+            raise ValueError("log-scaled Integer requires low > 0")
+        self.low = int(low)
+        self.high = int(high)
+        self.log = bool(log)
+        if default is not None and not self.contains(default):
+            raise ValueError(f"default {default} outside [{low}, {high}]")
+
+    @property
+    def cardinality(self) -> int:
+        return self.high - self.low + 1
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> list[int]:
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            raw = np.exp(lo + rng.random(n) * (hi - lo))
+            return np.clip(np.rint(raw), self.low, self.high).astype(int).tolist()
+        return rng.integers(self.low, self.high + 1, size=n).tolist()
+
+    def to_unit(self, value: Any) -> float:
+        v = float(value)
+        if self.log:
+            return (math.log(v) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> int:
+        u = min(1.0, max(0.0, float(u)))
+        if self.log:
+            raw = math.exp(
+                math.log(self.low) + u * (math.log(self.high) - math.log(self.low))
+            )
+        else:
+            raw = self.low + u * (self.high - self.low)
+        return int(min(self.high, max(self.low, round(raw))))
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return v == int(v) and self.low <= v <= self.high
+
+    def neighbors(self, value: Any) -> list[int]:
+        v = int(value)
+        out = []
+        if v - 1 >= self.low:
+            out.append(v - 1)
+        if v + 1 <= self.high:
+            out.append(v + 1)
+        return out
+
+    def grid(self, max_points: int = 0) -> list[int]:
+        if max_points and self.cardinality > max_points:
+            vals = sorted({self.from_unit(u) for u in np.linspace(0.0, 1.0, max_points)})
+            return vals
+        return list(range(self.low, self.high + 1))
+
+
+class Ordinal(Parameter):
+    """Explicit ordered grid of numeric values.
+
+    The canonical HPC example is a power-of-two threadblock size:
+    ``Ordinal("tb", [32, 64, 128, 256, 512, 1024])``.
+    """
+
+    def __init__(self, name: str, values: Sequence[Any], *, default: Any | None = None):
+        super().__init__(name, default)
+        vals = list(values)
+        if len(vals) < 2:
+            raise ValueError("Ordinal needs at least 2 values")
+        if len(set(vals)) != len(vals):
+            raise ValueError("Ordinal values must be unique")
+        if sorted(vals) != vals:
+            raise ValueError("Ordinal values must be sorted ascending")
+        self.values = vals
+        self._index = {v: i for i, v in enumerate(vals)}
+        if default is not None and default not in self._index:
+            raise ValueError(f"default {default!r} not among ordinal values")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.values[int(rng.integers(0, len(self.values)))]
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> list[Any]:
+        idx = rng.integers(0, len(self.values), size=n)
+        return [self.values[i] for i in idx]
+
+    def to_unit(self, value: Any) -> float:
+        return self._index[value] / (len(self.values) - 1)
+
+    def from_unit(self, u: float) -> Any:
+        u = min(1.0, max(0.0, float(u)))
+        return self.values[int(round(u * (len(self.values) - 1)))]
+
+    def contains(self, value: Any) -> bool:
+        return value in self._index
+
+    def neighbors(self, value: Any) -> list[Any]:
+        i = self._index[value]
+        out = []
+        if i > 0:
+            out.append(self.values[i - 1])
+        if i < len(self.values) - 1:
+            out.append(self.values[i + 1])
+        return out
+
+    def grid(self, max_points: int = 0) -> list[Any]:
+        if max_points and len(self.values) > max_points:
+            idx = np.unique(np.linspace(0, len(self.values) - 1, max_points).round().astype(int))
+            return [self.values[i] for i in idx]
+        return list(self.values)
+
+
+class Categorical(Parameter):
+    """Unordered set of choices, encoded by index.
+
+    No metric structure among choices is implied; the unit encoding exists
+    only so surrogates have *some* embedding, which matches how GPTune-style
+    frameworks one-hot or index-encode categorical inputs.
+    """
+
+    def __init__(self, name: str, choices: Sequence[Any], *, default: Any | None = None):
+        super().__init__(name, default)
+        ch = list(choices)
+        if len(ch) < 2:
+            raise ValueError("Categorical needs at least 2 choices")
+        if len(set(map(repr, ch))) != len(ch):
+            raise ValueError("Categorical choices must be unique")
+        self.choices = ch
+        self._index = {repr(c): i for i, c in enumerate(ch)}
+        if default is not None and repr(default) not in self._index:
+            raise ValueError(f"default {default!r} not among choices")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.choices)
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> list[Any]:
+        idx = rng.integers(0, len(self.choices), size=n)
+        return [self.choices[i] for i in idx]
+
+    def to_unit(self, value: Any) -> float:
+        return self._index[repr(value)] / (len(self.choices) - 1)
+
+    def from_unit(self, u: float) -> Any:
+        u = min(1.0, max(0.0, float(u)))
+        return self.choices[int(round(u * (len(self.choices) - 1)))]
+
+    def contains(self, value: Any) -> bool:
+        return repr(value) in self._index
+
+    def neighbors(self, value: Any) -> list[Any]:
+        # Every other choice is a "neighbor": categories have no order.
+        return [c for c in self.choices if repr(c) != repr(value)]
+
+    def grid(self, max_points: int = 0) -> list[Any]:
+        return list(self.choices)
+
+    def perturb(self, value: Any, frac: float, rng: np.random.Generator) -> Any:
+        # A relative variation is meaningless for categories; pick a random
+        # different choice instead, which is the standard OAT fallback.
+        others = self.neighbors(value)
+        return others[int(rng.integers(0, len(others)))]
+
+
+class Constant(Parameter):
+    """A parameter fixed to a single value.
+
+    HPC search spaces routinely contain parameters that a given problem
+    instance pins (e.g. ``nspb = 1`` when the physical system has a single
+    spin channel, paper Section VIII).  Keeping them in the space as
+    constants preserves a uniform 20-parameter configuration layout while
+    contributing no search dimensionality: sensitivity analysis sees zero
+    variability, and samplers always emit the fixed value.
+    """
+
+    def __init__(self, name: str, value: Any):
+        super().__init__(name, value)
+        self.value = value
+
+    @property
+    def cardinality(self) -> int:
+        return 1
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.value
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> list[Any]:
+        return [self.value] * n
+
+    def to_unit(self, value: Any) -> float:
+        if value != self.value:
+            raise ValueError(f"constant {self.name!r} only takes {self.value!r}")
+        return 0.0
+
+    def from_unit(self, u: float) -> Any:
+        return self.value
+
+    def contains(self, value: Any) -> bool:
+        return value == self.value
+
+    def neighbors(self, value: Any) -> list[Any]:
+        return []
+
+    def grid(self, max_points: int = 0) -> list[Any]:
+        return [self.value]
+
+    def perturb(self, value: Any, frac: float, rng: np.random.Generator) -> Any:
+        return self.value
+
+
+def parameters_from_dict(spec: dict[str, Any]) -> list[Parameter]:
+    """Build a parameter list from a compact dictionary specification.
+
+    Accepted value shapes per name:
+
+    * ``(low, high)`` tuple of ints      -> :class:`Integer`
+    * ``(low, high)`` tuple of floats    -> :class:`Real`
+    * ``list``                           -> :class:`Ordinal` when sorted
+      numeric, else :class:`Categorical`
+    * a :class:`Parameter` instance      -> used as-is (name must match)
+    """
+    out: list[Parameter] = []
+    for name, val in spec.items():
+        if isinstance(val, Parameter):
+            if val.name != name:
+                raise ValueError(f"parameter name mismatch: {val.name!r} under key {name!r}")
+            out.append(val)
+        elif isinstance(val, tuple) and len(val) == 2:
+            lo, hi = val
+            if isinstance(lo, int) and isinstance(hi, int):
+                out.append(Integer(name, lo, hi))
+            else:
+                out.append(Real(name, float(lo), float(hi)))
+        elif isinstance(val, list):
+            numeric = all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in val)
+            if numeric and sorted(val) == val and len(set(val)) == len(val):
+                out.append(Ordinal(name, val))
+            else:
+                out.append(Categorical(name, val))
+        else:
+            raise TypeError(f"cannot interpret spec for {name!r}: {val!r}")
+    return out

@@ -1,0 +1,112 @@
+"""JSON (de)serialization of search spaces.
+
+Crash recovery is only complete when the *search definition* survives
+alongside the evaluation database: these helpers turn a
+:class:`~repro.space.SearchSpace` into a plain JSON-compatible dict and
+back.  All parameter types round-trip; constraints round-trip when they
+are :class:`~repro.space.ExpressionConstraint` (declarative, re-compiled on
+load) — opaque callable constraints cannot be serialized and raise unless
+``skip_opaque_constraints=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .constraints import Constraint, ExpressionConstraint
+from .parameters import Categorical, Constant, Integer, Ordinal, Parameter, Real
+from .space import SearchSpace
+
+__all__ = [
+    "space_to_dict",
+    "space_from_dict",
+    "save_space",
+    "load_space",
+    "UnserializableConstraintError",
+]
+
+
+class UnserializableConstraintError(TypeError):
+    """Raised for constraints that are opaque callables, not expressions."""
+
+
+def _parameter_to_dict(p: Parameter) -> dict[str, Any]:
+    if isinstance(p, Real):
+        return {
+            "type": "real", "name": p.name, "low": p.low, "high": p.high,
+            "log": p.log, "default": p._default,
+        }
+    if isinstance(p, Integer):
+        return {
+            "type": "integer", "name": p.name, "low": p.low, "high": p.high,
+            "log": p.log, "default": p._default,
+        }
+    if isinstance(p, Ordinal):
+        return {"type": "ordinal", "name": p.name, "values": list(p.values),
+                "default": p._default}
+    if isinstance(p, Categorical):
+        return {"type": "categorical", "name": p.name, "choices": list(p.choices),
+                "default": p._default}
+    if isinstance(p, Constant):
+        return {"type": "constant", "name": p.name, "value": p.value}
+    raise TypeError(f"cannot serialize parameter type {type(p).__name__}")
+
+
+def _parameter_from_dict(d: dict[str, Any]) -> Parameter:
+    kind = d.get("type")
+    if kind == "real":
+        return Real(d["name"], d["low"], d["high"], log=d.get("log", False),
+                    default=d.get("default"))
+    if kind == "integer":
+        return Integer(d["name"], d["low"], d["high"], log=d.get("log", False),
+                       default=d.get("default"))
+    if kind == "ordinal":
+        return Ordinal(d["name"], d["values"], default=d.get("default"))
+    if kind == "categorical":
+        return Categorical(d["name"], d["choices"], default=d.get("default"))
+    if kind == "constant":
+        return Constant(d["name"], d["value"])
+    raise ValueError(f"unknown parameter type {kind!r}")
+
+
+def space_to_dict(
+    space: SearchSpace, *, skip_opaque_constraints: bool = False
+) -> dict[str, Any]:
+    """Serialize a space (parameters + expression constraints) to a dict."""
+    constraints = []
+    for c in space.constraints:
+        if isinstance(c, ExpressionConstraint):
+            constraints.append({"expression": c.expression, "name": c.name})
+        elif not skip_opaque_constraints:
+            raise UnserializableConstraintError(
+                f"constraint {c.name!r} is an opaque callable; use "
+                f"ExpressionConstraint or skip_opaque_constraints=True"
+            )
+    return {
+        "name": space.name,
+        "parameters": [_parameter_to_dict(p) for p in space.parameters],
+        "constraints": constraints,
+    }
+
+
+def space_from_dict(d: dict[str, Any]) -> SearchSpace:
+    """Inverse of :func:`space_to_dict`."""
+    params = [_parameter_from_dict(pd) for pd in d["parameters"]]
+    constraints: list[Constraint] = [
+        ExpressionConstraint(cd["expression"], cd.get("name", ""))
+        for cd in d.get("constraints", [])
+    ]
+    return SearchSpace(params, constraints, name=d.get("name", "space"))
+
+
+def save_space(space: SearchSpace, path: str, **kwargs: Any) -> None:
+    """Write a space to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(space_to_dict(space, **kwargs), f, indent=2)
+
+
+def load_space(path: str) -> SearchSpace:
+    """Read a space from a JSON file."""
+    with open(path) as f:
+        return space_from_dict(json.load(f))

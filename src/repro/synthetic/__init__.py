@@ -1,0 +1,15 @@
+"""The paper's 20-dimensional synthetic tuning benchmark (Section III-C)."""
+
+from .functions import (
+    CASE_INFLUENCE,
+    GROUP_VARIABLES,
+    SyntheticFunction,
+    all_cases,
+)
+
+__all__ = [
+    "SyntheticFunction",
+    "GROUP_VARIABLES",
+    "CASE_INFLUENCE",
+    "all_cases",
+]

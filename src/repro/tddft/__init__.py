@@ -1,0 +1,59 @@
+"""Simulated GPU-offloaded RT-TDDFT application (the paper's Sections V-VIII).
+
+Physical systems, the A100 architecture model, GPU-kernel cost models, the
+batched/streamed Slater-determinant pipeline, and the
+:class:`RTTDDFTApplication` facade exposing the 20-parameter tuning
+problem to the methodology.
+"""
+
+from .app import KERNEL_KEYS, UNROLL_VALUES, RTTDDFTApplication
+from .cpu import CpuProfile, CpuRTTDDFT
+from .gpu import GpuSpec, Occupancy, a100
+from .kernels import (
+    SLATER_KERNELS,
+    KernelSpec,
+    fft3d_time,
+    memcpy_time,
+    pair_cache_pollution,
+)
+from .groundstate import GroundStateResult, ImaginaryTimeSolver
+from .numeric import NumericResult, NumericSlaterApp
+from .propagator import PropagationResult, SplitOperatorPropagator
+from .slater import GROUP_KERNELS, SlaterPipeline
+from .wavefunction import DistributedWavefunction, LocalBlock
+from .systems import (
+    PhysicalSystem,
+    boron_nitride_slab,
+    case_study,
+    magnesium_porphyrin,
+)
+
+__all__ = [
+    "RTTDDFTApplication",
+    "KERNEL_KEYS",
+    "UNROLL_VALUES",
+    "CpuRTTDDFT",
+    "CpuProfile",
+    "GpuSpec",
+    "Occupancy",
+    "a100",
+    "KernelSpec",
+    "SLATER_KERNELS",
+    "fft3d_time",
+    "memcpy_time",
+    "pair_cache_pollution",
+    "SlaterPipeline",
+    "NumericSlaterApp",
+    "NumericResult",
+    "ImaginaryTimeSolver",
+    "GroundStateResult",
+    "SplitOperatorPropagator",
+    "PropagationResult",
+    "GROUP_KERNELS",
+    "PhysicalSystem",
+    "magnesium_porphyrin",
+    "boron_nitride_slab",
+    "case_study",
+    "DistributedWavefunction",
+    "LocalBlock",
+]

@@ -1,0 +1,146 @@
+"""The CPU MPI path of QBox — the baseline the GPU offload replaces.
+
+The paper motivates the GPU port by profiling the CPU code: "around
+40-50% of the runtime is attributed to communication primitives.  Notably,
+most of this overhead is incurred during a matrix transpose&padding step
+when calculating 3D-FFTs among ngb MPI tasks".  This module models that
+CPU path so the motivation is reproducible:
+
+* each band's 3D FFT is distributed over the ``ngb`` ranks of the QBox
+  grid: local 2D FFTs on slabs, a transpose&padding alltoall among the
+  ``ngb`` group (:func:`repro.mpisim.transpose_padding_time`), local 1D
+  FFTs, and the reverse on the way back,
+* elementwise work (vec2zvec, pairwise, scaling) runs at the per-rank
+  share of node memory bandwidth,
+* end-of-iteration reductions are allreduces over the whole grid.
+
+Setting ``ngb = 1`` reproduces the GPU port's key structural change — the
+distributed transpose degenerates to a local repack, which is exactly why
+"the MPI nqb parameter is set to nqb = 1 in the GPU version".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..mpisim.cluster import ClusterSpec
+from ..mpisim.collectives import allreduce_time, transpose_padding_time
+from ..mpisim.comm import CartGrid
+from .systems import PhysicalSystem
+
+__all__ = ["CpuRTTDDFT", "CpuProfile"]
+
+# Effective per-core throughput for the FFT butterflies (FP64, cache
+# resident): a few GFLOP/s on an EPYC core.
+_CORE_FFT_GFLOPS = 3.0e9
+# Elementwise traffic per element per pass through the pipeline (bytes).
+_ELEMENTWISE_BYTES = 110.0
+
+
+@dataclass(frozen=True)
+class CpuProfile:
+    """Runtime decomposition of one Slater pass on the CPU path."""
+
+    compute: float
+    communication: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.communication
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.communication / self.total if self.total > 0 else 0.0
+
+
+class CpuRTTDDFT:
+    """Performance model of the CPU (pre-offload) QBox RT-TDDFT path.
+
+    Parameters
+    ----------
+    system:
+        Physical input.
+    cluster:
+        Machine model.  The CPU path packs many MPI ranks per node
+        (``ranks_per_node`` of the spec; the paper's CPU runs use all 64
+        cores, unlike the 4-GPU-rank layout).
+    """
+
+    def __init__(self, system: PhysicalSystem, cluster: ClusterSpec):
+        self.system = system
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    def _per_rank_bandwidth(self) -> float:
+        return self.cluster.node.memory_bandwidth / self.cluster.ranks_per_node
+
+    def fft_compute_time(self, bands: int) -> float:
+        """Local FFT flops for ``bands`` bands, split over the ngb group
+        (each rank transforms its slab)."""
+        flops = 4 * 5.0 * self.system.fft_size * math.log2(self.system.fft_size)
+        return bands * flops / _CORE_FFT_GFLOPS
+
+    def elementwise_time(self, bands: int) -> float:
+        """Memory-bound elementwise passes for ``bands`` bands."""
+        traffic = bands * self.system.fft_size * _ELEMENTWISE_BYTES
+        return traffic / self._per_rank_bandwidth()
+
+    def transpose_time(self, bands: int, ngb: int) -> float:
+        """The transpose&padding steps (4 per band round trip) among the
+        ``ngb`` FFT ranks."""
+        slab_bytes = self.system.band_bytes
+        per_band = 4 * transpose_padding_time(self.cluster, slab_bytes, ngb)
+        return bands * per_band
+
+    # ------------------------------------------------------------------
+    def slater_profile(self, config: Mapping[str, int]) -> CpuProfile:
+        """Compute/communication split of the Slater loop on the busiest
+        rank for a QBox grid configuration (needs ``nspb, nkpb, nstb,
+        ngb`` keys)."""
+        grid = CartGrid(
+            nspb=int(config["nspb"]),
+            nkpb=int(config["nkpb"]),
+            nstb=int(config["nstb"]),
+            ngb=int(config.get("ngb", 1)),
+        )
+        if grid.size > self.cluster.total_ranks:
+            raise ValueError(
+                f"grid of {grid.size} ranks exceeds the allocation of "
+                f"{self.cluster.total_ranks}"
+            )
+        spins, kpts, bands = grid.local_counts(
+            self.system.nspin, self.system.nkpoints, self.system.nbands
+        )
+        work_units = spins * kpts
+        # Each rank of the ngb group holds 1/ngb of every band's slab.
+        compute = work_units * (
+            self.fft_compute_time(bands) / grid.ngb
+            + self.elementwise_time(bands) / grid.ngb
+        )
+        comm = work_units * self.transpose_time(bands, grid.ngb)
+        comm += allreduce_time(
+            self.cluster, self.system.band_bytes, min(grid.size, self.cluster.total_ranks)
+        )
+        return CpuProfile(compute=compute, communication=comm)
+
+    def total_runtime(self, config: Mapping[str, int]) -> float:
+        return self.slater_profile(config).total
+
+    def best_balanced_grid(self, *, max_ranks: int | None = None) -> dict[str, int]:
+        """Exhaustively pick the fastest balanced grid (small space:
+        the CPU tuning baseline QBox users would run)."""
+        limit = max_ranks if max_ranks is not None else self.cluster.total_ranks
+        best_cfg, best_t = None, math.inf
+        for nspb, nkpb, nstb in self.system.balanced_grids(limit):
+            for ngb in (1, 2, 4, 8, 16, 32, 64):
+                cfg = {"nspb": nspb, "nkpb": nkpb, "nstb": nstb, "ngb": ngb}
+                if nspb * nkpb * nstb * ngb > limit:
+                    continue
+                t = self.total_runtime(cfg)
+                if t < best_t:
+                    best_cfg, best_t = cfg, t
+        if best_cfg is None:
+            raise RuntimeError("no feasible grid fits the allocation")
+        return best_cfg

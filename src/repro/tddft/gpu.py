@@ -1,0 +1,140 @@
+"""GPU architecture model (NVIDIA A100) and occupancy calculator.
+
+The paper's GPU tuning parameters are constrained by the A100: "up to 32
+active threadblocks per SM and up to 32 warps per threadblock", with the
+validity rule ``tb * tb_sm <= max active threads per SM``.  This module
+encodes the architecture as data and provides the occupancy arithmetic the
+kernel cost models (:mod:`repro.tddft.kernels`) build on.
+
+The occupancy model is the standard CUDA one restricted to the resources
+our tuning space exposes: threads and blocks per SM (register/shared-memory
+pressure enters indirectly through the unroll-factor penalty in the kernel
+models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "a100", "Occupancy"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU's architectural limits and throughputs.
+
+    Attributes
+    ----------
+    sms:
+        Streaming multiprocessors (A100: 108).
+    warp_size:
+        Threads per warp (32).
+    max_threads_per_sm:
+        Hardware active-thread bound per SM (A100: 2048).
+    max_blocks_per_sm:
+        Active-threadblock bound per SM (A100: 32).
+    max_warps_per_block:
+        Per-block warp bound (A100: 32 -> 1024 threads/block).
+    memory_bandwidth:
+        HBM2e bandwidth (1555 GB/s).
+    l2_bytes:
+        L2 cache size (40 MB) — the resource behind the paper's
+        "GPU-cache effects" interdependence between kernel groups.
+    fp64_tflops:
+        Peak FP64 (9.7 TFLOP/s; 19.5 with tensor cores, not used here).
+    kernel_launch_overhead:
+        Host-side cost per kernel launch — the term batching amortizes.
+    memory_bytes:
+        Device memory (40 GB HBM on the Perlmutter A100s).
+    """
+
+    name: str = "gpu"
+    sms: int = 108
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    max_warps_per_block: int = 32
+    memory_bandwidth: float = 1555.0e9
+    l2_bytes: int = 40 * 1024 * 1024
+    fp64_tflops: float = 9.7
+    kernel_launch_overhead: float = 5.0e-6
+    memory_bytes: int = 40 * 1024**3
+
+    def __post_init__(self):
+        if min(self.sms, self.warp_size, self.max_threads_per_sm, self.max_blocks_per_sm) < 1:
+            raise ValueError("invalid GPU limits")
+        if self.memory_bandwidth <= 0 or self.fp64_tflops <= 0:
+            raise ValueError("throughputs must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def max_threads_per_block(self) -> int:
+        return self.warp_size * self.max_warps_per_block
+
+    def threadblock_valid(self, tb: int, tb_sm: int) -> bool:
+        """The paper's validity rule: ``tb * tb_sm`` must not exceed the
+        max active threads per SM, tb must be a positive warp multiple
+        within the per-block bound, and tb_sm within the block bound."""
+        return (
+            tb >= self.warp_size
+            and tb % self.warp_size == 0
+            and tb <= self.max_threads_per_block
+            and 1 <= tb_sm <= self.max_blocks_per_sm
+            and tb * tb_sm <= self.max_threads_per_sm
+        )
+
+    def occupancy(self, tb: int, tb_sm: int) -> "Occupancy":
+        """Occupancy achieved by ``tb`` threads/block x ``tb_sm``
+        blocks/SM."""
+        if not self.threadblock_valid(tb, tb_sm):
+            raise ValueError(
+                f"invalid threadblock configuration tb={tb}, tb_sm={tb_sm} "
+                f"for {self.name}"
+            )
+        active = tb * tb_sm
+        return Occupancy(
+            active_threads_per_sm=active,
+            fraction=active / self.max_threads_per_sm,
+            active_blocks_per_sm=tb_sm,
+            warps_per_block=tb // self.warp_size,
+        )
+
+    def tb_values(self) -> list[int]:
+        """Legal threadblock sizes: warp multiples up to the block bound
+        (the paper's 32 values for the A100)."""
+        return [self.warp_size * w for w in range(1, self.max_warps_per_block + 1)]
+
+    def tb_sm_values(self) -> list[int]:
+        """Legal blocks-per-SM values (the paper's 32 values)."""
+        return list(range(1, self.max_blocks_per_sm + 1))
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation.
+
+    ``fraction`` in (0, 1]; ``memory_efficiency`` maps it onto achievable
+    memory throughput with the usual saturating shape — bandwidth-bound
+    kernels reach near-peak at roughly half occupancy, and very low
+    occupancy cannot cover DRAM latency.
+    """
+
+    active_threads_per_sm: int
+    fraction: float
+    active_blocks_per_sm: int
+    warps_per_block: int
+
+    def memory_efficiency(self) -> float:
+        """Fraction of peak memory bandwidth this occupancy sustains.
+
+        Saturating curve ``f = x / (x + c)`` normalized to 1 at full
+        occupancy, with ``c = 0.18`` putting ~80% of peak at 50%
+        occupancy — the empirically typical shape for streaming kernels.
+        """
+        c = 0.18
+        return (self.fraction / (self.fraction + c)) * (1.0 + c)
+
+
+def a100() -> GpuSpec:
+    """The NVIDIA A100-40GB as installed in Perlmutter GPU nodes."""
+    return GpuSpec(name="a100")

@@ -1,0 +1,214 @@
+"""Imaginary-time ground-state solver — the SCF-loop analog.
+
+The paper's Figure 4 wraps the Slater-determinant pattern in a
+``while !SCF_converged`` loop: RT-TDDFT "starts from an initial DFT ground
+state calculation".  This module supplies that starting point numerically
+with the standard imaginary-time (diffusion) method: replacing
+``t -> -i tau`` turns the unitary propagator into ``exp(-H tau)``, which
+damps every component by ``exp(-E tau)`` — repeated application plus
+re-orthonormalization converges the band set to the lowest eigenstates of
+``H = T + V``.
+
+Each iteration is, computationally, exactly the tuned pipeline again:
+backward FFT -> pointwise potential -> forward FFT -> pointwise kinetic
+-> back, batched over bands, plus a band-basis orthonormalization (the
+dense-linear-algebra reduction QBox's loop performs).
+
+Tested invariants:
+
+* the total energy decreases monotonically (up to roundoff),
+* the converged bands are orthonormal,
+* converged bands satisfy the eigenvalue equation (small residual
+  ``||H psi - E psi||``),
+* for a constant potential the ground state is the uniform G = 0 mode
+  with energy exactly ``V``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..profiling import RegionTimer
+from .numeric import NumericSlaterApp
+from .propagator import SplitOperatorPropagator
+
+__all__ = ["ImaginaryTimeSolver", "GroundStateResult"]
+
+
+@dataclass
+class GroundStateResult:
+    """Outcome of an imaginary-time relaxation.
+
+    Attributes
+    ----------
+    coefficients:
+        Converged G-sphere band coefficients (orthonormal).
+    band_energies:
+        Rayleigh quotients ``<psi_b|H|psi_b>`` per band, ascending.
+    energy_history:
+        Total energy per iteration (monotone decreasing).
+    residuals:
+        Per-band eigenvalue residuals ``||H psi - E psi||`` at the end.
+    iterations:
+        Imaginary-time steps taken.
+    converged:
+        Whether the energy tolerance was met before the iteration cap.
+    """
+
+    coefficients: np.ndarray
+    band_energies: np.ndarray
+    energy_history: np.ndarray
+    residuals: np.ndarray
+    iterations: int
+    converged: bool
+    timings: Any
+
+
+class ImaginaryTimeSolver:
+    """Ground-state solver on top of the split-operator machinery.
+
+    Parameters
+    ----------
+    app:
+        The numeric workload (grid, potential, initial coefficients —
+        used as the starting guess).
+    dtau:
+        Imaginary-time step.  Larger converges faster but the
+        second-order Trotter splitting degrades; 0.05-0.2 works for the
+        toy grids used here.
+    """
+
+    def __init__(self, app: NumericSlaterApp, *, dtau: float = 0.1):
+        if dtau <= 0:
+            raise ValueError("dtau must be positive")
+        self.app = app
+        self.dtau = float(dtau)
+        prop = SplitOperatorPropagator(app, dt=dtau)
+        self.kinetic = prop.kinetic
+        # Imaginary time: the phases become real decay factors.
+        self._kin_decay = np.exp(-dtau * self.kinetic)
+        self._pot_half_decay = np.exp(-(dtau / 2.0) * app.potential)
+
+    # ------------------------------------------------------------------
+    def _apply_step(self, boxes: np.ndarray, batch: int, timer: RegionTimer) -> np.ndarray:
+        """exp(-H dtau) via Strang splitting, batched over bands."""
+        out = np.empty_like(boxes)
+        for lo in range(0, boxes.shape[0], batch):
+            g = boxes[lo : lo + batch]
+            with timer.region("fft_backward"):
+                psi_r = np.fft.ifftn(g, axes=(1, 2, 3))
+            with timer.region("potential_half"):
+                psi_r *= self._pot_half_decay
+            with timer.region("fft_forward"):
+                psi_g = np.fft.fftn(psi_r, axes=(1, 2, 3))
+            with timer.region("kinetic"):
+                psi_g *= self._kin_decay
+            with timer.region("fft_backward"):
+                psi_r = np.fft.ifftn(psi_g, axes=(1, 2, 3))
+            with timer.region("potential_half"):
+                psi_r *= self._pot_half_decay
+            with timer.region("fft_forward"):
+                out[lo : lo + batch] = np.fft.fftn(psi_r, axes=(1, 2, 3))
+        return out
+
+    def _orthonormalize(self, boxes: np.ndarray) -> np.ndarray:
+        """Löwdin (symmetric) orthonormalization in the band basis."""
+        nb = boxes.shape[0]
+        flat = boxes.reshape(nb, -1)
+        overlap = flat @ flat.conj().T  # (nb, nb) Gram matrix
+        evals, evecs = np.linalg.eigh(overlap)
+        evals = np.maximum(evals, 1e-300)
+        inv_sqrt = (evecs * (evals ** -0.5)) @ evecs.conj().T
+        return (inv_sqrt @ flat).reshape(boxes.shape)
+
+    def _apply_h(self, boxes: np.ndarray) -> np.ndarray:
+        """H|psi> on the full grid (for energies and residuals)."""
+        psi_r = np.fft.ifftn(boxes, axes=(1, 2, 3))
+        vpsi = np.fft.fftn(psi_r * self.app.potential, axes=(1, 2, 3))
+        return self.kinetic[None] * boxes + vpsi
+
+    def band_energies(self, boxes: np.ndarray) -> np.ndarray:
+        """Rayleigh quotients per band (assumes normalized bands)."""
+        h = self._apply_h(boxes)
+        nb = boxes.shape[0]
+        flat, hflat = boxes.reshape(nb, -1), h.reshape(nb, -1)
+        return np.real(np.sum(flat.conj() * hflat, axis=1))
+
+    def _rayleigh_ritz(self, boxes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Subspace diagonalization: rotate the bands into the eigenbasis
+        of the projected Hamiltonian ``<i|H|j>``.
+
+        Imaginary time + orthonormalization converges the *span* of the
+        bands to the lowest eigenspace but leaves an arbitrary rotation
+        within it; this step (what plane-wave DFT codes run as "subspace
+        diagonalization") resolves the individual eigenstates.
+        """
+        h = self._apply_h(boxes)
+        nb = boxes.shape[0]
+        flat, hflat = boxes.reshape(nb, -1), h.reshape(nb, -1)
+        h_band = flat.conj() @ hflat.T
+        h_band = (h_band + h_band.conj().T) / 2.0
+        evals, evecs = np.linalg.eigh(h_band)
+        rotated = (evecs.T.conj() @ flat).reshape(boxes.shape)
+        return rotated, evals
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        *,
+        max_iterations: int = 200,
+        tol: float = 1e-8,
+        config: Mapping[str, Any] | int | None = None,
+    ) -> GroundStateResult:
+        """Relax the band set to the lowest eigenstates.
+
+        ``config`` carries the tuned ``nbatches`` as everywhere else.
+        Convergence: relative total-energy change below ``tol``.
+        """
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if config is None:
+            batch = 1
+        elif isinstance(config, int):
+            batch = config
+        else:
+            batch = int(config["nbatches"])
+        batch = max(1, min(batch, self.app.nbands))
+
+        timer = RegionTimer()
+        boxes = self.app._scatter(self.app.coefficients)
+        boxes = self._orthonormalize(boxes)
+
+        history = []
+        converged = False
+        for it in range(max_iterations):
+            boxes = self._apply_step(boxes, batch, timer)
+            with timer.region("orthonormalize"):
+                boxes = self._orthonormalize(boxes)
+            energy = float(np.sum(self.band_energies(boxes)))
+            history.append(energy)
+            if it > 0 and abs(history[-2] - energy) <= tol * max(1.0, abs(energy)):
+                converged = True
+                break
+
+        with timer.region("rayleigh_ritz"):
+            boxes, energies = self._rayleigh_ritz(boxes)
+
+        h = self._apply_h(boxes)
+        nb = boxes.shape[0]
+        res = np.linalg.norm(
+            (h - energies[:, None, None, None] * boxes).reshape(nb, -1), axis=1
+        )
+        return GroundStateResult(
+            coefficients=boxes[:, self.app.g_mask],
+            band_energies=energies,
+            energy_history=np.array(history),
+            residuals=res,
+            iterations=len(history),
+            converged=converged,
+            timings=timer.report(),
+        )

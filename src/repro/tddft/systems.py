@@ -1,0 +1,128 @@
+"""Physical systems (the paper's two case studies, Section VII).
+
+* **Case Study 1** — a magnesium-porphyrin molecule (0D molecular system:
+  1 Mg, 20 C, 4 N, 12 H): 1 spin, 1 k-point, 64 bands, FFT size of
+  3 million double-complex elements.
+* **Case Study 2** — a periodic 2D slab of 4x4 hexagonal boron nitride
+  (32 atoms per supercell): 1 spin, 36 k-points, 64 bands, FFT size of
+  620k double-complex elements.
+
+A :class:`PhysicalSystem` fixes the wavefunction extents that, combined
+with the MPI grid, determine each rank's local workload (Figure 3's
+mapping) and hence the search constraints: Case Study 1's single k-point
+pins ``nkpb = 1``; 64 bands restrict ``nstb`` to divisors of 64; Case
+Study 2 constrains the grid to divisors of (36, 64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PhysicalSystem",
+    "magnesium_porphyrin",
+    "boron_nitride_slab",
+    "case_study",
+]
+
+_BYTES_PER_DOUBLE_COMPLEX = 16
+
+
+@dataclass(frozen=True)
+class PhysicalSystem:
+    """Wavefunction extents of one material input.
+
+    Attributes
+    ----------
+    nspin / nkpoints / nbands:
+        Extents of the spin, k-point, and state-band dimensions.
+    fft_size:
+        Plane-wave (G-vector) grid points per band — the 3D-FFT length in
+        double-complex elements.
+    """
+
+    name: str
+    nspin: int
+    nkpoints: int
+    nbands: int
+    fft_size: int
+    gvector_fraction: float = 0.125
+
+    def __post_init__(self):
+        if min(self.nspin, self.nkpoints, self.nbands, self.fft_size) < 1:
+            raise ValueError("all system extents must be >= 1")
+        if not (0.0 < self.gvector_fraction <= 1.0):
+            raise ValueError("gvector_fraction must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def band_bytes(self) -> int:
+        """Bytes of one band's full FFT-box slab (double complex)."""
+        return self.fft_size * _BYTES_PER_DOUBLE_COMPLEX
+
+    @property
+    def transfer_bytes_per_band(self) -> int:
+        """Bytes actually moved over PCIe per band.
+
+        Plane-wave codes store each wavefunction as G-vector coefficients
+        on a sphere inside the FFT box (``gvector_fraction`` of the grid);
+        the zero-padding into the full box happens on the GPU — that is
+        precisely the transpose&padding step the cuZcopy kernel performs.
+        Only the compact sphere crosses the PCIe link.
+        """
+        return int(self.band_bytes * self.gvector_fraction)
+
+    @property
+    def wavefunction_bytes(self) -> int:
+        """Total wavefunction storage across all dimensions."""
+        return self.nspin * self.nkpoints * self.nbands * self.band_bytes
+
+    def divisors(self, extent: int) -> list[int]:
+        """Divisors of one extent — the balanced grid values the paper's
+        experts constrain searches to ("only divisors of this value are
+        tested for the nstb MPI dimension to ensure work balance")."""
+        if extent not in (self.nspin, self.nkpoints, self.nbands):
+            raise ValueError(f"{extent} is not a dimension of {self.name}")
+        return [d for d in range(1, extent + 1) if extent % d == 0]
+
+    def balanced_grids(self, max_ranks: int) -> list[tuple[int, int, int]]:
+        """All (nspb, nkpb, nstb) with every factor dividing its extent
+        and total ranks within the allocation."""
+        out = []
+        for s in self.divisors(self.nspin):
+            for k in self.divisors(self.nkpoints):
+                for b in self.divisors(self.nbands):
+                    if s * k * b <= max_ranks:
+                        out.append((s, k, b))
+        return out
+
+
+def magnesium_porphyrin() -> PhysicalSystem:
+    """Case Study 1: MgC20N4H12 molecule (0D)."""
+    return PhysicalSystem(
+        name="magnesium-porphyrin",
+        nspin=1,
+        nkpoints=1,
+        nbands=64,
+        fft_size=3_000_000,
+    )
+
+
+def boron_nitride_slab() -> PhysicalSystem:
+    """Case Study 2: 4x4 hexagonal BN slab, 32 atoms/supercell (2D)."""
+    return PhysicalSystem(
+        name="hexagonal-boron-nitride",
+        nspin=1,
+        nkpoints=36,
+        nbands=64,
+        fft_size=620_000,
+    )
+
+
+def case_study(n: int) -> PhysicalSystem:
+    """Look up a case study by the paper's numbering (1 or 2)."""
+    if n == 1:
+        return magnesium_porphyrin()
+    if n == 2:
+        return boron_nitride_slab()
+    raise ValueError(f"case study must be 1 or 2, got {n}")

@@ -1,0 +1,133 @@
+"""Tests for acquisition functions and the constrained maximizer."""
+
+import numpy as np
+import pytest
+
+from repro.bo import (
+    ExpectedImprovement,
+    GaussianProcess,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+    ThompsonSampling,
+    acquisition_by_name,
+    maximize_acquisition,
+)
+from repro.space import ExpressionConstraint, Integer, Real, SearchSpace
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(0)
+    X = rng.random((20, 2))
+    y = (X[:, 0] - 0.3) ** 2 + (X[:, 1] - 0.7) ** 2
+    return GaussianProcess(dim=2, random_state=0).fit(X, y)
+
+
+@pytest.fixture
+def space():
+    return SearchSpace(
+        [Real("a", 0.0, 1.0), Real("b", 0.0, 1.0)],
+        [ExpressionConstraint("a + b <= 1.5")],
+        name="acq",
+    )
+
+
+class TestExpectedImprovement:
+    def test_nonnegative(self, model):
+        X = np.random.default_rng(1).random((50, 2))
+        ei = ExpectedImprovement()(model, X, incumbent=0.2)
+        assert np.all(ei >= 0)
+
+    def test_zero_improvement_when_incumbent_unbeatable(self, model):
+        X = np.random.default_rng(1).random((50, 2))
+        ei = ExpectedImprovement(xi=0.0)(model, X, incumbent=-100.0)
+        assert np.all(ei < 1e-6)
+
+    def test_prefers_low_mean_at_equal_std(self):
+        # Two training points; candidates mirror them so stds match.
+        X = np.array([[0.2, 0.2], [0.8, 0.8]])
+        y = np.array([0.0, 1.0])
+        m = GaussianProcess(dim=2, noise=1e-6, optimize_noise=False, random_state=0).fit(X, y)
+        scores = ExpectedImprovement()(m, X, incumbent=0.5)
+        assert scores[0] > scores[1]
+
+
+class TestProbabilityOfImprovement:
+    def test_bounded(self, model):
+        X = np.random.default_rng(1).random((50, 2))
+        pi = ProbabilityOfImprovement()(model, X, incumbent=0.2)
+        assert np.all((pi >= 0) & (pi <= 1))
+
+
+class TestLCB:
+    def test_beta_schedule(self):
+        lcb = LowerConfidenceBound(beta=3.0, beta_final=0.5)
+        lcb.update(0, 10)
+        assert lcb.beta == pytest.approx(3.0)
+        lcb.update(9, 10)
+        assert lcb.beta == pytest.approx(0.5)
+
+    def test_higher_beta_rewards_uncertainty(self, model):
+        X_near = np.array([[0.3, 0.7]])
+        X_far = np.array([[0.99, 0.01]])
+        lo = LowerConfidenceBound(beta=0.01)
+        hi = LowerConfidenceBound(beta=10.0)
+        # With large beta the uncertain far point scores relatively better.
+        rel_lo = lo(model, X_far, 0)[0] - lo(model, X_near, 0)[0]
+        rel_hi = hi(model, X_far, 0)[0] - hi(model, X_near, 0)[0]
+        assert rel_hi > rel_lo
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            LowerConfidenceBound(beta=0.0)
+
+
+class TestThompson:
+    def test_deterministic_given_seed(self, model):
+        X = np.random.default_rng(2).random((10, 2))
+        a = ThompsonSampling(random_state=5)(model, X, 0.0)
+        b = ThompsonSampling(random_state=5)(model, X, 0.0)
+        assert np.allclose(a, b)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["ei", "pi", "lcb", "ts"])
+    def test_known(self, name):
+        assert acquisition_by_name(name) is not None
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            acquisition_by_name("ucbish")
+
+
+class TestMaximizer:
+    def test_returns_feasible(self, model, space):
+        rng = np.random.default_rng(0)
+        cfg = maximize_acquisition(
+            ExpectedImprovement(), model, space, incumbent=0.5, rng=rng
+        )
+        assert space.is_valid(cfg)
+
+    def test_excludes_evaluated(self, model):
+        # Tiny discrete space: with all but one config excluded, the
+        # remaining one must be suggested.
+        sp = SearchSpace([Integer("a", 0, 1), Integer("b", 0, 1)])
+        rng = np.random.default_rng(0)
+        X = sp.encode_batch([{"a": 0, "b": 0}])
+        m = GaussianProcess(dim=2, random_state=0).fit(X, np.array([1.0]))
+        exclude = [{"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}]
+        cfg = maximize_acquisition(
+            ExpectedImprovement(), m, sp, 1.0, rng, n_candidates=64, exclude=exclude
+        )
+        assert cfg == {"a": 1, "b": 1}
+
+    def test_moves_toward_minimum(self, model, space):
+        # The quadratic has its minimum at (0.3, 0.7); EI should suggest
+        # something much closer to it than a random point on average.
+        rng = np.random.default_rng(3)
+        cfg = maximize_acquisition(
+            ExpectedImprovement(), model, space, incumbent=0.05, rng=rng,
+            n_candidates=2048,
+        )
+        dist = np.hypot(cfg["a"] - 0.3, cfg["b"] - 0.7)
+        assert dist < 0.45

@@ -1,0 +1,85 @@
+"""Tests for constant-liar batch BO."""
+
+import numpy as np
+import pytest
+
+from repro.bo import BatchBayesianOptimizer, BayesianOptimizer
+from repro.space import Integer, Real, SearchSpace
+
+
+def space():
+    return SearchSpace([Real("a", 0.0, 1.0), Real("b", 0.0, 1.0)], name="q")
+
+
+def objective(c):
+    return (c["a"] - 0.3) ** 2 + (c["b"] - 0.7) ** 2 + 0.05
+
+
+class TestSuggestBatch:
+    def test_batch_is_diverse(self):
+        opt = BatchBayesianOptimizer(
+            space(), objective, batch_size=4, max_evaluations=30, random_state=0
+        )
+        for cfg in space().latin_hypercube(6, np.random.default_rng(0)):
+            from repro.bo import Evaluation
+
+            opt.database.append(
+                Evaluation(config=cfg, objective=objective(cfg), cost=1.0)
+            )
+        batch = opt.suggest_batch()
+        assert len(batch) == 4
+        keys = {tuple(c.values()) for c in batch}
+        assert len(keys) == 4  # no duplicate suggestions within a round
+
+    def test_cold_start_batch_random(self):
+        opt = BatchBayesianOptimizer(
+            space(), objective, batch_size=3, max_evaluations=30, random_state=0
+        )
+        assert len(opt.suggest_batch()) == 3
+
+
+class TestRun:
+    def test_budget_respected(self):
+        r = BatchBayesianOptimizer(
+            space(), objective, batch_size=4, max_evaluations=22, random_state=0
+        ).run()
+        assert 22 <= r.n_evaluations <= 25  # last round may not divide evenly
+        assert len(r.database.ok_records()) >= 22
+
+    def test_quality_matches_sequential(self):
+        batch_best, seq_best = [], []
+        for seed in range(3):
+            b = BatchBayesianOptimizer(
+                space(), objective, batch_size=4, max_evaluations=24,
+                random_state=seed,
+            ).run()
+            s = BayesianOptimizer(
+                space(), objective, max_evaluations=24, random_state=seed
+            ).run()
+            batch_best.append(b.best_objective)
+            seq_best.append(s.best_objective)
+        assert np.mean(batch_best) <= np.mean(seq_best) * 1.5
+
+    def test_parallel_cost_accounting(self):
+        """A round of q evaluations is charged the max cost, so the batch
+        optimizer's simulated evaluation wall-clock is far below the
+        sequential sum."""
+        r = BatchBayesianOptimizer(
+            space(), objective, batch_size=4, max_evaluations=24, random_state=0
+        ).run()
+        total = sum(rec.cost for rec in r.database)
+        assert r.evaluation_cost < 0.5 * total
+
+    def test_discrete_space(self):
+        sp = SearchSpace([Integer("n", 0, 15)])
+        r = BatchBayesianOptimizer(
+            sp, lambda c: abs(c["n"] - 11) + 1.0, batch_size=3,
+            max_evaluations=12, random_state=0,
+        ).run()
+        assert r.best_config["n"] == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchBayesianOptimizer(space(), objective, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchBayesianOptimizer(space(), objective, lie="median")

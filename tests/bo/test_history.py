@@ -1,0 +1,130 @@
+"""Tests for the evaluation database: records, checkpoints, crash
+recovery."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bo import Evaluation, EvaluationDatabase, EvaluationStatus
+
+
+def rec(obj, a=1, status=EvaluationStatus.OK, cost=None):
+    return Evaluation(
+        config={"a": a},
+        objective=obj,
+        cost=cost if cost is not None else max(obj, 0.0) if np.isfinite(obj) else 0.0,
+        status=status,
+    )
+
+
+class TestEvaluation:
+    def test_ok_requires_finite(self):
+        with pytest.raises(ValueError):
+            Evaluation(config={}, objective=float("nan"))
+
+    def test_failed_allows_nan(self):
+        e = Evaluation(config={}, objective=float("nan"), status=EvaluationStatus.FAILED)
+        assert not e.ok
+
+    def test_unknown_status(self):
+        with pytest.raises(ValueError):
+            Evaluation(config={}, objective=1.0, status="weird")
+
+    def test_roundtrip_dict(self):
+        e = Evaluation(
+            config={"a": np.int64(3), "x": np.float64(1.5)},
+            objective=np.float64(2.0),
+            cost=2.0,
+            meta={"arr": np.array([1.0, 2.0])},
+        )
+        d = e.to_dict()
+        json.dumps(d)  # must be JSON-serializable
+        e2 = Evaluation.from_dict(d)
+        assert e2.config == {"a": 3, "x": 1.5}
+        assert e2.objective == 2.0
+
+
+class TestDatabase:
+    def test_best_and_trajectory(self):
+        db = EvaluationDatabase()
+        for v in (5.0, 3.0, 4.0, 1.0, 2.0):
+            db.append(rec(v))
+        assert db.best().objective == 1.0
+        assert np.allclose(db.best_so_far(), [5, 3, 3, 1, 1])
+
+    def test_best_ignores_failures(self):
+        db = EvaluationDatabase()
+        db.append(rec(float("nan"), status=EvaluationStatus.FAILED))
+        db.append(rec(2.0))
+        assert db.best().objective == 2.0
+        assert len(db.failed_configs()) == 1
+        assert len(db.ok_records()) == 1
+
+    def test_best_empty_raises(self):
+        with pytest.raises(LookupError):
+            EvaluationDatabase().best()
+
+    def test_total_cost(self):
+        db = EvaluationDatabase()
+        db.append(rec(2.0))
+        db.append(rec(3.0))
+        assert db.total_cost() == pytest.approx(5.0)
+
+    def test_len_iter_getitem(self):
+        db = EvaluationDatabase()
+        db.extend([rec(1.0), rec(2.0)])
+        assert len(db) == 2
+        assert [r.objective for r in db] == [1.0, 2.0]
+        assert db[1].objective == 2.0
+
+
+class TestCheckpointing:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = EvaluationDatabase(path, task="cs1")
+        db.append(rec(2.0))
+        db.append(rec(1.0))
+
+        db2 = EvaluationDatabase(path)
+        assert db2.task == "cs1"
+        assert len(db2) == 2
+        assert db2.best().objective == 1.0
+
+    def test_crash_recovery_resumes(self, tmp_path):
+        """A new database pointed at an existing checkpoint replays it."""
+        path = tmp_path / "db.json"
+        db = EvaluationDatabase(path)
+        db.append(rec(3.0))
+        del db  # "crash"
+
+        resumed = EvaluationDatabase(path)
+        resumed.append(rec(1.5))
+        assert len(resumed) == 2
+
+        final = EvaluationDatabase(path)
+        assert [r.objective for r in final] == [3.0, 1.5]
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = EvaluationDatabase(path)
+        for i in range(5):
+            db.append(rec(float(i + 1)))
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_checkpoint_always_parseable(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = EvaluationDatabase(path)
+        for i in range(3):
+            db.append(rec(float(i + 1)))
+            with open(path) as f:
+                payload = json.load(f)
+            assert len(payload["records"]) == i + 1
+
+    def test_creates_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "db.json"
+        db = EvaluationDatabase(path)
+        db.append(rec(1.0))
+        assert path.exists()

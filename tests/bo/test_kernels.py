@@ -1,0 +1,117 @@
+"""Unit and property tests for the GP covariance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bo import RBF, Matern32, Matern52, kernel_by_name
+
+KERNEL_CLASSES = [RBF, Matern32, Matern52]
+
+
+def unit_points(n, d, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+@pytest.mark.parametrize("cls", KERNEL_CLASSES)
+class TestKernelProperties:
+    def test_symmetric(self, cls):
+        k = cls(3)
+        X = unit_points(12, 3)
+        K = k(X)
+        assert np.allclose(K, K.T)
+
+    def test_diagonal_is_variance(self, cls):
+        k = cls(3, variance=2.5)
+        X = unit_points(10, 3)
+        assert np.allclose(np.diag(k(X)), 2.5)
+        assert np.allclose(k.diag(X), 2.5)
+
+    def test_positive_semidefinite(self, cls):
+        k = cls(4)
+        X = unit_points(15, 4, seed=3)
+        eig = np.linalg.eigvalsh(k(X))
+        assert eig.min() > -1e-8
+
+    def test_decreases_with_distance(self, cls):
+        k = cls(1)
+        x0 = np.array([[0.0]])
+        ds = np.linspace(0.0, 1.0, 11).reshape(-1, 1)
+        vals = k(x0, ds)[0]
+        assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_cross_shape(self, cls):
+        k = cls(2)
+        K = k(unit_points(5, 2), unit_points(7, 2, seed=1))
+        assert K.shape == (5, 7)
+
+    def test_dimension_check(self, cls):
+        k = cls(3)
+        with pytest.raises(ValueError):
+            k(unit_points(5, 2))
+
+    def test_theta_roundtrip(self, cls):
+        k = cls(3, variance=2.0, lengthscales=np.array([0.5, 1.0, 2.0]))
+        t = k.theta.copy()
+        k.theta = t
+        assert k.variance == pytest.approx(2.0)
+        assert np.allclose(k.lengthscales, [0.5, 1.0, 2.0])
+
+    def test_theta_shape_validated(self, cls):
+        k = cls(3)
+        with pytest.raises(ValueError):
+            k.theta = np.zeros(2)
+
+    def test_invalid_hyperparameters(self, cls):
+        with pytest.raises(ValueError):
+            cls(2, variance=-1.0)
+        with pytest.raises(ValueError):
+            cls(2, lengthscales=0.0)
+        with pytest.raises(ValueError):
+            cls(0)
+
+    def test_clone_independent(self, cls):
+        k = cls(2, variance=3.0)
+        c = k.clone()
+        c.theta = np.zeros(3)
+        assert k.variance == pytest.approx(3.0)
+
+    def test_ard_lengthscales_matter(self, cls):
+        # A tiny lengthscale on axis 0 makes axis-0 distance dominate.
+        k = cls(2, lengthscales=np.array([0.01, 100.0]))
+        a = np.array([[0.0, 0.0]])
+        near_axis1 = np.array([[0.0, 1.0]])
+        near_axis0 = np.array([[0.1, 0.0]])
+        assert k(a, near_axis1)[0, 0] > k(a, near_axis0)[0, 0]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["rbf", "matern32", "matern52", "RBF"])
+    def test_known(self, name):
+        assert kernel_by_name(name, 3).dim == 3
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernel_by_name("spline", 3)
+
+
+class TestNumerics:
+    def test_identical_points_give_variance(self):
+        k = RBF(3, variance=1.7)
+        X = np.tile(unit_points(1, 3), (4, 1))
+        assert np.allclose(k(X), 1.7)
+
+    @given(
+        arrays(
+            np.float64,
+            (6, 2),
+            elements=st.floats(min_value=0.0, max_value=1.0),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_psd_property(self, X):
+        K = Matern52(2)(X)
+        eig = np.linalg.eigvalsh(K + 1e-9 * np.eye(6))
+        assert eig.min() >= -1e-8

@@ -1,0 +1,184 @@
+"""Tests for the BO loop: convergence, accounting, failures, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.bo import BayesianOptimizer, EvaluationDatabase, EvaluationStatus
+from repro.search import RandomSearch
+from repro.space import Integer, Real, SearchSpace
+
+
+def quadratic_space():
+    return SearchSpace([Real("a", 0.0, 1.0), Real("b", 0.0, 1.0)], name="quad")
+
+
+def quadratic(cfg):
+    return (cfg["a"] - 0.3) ** 2 + (cfg["b"] - 0.7) ** 2 + 0.01
+
+
+class TestConvergence:
+    def test_beats_random_search_on_quadratic(self):
+        sp = quadratic_space()
+        bo_bests, rs_bests = [], []
+        for seed in range(3):
+            bo = BayesianOptimizer(sp, quadratic, max_evaluations=30, random_state=seed)
+            bo_bests.append(bo.run().best_objective)
+            rs = RandomSearch(sp, quadratic, max_evaluations=30, random_state=seed)
+            rs_bests.append(rs.run().best_objective)
+        assert np.mean(bo_bests) <= np.mean(rs_bests)
+
+    def test_finds_near_optimum(self):
+        sp = quadratic_space()
+        r = BayesianOptimizer(sp, quadratic, max_evaluations=40, random_state=0).run()
+        assert r.best_objective < 0.05
+
+    def test_trajectory_monotone(self):
+        sp = quadratic_space()
+        r = BayesianOptimizer(sp, quadratic, max_evaluations=20, random_state=1).run()
+        traj = r.trajectory
+        assert len(traj) == 20
+        assert np.all(np.diff(traj) <= 0)
+
+
+class TestBudgets:
+    def test_default_budget_is_10x_dims(self):
+        opt = BayesianOptimizer(quadratic_space(), quadratic)
+        assert opt.max_evaluations == 20
+
+    def test_exact_evaluation_count(self):
+        r = BayesianOptimizer(
+            quadratic_space(), quadratic, max_evaluations=17, random_state=0
+        ).run()
+        assert r.n_evaluations == 17
+        assert len(r.database) == 17
+
+    def test_n_initial_validation(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(quadratic_space(), quadratic, n_initial=0)
+        with pytest.raises(ValueError):
+            BayesianOptimizer(
+                quadratic_space(), quadratic, n_initial=10, max_evaluations=5
+            )
+
+
+class TestAccounting:
+    def test_search_time_components(self):
+        r = BayesianOptimizer(
+            quadratic_space(), quadratic, max_evaluations=15, random_state=0
+        ).run()
+        # Objective value doubles as simulated cost.
+        assert r.evaluation_cost == pytest.approx(
+            sum(rec.cost for rec in r.database), rel=1e-9
+        )
+        assert r.modeling_overhead > 0
+        assert r.search_time == pytest.approx(r.evaluation_cost + r.modeling_overhead)
+
+    def test_modeling_overhead_cubic_in_n(self):
+        small = BayesianOptimizer(
+            quadratic_space(), quadratic, max_evaluations=10, random_state=0
+        ).run()
+        large = BayesianOptimizer(
+            quadratic_space(), quadratic, max_evaluations=40, random_state=0
+        ).run()
+        # O(N^3) accumulation: 4x evaluations >> 4x modeling cost.
+        assert large.modeling_overhead > 8 * small.modeling_overhead
+
+
+class TestFailureHandling:
+    def test_objective_raising_is_recorded(self):
+        sp = SearchSpace([Integer("n", 0, 9)], name="f")
+
+        def flaky(cfg):
+            if cfg["n"] == 3:
+                raise RuntimeError("simulated crash")
+            return float(cfg["n"]) + 1.0
+
+        r = BayesianOptimizer(sp, flaky, max_evaluations=9, random_state=0).run()
+        statuses = {rec.status for rec in r.database}
+        assert r.best_objective >= 1.0
+        # The crash configuration is never the winner.
+        assert r.best_config["n"] != 3
+        assert statuses <= {EvaluationStatus.OK, EvaluationStatus.FAILED}
+
+    def test_timeout_recorded(self):
+        sp = quadratic_space()
+
+        def slow(cfg):
+            return 100.0 if cfg["a"] > 0.5 else 1.0
+
+        opt = BayesianOptimizer(
+            sp, slow, max_evaluations=12, evaluation_timeout=50.0, random_state=0
+        )
+        r = opt.run()
+        timeouts = [rec for rec in r.database if rec.status == EvaluationStatus.TIMEOUT]
+        assert timeouts, "expected at least one timeout record"
+        for rec in timeouts:
+            assert rec.cost <= 50.0
+        assert r.best_objective == pytest.approx(1.0)
+
+    def test_all_failures_terminates(self):
+        sp = quadratic_space()
+
+        def always_fails(cfg):
+            raise RuntimeError("broken")
+
+        opt = BayesianOptimizer(sp, always_fails, max_evaluations=5, random_state=0)
+        with pytest.raises(LookupError):
+            opt.run()  # database.best() on zero successes
+
+
+class TestCrashRecovery:
+    def test_resume_from_checkpoint(self, tmp_path):
+        path = tmp_path / "bo.json"
+        sp = quadratic_space()
+
+        db = EvaluationDatabase(path)
+        first = BayesianOptimizer(
+            sp, quadratic, max_evaluations=10, database=db, random_state=0
+        )
+        first.run()
+        assert len(db) == 10
+
+        # "crash" then resume with a larger budget: replays, evaluates only
+        # the remainder.
+        db2 = EvaluationDatabase(path)
+        assert len(db2) == 10
+        second = BayesianOptimizer(
+            sp, quadratic, max_evaluations=15, database=db2, random_state=1
+        )
+        r = second.run()
+        assert r.n_evaluations == 5
+        assert len(r.database) == 15
+
+    def test_resume_with_met_budget_runs_nothing(self, tmp_path):
+        path = tmp_path / "bo.json"
+        sp = quadratic_space()
+        db = EvaluationDatabase(path)
+        BayesianOptimizer(sp, quadratic, max_evaluations=8, database=db, random_state=0).run()
+
+        db2 = EvaluationDatabase(path)
+        r = BayesianOptimizer(
+            sp, quadratic, max_evaluations=8, database=db2, random_state=1
+        ).run()
+        assert r.n_evaluations == 0
+
+
+class TestObjectiveMeta:
+    def test_tuple_objective_captures_meta(self):
+        sp = quadratic_space()
+
+        def obj(cfg):
+            return quadratic(cfg), {"region": "slater"}
+
+        r = BayesianOptimizer(sp, obj, max_evaluations=6, random_state=0).run()
+        assert all(rec.meta.get("region") == "slater" for rec in r.database)
+
+
+class TestAcquisitionChoices:
+    @pytest.mark.parametrize("acq", ["ei", "pi", "lcb", "ts"])
+    def test_all_acquisitions_run(self, acq):
+        r = BayesianOptimizer(
+            quadratic_space(), quadratic, max_evaluations=12,
+            acquisition=acq, random_state=0,
+        ).run()
+        assert r.best_objective < 0.5

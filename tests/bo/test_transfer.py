@@ -1,0 +1,115 @@
+"""Tests for transfer learning (stacked-GP prior + seeded design)."""
+
+import numpy as np
+import pytest
+
+from repro.bo import (
+    BayesianOptimizer,
+    Evaluation,
+    EvaluationDatabase,
+    GPFitError,
+    TransferLearner,
+    transfer_bo,
+)
+from repro.space import Real, SearchSpace
+
+
+def space():
+    return SearchSpace([Real("a", 0.0, 1.0), Real("b", 0.0, 1.0)], name="t")
+
+
+def source_task(cfg):
+    """Source: minimum at (0.4, 0.6)."""
+    return (cfg["a"] - 0.4) ** 2 + (cfg["b"] - 0.6) ** 2 + 0.02
+
+
+def target_task(cfg):
+    """Related target: minimum at (0.45, 0.55), 2x scale."""
+    return 2.0 * ((cfg["a"] - 0.45) ** 2 + (cfg["b"] - 0.55) ** 2) + 0.04
+
+
+def build_source_db(n=30, seed=0):
+    sp = space()
+    rng = np.random.default_rng(seed)
+    db = EvaluationDatabase(task="source")
+    for cfg in sp.sample_batch(n, rng):
+        v = source_task(cfg)
+        db.append(Evaluation(config=cfg, objective=v, cost=v))
+    return db
+
+
+class TestTransferLearner:
+    def test_mean_function_tracks_source(self):
+        sp = space()
+        tl = TransferLearner(sp, build_source_db(), random_state=0)
+        X = sp.encode_batch(
+            [{"a": 0.4, "b": 0.6}, {"a": 0.0, "b": 0.0}]
+        )
+        mu = tl.mean_function(X)
+        assert mu[0] < mu[1]  # source optimum predicted better
+
+    def test_seed_configs_are_source_winners(self):
+        sp = space()
+        db = build_source_db()
+        tl = TransferLearner(sp, db, random_state=0)
+        seeds = tl.suggest_seed_configs(3)
+        assert len(seeds) == 3
+        best = db.best().config
+        assert seeds[0] == {k: best[k] for k in sp.names}
+
+    def test_requires_source(self):
+        with pytest.raises(ValueError):
+            TransferLearner(space(), [], random_state=0)
+
+    def test_incompatible_source_raises(self):
+        sp = space()
+        db = EvaluationDatabase()
+        db.append(Evaluation(config={"other": 1.0}, objective=1.0))
+        with pytest.raises(GPFitError):
+            TransferLearner(sp, db, random_state=0)
+
+    def test_source_superset_space_transfers(self):
+        """Records gathered on a superset space still feed a sub-space."""
+        sp = space()
+        db = EvaluationDatabase()
+        rng = np.random.default_rng(0)
+        for cfg in sp.sample_batch(15, rng):
+            full = dict(cfg, extra=42)
+            db.append(Evaluation(config=full, objective=source_task(cfg)))
+        tl = TransferLearner(sp, db, random_state=0)
+        assert tl.mean_function(sp.encode_batch([{"a": 0.4, "b": 0.6}])).shape == (1,)
+
+    def test_auto_scale_calibration(self):
+        sp = space()
+        tl = TransferLearner(sp, build_source_db(), scale="auto", random_state=0)
+        target_db = EvaluationDatabase()
+        rng = np.random.default_rng(1)
+        for cfg in sp.sample_batch(10, rng):
+            target_db.append(Evaluation(config=cfg, objective=target_task(cfg)))
+        tl.calibrate(target_db)
+        assert tl._scale == pytest.approx(2.0, rel=0.6)
+
+
+class TestTransferBO:
+    def test_transfer_at_least_matches_cold_start(self):
+        sp = space()
+        db = build_source_db(40)
+        diffs = []
+        for seed in range(3):
+            warm = transfer_bo(
+                sp, target_task, db, max_evaluations=15, random_state=seed
+            )
+            cold = BayesianOptimizer(
+                sp, target_task, max_evaluations=15, random_state=seed
+            ).run()
+            diffs.append(cold.best_objective - warm.best_objective)
+        # On average, warm start is no worse.
+        assert np.mean(diffs) >= -0.01
+
+    def test_seeded_records_present(self):
+        sp = space()
+        r = transfer_bo(
+            sp, target_task, build_source_db(), n_seed_from_source=2,
+            max_evaluations=10, random_state=0,
+        )
+        assert len(r.database) == 10

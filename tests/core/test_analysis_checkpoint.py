@@ -1,0 +1,61 @@
+"""Tests for phase-1 analysis checkpointing."""
+
+import json
+
+import pytest
+
+from repro.core import TuningMethodology
+from repro.insights import SensitivityResult
+from repro.synthetic import SyntheticFunction
+
+
+def methodology(seed=0, **kwargs):
+    f = SyntheticFunction(3, random_state=seed)
+    return TuningMethodology(
+        f.search_space(), f.routines(), cutoff=0.25, n_variations=20,
+        random_state=seed, **kwargs,
+    )
+
+
+class TestSensitivityRoundTrip:
+    def test_to_from_dict(self):
+        tm = methodology()
+        sens = tm.run_sensitivity()
+        again = SensitivityResult.from_dict(sens.to_dict())
+        assert again.scores == sens.scores
+        assert again.n_evaluations == sens.n_evaluations
+        assert again.baseline == sens.baseline
+
+    def test_json_compatible(self):
+        json.dumps(methodology().run_sensitivity().to_dict())
+
+
+class TestCheckpointedAnalyze:
+    def test_checkpoint_written_and_reused(self, tmp_path):
+        path = str(tmp_path / "phase1.json")
+
+        tm = methodology()
+        first = tm.analyze(checkpoint=path)
+        assert first.analysis_evaluations == 1 + 20 * 20
+
+        # Second run (fresh methodology object) replays from the file:
+        # zero new observations.
+        tm2 = methodology(seed=1)
+        second = tm2.analyze(checkpoint=path)
+        assert second.analysis_evaluations == 0
+        assert second.sensitivity.scores == first.sensitivity.scores
+        assert [s.name for s in second.plan.searches] == [
+            s.name for s in first.plan.searches
+        ]
+
+    def test_replan_with_new_cutoff_is_free(self, tmp_path):
+        """Cached observations + a different cut-off: phase 2 re-runs
+        without a single application evaluation."""
+        path = str(tmp_path / "phase1.json")
+        methodology().analyze(checkpoint=path)
+
+        strict = methodology(seed=2)
+        strict.cutoff = 5.0  # absurdly high: everything independent
+        res = strict.analyze(checkpoint=path)
+        assert res.analysis_evaluations == 0
+        assert all(not s.is_merged for s in res.plan.searches)

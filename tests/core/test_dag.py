@@ -1,0 +1,119 @@
+"""Tests for the interdependence DAG and its partition."""
+
+import pytest
+
+from repro.core import InfluenceMatrix, InterdependenceDAG, Routine, RoutineSet
+
+
+def four_groups():
+    return RoutineSet(
+        [Routine(f"G{i}", (f"p{i}a", f"p{i}b"), lambda c: 1.0) for i in range(1, 5)]
+    )
+
+
+def influence(g4_on_g3=0.5, cutoff_noise=0.01):
+    """G3 is influenced by G4's parameters (the synthetic-suite design)."""
+    rs = four_groups()
+    s = {}
+    for r in rs.names:
+        s[r] = {p: cutoff_noise for p in rs.all_parameters()}
+        for p in rs[r].parameters:
+            s[r][p] = 0.9
+    s["G3"]["p4a"] = g4_on_g3
+    s["G3"]["p4b"] = g4_on_g3
+    return InfluenceMatrix(rs, s)
+
+
+class TestConstruction:
+    def test_from_influence_prunes(self):
+        dag = InterdependenceDAG.from_influence(influence(0.5), cutoff=0.25)
+        assert dag.dependent_pairs() == {frozenset({"G4", "G3"})}
+
+    def test_below_cutoff_empty(self):
+        dag = InterdependenceDAG.from_influence(influence(0.2), cutoff=0.25)
+        assert dag.dependent_pairs() == set()
+        assert all(dag.is_independent(g) for g in ("G1", "G2", "G3", "G4"))
+
+    def test_add_dependence_validation(self):
+        dag = InterdependenceDAG(four_groups())
+        with pytest.raises(KeyError):
+            dag.add_dependence("nope", "G1", "p", 0.5)
+        with pytest.raises(ValueError):
+            dag.add_dependence("G1", "G1", "p", 0.5)
+        with pytest.raises(ValueError):
+            dag.add_dependence("G1", "G2", "p", -0.5)
+
+    def test_edge_accumulates_parameters(self):
+        dag = InterdependenceDAG(four_groups())
+        dag.add_dependence("G1", "G2", "p1a", 0.3)
+        dag.add_dependence("G1", "G2", "p1b", 0.6)
+        dag.add_dependence("G1", "G2", "p1a", 0.4)  # max wins
+        ((src, dst, params),) = dag.edges()
+        assert (src, dst) == ("G1", "G2")
+        assert params == {"p1a": 0.4, "p1b": 0.6}
+
+
+class TestPartition:
+    def test_partition_is_a_partition(self):
+        dag = InterdependenceDAG.from_influence(influence(0.5), cutoff=0.25)
+        parts = dag.partition()
+        flat = [r for comp in parts for r in comp]
+        assert sorted(flat) == ["G1", "G2", "G3", "G4"]
+        assert len(set(flat)) == len(flat)
+
+    def test_merged_component(self):
+        dag = InterdependenceDAG.from_influence(influence(0.5), cutoff=0.25)
+        parts = dag.partition()
+        assert ["G3", "G4"] in parts
+        assert ["G1"] in parts and ["G2"] in parts
+
+    def test_partition_order_deterministic(self):
+        dag = InterdependenceDAG.from_influence(influence(0.5), cutoff=0.25)
+        assert dag.partition() == [["G1"], ["G2"], ["G3", "G4"]]
+
+    def test_transitive_merging(self):
+        dag = InterdependenceDAG(four_groups())
+        dag.add_dependence("G1", "G2", "p1a", 0.9)
+        dag.add_dependence("G2", "G3", "p2a", 0.9)
+        parts = dag.partition()
+        assert ["G1", "G2", "G3"] in parts
+
+    def test_direction_irrelevant_for_partition(self):
+        a = InterdependenceDAG(four_groups())
+        a.add_dependence("G1", "G2", "p1a", 0.9)
+        b = InterdependenceDAG(four_groups())
+        b.add_dependence("G2", "G1", "p2a", 0.9)
+        assert a.partition() == b.partition()
+
+
+class TestPrune:
+    def test_prune_tightens(self):
+        dag = InterdependenceDAG(four_groups())
+        dag.add_dependence("G1", "G2", "p1a", 0.3)
+        dag.add_dependence("G3", "G4", "p3a", 0.8)
+        pruned = dag.prune(0.5)
+        assert pruned.dependent_pairs() == {frozenset({"G3", "G4"})}
+        # Original untouched.
+        assert len(dag.dependent_pairs()) == 2
+
+    def test_prune_drops_weak_parameters_from_edge(self):
+        dag = InterdependenceDAG(four_groups())
+        dag.add_dependence("G1", "G2", "weak", 0.3)
+        dag.add_dependence("G1", "G2", "strong", 0.9)
+        ((_, _, params),) = dag.prune(0.5).edges()
+        assert params == {"strong": 0.9}
+
+
+class TestExport:
+    def test_to_networkx_is_copy(self):
+        dag = InterdependenceDAG.from_influence(influence(0.5), cutoff=0.25)
+        g = dag.to_networkx()
+        g.remove_node("G1")
+        assert "G1" in dag.graph
+
+    def test_diagram_renders(self):
+        dag = InterdependenceDAG.from_influence(influence(0.5), cutoff=0.25)
+        text = dag.format_diagram()
+        assert "(independent)" in text
+        assert "(merged)" in text
+        assert "G4" in text

@@ -1,0 +1,118 @@
+"""Tests for the influence matrix (phase-1 output)."""
+
+import numpy as np
+import pytest
+
+from repro.core import InfluenceMatrix, Routine, RoutineSet
+from repro.insights import SensitivityAnalysis
+from repro.space import Real, SearchSpace
+
+
+def routines():
+    return RoutineSet(
+        [
+            Routine("A", ("a1", "a2"), lambda c: c["a1"] + c["a2"]),
+            Routine("B", ("b1",), lambda c: c["b1"] + 0.5 * c["a1"]),
+        ]
+    )
+
+
+def scores(a1_on_B=0.3):
+    return {
+        "A": {"a1": 0.9, "a2": 0.8, "b1": 0.0},
+        "B": {"a1": a1_on_B, "a2": 0.01, "b1": 0.7},
+    }
+
+
+class TestConstruction:
+    def test_basic(self):
+        im = InfluenceMatrix(routines(), scores())
+        assert im.score("a1", "A") == 0.9
+        assert im.score("a1", "B") == 0.3
+        assert im.is_internal("a1", "A")
+        assert not im.is_internal("a1", "B")
+
+    def test_missing_routine_rejected(self):
+        with pytest.raises(ValueError, match="missing for routines"):
+            InfluenceMatrix(routines(), {"A": scores()["A"]})
+
+    def test_missing_parameter_rejected(self):
+        s = scores()
+        del s["B"]["a2"]
+        with pytest.raises(ValueError, match="missing parameters"):
+            InfluenceMatrix(routines(), s)
+
+    def test_invalid_scores_rejected(self):
+        s = scores()
+        s["A"]["a1"] = -0.5
+        with pytest.raises(ValueError):
+            InfluenceMatrix(routines(), s)
+        s = scores()
+        s["A"]["a1"] = float("nan")
+        with pytest.raises(ValueError):
+            InfluenceMatrix(routines(), s)
+
+
+class TestExternalInfluences:
+    def test_cutoff_filters(self):
+        im = InfluenceMatrix(routines(), scores(a1_on_B=0.3))
+        ext = im.external_influences(cutoff=0.25)
+        assert len(ext) == 1
+        e = ext[0]
+        assert (e.parameter, e.source, e.target, e.score) == ("a1", "A", "B", 0.3)
+        assert im.external_influences(cutoff=0.5) == []
+
+    def test_internal_never_external(self):
+        im = InfluenceMatrix(routines(), scores())
+        ext = im.external_influences(cutoff=0.0)
+        assert all(not im.is_internal(e.parameter, e.target) for e in ext)
+
+    def test_shared_parameter_emits_per_owner(self):
+        rs = RoutineSet(
+            [
+                Routine("A", ("p",), lambda c: 1.0),
+                Routine("B", ("p",), lambda c: 1.0),
+                Routine("C", ("q",), lambda c: 1.0),
+            ]
+        )
+        s = {
+            "A": {"p": 0.5, "q": 0.0},
+            "B": {"p": 0.5, "q": 0.0},
+            "C": {"p": 0.4, "q": 0.6},
+        }
+        ext = InfluenceMatrix(rs, s).external_influences(cutoff=0.1)
+        pairs = {(e.source, e.target) for e in ext}
+        assert pairs == {("A", "C"), ("B", "C")}
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            InfluenceMatrix(routines(), scores()).external_influences(cutoff=-0.1)
+
+
+class TestArrayAndRanking:
+    def test_as_array(self):
+        im = InfluenceMatrix(routines(), scores())
+        M, R, P = im.as_array()
+        assert M.shape == (2, 3)
+        assert R == ["A", "B"] and P == ["a1", "a2", "b1"]
+        assert M[0, 0] == 0.9
+
+    def test_max_influence(self):
+        im = InfluenceMatrix(routines(), scores())
+        assert im.max_influence("a1") == 0.9
+        assert im.max_influence("b1") == 0.7
+
+    def test_format_table_marks_external(self):
+        text = InfluenceMatrix(routines(), scores()).format_table()
+        assert "external" in text
+
+
+class TestFromSensitivity:
+    def test_pipeline_glue(self):
+        rs = routines()
+        sp = SearchSpace([Real(n, 0.1, 10.0) for n in ("a1", "a2", "b1")])
+        sa = SensitivityAnalysis.from_routines(sp, rs, n_variations=5, random_state=0)
+        im = InfluenceMatrix.from_sensitivity(rs, sa.run())
+        # b1 has zero effect on A; a1 moves B (the designed coupling).
+        assert im.score("b1", "A") == 0.0
+        assert im.score("a1", "B") > 0.0

@@ -1,0 +1,105 @@
+"""Integration tests: the methodology end-to-end on the synthetic suite.
+
+These are the paper's central structural claims: cases 1-2 yield fully
+independent plans, cases 3-5 merge Group 3 with Group 4, and the analysis
+cost stays at ``1 + V x 20`` application evaluations regardless of how
+many routines are scored.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TuningMethodology
+from repro.synthetic import SyntheticFunction
+
+
+def methodology(case, seed=0, **kwargs):
+    f = SyntheticFunction(case, random_state=seed)
+    defaults = dict(
+        cutoff=0.25,
+        n_variations=20,
+        random_state=seed,
+        engine_options={"n_candidates": 128},
+    )
+    defaults.update(kwargs)
+    return f, TuningMethodology(f.search_space(), f.routines(), **defaults)
+
+
+class TestPartitionRecovery:
+    @pytest.mark.parametrize("case", [1, 2])
+    def test_low_influence_cases_stay_independent(self, case):
+        _, tm = methodology(case)
+        plan = tm.analyze().plan
+        assert [s.name for s in plan.searches] == [
+            "Group 1", "Group 2", "Group 3", "Group 4",
+        ]
+
+    @pytest.mark.parametrize("case", [3, 4, 5])
+    def test_high_influence_cases_merge_g3_g4(self, case):
+        _, tm = methodology(case)
+        plan = tm.analyze().plan
+        assert [s.name for s in plan.searches] == [
+            "Group 1", "Group 2", "Group 3+Group 4",
+        ]
+        merged = plan.search_for("Group 3")
+        assert merged.dimension == 10  # within the cap, nothing dropped
+        assert merged.dropped == {}
+
+    def test_partition_stable_across_seeds(self):
+        for seed in (1, 2, 3):
+            _, tm = methodology(4, seed=seed)
+            names = [s.name for s in tm.analyze().plan.searches]
+            assert "Group 3+Group 4" in names
+
+
+class TestObservationAccounting:
+    def test_analysis_cost_formula(self):
+        _, tm = methodology(3, n_variations=15)
+        res = tm.analyze()
+        # 1 baseline + 15 variations x 20 parameters.
+        assert res.analysis_evaluations == 1 + 15 * 20
+
+    def test_insight_samples_added(self):
+        _, tm = methodology(3, n_variations=10, insight_samples=50)
+        res = tm.analyze()
+        assert res.analysis_evaluations == 50 + 1 + 10 * 20
+        assert res.insights is not None
+        assert res.insights.n_samples == 50
+
+
+class TestEndToEndRun:
+    def test_run_executes_planned_searches(self):
+        f, tm = methodology(3)
+        # Small budgets: override the engine to random search for speed.
+        tm.engine = "random"
+        tm.engine_options = {}
+        res = tm.run()
+        assert res.campaign is not None
+        assert len(res.campaign.searches) == res.plan.n_searches
+        best = res.best_config
+        assert set(best) >= {f"x{i}" for i in range(20)}
+        # The combined configuration is valid and evaluable.
+        val = f(best)
+        assert np.isfinite(val)
+
+    def test_run_improves_over_random_baseline_config(self):
+        f, tm = methodology(4)
+        tm.engine = "random"
+        tm.engine_options = {}
+        res = tm.run()
+        rng = np.random.default_rng(0)
+        random_vals = [f(f.search_space().sample(rng)) for _ in range(20)]
+        assert f(res.best_config) < np.median(random_vals)
+
+    def test_summary_renders(self):
+        _, tm = methodology(3)
+        res = tm.analyze()
+        text = res.summary()
+        assert "cut-off: 25%" in text
+        assert "Group 3+Group 4" in text
+
+    def test_best_config_requires_run(self):
+        _, tm = methodology(3, n_variations=5)
+        res = tm.analyze()
+        with pytest.raises(RuntimeError):
+            _ = res.best_config

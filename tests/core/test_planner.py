@@ -1,0 +1,272 @@
+"""Tests for the search planner: merging, the 10-dim cap, shared-kernel
+priority, and hierarchical staging."""
+
+import pytest
+
+from repro.core import InfluenceMatrix, Routine, RoutineSet, SearchPlanner
+from repro.space import Integer, Real, SearchSpace
+
+
+def build(n_groups=3, params_per_group=4):
+    routines = []
+    names = []
+    for g in range(n_groups):
+        ps = tuple(f"g{g}p{j}" for j in range(params_per_group))
+        names.extend(ps)
+        routines.append(Routine(f"G{g}", ps, lambda c: 1.0, weight=float(g + 1)))
+    rs = RoutineSet(routines)
+    sp = SearchSpace([Real(n, 0.0, 1.0) for n in names], name="plan")
+    return rs, sp
+
+
+def uniform_scores(rs, internal=0.9, external=0.01):
+    s = {}
+    for r in rs.names:
+        s[r] = {p: external for p in rs.all_parameters()}
+        for p in rs[r].parameters:
+            s[r][p] = internal
+    return s
+
+
+class TestIndependentPlan:
+    def test_no_interdependence_gives_one_search_per_routine(self):
+        rs, sp = build()
+        im = InfluenceMatrix(rs, uniform_scores(rs))
+        plan = SearchPlanner(rs, im, sp, cutoff=0.10).plan()
+        assert plan.n_searches == 3
+        assert all(not s.is_merged for s in plan.searches)
+        assert all(s.stage == 0 for s in plan.searches)
+
+    def test_budget_is_10x_dims(self):
+        rs, sp = build()
+        im = InfluenceMatrix(rs, uniform_scores(rs))
+        plan = SearchPlanner(rs, im, sp, cutoff=0.10).plan()
+        for s in plan.searches:
+            assert s.budget == 10 * s.dimension == 40
+
+
+class TestMerging:
+    def test_interdependence_merges(self):
+        rs, sp = build()
+        scores = uniform_scores(rs)
+        scores["G2"]["g1p0"] = 0.5  # G1's parameter moves G2
+        im = InfluenceMatrix(rs, scores)
+        plan = SearchPlanner(rs, im, sp, cutoff=0.10).plan()
+        merged = plan.search_for("G1")
+        assert merged is plan.search_for("G2")
+        assert set(merged.routines) == {"G1", "G2"}
+        assert merged.dimension == 8
+
+    def test_cutoff_controls_merge(self):
+        rs, sp = build()
+        scores = uniform_scores(rs)
+        scores["G2"]["g1p0"] = 0.5
+        im = InfluenceMatrix(rs, scores)
+        high = SearchPlanner(rs, im, sp, cutoff=0.60).plan()
+        assert high.n_searches == 3  # 0.5 below 0.6 -> stays separate
+
+
+class TestDimensionCap:
+    def test_cap_drops_least_influential(self):
+        rs, sp = build(n_groups=2, params_per_group=6)
+        scores = uniform_scores(rs)
+        scores["G1"]["g0p0"] = 0.5  # merge G0+G1 -> 12 params
+        # Make g0p5 / g1p5 the weakest within their groups.
+        scores["G0"]["g0p5"] = 0.05
+        scores["G1"]["g1p5"] = 0.05
+        im = InfluenceMatrix(rs, scores)
+        plan = SearchPlanner(rs, im, sp, cutoff=0.10, dimension_cap=10).plan()
+        (merged,) = plan.searches
+        assert merged.dimension == 10
+        assert set(merged.dropped) == {"g0p5", "g1p5"}
+        assert all(v == "dimension-cap" for v in merged.dropped.values())
+        # Dropped parameters are pinned in the plan.
+        assert set(plan.pinned) == {"g0p5", "g1p5"}
+
+    def test_tuned_sorted_by_influence(self):
+        rs, sp = build(n_groups=1, params_per_group=4)
+        scores = uniform_scores(rs)
+        scores["G0"].update({"g0p0": 0.2, "g0p1": 0.9, "g0p2": 0.5, "g0p3": 0.7})
+        im = InfluenceMatrix(rs, scores)
+        plan = SearchPlanner(rs, im, sp, cutoff=0.10).plan()
+        assert plan.searches[0].tuned == ("g0p1", "g0p3", "g0p2", "g0p0")
+
+    def test_cap_validation(self):
+        rs, sp = build()
+        im = InfluenceMatrix(rs, uniform_scores(rs))
+        with pytest.raises(ValueError):
+            SearchPlanner(rs, im, sp, dimension_cap=0)
+        with pytest.raises(ValueError):
+            SearchPlanner(rs, im, sp, cutoff=-0.1)
+
+
+class TestSharedKernelRule:
+    def build_shared(self, impact_on_g1=0.2, impact_on_g3=0.6):
+        """u_zcopy owned by both G1 and G3 (different components)."""
+        rs = RoutineSet(
+            [
+                Routine("G1", ("u_vec", "u_zcopy"), lambda c: 1.0, weight=1.0),
+                Routine("G3", ("u_dscal", "u_zcopy"), lambda c: 1.0, weight=2.0),
+            ]
+        )
+        sp = SearchSpace(
+            [Real(n, 0.0, 1.0) for n in ("u_vec", "u_zcopy", "u_dscal")]
+        )
+        scores = {
+            "G1": {"u_vec": 0.9, "u_zcopy": impact_on_g1, "u_dscal": 0.01},
+            "G3": {"u_vec": 0.01, "u_zcopy": impact_on_g3, "u_dscal": 0.9},
+        }
+        return rs, sp, InfluenceMatrix(rs, scores)
+
+    def test_highest_impact_region_wins(self):
+        rs, sp, im = self.build_shared()
+        plan = SearchPlanner(rs, im, sp, cutoff=0.95).plan()
+        g1 = plan.search_for("G1")
+        g3 = plan.search_for("G3")
+        assert "u_zcopy" in g3.tuned
+        assert "u_zcopy" not in g1.tuned
+        assert g1.dropped["u_zcopy"] == "owned-elsewhere"
+
+    def test_shared_parameter_is_internal_to_both_owners(self):
+        """Owning a parameter in two routines is NOT interdependence —
+        that's the rule-5 case, not a DAG edge."""
+        rs, sp, im = self.build_shared(impact_on_g1=0.5, impact_on_g3=0.6)
+        plan = SearchPlanner(rs, im, sp, cutoff=0.10).plan()
+        assert plan.n_searches == 2  # no merge from the shared parameter
+
+    def test_merged_owners_need_no_resolution(self):
+        rs = RoutineSet(
+            [
+                Routine("G1", ("u_vec", "u_zcopy"), lambda c: 1.0, weight=1.0),
+                Routine("G3", ("u_dscal", "u_zcopy"), lambda c: 1.0, weight=2.0),
+            ]
+        )
+        sp = SearchSpace(
+            [Real(n, 0.0, 1.0) for n in ("u_vec", "u_zcopy", "u_dscal")]
+        )
+        # u_dscal (owned by G3) moves G1 -> genuine external edge -> merge.
+        scores = {
+            "G1": {"u_vec": 0.9, "u_zcopy": 0.3, "u_dscal": 0.5},
+            "G3": {"u_vec": 0.01, "u_zcopy": 0.6, "u_dscal": 0.9},
+        }
+        plan = SearchPlanner(rs, InfluenceMatrix(rs, scores), sp, cutoff=0.10).plan()
+        (merged,) = plan.searches
+        assert merged.is_merged
+        assert "u_zcopy" in merged.tuned
+        assert "owned-elsewhere" not in merged.dropped.values()
+
+
+class TestHierarchy:
+    def build_staged(self):
+        """Outer region's parameter moves the inner groups (nbatches-like)."""
+        rs = RoutineSet(
+            [
+                Routine("Outer", ("nbatches",), lambda c: 1.0, weight=10.0),
+                Routine("G1", ("a",), lambda c: 1.0),
+                Routine("G2", ("b",), lambda c: 1.0),
+            ]
+        )
+        sp = SearchSpace([Real(n, 0.0, 1.0) for n in ("nbatches", "a", "b")])
+        scores = {
+            "Outer": {"nbatches": 0.9, "a": 0.01, "b": 0.01},
+            "G1": {"nbatches": 0.8, "a": 0.9, "b": 0.01},
+            "G2": {"nbatches": 0.8, "a": 0.01, "b": 0.9},
+        }
+        return rs, sp, InfluenceMatrix(rs, scores)
+
+    def test_hierarchical_edges_stage_instead_of_merge(self):
+        rs, sp, im = self.build_staged()
+        plan = SearchPlanner(
+            rs, im, sp, cutoff=0.10, hierarchy={"Outer": ["G1", "G2"]}
+        ).plan()
+        assert plan.n_searches == 3
+        assert plan.n_stages == 2
+        assert plan.search_for("Outer").stage == 0
+        assert plan.search_for("G1").stage == 1
+        assert plan.search_for("G2").stage == 1
+
+    def test_without_hierarchy_everything_merges(self):
+        rs, sp, im = self.build_staged()
+        plan = SearchPlanner(rs, im, sp, cutoff=0.10).plan()
+        assert plan.n_searches == 1
+        assert plan.searches[0].is_merged
+
+    def test_transitive_hierarchy(self):
+        rs = RoutineSet(
+            [
+                Routine("App", ("m",), lambda c: 1.0),
+                Routine("Region", ("n",), lambda c: 1.0),
+                Routine("Kernel", ("k",), lambda c: 1.0),
+            ]
+        )
+        sp = SearchSpace([Real(x, 0.0, 1.0) for x in ("m", "n", "k")])
+        scores = {
+            "App": {"m": 0.9, "n": 0.01, "k": 0.01},
+            "Region": {"m": 0.8, "n": 0.9, "k": 0.01},
+            "Kernel": {"m": 0.8, "n": 0.8, "k": 0.9},  # m is transitive
+        }
+        im = InfluenceMatrix(rs, scores)
+        plan = SearchPlanner(
+            rs, im, sp, cutoff=0.10,
+            hierarchy={"App": ["Region"], "Region": ["Kernel"]},
+        ).plan()
+        assert plan.search_for("App").stage == 0
+        assert plan.search_for("Region").stage == 1
+        assert plan.search_for("Kernel").stage == 2
+
+    def test_cycle_rejected(self):
+        rs, sp, im = self.build_staged()
+        with pytest.raises(ValueError, match="cycle"):
+            SearchPlanner(
+                rs, im, sp,
+                hierarchy={"Outer": ["G1"], "G1": ["Outer"]},
+            )
+
+    def test_unknown_routine_rejected(self):
+        rs, sp, im = self.build_staged()
+        with pytest.raises(KeyError):
+            SearchPlanner(rs, im, sp, hierarchy={"Nope": ["G1"]})
+
+
+class TestMaterialize:
+    def test_objective_sums_member_routines(self):
+        rs = RoutineSet(
+            [
+                Routine("A", ("a",), lambda c: c["a"], weight=1.0),
+                Routine("B", ("b",), lambda c: c["b"], weight=2.0),
+            ]
+        )
+        sp = SearchSpace([Real("a", 0.0, 1.0), Real("b", 0.0, 1.0)])
+        scores = {
+            "A": {"a": 0.9, "b": 0.5},
+            "B": {"a": 0.5, "b": 0.9},
+        }
+        planner = SearchPlanner(rs, InfluenceMatrix(rs, scores), sp, cutoff=0.10)
+        plan = planner.plan()
+        ((search, sub, obj),) = planner.materialize(plan)
+        assert search.is_merged
+        assert obj({"a": 0.5, "b": 0.25}) == pytest.approx(0.5 + 2 * 0.25)
+        assert sub.dimension == 2
+
+    def test_stage_filter(self):
+        rs = RoutineSet(
+            [
+                Routine("Outer", ("m",), lambda c: c["m"]),
+                Routine("Inner", ("k",), lambda c: c["k"]),
+            ]
+        )
+        sp = SearchSpace([Real("m", 0.0, 1.0), Real("k", 0.0, 1.0)])
+        scores = {
+            "Outer": {"m": 0.9, "k": 0.01},
+            "Inner": {"m": 0.8, "k": 0.9},
+        }
+        planner = SearchPlanner(
+            rs, InfluenceMatrix(rs, scores), sp, cutoff=0.10,
+            hierarchy={"Outer": ["Inner"]},
+        )
+        plan = planner.plan()
+        stage0 = planner.materialize(plan, stage=0)
+        stage1 = planner.materialize(plan, stage=1, defaults={"m": 0.123})
+        assert [s.name for s, _, _ in stage0] == ["Outer"]
+        ((_, sub1, _),) = stage1
+        assert sub1.pinned["m"] == 0.123  # earlier stage's optimum pinned

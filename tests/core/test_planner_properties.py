@@ -1,0 +1,79 @@
+"""Property-based tests: planner invariants over random influence data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InfluenceMatrix, Routine, RoutineSet, SearchPlanner
+from repro.space import Real, SearchSpace
+
+N_ROUTINES = 4
+PARAMS_PER = 4
+
+
+def build_problem(score_matrix):
+    routines = []
+    names = []
+    for g in range(N_ROUTINES):
+        ps = tuple(f"g{g}p{j}" for j in range(PARAMS_PER))
+        names.extend(ps)
+        routines.append(Routine(f"G{g}", ps, lambda c: 1.0))
+    rs = RoutineSet(routines)
+    sp = SearchSpace([Real(n, 0.0, 1.0) for n in names])
+    scores = {
+        r: {p: float(score_matrix[i][j]) for j, p in enumerate(names)}
+        for i, r in enumerate(rs.names)
+    }
+    return rs, sp, InfluenceMatrix(rs, scores)
+
+
+score_matrices = st.lists(
+    st.lists(
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        min_size=N_ROUTINES * PARAMS_PER,
+        max_size=N_ROUTINES * PARAMS_PER,
+    ),
+    min_size=N_ROUTINES,
+    max_size=N_ROUTINES,
+)
+
+
+@given(score_matrices, st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=60, deadline=None)
+def test_plan_invariants(matrix, cutoff):
+    rs, sp, im = build_problem(matrix)
+    plan = SearchPlanner(rs, im, sp, cutoff=cutoff, dimension_cap=10).plan()
+
+    # 1. The searches partition the routines: disjoint and complete.
+    covered = [r for s in plan.searches for r in s.routines]
+    assert sorted(covered) == sorted(rs.names)
+    assert len(set(covered)) == len(covered)
+
+    # 2. No search exceeds the dimension cap.
+    assert all(s.dimension <= 10 for s in plan.searches)
+
+    # 3. Tuned and dropped sets are disjoint and cover the component's
+    #    owned parameters.
+    for s in plan.searches:
+        owned = {p for r in s.routines for p in rs[r].parameters}
+        assert set(s.tuned).isdisjoint(s.dropped)
+        assert set(s.tuned) | set(s.dropped) == owned
+
+    # 4. Every parameter is tuned by at most one search.
+    tuned = plan.all_tuned()
+    assert len(tuned) == len(set(tuned))
+
+    # 5. Budgets follow the 10x rule.
+    assert all(s.budget == 10 * s.dimension for s in plan.searches)
+
+
+@given(score_matrices)
+@settings(max_examples=30, deadline=None)
+def test_cutoff_monotonicity(matrix):
+    """Raising the cut-off never merges more."""
+    rs, sp, im = build_problem(matrix)
+    sizes = []
+    for cutoff in (0.1, 0.5, 1.0, 2.0):
+        plan = SearchPlanner(rs, im, sp, cutoff=cutoff).plan()
+        sizes.append(max(len(s.routines) for s in plan.searches))
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,54 @@
+"""Tests for the Routine / RoutineSet abstractions."""
+
+import pytest
+
+from repro.core import Routine, RoutineSet
+
+
+def r(name, params, weight=1.0):
+    return Routine(name, tuple(params), lambda c: 1.0, weight=weight)
+
+
+class TestRoutine:
+    def test_evaluate(self):
+        rt = Routine("A", ("p",), lambda c: 2.0 * c["p"])
+        assert rt.evaluate({"p": 3.0}) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Routine("", ("p",), lambda c: 1.0)
+        with pytest.raises(ValueError):
+            Routine("A", (), lambda c: 1.0)
+        with pytest.raises(ValueError):
+            Routine("A", ("p", "p"), lambda c: 1.0)
+        with pytest.raises(ValueError):
+            Routine("A", ("p",), lambda c: 1.0, weight=-1.0)
+
+
+class TestRoutineSet:
+    def test_lookup(self):
+        rs = RoutineSet([r("A", ["a1", "a2"]), r("B", ["b1"])])
+        assert rs.names == ["A", "B"]
+        assert "A" in rs and "C" not in rs
+        assert rs["B"].parameters == ("b1",)
+        assert len(rs) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            RoutineSet([r("A", ["a"]), r("A", ["b"])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RoutineSet([])
+
+    def test_all_parameters_order_and_dedup(self):
+        rs = RoutineSet([r("A", ["p", "q"]), r("B", ["q", "z"])])
+        assert rs.all_parameters() == ["p", "q", "z"]
+
+    def test_owners_and_shared(self):
+        rs = RoutineSet(
+            [r("G1", ["u_zcopy", "u_vec"]), r("G3", ["u_zcopy", "u_dscal"])]
+        )
+        assert [o.name for o in rs.owners("u_zcopy")] == ["G1", "G3"]
+        assert rs.shared_parameters() == {"u_zcopy": ["G1", "G3"]}
+        assert rs.owners("nothing") == []

@@ -1,0 +1,123 @@
+"""Tests for Pearson / partial correlation analyses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.insights import (
+    correlated_pairs,
+    design_matrix,
+    partial_correlation_matrix,
+    pearson_matrix,
+    pearson_with_target,
+)
+from repro.space import Integer, Real, SearchSpace
+
+
+def data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=n)
+    b = 0.8 * a + 0.2 * rng.normal(size=n)  # strongly correlated with a
+    c = rng.normal(size=n)  # independent
+    return np.column_stack([a, b, c])
+
+
+class TestPearsonMatrix:
+    def test_diagonal_ones_and_symmetry(self):
+        C = pearson_matrix(data())
+        assert np.allclose(np.diag(C), 1.0)
+        assert np.allclose(C, C.T)
+        assert np.all(np.abs(C) <= 1.0)
+
+    def test_detects_linear_coupling(self):
+        C = pearson_matrix(data())
+        assert C[0, 1] > 0.9
+        assert abs(C[0, 2]) < 0.2
+
+    def test_perfect_anticorrelation(self):
+        x = np.linspace(0, 1, 50)
+        C = pearson_matrix(np.column_stack([x, -x]))
+        assert C[0, 1] == pytest.approx(-1.0)
+
+    def test_constant_column_gives_zero(self):
+        X = np.column_stack([np.ones(30), np.linspace(0, 1, 30)])
+        C = pearson_matrix(X)
+        assert C[0, 1] == 0.0
+        assert C[0, 0] == 1.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            pearson_matrix(np.ones((1, 3)))
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds_property(self, n):
+        X = np.random.default_rng(n).normal(size=(n, 4))
+        C = pearson_matrix(X)
+        assert np.all(C <= 1.0 + 1e-12) and np.all(C >= -1.0 - 1e-12)
+
+
+class TestPearsonWithTarget:
+    def test_identifies_driver(self):
+        X = data()
+        y = 3.0 * X[:, 0] + 0.1 * np.random.default_rng(1).normal(size=X.shape[0])
+        r = pearson_with_target(X, y)
+        assert r[0] > 0.9
+        assert abs(r[2]) < 0.2
+
+    def test_constant_target(self):
+        X = data()
+        assert np.allclose(pearson_with_target(X, np.ones(X.shape[0])), 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_with_target(data(), np.ones(3))
+
+
+class TestPartialCorrelation:
+    def test_removes_mediated_correlation(self):
+        # c = a + b with independent a, b: a and c correlate strongly,
+        # but partial correlation of a,b given c turns negative.
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=500)
+        b = rng.normal(size=500)
+        c = a + b + 0.01 * rng.normal(size=500)
+        P = partial_correlation_matrix(np.column_stack([a, b, c]))
+        assert P[0, 2] > 0.5  # direct link survives
+        assert P[0, 1] < -0.5  # conditioning on the sum induces negative
+
+    def test_diagonal(self):
+        P = partial_correlation_matrix(data())
+        assert np.allclose(np.diag(P), 1.0)
+
+
+class TestCorrelatedPairs:
+    def test_finds_tb_like_pair(self):
+        X = data()
+        pairs = correlated_pairs(X, ["tb", "tb_sm", "u"], threshold=0.5)
+        assert pairs and pairs[0][:2] == ("tb", "tb_sm")
+
+    def test_threshold_filters(self):
+        X = data()
+        assert correlated_pairs(X, ["a", "b", "c"], threshold=0.99) == []
+
+    def test_names_length_checked(self):
+        with pytest.raises(ValueError):
+            correlated_pairs(data(), ["a", "b"])
+
+
+class TestDesignMatrix:
+    def test_encodes_space(self):
+        sp = SearchSpace([Integer("n", 1, 10), Real("x", 0.0, 1.0)])
+        rng = np.random.default_rng(0)
+        configs = sp.sample_batch(12, rng)
+        X, names = design_matrix(sp, configs)
+        assert X.shape == (12, 2)
+        assert names == ["n", "x"]
+        assert np.all((X >= 0) & (X <= 1))
+
+    def test_empty_rejected(self):
+        sp = SearchSpace([Real("x", 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            design_matrix(sp, [])

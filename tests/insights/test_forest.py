@@ -1,0 +1,122 @@
+"""Tests for the from-scratch decision tree and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.insights import DecisionTreeRegressor, RandomForestRegressor
+
+
+def friedman_like(n=300, seed=0):
+    """y depends strongly on x0, x1; x2, x3 are noise features."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 4))
+    y = 10.0 * np.sin(np.pi * X[:, 0]) + 5.0 * X[:, 1] ** 2
+    y = y + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).random((20, 3))
+        tree = DecisionTreeRegressor(random_state=0).fit(X, np.full(20, 7.0))
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict(X), 7.0)
+
+    def test_max_depth_respected(self):
+        X, y = friedman_like()
+        tree = DecisionTreeRegressor(max_depth=3, random_state=0).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf(self):
+        X, y = friedman_like(50)
+        # With a huge min leaf, the tree cannot split at all.
+        tree = DecisionTreeRegressor(min_samples_leaf=30, random_state=0).fit(X, y)
+        assert tree.depth() == 0
+
+    def test_importances_normalized_and_informative(self):
+        X, y = friedman_like()
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        imp = tree.feature_importances_
+        assert imp.sum() == pytest.approx(1.0)
+        assert imp[0] > imp[2] and imp[0] > imp[3]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_reduces_training_error_vs_mean(self):
+        X, y = friedman_like()
+        tree = DecisionTreeRegressor(max_depth=6, random_state=0).fit(X, y)
+        mse_tree = np.mean((tree.predict(X) - y) ** 2)
+        mse_mean = np.mean((y.mean() - y) ** 2)
+        assert mse_tree < 0.2 * mse_mean
+
+
+class TestRandomForest:
+    def test_importances_identify_drivers(self):
+        X, y = friedman_like()
+        rf = RandomForestRegressor(n_estimators=40, random_state=0).fit(X, y)
+        imp = rf.feature_importances_
+        assert imp.sum() == pytest.approx(1.0)
+        # Real features dominate (max_features='third' forces occasional
+        # noise-feature splits, so the split is not 100/0).
+        assert imp[0] + imp[1] > 0.7
+        assert imp[0] > imp[2] and imp[1] > imp[3]
+
+    def test_oob_score_reasonable(self):
+        X, y = friedman_like()
+        rf = RandomForestRegressor(n_estimators=40, random_state=0).fit(X, y)
+        assert rf.oob_score_ is not None
+        assert rf.oob_score_ > 0.6
+
+    def test_generalizes(self):
+        X, y = friedman_like(seed=0)
+        Xt, yt = friedman_like(seed=1)
+        rf = RandomForestRegressor(n_estimators=40, random_state=0).fit(X, y)
+        mse = np.mean((rf.predict(Xt) - yt) ** 2)
+        mse_mean = np.mean((y.mean() - yt) ** 2)
+        assert mse < 0.3 * mse_mean
+
+    def test_no_bootstrap_mode(self):
+        X, y = friedman_like(100)
+        rf = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert rf.oob_score_ is None
+        assert rf.predict(X).shape == (100,)
+
+    def test_deterministic_given_seed(self):
+        X, y = friedman_like(100)
+        a = RandomForestRegressor(n_estimators=10, random_state=3).fit(X, y)
+        b = RandomForestRegressor(n_estimators=10, random_state=3).fit(X, y)
+        assert np.allclose(a.feature_importances_, b.feature_importances_)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_max_features_modes(self):
+        X, y = friedman_like(80)
+        for mf in (None, "sqrt", "third", 2):
+            rf = RandomForestRegressor(n_estimators=5, max_features=mf, random_state=0)
+            rf.fit(X, y)
+            assert rf.predict(X).shape == (80,)

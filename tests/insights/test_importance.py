@@ -1,0 +1,97 @@
+"""Tests for feature-importance aggregation and the one-in-ten rule."""
+
+import numpy as np
+import pytest
+
+from repro.insights import (
+    analyze_parameters,
+    one_in_ten_ok,
+    required_samples,
+)
+from repro.space import Integer, Real, SearchSpace
+
+
+def space():
+    return SearchSpace(
+        [Real("x", 0.0, 1.0), Real("y", 0.0, 1.0), Integer("n", 1, 32)],
+        name="imp",
+    )
+
+
+def sample_data(n=60, seed=0):
+    sp = space()
+    rng = np.random.default_rng(seed)
+    configs = sp.sample_batch(n, rng)
+    objectives = [10.0 * c["x"] + 0.1 * c["n"] for c in configs]
+    return sp, configs, objectives
+
+
+class TestOneInTen:
+    def test_rule(self):
+        assert required_samples(3) == 30
+        assert one_in_ten_ok(30, 3)
+        assert not one_in_ten_ok(29, 3)
+
+    def test_custom_per_feature(self):
+        assert required_samples(2, per_feature=20) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_samples(0)
+
+
+class TestAnalyzeParameters:
+    def test_top_importance_is_driver(self):
+        sp, configs, objectives = sample_data()
+        ins = analyze_parameters(sp, configs, objectives, random_state=0)
+        assert ins.top_important(1)[0][0] == "x"
+        assert ins.importance_rank()[0] == "x"
+        assert sum(ins.importances.values()) == pytest.approx(1.0)
+
+    def test_least_important_is_noise(self):
+        sp, configs, objectives = sample_data()
+        ins = analyze_parameters(sp, configs, objectives, random_state=0)
+        assert ins.least_important(1)[0][0] == "y"
+
+    def test_target_correlations(self):
+        sp, configs, objectives = sample_data()
+        ins = analyze_parameters(sp, configs, objectives, random_state=0)
+        assert ins.target_correlations["x"] > 0.8
+        assert abs(ins.target_correlations["y"]) < 0.3
+
+    def test_one_in_ten_flag(self):
+        sp, configs, objectives = sample_data(n=60)
+        ok = analyze_parameters(sp, configs, objectives, random_state=0)
+        assert ok.one_in_ten_satisfied  # 60 >= 10 * 3
+        small = analyze_parameters(
+            sp, configs[:20], objectives[:20], random_state=0
+        )
+        assert not small.one_in_ten_satisfied
+
+    def test_report_renders(self):
+        sp, configs, objectives = sample_data()
+        text = analyze_parameters(sp, configs, objectives, random_state=0).format_report()
+        assert "Importance" in text and "x" in text
+
+    def test_validation(self):
+        sp, configs, objectives = sample_data()
+        with pytest.raises(ValueError):
+            analyze_parameters(sp, configs, objectives[:-1])
+        with pytest.raises(ValueError):
+            analyze_parameters(sp, configs[:1], objectives[:1])
+
+    def test_correlated_pair_detection(self):
+        """A constraint-induced coupling (the paper's tb~tb_sm case)."""
+        sp = SearchSpace([Integer("tb", 32, 1024), Integer("tb_sm", 1, 32)])
+        rng = np.random.default_rng(0)
+        configs = []
+        while len(configs) < 120:
+            c = sp.sample(rng)
+            if c["tb"] * c["tb_sm"] <= 2048:  # constraint filter
+                configs.append(c)
+        objectives = [1.0 / (c["tb"] * c["tb_sm"]) for c in configs]
+        ins = analyze_parameters(
+            sp, configs, objectives, correlation_threshold=0.3, random_state=0
+        )
+        pair_names = {frozenset(p[:2]) for p in ins.correlated_parameter_pairs}
+        assert frozenset({"tb", "tb_sm"}) in pair_names

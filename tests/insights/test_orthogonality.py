@@ -1,0 +1,94 @@
+"""Tests for the pairwise orthogonality baseline and its cost accounting."""
+
+import math
+
+import pytest
+
+from repro.core import Routine, RoutineSet
+from repro.insights import (
+    PairwiseOrthogonalityAnalysis,
+    observation_cost,
+    sensitivity_observation_cost,
+)
+from repro.space import Real, SearchSpace
+
+
+def space(n=4):
+    return SearchSpace([Real(f"p{i}", 0.5, 5.0) for i in range(n)])
+
+
+class TestCostFormulas:
+    def test_paper_scale_gap(self):
+        """d = 20, V = 5: the pairwise baseline needs ~48x the
+        observations the sensitivity analysis needs."""
+        pairwise = observation_cost(20, 5)
+        sens = sensitivity_observation_cost(20, 5)
+        assert pairwise == 1 + 100 + math.comb(20, 2) * 25  # 4851
+        assert sens == 101
+        assert pairwise / sens > 40
+
+    def test_quadratic_growth(self):
+        assert observation_cost(40, 5) / observation_cost(20, 5) > 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            observation_cost(0, 5)
+        with pytest.raises(ValueError):
+            sensitivity_observation_cost(5, 0)
+
+
+class TestAnalysis:
+    def test_detects_multiplicative_interaction(self):
+        sp = space(3)
+        # p0 * p1 interact; p2 is additive.
+        f = lambda c: c["p0"] * c["p1"] + 3.0 * c["p2"] + 10.0  # noqa: E731
+        res = PairwiseOrthogonalityAnalysis(
+            sp, f, n_variations=3, random_state=0
+        ).run()
+        top_pair, top_score = res.top(1)[0]
+        assert set(top_pair) == {"p0", "p1"}
+        assert top_score > 10 * res.interaction("p0", "p2")
+        assert res.interaction("p1", "p2") < 0.05
+
+    def test_additive_function_has_zero_interactions(self):
+        sp = space(3)
+        f = lambda c: c["p0"] + 2 * c["p1"] + 3 * c["p2"]  # noqa: E731
+        res = PairwiseOrthogonalityAnalysis(
+            sp, f, n_variations=3, random_state=0
+        ).run()
+        assert all(v < 1e-9 for v in res.interactions.values())
+
+    def test_observation_count_matches_formula(self):
+        sp = space(4)
+        f = lambda c: sum(c.values())  # noqa: E731
+        res = PairwiseOrthogonalityAnalysis(
+            sp, f, n_variations=3, random_state=0
+        ).run()
+        assert res.n_evaluations == observation_cost(4, 3)
+
+    def test_routine_interdependence_rollup(self):
+        sp = space(4)
+        f = lambda c: c["p0"] * c["p2"] + c["p1"] + c["p3"]  # noqa: E731
+        res = PairwiseOrthogonalityAnalysis(
+            sp, f, n_variations=3, random_state=0
+        ).run()
+        routines = RoutineSet(
+            [
+                Routine("A", ("p0", "p1"), lambda c: 1.0),
+                Routine("B", ("p2", "p3"), lambda c: 1.0),
+            ]
+        )
+        inter = res.routine_interdependence(routines)
+        assert inter[frozenset(("A", "B"))] > 0.01
+
+    def test_explicit_baseline(self):
+        sp = space(2)
+        base = {"p0": 1.0, "p1": 1.0}
+        res = PairwiseOrthogonalityAnalysis(
+            sp, lambda c: c["p0"] * c["p1"], n_variations=2, random_state=0
+        ).run(baseline=base)
+        assert res.baseline == base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PairwiseOrthogonalityAnalysis(space(2), lambda c: 1.0, n_variations=0)

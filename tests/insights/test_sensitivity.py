@@ -1,0 +1,175 @@
+"""Tests for the sensitivity analysis (methodology phase 1)."""
+
+import numpy as np
+import pytest
+
+from repro.insights import SensitivityAnalysis
+from repro.space import ExpressionConstraint, Integer, Ordinal, Real, SearchSpace
+
+
+def space2d():
+    return SearchSpace([Real("x", 0.1, 10.0), Real("y", 0.1, 10.0)], name="s")
+
+
+class TestScores:
+    def test_detects_dominant_parameter(self):
+        sp = space2d()
+        # 'x' drives the output 100x harder than 'y'.
+        targets = {"f": lambda c: 100.0 * c["x"] + 1.0 * c["y"] + 50.0}
+        sa = SensitivityAnalysis(sp, targets, n_variations=10, random_state=0)
+        res = sa.run()
+        assert res.scores["f"]["x"] > 5 * res.scores["f"]["y"]
+        assert res.top("f", 1)[0][0] == "x"
+
+    def test_insensitive_parameter_scores_zero(self):
+        sp = space2d()
+        targets = {"f": lambda c: 3.0 * c["x"]}
+        res = SensitivityAnalysis(sp, targets, n_variations=5, random_state=0).run()
+        assert res.scores["f"]["y"] == 0.0
+
+    def test_multiple_targets_one_pass(self):
+        sp = space2d()
+        targets = {
+            "fx": lambda c: c["x"] * 10.0,
+            "fy": lambda c: c["y"] * 10.0,
+        }
+        res = SensitivityAnalysis(sp, targets, n_variations=5, random_state=1).run()
+        assert res.scores["fx"]["x"] > res.scores["fx"]["y"]
+        assert res.scores["fy"]["y"] > res.scores["fy"]["x"]
+
+    def test_scores_cover_all_parameters(self):
+        sp = space2d()
+        res = SensitivityAnalysis(
+            sp, {"f": lambda c: c["x"]}, n_variations=3, random_state=0
+        ).run()
+        assert set(res.scores["f"]) == {"x", "y"}
+        assert res.parameters == ["x", "y"]
+        assert res.targets == ["f"]
+
+
+class TestObservationAccounting:
+    def test_evaluation_count_is_one_plus_v_times_d(self):
+        sp = space2d()
+        res = SensitivityAnalysis(
+            sp, {"f": lambda c: c["x"] + c["y"]}, n_variations=7, random_state=0
+        ).run()
+        # 1 baseline + 7 variations x 2 parameters (none rejected here).
+        assert res.n_evaluations == 1 + 7 * 2
+
+    def test_cost_independent_of_target_count(self):
+        """The whole point of the paper's design: adding routines costs no
+        extra application runs."""
+        sp = space2d()
+        one = SensitivityAnalysis(
+            sp, {"f": lambda c: c["x"]}, n_variations=5, random_state=0
+        ).run()
+        many = SensitivityAnalysis(
+            sp,
+            {f"f{i}": (lambda c, i=i: c["x"] * i) for i in range(1, 6)},
+            n_variations=5,
+            random_state=0,
+        ).run()
+        assert one.n_evaluations == many.n_evaluations
+
+
+class TestBaseline:
+    def test_explicit_baseline_used(self):
+        sp = space2d()
+        base = {"x": 5.0, "y": 5.0}
+        res = SensitivityAnalysis(
+            sp, {"f": lambda c: c["x"]}, n_variations=3, random_state=0
+        ).run(baseline=base)
+        assert res.baseline == base
+        assert res.baseline_values["f"] == pytest.approx(5.0)
+
+    def test_invalid_baseline_rejected(self):
+        sp = SearchSpace(
+            [Real("x", 0.0, 1.0), Real("y", 0.0, 1.0)],
+            [ExpressionConstraint("x + y <= 1")],
+        )
+        sa = SensitivityAnalysis(sp, {"f": lambda c: c["x"]}, random_state=0)
+        with pytest.raises(Exception):
+            sa.run(baseline={"x": 0.9, "y": 0.9})
+
+
+class TestVariationModes:
+    def test_relative_mode_compounds(self):
+        sp = SearchSpace([Real("x", 0.0, 1000.0)])
+        sa = SensitivityAnalysis(
+            sp, {"f": lambda c: c["x"]}, n_variations=3, variation=0.10,
+            mode="relative", random_state=0,
+        )
+        vals = sa._variation_values(sp["x"], 100.0)
+        assert vals == pytest.approx([110.0, 121.0, 133.1])
+
+    def test_relative_mode_clips_to_domain(self):
+        sp = SearchSpace([Real("x", 0.0, 120.0)])
+        sa = SensitivityAnalysis(
+            sp, {"f": lambda c: c["x"]}, n_variations=5, mode="relative",
+            random_state=0,
+        )
+        vals = sa._variation_values(sp["x"], 100.0)
+        assert max(vals) == 120.0
+
+    def test_random_mode_values_in_domain(self):
+        sp = SearchSpace([Integer("n", 1, 32)])
+        sa = SensitivityAnalysis(
+            sp, {"f": lambda c: c["n"]}, n_variations=10, mode="random",
+            random_state=0,
+        )
+        vals = sa._variation_values(sp["n"], 4)
+        assert all(1 <= v <= 32 for v in vals)
+
+    def test_ordinal_walks_grid(self):
+        sp = SearchSpace([Ordinal("u", [1, 2, 4, 8])])
+        sa = SensitivityAnalysis(
+            sp, {"f": lambda c: c["u"]}, n_variations=3, mode="relative",
+            random_state=0,
+        )
+        vals = sa._variation_values(sp["u"], 2)
+        assert vals == [4, 8, 1]  # wraps at the top
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SensitivityAnalysis(space2d(), {"f": lambda c: 1.0}, mode="nope")
+
+
+class TestConstraints:
+    def test_random_mode_retries_invalid_variations(self):
+        sp = SearchSpace(
+            [Integer("tb", 32, 1024, default=64), Integer("tb_sm", 1, 32, default=32)],
+            [ExpressionConstraint("tb * tb_sm <= 2048")],
+        )
+        # Baseline at the constraint edge: most random tb draws are invalid
+        # given tb_sm=32, but retries should still find valid ones.
+        base = {"tb": 64, "tb_sm": 32}
+        res = SensitivityAnalysis(
+            sp, {"f": lambda c: float(c["tb"])}, n_variations=5, mode="random",
+            random_state=0,
+        ).run(baseline=base)
+        assert res.scores["f"]["tb"] > 0.0
+
+
+class TestResultFormatting:
+    def test_format_table_and_matrix(self):
+        sp = space2d()
+        res = SensitivityAnalysis(
+            sp, {"f": lambda c: c["x"]}, n_variations=3, random_state=0
+        ).run()
+        text = res.format_table()
+        assert "== f ==" in text and "x" in text
+        M, targets, params = res.as_matrix()
+        assert M.shape == (1, 2)
+        assert targets == ["f"] and params == ["x", "y"]
+
+
+class TestValidation:
+    def test_requires_targets(self):
+        with pytest.raises(ValueError):
+            SensitivityAnalysis(space2d(), {})
+
+    def test_requires_positive_variations(self):
+        with pytest.raises(ValueError):
+            SensitivityAnalysis(space2d(), {"f": lambda c: 1.0}, n_variations=0)
+        with pytest.raises(ValueError):
+            SensitivityAnalysis(space2d(), {"f": lambda c: 1.0}, variation=0.0)

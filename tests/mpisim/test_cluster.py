@@ -1,0 +1,47 @@
+"""Tests for the cluster machine model."""
+
+import pytest
+
+from repro.mpisim import ClusterSpec, InterconnectSpec, NodeSpec, perlmutter_gpu
+
+
+class TestSpecs:
+    def test_perlmutter_defaults(self):
+        c = perlmutter_gpu()
+        assert c.nodes == 10
+        assert c.ranks_per_node == 4  # one rank per A100
+        assert c.total_ranks == 40
+        assert c.node.gpus == 4
+        assert c.node.cores == 64
+
+    def test_rank_placement(self):
+        c = perlmutter_gpu(nodes=3)
+        assert c.node_of_rank(0) == 0
+        assert c.node_of_rank(3) == 0
+        assert c.node_of_rank(4) == 1
+        assert c.node_of_rank(11) == 2
+        assert c.same_node(0, 3)
+        assert not c.same_node(3, 4)
+
+    def test_rank_out_of_range(self):
+        c = perlmutter_gpu(nodes=2)
+        with pytest.raises(ValueError):
+            c.node_of_rank(8)
+        with pytest.raises(ValueError):
+            c.node_of_rank(-1)
+
+    def test_intra_node_bandwidth_bounded_by_dram(self):
+        c = perlmutter_gpu()
+        assert c.intra_node_bandwidth() <= c.node.memory_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(ranks_per_node=0)
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(pcie_bandwidth=-1.0)
+        with pytest.raises(ValueError):
+            InterconnectSpec(injection_bandwidth=0.0)

@@ -1,0 +1,105 @@
+"""Tests for the collective cost models (Hockney/LogGP-style)."""
+
+import pytest
+
+from repro.mpisim import (
+    allreduce_time,
+    alltoall_time,
+    broadcast_time,
+    perlmutter_gpu,
+    point_to_point_time,
+    transpose_padding_time,
+)
+
+
+@pytest.fixture
+def cluster():
+    return perlmutter_gpu()
+
+
+MB = 1024 * 1024
+
+
+class TestPointToPoint:
+    def test_intra_node_faster(self, cluster):
+        b = 64 * MB
+        assert point_to_point_time(cluster, b, same_node=True) < point_to_point_time(
+            cluster, b, same_node=False
+        )
+
+    def test_monotone_in_bytes(self, cluster):
+        small = point_to_point_time(cluster, MB, same_node=False)
+        large = point_to_point_time(cluster, 100 * MB, same_node=False)
+        assert large > small
+
+
+class TestAllreduce:
+    def test_single_rank_free(self, cluster):
+        assert allreduce_time(cluster, 100 * MB, 1) == 0.0
+
+    def test_zero_bytes_free(self, cluster):
+        assert allreduce_time(cluster, 0, 16) == 0.0
+
+    def test_grows_with_ranks_logarithmically(self, cluster):
+        t8 = allreduce_time(cluster, 64 * MB, 8)
+        t32 = allreduce_time(cluster, 64 * MB, 32)
+        assert t8 < t32
+        # Bandwidth term saturates at 2x bytes/bw: doubling ranks past 8
+        # must not double the time.
+        assert t32 < 2.0 * t8
+
+    def test_bandwidth_term_dominates_large_messages(self, cluster):
+        t = allreduce_time(cluster, 1024 * MB, 16)
+        bw = cluster.interconnect.injection_bandwidth / cluster.ranks_per_node
+        lower = 2.0 * (15 / 16) * 1024 * MB / bw
+        assert t == pytest.approx(lower, rel=0.05)
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            allreduce_time(cluster, -1, 4)
+        with pytest.raises(ValueError):
+            allreduce_time(cluster, 10, 0)
+
+
+class TestAlltoall:
+    def test_single_rank_free(self, cluster):
+        assert alltoall_time(cluster, 100 * MB, 1) == 0.0
+
+    def test_scales_with_ranks(self, cluster):
+        t4 = alltoall_time(cluster, 64 * MB, 4)
+        t16 = alltoall_time(cluster, 64 * MB, 16)
+        assert t16 > t4
+
+    def test_intra_node_group_uses_shared_memory(self, cluster):
+        # A 4-rank group fits one node: much faster than an 8-rank group
+        # of the same total bytes that spills onto the network.
+        t4 = alltoall_time(cluster, 64 * MB, 4)
+        t8 = alltoall_time(cluster, 64 * MB, 8)
+        assert t8 > 2 * t4
+
+
+class TestBroadcast:
+    def test_log_steps(self, cluster):
+        # Both groups larger than one node, so the bandwidth regime is the
+        # same and only the log2 step count differs: 4 steps vs 3.
+        t8 = broadcast_time(cluster, MB, 8)
+        t16 = broadcast_time(cluster, MB, 16)
+        assert t16 == pytest.approx(t8 * 4 / 3, rel=0.01)
+
+
+class TestTransposePadding:
+    def test_includes_repack_cost(self, cluster):
+        comm_only = alltoall_time(cluster, 64 * MB, 8)
+        full = transpose_padding_time(cluster, 64 * MB, 8)
+        assert full > comm_only
+
+    def test_gpu_port_identity(self, cluster):
+        """ngb = 1 eliminates the communication — only the local repack
+        remains (the paper's motivation for the single-rank GPU
+        transpose)."""
+        t = transpose_padding_time(cluster, 64 * MB, 1)
+        assert t == pytest.approx(1.15 * 64 * MB / cluster.node.memory_bandwidth)
+
+    def test_padding_factor_validated(self, cluster):
+        with pytest.raises(ValueError):
+            transpose_padding_time(cluster, MB, 4, padding_factor=0.5)

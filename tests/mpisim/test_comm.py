@@ -1,0 +1,107 @@
+"""Tests for the simulated communicator and the 4-D Cartesian grid."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import CartGrid, SimCommunicator, perlmutter_gpu
+
+
+@pytest.fixture
+def cluster():
+    return perlmutter_gpu()
+
+
+class TestSimCommunicator:
+    def test_world(self, cluster):
+        comm = SimCommunicator(cluster)
+        assert comm.size == 40
+
+    def test_subset_and_split(self, cluster):
+        comm = SimCommunicator(cluster, range(8))
+        subs = comm.split([[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert [s.size for s in subs] == [4, 4]
+
+    def test_split_overlap_rejected(self, cluster):
+        comm = SimCommunicator(cluster, range(8))
+        with pytest.raises(ValueError):
+            comm.split([[0, 1], [1, 2]])
+
+    def test_invalid_ranks(self, cluster):
+        with pytest.raises(ValueError):
+            SimCommunicator(cluster, [0, 0])
+        with pytest.raises(ValueError):
+            SimCommunicator(cluster, [100])
+        with pytest.raises(ValueError):
+            SimCommunicator(cluster, [])
+
+    def test_collective_times_positive(self, cluster):
+        comm = SimCommunicator(cluster, range(16))
+        b = 32 * 1024 * 1024
+        assert comm.allreduce_time(b) > 0
+        assert comm.alltoall_time(b) > 0
+        assert comm.broadcast_time(b) > 0
+        assert comm.transpose_padding_time(b) > 0
+
+
+class TestCartGrid:
+    def test_qbox_grid_shape(self):
+        g = CartGrid(nspb=1, nkpb=2, nstb=4, ngb=2)
+        assert g.size == 16
+        assert g.dims == {"nspb": 1, "nkpb": 2, "nstb": 4, "ngb": 2}
+
+    def test_rank_coords_roundtrip(self):
+        g = CartGrid(nspb=2, nkpb=3, nstb=4, ngb=2)
+        for r in range(g.size):
+            s, k, b, gg = g.coords_of(r)
+            assert g.rank_of(s, k, b, gg) == r
+
+    def test_coordinate_bounds(self):
+        g = CartGrid(nspb=1, nkpb=2, nstb=2)
+        with pytest.raises(ValueError):
+            g.rank_of(1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            g.coords_of(g.size)
+
+    def test_axis_group_is_fft_communicator(self):
+        """The ngb ranks of one FFT transpose differ only along g."""
+        g = CartGrid(nspb=1, nkpb=2, nstb=2, ngb=4)
+        group = g.axis_group("ngb", s=0, k=1, b=1)
+        assert len(group) == 4
+        coords = [g.coords_of(r) for r in group]
+        assert all((s, k, b) == (0, 1, 1) for s, k, b, _ in coords)
+        assert sorted(gg for _, _, _, gg in coords) == [0, 1, 2, 3]
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError):
+            CartGrid(1, 1, 1).axis_group("nope")
+
+    def test_local_counts_divisible(self):
+        g = CartGrid(nspb=1, nkpb=4, nstb=8)
+        assert g.local_counts(1, 36, 64) == (1, 9, 8)
+        assert g.is_balanced(1, 36, 64)
+
+    def test_local_counts_ceil_imbalance(self):
+        g = CartGrid(nspb=1, nkpb=5, nstb=8)
+        # 36 k-points over 5: busiest rank gets ceil(36/5) = 8.
+        assert g.local_counts(1, 36, 64) == (1, 8, 8)
+        assert not g.is_balanced(1, 36, 64)
+
+    def test_oversized_grid_unbalanced(self):
+        g = CartGrid(nspb=2, nkpb=1, nstb=1)
+        assert not g.is_balanced(1, 36, 64)  # nspb > nspin -> idle ranks
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CartGrid(0, 1, 1)
+        with pytest.raises(ValueError):
+            CartGrid(1, 1, 1).local_counts(0, 1, 1)
+
+    @given(
+        st.integers(1, 4), st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, s, k, b, g):
+        grid = CartGrid(s, k, b, g)
+        for r in range(0, grid.size, max(1, grid.size // 7)):
+            assert grid.rank_of(*grid.coords_of(r)) == r

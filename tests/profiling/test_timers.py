@@ -1,0 +1,67 @@
+"""Tests for the region timers."""
+
+import time
+
+import pytest
+
+from repro.profiling import RegionTimer, TimingReport
+
+
+class TestRegionTimer:
+    def test_accumulates(self):
+        t = RegionTimer()
+        for _ in range(3):
+            with t.region("work"):
+                time.sleep(0.001)
+        assert t.count("work") == 3
+        assert t.total("work") >= 0.003
+
+    def test_add_external(self):
+        t = RegionTimer()
+        t.add("sim", 2.5)
+        t.add("sim", 1.5, count=2)
+        assert t.total("sim") == pytest.approx(4.0)
+        assert t.count("sim") == 3
+
+    def test_timing_survives_exception(self):
+        t = RegionTimer()
+        with pytest.raises(RuntimeError):
+            with t.region("risky"):
+                raise RuntimeError
+        assert t.count("risky") == 1
+
+    def test_validation(self):
+        t = RegionTimer()
+        with pytest.raises(ValueError):
+            with t.region(""):
+                pass
+        with pytest.raises(ValueError):
+            t.add("x", -1.0)
+
+    def test_reset(self):
+        t = RegionTimer()
+        t.add("a", 1.0)
+        t.reset()
+        assert t.regions == []
+
+
+class TestReport:
+    def test_shares(self):
+        t = RegionTimer()
+        t.add("fft", 6.0)
+        t.add("comm", 4.0)
+        rep = t.report()
+        assert rep.grand_total == pytest.approx(10.0)
+        assert rep.share("fft") == pytest.approx(0.6)
+
+    def test_format_sorted(self):
+        t = RegionTimer()
+        t.add("small", 1.0)
+        t.add("big", 9.0)
+        text = t.report().format()
+        assert text.index("big") < text.index("small")
+        assert "TOTAL" in text
+
+    def test_empty_report(self):
+        rep = TimingReport()
+        assert rep.grand_total == 0.0

@@ -1,0 +1,81 @@
+"""Tests for the grid-search baseline."""
+
+import pytest
+
+from repro.search import GridSearch
+from repro.space import ExpressionConstraint, Integer, Ordinal, Real, SearchSpace
+
+
+def small_space():
+    return SearchSpace([Integer("x", 0, 4), Integer("y", 0, 4)], name="gs")
+
+
+class TestExhaustive:
+    def test_finds_exact_optimum(self):
+        gs = GridSearch(small_space(), lambda c: (c["x"] - 3) ** 2 + (c["y"] - 1) ** 2 + 1)
+        r = gs.run()
+        assert r.best_config["x"] == 3 and r.best_config["y"] == 1
+        assert r.best_objective == 1
+        assert r.n_evaluations == 25
+
+    def test_grid_size(self):
+        gs = GridSearch(small_space(), lambda c: 1.0)
+        assert gs.grid_size() == 25
+
+    def test_constraints_skipped_not_counted_as_best(self):
+        sp = SearchSpace(
+            [Integer("x", 0, 4), Integer("y", 0, 4)],
+            [ExpressionConstraint("x + y >= 2")],
+        )
+        r = GridSearch(sp, lambda c: c["x"] + c["y"] + 0.5).run()
+        assert r.best_objective == pytest.approx(2.5)
+
+    def test_continuous_axes_discretized(self):
+        sp = SearchSpace([Real("a", 0.0, 1.0)])
+        gs = GridSearch(sp, lambda c: abs(c["a"] - 0.33) + 0.1, points_per_axis=4)
+        assert gs.grid_size() == 4
+        r = gs.run()
+        assert r.best_config["a"] == pytest.approx(1 / 3, abs=0.01)
+
+
+class TestBudgeted:
+    def test_strided_subset(self):
+        gs = GridSearch(small_space(), lambda c: c["x"] + c["y"] + 1, max_evaluations=10)
+        r = gs.run()
+        assert r.n_evaluations <= 10
+
+    def test_hard_limit_guards_exhaustive_runs(self):
+        sp = SearchSpace([Integer(f"p{i}", 0, 9) for i in range(8)])  # 10^8
+        gs = GridSearch(sp, lambda c: 1.0, hard_limit=1000)
+        with pytest.raises(RuntimeError, match="hard_limit"):
+            gs.run()
+
+    def test_infeasible_grid_raises(self):
+        sp = SearchSpace(
+            [Integer("x", 0, 4)], [ExpressionConstraint("x > 100")]
+        )
+        with pytest.raises(RuntimeError, match="no feasible"):
+            GridSearch(sp, lambda c: 1.0).run()
+
+
+class TestValidation:
+    def test_points_per_axis(self):
+        with pytest.raises(ValueError):
+            GridSearch(small_space(), lambda c: 1.0, points_per_axis=1)
+
+    def test_failures_recorded(self):
+        def flaky(c):
+            if c["x"] == 2:
+                raise RuntimeError("boom")
+            return float(c["x"] + c["y"] + 1)
+
+        r = GridSearch(small_space(), flaky).run()
+        assert r.best_config["x"] != 2
+        assert any(not rec.ok for rec in r.database)
+
+    def test_ordinal_axes_native_grid(self):
+        sp = SearchSpace([Ordinal("u", [1, 2, 4, 8])])
+        gs = GridSearch(sp, lambda c: 1.0 / c["u"])
+        r = gs.run()
+        assert r.best_config["u"] == 8
+        assert r.n_evaluations == 4

@@ -1,0 +1,35 @@
+"""Tests for the measured (real wall-clock) time accounting."""
+
+import pytest
+
+from repro.search import CampaignResult, SearchCampaign, SearchResult, SearchSpec
+from repro.space import Real, SearchSpace
+
+
+def spec(name, n=10):
+    sp = SearchSpace([Real("a", 0.0, 1.0)], name=name)
+    return SearchSpec(sp, lambda c: c["a"] + 0.1, engine="random", max_evaluations=n)
+
+
+class TestMeasuredTime:
+    def test_campaign_populates_measured_time(self):
+        result = SearchCampaign([spec("A"), spec("B")], random_state=0).run()
+        for s in result.searches:
+            assert s.measured_time > 0.0
+
+    def test_aggregates(self):
+        r = CampaignResult(
+            strategy="x",
+            searches=[
+                SearchResult("A", "bo", {}, 1.0, 5.0, 1, measured_time=2.0),
+                SearchResult("B", "bo", {}, 1.0, 3.0, 1, measured_time=1.0),
+            ],
+        )
+        assert r.measured_wall_time == 2.0
+        assert r.measured_total_time == pytest.approx(3.0)
+        # Simulated accounting untouched.
+        assert r.wall_time == 5.0
+
+    def test_default_zero(self):
+        s = SearchResult("A", "bo", {}, 1.0, 1.0, 1)
+        assert s.measured_time == 0.0

@@ -1,0 +1,136 @@
+"""Tests for the campaign runner and result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.search import CampaignResult, SearchCampaign, SearchResult, SearchSpec
+from repro.space import Real, SearchSpace
+
+
+def space(names, label):
+    return SearchSpace([Real(n, 0.0, 1.0) for n in names], name=label)
+
+
+def quad(center):
+    def f(cfg):
+        return sum((v - center) ** 2 for v in cfg.values()) + 0.05
+
+    return f
+
+
+class TestCampaign:
+    def test_runs_all_members(self):
+        specs = [
+            SearchSpec(space(["a", "b"], "S1"), quad(0.3), engine="random",
+                       max_evaluations=20),
+            SearchSpec(space(["c"], "S2"), quad(0.7), engine="random",
+                       max_evaluations=10),
+        ]
+        result = SearchCampaign(specs, strategy="test", random_state=0).run()
+        assert result.strategy == "test"
+        assert [s.name for s in result.searches] == ["S1", "S2"]
+        assert result.n_evaluations == 30
+
+    def test_combined_config_merges_tuned_values(self):
+        specs = [
+            SearchSpec(space(["a"], "S1"), quad(0.2), engine="random",
+                       max_evaluations=15),
+            SearchSpec(space(["b"], "S2"), quad(0.9), engine="random",
+                       max_evaluations=15),
+        ]
+        result = SearchCampaign(specs, random_state=0).run()
+        combined = result.combined_config
+        assert set(combined) == {"a", "b"}
+        assert abs(combined["a"] - 0.2) < 0.3
+        assert abs(combined["b"] - 0.9) < 0.3
+        assert result.overlaps == set()
+
+    def test_subspace_pins_do_not_overwrite_tuned(self):
+        """A pinned default from one subsearch must not clobber another
+        search's tuned value in the merged configuration."""
+        full = space(["a", "b"], "full")
+        sub_a = full.subspace(["a"], pinned={"b": 0.123}, name="A")
+        sub_b = full.subspace(["b"], pinned={"a": 0.123}, name="B")
+        specs = [
+            SearchSpec(sub_a, quad(0.9), engine="random", max_evaluations=20),
+            SearchSpec(sub_b, quad(0.9), engine="random", max_evaluations=20),
+        ]
+        result = SearchCampaign(specs, random_state=0).run()
+        combined = result.combined_config
+        # Both tuned values near 0.9, neither stuck at the 0.123 pin.
+        assert abs(combined["a"] - 0.9) < 0.3
+        assert abs(combined["b"] - 0.9) < 0.3
+
+    def test_wall_time_is_max_total_is_sum(self):
+        r = CampaignResult(
+            strategy="x",
+            searches=[
+                SearchResult("A", "bo", {}, 1.0, search_time=5.0, n_evaluations=10),
+                SearchResult("B", "bo", {}, 1.0, search_time=2.0, n_evaluations=10),
+            ],
+        )
+        assert r.wall_time == 5.0
+        assert r.total_time == 7.0
+
+    def test_bo_engine_through_campaign(self):
+        specs = [
+            SearchSpec(space(["a"], "S"), quad(0.4), engine="bo", max_evaluations=10)
+        ]
+        result = SearchCampaign(specs, random_state=0).run()
+        s = result.searches[0]
+        assert s.engine == "bo"
+        assert s.database is not None and len(s.database) == 10
+
+    def test_unknown_engine(self):
+        specs = [SearchSpec(space(["a"], "S"), quad(0.5), engine="annealing")]
+        with pytest.raises(ValueError, match="unknown engine"):
+            SearchCampaign(specs).run()
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError):
+            SearchCampaign([])
+
+    def test_member_seeds_independent_of_order(self):
+        s1 = SearchSpec(space(["a"], "S1"), quad(0.3), engine="random",
+                        max_evaluations=10)
+        s2 = SearchSpec(space(["b"], "S2"), quad(0.6), engine="random",
+                        max_evaluations=10)
+        r_fwd = SearchCampaign([s1, s2], random_state=5).run()
+        # Same campaign, same seed: deterministic.
+        r_again = SearchCampaign([s1, s2], random_state=5).run()
+        assert r_fwd.combined_config == r_again.combined_config
+
+    def test_default_budget_from_dimension(self):
+        spec = SearchSpec(space(["a", "b", "c"], "S"), quad(0.5))
+        assert spec.budget() == 30
+
+    def test_evaluate_combined(self):
+        specs = [
+            SearchSpec(space(["a"], "S1"), quad(0.5), engine="random",
+                       max_evaluations=10),
+        ]
+        result = SearchCampaign(specs, random_state=0).run()
+        val = result.evaluate_combined(lambda cfg: cfg["a"] * 2.0)
+        assert val == pytest.approx(result.combined_config["a"] * 2.0)
+
+    def test_objective_sum(self):
+        r = CampaignResult(
+            strategy="x",
+            searches=[
+                SearchResult("A", "bo", {}, 1.5, 0.0, 1),
+                SearchResult("B", "bo", {}, 2.5, 0.0, 1),
+            ],
+        )
+        assert r.objective_sum() == 4.0
+
+
+class TestExtendedEngines:
+    @pytest.mark.parametrize("engine", ["hillclimb", "anneal", "batch-bo"])
+    def test_engine_registry(self, engine):
+        sp = space(["a", "b"], f"S-{engine}")
+        spec = SearchSpec(sp, quad(0.4), engine=engine, max_evaluations=30)
+        result = SearchCampaign([spec], random_state=0).run()
+        s = result.searches[0]
+        assert s.best_objective < 0.5
+        assert s.tuned_names == ("a", "b")
+        assert s.measured_time > 0

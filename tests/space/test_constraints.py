@@ -1,0 +1,92 @@
+"""Unit tests for repro.space.constraints."""
+
+import pickle
+
+import pytest
+
+from repro.space import Constraint, ConstraintViolation, ExpressionConstraint, check_all
+
+
+class TestConstraint:
+    def test_satisfied(self):
+        c = Constraint(lambda c: c["a"] + c["b"] <= 10, names=["a", "b"])
+        assert c.is_satisfied({"a": 3, "b": 7})
+        assert not c.is_satisfied({"a": 5, "b": 7})
+
+    def test_not_applicable_passes(self):
+        c = Constraint(lambda c: c["a"] <= 10, names=["a"])
+        assert c.is_satisfied({"b": 100})  # 'a' absent -> constraint idle
+
+    def test_exception_means_infeasible(self):
+        c = Constraint(lambda c: 1 / c["a"] > 0, names=["a"])
+        assert not c.is_satisfied({"a": 0})
+
+    def test_requires_names(self):
+        with pytest.raises(ValueError):
+            Constraint(lambda c: True, names=[])
+
+    def test_requires_callable(self):
+        with pytest.raises(TypeError):
+            Constraint("not callable", names=["a"])
+
+    def test_applies_to(self):
+        c = Constraint(lambda c: True, names=["a", "b"])
+        assert c.applies_to(["a", "b", "c"])
+        assert not c.applies_to(["a"])
+
+
+class TestExpressionConstraint:
+    def test_occupancy_rule(self):
+        c = ExpressionConstraint("tb * tb_sm <= 2048")
+        assert c.is_satisfied({"tb": 64, "tb_sm": 32})
+        assert not c.is_satisfied({"tb": 128, "tb_sm": 32})
+        assert set(c.names) == {"tb", "tb_sm"}
+
+    def test_boolean_composition(self):
+        c = ExpressionConstraint("a < b and b < c")
+        assert c.is_satisfied({"a": 1, "b": 2, "c": 3})
+        assert not c.is_satisfied({"a": 3, "b": 2, "c": 1})
+
+    def test_allowed_functions(self):
+        c = ExpressionConstraint("min(a, b) >= 0 and abs(a - b) <= 5")
+        assert c.is_satisfied({"a": 2, "b": 4})
+        assert not c.is_satisfied({"a": -1, "b": 4})
+
+    def test_disallowed_syntax_rejected(self):
+        for expr in (
+            "__import__('os').system('true')",
+            "a.bit_length() > 0",
+            "[x for x in range(3)]",
+            "lambda: 1",
+        ):
+            with pytest.raises(ValueError):
+                ExpressionConstraint(expr)
+
+    def test_no_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            ExpressionConstraint("1 < 2")
+
+    def test_picklable(self):
+        c = ExpressionConstraint("a <= 10")
+        c2 = pickle.loads(pickle.dumps(c))
+        assert c2.is_satisfied({"a": 5})
+        assert not c2.is_satisfied({"a": 50})
+
+    def test_missing_parameter_means_idle(self):
+        c = ExpressionConstraint("tb * tb_sm <= 2048")
+        assert c.is_satisfied({"tb": 9999})  # tb_sm absent -> not applicable
+
+
+class TestCheckAll:
+    def test_all_pass(self):
+        cs = [ExpressionConstraint("a <= 10"), ExpressionConstraint("a >= 0")]
+        assert check_all(cs, {"a": 5})
+        assert not check_all(cs, {"a": 50})
+
+    def test_strict_raises(self):
+        cs = [ExpressionConstraint("a <= 10")]
+        with pytest.raises(ConstraintViolation):
+            check_all(cs, {"a": 50}, strict=True)
+
+    def test_empty_constraints(self):
+        assert check_all([], {"a": 1})

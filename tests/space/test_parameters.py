@@ -1,0 +1,238 @@
+"""Unit tests for repro.space.parameters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.space import Categorical, Constant, Integer, Ordinal, Real, parameters_from_dict
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestReal:
+    def test_sample_in_bounds(self, rng):
+        p = Real("x", -50.0, 50.0)
+        vals = [p.sample(rng) for _ in range(200)]
+        assert all(-50.0 <= v <= 50.0 for v in vals)
+
+    def test_unit_roundtrip(self):
+        p = Real("x", -50.0, 50.0)
+        for v in (-50.0, -12.5, 0.0, 37.1, 50.0):
+            assert p.from_unit(p.to_unit(v)) == pytest.approx(v)
+
+    def test_from_unit_clips(self):
+        p = Real("x", 0.0, 1.0)
+        assert p.from_unit(-0.5) == 0.0
+        assert p.from_unit(1.5) == 1.0
+
+    def test_log_scale(self):
+        p = Real("lr", 1e-6, 1e-2, log=True)
+        assert p.from_unit(0.0) == pytest.approx(1e-6)
+        assert p.from_unit(1.0) == pytest.approx(1e-2)
+        assert p.from_unit(0.5) == pytest.approx(1e-4)
+
+    def test_log_requires_positive_low(self):
+        with pytest.raises(ValueError):
+            Real("x", 0.0, 1.0, log=True)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Real("x", 5.0, 5.0)
+        with pytest.raises(ValueError):
+            Real("x", 5.0, 1.0)
+        with pytest.raises(ValueError):
+            Real("x", 0.0, math.inf)
+
+    def test_contains(self):
+        p = Real("x", 0.0, 10.0)
+        assert p.contains(0.0) and p.contains(10.0) and p.contains(5.5)
+        assert not p.contains(-0.1)
+        assert not p.contains("abc")
+
+    def test_default_midpoint(self):
+        assert Real("x", 0.0, 10.0).default == pytest.approx(5.0)
+
+    def test_explicit_default_validated(self):
+        assert Real("x", 0.0, 10.0, default=2.0).default == 2.0
+        with pytest.raises(ValueError):
+            Real("x", 0.0, 10.0, default=20.0)
+
+    def test_neighbors_inside_domain(self):
+        p = Real("x", 0.0, 10.0)
+        for v in (0.0, 5.0, 10.0):
+            for n in p.neighbors(v):
+                assert p.contains(n)
+        # Boundary values only get one neighbor.
+        assert len(p.neighbors(0.0)) == 1
+        assert len(p.neighbors(10.0)) == 1
+        assert len(p.neighbors(5.0)) == 2
+
+    def test_grid(self):
+        g = Real("x", 0.0, 10.0).grid(5)
+        assert g == pytest.approx([0.0, 2.5, 5.0, 7.5, 10.0])
+
+    def test_perturb_changes_value(self, rng):
+        p = Real("x", -50.0, 50.0)
+        v = 10.0
+        assert p.perturb(v, 0.1, rng) != v
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Real("", 0.0, 1.0)
+
+
+class TestInteger:
+    def test_sample_in_bounds(self, rng):
+        p = Integer("n", 1, 32)
+        vals = [p.sample(rng) for _ in range(200)]
+        assert all(isinstance(v, int) and 1 <= v <= 32 for v in vals)
+
+    def test_unit_roundtrip(self):
+        p = Integer("n", 1, 32)
+        for v in (1, 7, 16, 32):
+            assert p.from_unit(p.to_unit(v)) == v
+
+    def test_cardinality(self):
+        assert Integer("n", 1, 32).cardinality == 32
+        assert Integer("n", -3, 3).cardinality == 7
+
+    def test_contains_rejects_non_integral(self):
+        p = Integer("n", 1, 10)
+        assert p.contains(5)
+        assert not p.contains(5.5)
+        assert not p.contains(0)
+
+    def test_neighbors(self):
+        p = Integer("n", 1, 10)
+        assert p.neighbors(1) == [2]
+        assert p.neighbors(10) == [9]
+        assert sorted(p.neighbors(5)) == [4, 6]
+
+    def test_log_scale(self):
+        p = Integer("n", 1, 1024, log=True)
+        assert p.from_unit(0.0) == 1
+        assert p.from_unit(1.0) == 1024
+        assert p.from_unit(0.5) == 32
+
+    def test_grid_subsampling(self):
+        g = Integer("n", 1, 100).grid(5)
+        assert g[0] == 1 and g[-1] == 100
+        assert len(g) <= 5
+
+    def test_non_integral_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Integer("n", 1.5, 10)
+
+
+class TestOrdinal:
+    def test_basic(self, rng):
+        p = Ordinal("tb", [32, 64, 128, 256])
+        assert p.cardinality == 4
+        assert p.sample(rng) in p.values
+        assert p.to_unit(32) == 0.0
+        assert p.to_unit(256) == 1.0
+        assert p.from_unit(0.34) == 64
+
+    def test_requires_sorted_unique(self):
+        with pytest.raises(ValueError):
+            Ordinal("tb", [64, 32])
+        with pytest.raises(ValueError):
+            Ordinal("tb", [32, 32, 64])
+        with pytest.raises(ValueError):
+            Ordinal("tb", [32])
+
+    def test_neighbors(self):
+        p = Ordinal("tb", [32, 64, 128])
+        assert p.neighbors(32) == [64]
+        assert p.neighbors(128) == [64]
+        assert p.neighbors(64) == [32, 128]
+
+    def test_roundtrip(self):
+        p = Ordinal("tb", [1, 2, 4, 8, 16])
+        for v in p.values:
+            assert p.from_unit(p.to_unit(v)) == v
+
+    def test_default(self):
+        assert Ordinal("tb", [32, 64, 128], default=64).default == 64
+        with pytest.raises(ValueError):
+            Ordinal("tb", [32, 64], default=999)
+
+
+class TestCategorical:
+    def test_basic(self, rng):
+        p = Categorical("algo", ["fft", "dgemm", "sparse"])
+        assert p.cardinality == 3
+        assert p.sample(rng) in p.choices
+        assert p.contains("fft")
+        assert not p.contains("nope")
+
+    def test_roundtrip(self):
+        p = Categorical("algo", ["a", "b", "c"])
+        for c in p.choices:
+            assert p.from_unit(p.to_unit(c)) == c
+
+    def test_neighbors_are_all_others(self):
+        p = Categorical("algo", ["a", "b", "c"])
+        assert sorted(p.neighbors("b")) == ["a", "c"]
+
+    def test_perturb_never_returns_same(self, rng):
+        p = Categorical("algo", ["a", "b", "c"])
+        for _ in range(20):
+            assert p.perturb("a", 0.1, rng) != "a"
+
+    def test_unique_choices_required(self):
+        with pytest.raises(ValueError):
+            Categorical("algo", ["a", "a"])
+
+
+class TestConstant:
+    def test_behaviour(self, rng):
+        p = Constant("nspb", 1)
+        assert p.sample(rng) == 1
+        assert p.default == 1
+        assert p.cardinality == 1
+        assert p.contains(1) and not p.contains(2)
+        assert p.neighbors(1) == []
+        assert p.from_unit(0.7) == 1
+        assert p.perturb(1, 0.1, rng) == 1
+
+    def test_to_unit_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            Constant("nspb", 1).to_unit(2)
+
+
+class TestParametersFromDict:
+    def test_inference(self):
+        params = parameters_from_dict(
+            {
+                "n": (1, 32),
+                "x": (0.0, 1.0),
+                "tb": [32, 64, 128],
+                "algo": ["fft", "dgemm"],
+                "p": Real("p", 0.0, 2.0),
+            }
+        )
+        types = {p.name: type(p).__name__ for p in params}
+        assert types == {
+            "n": "Integer",
+            "x": "Real",
+            "tb": "Ordinal",
+            "algo": "Categorical",
+            "p": "Real",
+        }
+
+    def test_unsorted_numeric_list_is_categorical(self):
+        (p,) = parameters_from_dict({"z": [3, 1, 2]})
+        assert type(p).__name__ == "Categorical"
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parameters_from_dict({"a": Real("b", 0.0, 1.0)})
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TypeError):
+            parameters_from_dict({"a": 42})

@@ -1,0 +1,99 @@
+"""Tests for search-space JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.space import (
+    Categorical,
+    Constant,
+    Constraint,
+    ExpressionConstraint,
+    Integer,
+    Ordinal,
+    Real,
+    SearchSpace,
+    UnserializableConstraintError,
+    load_space,
+    save_space,
+    space_from_dict,
+    space_to_dict,
+)
+
+
+def full_space():
+    return SearchSpace(
+        [
+            Real("x", -50.0, 50.0, default=1.0),
+            Real("lr", 1e-6, 1e-2, log=True),
+            Integer("tb", 32, 1024, default=256),
+            Integer("tb_sm", 1, 32, default=4),
+            Ordinal("u", [1, 2, 4, 8], default=2),
+            Categorical("algo", ["fft", "dgemm"]),
+            Constant("nspb", 1),
+        ],
+        [ExpressionConstraint("tb * tb_sm <= 2048", "occupancy")],
+        name="round-trip",
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        sp = full_space()
+        sp2 = space_from_dict(space_to_dict(sp))
+        assert sp2.name == sp.name
+        assert sp2.names == sp.names
+        for p, q in zip(sp.parameters, sp2.parameters):
+            assert type(p) is type(q)
+            assert p.default == q.default
+        # Constraint behaviour survives.
+        cfg = sp.defaults()
+        assert sp2.is_valid(cfg)
+        cfg["tb"], cfg["tb_sm"] = 1024, 32
+        assert not sp2.is_valid(cfg)
+
+    def test_json_compatible(self):
+        json.dumps(space_to_dict(full_space()))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "space.json")
+        save_space(full_space(), path)
+        sp2 = load_space(path)
+        assert sp2.dimension == 7
+
+    def test_sampling_equivalence(self):
+        """Original and deserialized spaces describe the same domain."""
+        sp = full_space()
+        sp2 = space_from_dict(space_to_dict(sp))
+        rng = np.random.default_rng(0)
+        for cfg in sp.sample_batch(25, rng):
+            assert sp2.is_valid(cfg)
+
+    def test_log_scale_preserved(self):
+        sp2 = space_from_dict(space_to_dict(full_space()))
+        assert sp2["lr"].from_unit(0.5) == pytest.approx(1e-4)
+
+
+class TestOpaqueConstraints:
+    def test_opaque_raises(self):
+        sp = SearchSpace(
+            [Integer("a", 0, 9)],
+            [Constraint(lambda c: c["a"] < 5, names=("a",))],
+        )
+        with pytest.raises(UnserializableConstraintError):
+            space_to_dict(sp)
+
+    def test_opaque_skippable(self):
+        sp = SearchSpace(
+            [Integer("a", 0, 9)],
+            [Constraint(lambda c: c["a"] < 5, names=("a",))],
+        )
+        d = space_to_dict(sp, skip_opaque_constraints=True)
+        assert d["constraints"] == []
+
+
+class TestErrors:
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            space_from_dict({"parameters": [{"type": "spline", "name": "x"}]})

@@ -1,0 +1,232 @@
+"""Unit and property-based tests for repro.space.space."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import (
+    Categorical,
+    Constant,
+    ExpressionConstraint,
+    InfeasibleSpaceError,
+    Integer,
+    Ordinal,
+    Real,
+    SearchSpace,
+)
+
+
+def make_space():
+    return SearchSpace(
+        [
+            Integer("tb", 32, 1024, default=256),
+            Integer("tb_sm", 1, 32, default=4),
+            Real("x", -50.0, 50.0),
+            Ordinal("u", [1, 2, 4, 8]),
+        ],
+        [ExpressionConstraint("tb * tb_sm <= 2048")],
+        name="test",
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBasics:
+    def test_dimension_and_names(self):
+        sp = make_space()
+        assert sp.dimension == 4
+        assert sp.names == ["tb", "tb_sm", "x", "u"]
+        assert "tb" in sp and "nope" not in sp
+        assert sp["u"].cardinality == 4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([Integer("a", 0, 1), Integer("a", 0, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+    def test_cardinality(self):
+        sp = SearchSpace([Integer("a", 1, 10), Ordinal("b", [1, 2])])
+        assert sp.cardinality() == 20
+        assert make_space().cardinality() == math.inf  # has a Real axis
+
+    def test_defaults_valid_per_parameter(self):
+        sp = make_space()
+        d = sp.defaults()
+        for p in sp.parameters:
+            assert p.contains(d[p.name])
+
+
+class TestValidity:
+    def test_is_valid(self):
+        sp = make_space()
+        good = {"tb": 64, "tb_sm": 32, "x": 0.0, "u": 4}
+        bad = {"tb": 128, "tb_sm": 32, "x": 0.0, "u": 4}
+        assert sp.is_valid(good)
+        assert not sp.is_valid(bad)
+
+    def test_missing_parameter_invalid(self):
+        sp = make_space()
+        assert not sp.is_valid({"tb": 64, "tb_sm": 1, "x": 0.0})
+
+    def test_validate_messages(self):
+        sp = make_space()
+        with pytest.raises(ValueError, match="missing parameter"):
+            sp.validate({"tb": 64})
+        with pytest.raises(ValueError, match="outside domain"):
+            sp.validate({"tb": 5000, "tb_sm": 1, "x": 0.0, "u": 1})
+
+
+class TestSampling:
+    def test_samples_always_valid(self, rng):
+        sp = make_space()
+        for _ in range(100):
+            assert sp.is_valid(sp.sample(rng))
+
+    def test_sample_batch(self, rng):
+        sp = make_space()
+        batch = sp.sample_batch(25, rng)
+        assert len(batch) == 25
+        assert all(sp.is_valid(c) for c in batch)
+
+    def test_sample_batch_unique(self, rng):
+        sp = SearchSpace([Integer("a", 1, 4)])
+        batch = sp.sample_batch(4, rng, unique=True)
+        assert sorted(c["a"] for c in batch) == [1, 2, 3, 4]
+
+    def test_infeasible_space_raises(self, rng):
+        sp = SearchSpace(
+            [Integer("a", 1, 4)],
+            [ExpressionConstraint("a > 100")],
+        )
+        with pytest.raises(InfeasibleSpaceError):
+            sp.sample(rng, max_rejects=50)
+
+    def test_latin_hypercube_valid_and_sized(self, rng):
+        sp = make_space()
+        design = sp.latin_hypercube(16, rng)
+        assert len(design) == 16
+        assert all(sp.is_valid(c) for c in design)
+
+    def test_latin_hypercube_stratifies(self, rng):
+        sp = SearchSpace([Real("x", 0.0, 1.0)])
+        design = sp.latin_hypercube(10, rng)
+        xs = sorted(c["x"] for c in design)
+        # One point per decile.
+        for i, v in enumerate(xs):
+            assert i / 10 <= v <= (i + 1) / 10
+
+
+class TestEncoding:
+    def test_roundtrip(self, rng):
+        sp = make_space()
+        for _ in range(50):
+            cfg = sp.sample(rng)
+            assert sp.decode(sp.encode(cfg)) == cfg
+
+    def test_encode_batch_shape(self, rng):
+        sp = make_space()
+        X = sp.encode_batch(sp.sample_batch(7, rng))
+        assert X.shape == (7, 4)
+        assert np.all((X >= 0) & (X <= 1))
+
+    def test_encode_batch_empty(self):
+        sp = make_space()
+        assert sp.encode_batch([]).shape == (0, 4)
+
+    def test_decode_wrong_shape(self):
+        with pytest.raises(ValueError):
+            make_space().decode([0.5, 0.5])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=4, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_always_in_domain(self, u):
+        sp = make_space()
+        cfg = sp.decode(np.array(u))
+        for p in sp.parameters:
+            assert p.contains(cfg[p.name])
+
+
+class TestSubspace:
+    def test_subspace_pins_and_completes(self, rng):
+        sp = make_space()
+        sub = sp.subspace(["x", "u"])
+        assert sub.dimension == 2
+        cfg = sub.sample(rng)
+        full = sub.complete(cfg)
+        assert set(full) == {"tb", "tb_sm", "x", "u"}
+        assert sp.is_valid(full)
+
+    def test_subspace_pinned_override(self):
+        sp = make_space()
+        sub = sp.subspace(["x"], pinned={"tb": 64, "tb_sm": 2, "u": 8})
+        full = sub.complete({"x": 1.0})
+        assert full["tb"] == 64 and full["u"] == 8
+
+    def test_subspace_respects_straddling_constraints(self, rng):
+        sp = make_space()
+        # Pin tb high: the occupancy constraint must restrict tb_sm.
+        sub = sp.subspace(["tb_sm", "x", "u"], pinned={"tb": 1024})
+        for _ in range(50):
+            cfg = sub.sample(rng)
+            assert cfg["tb_sm"] <= 2  # 1024 * tb_sm <= 2048
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_space().subspace(["nope"])
+
+    def test_kept_and_pinned_disjoint(self):
+        sp = make_space()
+        sub = sp.subspace(["x"])
+        assert "x" not in sub.pinned
+        assert set(sub.pinned) == {"tb", "tb_sm", "u"}
+
+
+class TestNeighbors:
+    def test_neighbors_valid_one_step(self):
+        sp = make_space()
+        cfg = {"tb": 64, "tb_sm": 32, "x": 0.0, "u": 4}
+        for n in sp.neighbors(cfg):
+            assert sp.is_valid(n)
+            diff = [k for k in cfg if n[k] != cfg[k]]
+            assert len(diff) == 1
+
+    def test_neighbors_respect_constraints(self):
+        sp = make_space()
+        # tb=64, tb_sm=32 sits on the constraint boundary: tb=96 invalid.
+        cfg = {"tb": 64, "tb_sm": 32, "x": 0.0, "u": 4}
+        for n in sp.neighbors(cfg):
+            assert n["tb"] * n["tb_sm"] <= 2048
+
+
+class TestWithConstant:
+    def test_constant_in_space(self, rng):
+        sp = SearchSpace([Constant("nspb", 1), Integer("nstb", 1, 8)])
+        cfg = sp.sample(rng)
+        assert cfg["nspb"] == 1
+        assert sp.is_valid(cfg)
+        assert sp.cardinality() == 8
+
+
+class TestPinnedSubspaceDesigns:
+    def test_latin_hypercube_respects_straddling_constraints(self, rng):
+        sp = make_space()
+        sub = sp.subspace(["tb_sm", "x"], pinned={"tb": 1024, "u": 2})
+        design = sub.latin_hypercube(12, rng)
+        for cfg in design:
+            assert cfg["tb_sm"] <= 2  # 1024 * tb_sm <= 2048
+            assert sp.is_valid(sub.complete(cfg))
+
+    def test_sample_batch_through_repair(self, rng):
+        sp = make_space()
+        sub = sp.subspace(["tb", "tb_sm"], pinned={"x": 0.0, "u": 4})
+        for cfg in sub.sample_batch(50, rng):
+            assert cfg["tb"] * cfg["tb_sm"] <= 2048

@@ -1,0 +1,214 @@
+"""Tests for the synthetic benchmark suite (paper Fig. 1 + Table I)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthetic import CASE_INFLUENCE, GROUP_VARIABLES, SyntheticFunction, all_cases
+
+
+def det(case):
+    """Deterministic (noise-free) instance."""
+    return SyntheticFunction(case, noise_scale=0.0, random_state=0)
+
+
+class TestStructure:
+    def test_group_ownership_covers_all_20_vars(self):
+        owned = [v for vs in GROUP_VARIABLES.values() for v in vs]
+        assert sorted(owned) == sorted(f"x{i}" for i in range(20))
+        assert all(len(vs) == 5 for vs in GROUP_VARIABLES.values())
+
+    def test_case_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticFunction(0)
+        with pytest.raises(ValueError):
+            SyntheticFunction(6)
+        with pytest.raises(ValueError):
+            SyntheticFunction(1, noise_scale=-1.0)
+
+    def test_all_cases_factory(self):
+        cases = all_cases(noise_scale=0.0)
+        assert sorted(cases) == [1, 2, 3, 4, 5]
+        assert all(isinstance(f, SyntheticFunction) for f in cases.values())
+
+    def test_influence_labels(self):
+        assert CASE_INFLUENCE[1] == "Very Low"
+        assert CASE_INFLUENCE[5] == "Extremely High"
+
+
+class TestHandDerivedValues:
+    """Crafted points validated against the paper's formulas by hand."""
+
+    def test_group1_at_ones(self):
+        # x0..x4 = 1: quadratic terms vanish; A_i = 10 cos(0) = 10 each.
+        f = det(1)
+        x = [1.0] * 20
+        assert f.group1_raw(x) == pytest.approx(50.0)
+
+    def test_group1_quadratic_chain(self):
+        f = det(1)
+        x = [0.0] * 20
+        x[0], x[1], x[2], x[3], x[4] = 3.0, 1.0, 1.0, 1.0, 1.0
+        # (3-1)^2 = 4 plus A terms: A(3)=A(1)=10cos(2pi k)=10 each.
+        assert f.group1_raw(x) == pytest.approx(4.0 + 50.0)
+
+    def test_group2_quartic(self):
+        f = det(1)
+        x = [1.0] * 20
+        x[5] = 3.0  # (3-1)^4 = 16; all A = 10.
+        assert f.group2_raw(x) == pytest.approx(16.0 + 50.0)
+
+    def test_group3_case1(self):
+        f = det(1)
+        x = [0.0] * 20
+        for i in range(10, 15):
+            x[i] = 2.0
+        for v in range(15, 20):
+            x[v] = 1.0  # cos(2 pi) = 1
+        assert f.group3_raw(x) == pytest.approx(10.0 + 5.0)
+
+    def test_group3_case2(self):
+        f = det(2)
+        x = [0.0] * 20
+        x[10] = 3.0
+        x[15] = 7.0
+        assert f.group3_raw(x) == pytest.approx(9.0 + 7.0)
+
+    def test_group3_case3(self):
+        f = det(3)
+        x = [0.0] * 20
+        x[10] = 3.0
+        x[15] = 7.0
+        assert f.group3_raw(x) == pytest.approx(9.0 + 49.0)
+
+    def test_group3_case4_pairing(self):
+        f = det(4)
+        x = [0.0] * 20
+        x[10], x[15] = 2.0, 2.0  # (2 * 2^4)^2 = 1024
+        assert f.group3_raw(x) == pytest.approx(1024.0)
+        # Pairing is positional: x10 pairs with x15, not x16.
+        x = [0.0] * 20
+        x[10], x[16] = 2.0, 2.0
+        assert f.group3_raw(x) == pytest.approx(0.0)
+
+    def test_group3_case5_power8(self):
+        f = det(5)
+        x = [0.0] * 20
+        x[11], x[16] = 1.0, 2.0  # (1 * 2^8)^2 = 65536
+        assert f.group3_raw(x) == pytest.approx(65536.0)
+
+    def test_group4_reciprocals(self):
+        f = det(1)
+        x = [1.0] * 20
+        x[15], x[16], x[17], x[18], x[19] = 1.0, 2.0, 4.0, 5.0, 10.0
+        assert f.group4_raw(x) == pytest.approx(1 + 0.5 + 0.25 + 0.2 + 0.1)
+
+    def test_group4_zero_guard(self):
+        f = det(1)
+        x = [1.0] * 20
+        x[15] = 0.0
+        assert math.isfinite(f.group4_raw(x))
+
+    def test_objective_is_sum_of_log_abs(self):
+        f = det(3)
+        cfg = f.vector_to_config([2.0] * 20)
+        groups = f.group_objectives(cfg)
+        assert f(cfg) == pytest.approx(sum(groups.values()))
+        raw = f.group_raw_values(cfg)
+        for g, v in raw.items():
+            assert groups[g] == pytest.approx(math.log(abs(v)))
+
+
+class TestInterdependenceDesign:
+    def test_group3_reads_group4_vars(self):
+        """The designed cross-routine coupling: x15..x19 move Group 3."""
+        f = det(4)
+        base = [1.0] * 20
+        moved = list(base)
+        moved[15] = 3.0
+        assert f.group3_raw(moved) != f.group3_raw(base)
+
+    def test_group1_isolated(self):
+        f = det(3)
+        base = [1.0] * 20
+        for j in range(5, 20):
+            moved = list(base)
+            moved[j] = 9.0
+            assert f.group1_raw(moved) == pytest.approx(f.group1_raw(base))
+
+    def test_influence_grading_monotone(self):
+        """Group 4's leverage on Group 3 grows with the case number.
+
+        Integer coordinates keep the case-1 cosine terms pinned at 1, so
+        the comparison isolates the designed power-law escalation.
+        """
+        base = [2.0] * 20
+        ratios = []
+        for case in range(1, 6):
+            f = det(case)
+            moved = list(base)
+            for v in range(15, 20):
+                moved[v] = 3.0
+            b, m = abs(f.group3_raw(base)), abs(f.group3_raw(moved))
+            ratios.append(abs(m - b) / max(b, 1e-12))
+        assert ratios[0] < ratios[2] < ratios[3] < ratios[4]
+
+
+class TestConfigInterface:
+    def test_vector_roundtrip(self):
+        f = det(1)
+        x = list(np.linspace(-50, 50, 20))
+        cfg = f.vector_to_config(x)
+        assert f.config_to_vector(cfg) == pytest.approx(x)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            det(1).vector_to_config([1.0] * 19)
+
+    def test_missing_key_rejected(self):
+        cfg = det(1).vector_to_config([1.0] * 20)
+        del cfg["x7"]
+        with pytest.raises(KeyError):
+            det(1)(cfg)
+
+    def test_search_space_shape(self):
+        sp = det(1).search_space()
+        assert sp.dimension == 20
+        assert sp["x0"].low == -50.0 and sp["x0"].high == 50.0
+
+    def test_routines_shape(self):
+        rs = det(1).routines()
+        assert rs.names == ["Group 1", "Group 2", "Group 3", "Group 4"]
+        assert rs["Group 3"].parameters == tuple(f"x{i}" for i in range(10, 15))
+        assert rs.shared_parameters() == {}
+
+    def test_routine_objectives_are_abs_outputs(self):
+        f = det(2)
+        cfg = f.vector_to_config([2.0] * 20)
+        rs = f.routines()
+        outs = f.group_outputs(cfg)
+        for r in rs:
+            assert r.evaluate(cfg) == pytest.approx(outs[r.name])
+
+
+class TestNoise:
+    def test_noise_zero_is_deterministic(self):
+        f = det(3)
+        cfg = f.vector_to_config([2.0] * 20)
+        assert f(cfg) == f(cfg)
+
+    def test_noise_perturbs_but_small(self):
+        f = SyntheticFunction(3, noise_scale=0.001, random_state=0)
+        cfg = f.vector_to_config([5.0] * 20)
+        vals = [f(cfg) for _ in range(10)]
+        assert len(set(vals)) > 1
+        assert np.std(vals) < 0.05 * abs(np.mean(vals))
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=20, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_objective_always_finite(self, x):
+        f = SyntheticFunction(5, noise_scale=0.001, random_state=0)
+        assert math.isfinite(f.evaluate_vector(x))

@@ -1,0 +1,169 @@
+"""Tests for the RT-TDDFT application facade (spaces, observables,
+routines, and the paper's structural couplings)."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import perlmutter_gpu
+from repro.tddft import KERNEL_KEYS, RTTDDFTApplication, case_study
+
+
+@pytest.fixture(scope="module")
+def app():
+    return RTTDDFTApplication(case_study(1), noise_scale=0.0, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def app2():
+    return RTTDDFTApplication(case_study(2), noise_scale=0.0, random_state=0)
+
+
+class TestSearchSpace:
+    def test_twenty_parameters(self, app):
+        sp = app.search_space()
+        assert sp.dimension == 20
+        expected = {"nstb", "nkpb", "nspb", "nstreams", "nbatches"}
+        for k in KERNEL_KEYS:
+            expected |= {f"u_{k}", f"tb_{k}", f"tb_sm_{k}"}
+        assert set(sp.names) == expected
+
+    def test_gpu_cardinalities_match_table_iv(self, app):
+        """Per kernel: 4 x 32 x 32 configurations; streams/batches 32 x 32."""
+        sp = app.search_space()
+        for k in KERNEL_KEYS:
+            assert sp[f"u_{k}"].cardinality == 4
+            assert sp[f"tb_{k}"].cardinality == 32
+            assert sp[f"tb_sm_{k}"].cardinality == 32
+        assert sp["nstreams"].cardinality == 32
+        assert sp["nbatches"].cardinality == 32
+
+    def test_expert_constraints_pin_degenerate_dims(self, app):
+        sp = app.search_space()
+        # Case study 1: single spin and k-point.
+        assert sp["nspb"].cardinality == 1
+        assert sp["nkpb"].cardinality == 1
+        # nstb restricted to divisors of 64 within 40 ranks.
+        assert sp["nstb"].values == [1, 2, 4, 8, 16, 32]
+
+    def test_case2_grid_divisors(self, app2):
+        sp = app2.search_space()
+        assert sp["nkpb"].values == [1, 2, 3, 4, 6, 9, 12, 18, 36]
+
+    def test_no_expert_constraints_widens(self):
+        app = RTTDDFTApplication(
+            case_study(1), expert_constraints=False, noise_scale=0.0, random_state=0
+        )
+        sp = app.search_space()
+        assert sp["nstb"].cardinality == 40  # capped by allocation
+
+    def test_samples_respect_occupancy_and_allocation(self, app2):
+        sp = app2.search_space()
+        rng = np.random.default_rng(0)
+        for cfg in sp.sample_batch(50, rng):
+            for k in KERNEL_KEYS:
+                assert cfg[f"tb_{k}"] * cfg[f"tb_sm_{k}"] <= 2048
+            assert cfg["nstb"] * cfg["nkpb"] * cfg["nspb"] <= 40
+
+    def test_defaults_valid(self, app):
+        sp = app.search_space()
+        assert sp.is_valid(app.defaults())
+
+
+class TestObservables:
+    def test_total_decomposes(self, app):
+        d = app.defaults()
+        total = app.total_runtime(d)
+        slater = app.slater_runtime(d)
+        assert total > slater > 0
+
+    def test_group_runtimes_positive(self, app):
+        d = app.defaults()
+        for g in ("Group 1", "Group 2", "Group 3"):
+            assert app.group_runtime(g, d) > 0
+
+    def test_noise_reproducible_at_zero(self, app):
+        d = app.defaults()
+        assert app.total_runtime(d) == app.total_runtime(d)
+
+    def test_noise_scale_perturbs(self):
+        noisy = RTTDDFTApplication(case_study(1), noise_scale=0.05, random_state=1)
+        d = noisy.defaults()
+        vals = {noisy.total_runtime(d) for _ in range(5)}
+        assert len(vals) == 5
+
+
+class TestStructuralCouplings:
+    """The couplings Tables V/VI report, verified deterministically."""
+
+    def test_nstb_drives_slater(self, app):
+        d = app.defaults()
+        fast = dict(d, nstb=32)
+        slow = dict(d, nstb=1)
+        assert app.slater_runtime(slow) > 10 * app.slater_runtime(fast)
+
+    def test_nbatches_drives_group_invocations(self, app):
+        d = app.defaults()
+        small = dict(d, nbatches=1)
+        large = dict(d, nbatches=32)
+        for g in ("Group 1", "Group 2", "Group 3"):
+            assert app.group_runtime(g, large) > 10 * app.group_runtime(g, small)
+
+    def test_pair_params_move_group3_not_group1(self, app):
+        d = app.defaults()
+        clean = dict(d, tb_pair=32, tb_sm_pair=1)
+        dirty = dict(d, tb_pair=1024, tb_sm_pair=2)
+        g3 = app.group_runtime("Group 3", dirty) / app.group_runtime("Group 3", clean)
+        g1 = app.group_runtime("Group 1", dirty) / app.group_runtime("Group 1", clean)
+        assert g3 > 1.15
+        assert g1 == pytest.approx(1.0, rel=1e-9)
+
+    def test_mpi_params_do_not_move_group_invocations(self, app2):
+        d = app2.defaults()
+        a = dict(d, nkpb=1)
+        b = dict(d, nkpb=36)
+        assert app2.group_runtime("Group 1", a) == pytest.approx(
+            app2.group_runtime("Group 1", b), rel=1e-9
+        )
+
+    def test_kpoints_multiply_runtime_case2(self, app2):
+        d = app2.defaults()
+        serial_k = dict(d, nkpb=1)
+        parallel_k = dict(d, nkpb=36)
+        assert app2.slater_runtime(serial_k) > 20 * app2.slater_runtime(parallel_k)
+
+    def test_profile_shape(self, app):
+        prof = app.gpu_profile()
+        assert sum(prof.values()) == pytest.approx(1.0)
+        assert prof["cuFFT"] > 0.5
+        assert prof["cuZvec2Vec"] < 0.1
+
+
+class TestRoutines:
+    def test_routine_set_shape(self, app):
+        rs = app.routines()
+        assert rs.names == [
+            "MPI Grid", "Slater Determinant", "Group 1", "Group 2", "Group 3",
+        ]
+        assert rs.shared_parameters() == {
+            "u_zcopy": ["Group 1", "Group 3"],
+            "tb_zcopy": ["Group 1", "Group 3"],
+            "tb_sm_zcopy": ["Group 1", "Group 3"],
+        }
+
+    def test_group3_outweighs_group1(self, app):
+        """Rule-5 input: zcopy's high-impact region is Group 3."""
+        rs = app.routines()
+        assert rs["Group 3"].weight > rs["Group 2"].weight
+
+    def test_hierarchy(self, app):
+        h = app.hierarchy()
+        assert h["MPI Grid"] == ["Slater Determinant"]
+        assert set(h["Slater Determinant"]) == {"Group 1", "Group 2", "Group 3"}
+
+    def test_local_work(self, app2):
+        cfg = dict(app2.defaults(), nkpb=4, nstb=8)
+        assert app2.local_work(cfg) == (1, 9, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RTTDDFTApplication(case_study(1), noise_scale=-0.1)

@@ -1,0 +1,61 @@
+"""Tests for the CPU MPI-path model (the pre-offload baseline)."""
+
+import pytest
+
+from repro.mpisim import ClusterSpec
+from repro.tddft import CpuRTTDDFT, case_study
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    cluster = ClusterSpec(name="cpu", nodes=10, ranks_per_node=64)
+    return CpuRTTDDFT(case_study(1), cluster)
+
+
+class TestProfile:
+    def test_ngb_one_has_negligible_communication(self, cpu):
+        """The GPU port's structural identity: a single-rank FFT group
+        turns the distributed transpose into a local repack."""
+        prof = cpu.slater_profile({"nspb": 1, "nkpb": 1, "nstb": 8, "ngb": 1})
+        assert prof.communication_fraction < 0.05
+
+    def test_communication_grows_with_ngb(self, cpu):
+        fracs = [
+            cpu.slater_profile(
+                {"nspb": 1, "nkpb": 1, "nstb": 8, "ngb": g}
+            ).communication_fraction
+            for g in (1, 4, 16, 64)
+        ]
+        assert all(a < b for a, b in zip(fracs, fracs[1:]))
+
+    def test_ngb_speeds_up_compute(self, cpu):
+        """More FFT ranks shrink per-rank compute even as comm grows."""
+        t1 = cpu.slater_profile({"nspb": 1, "nkpb": 1, "nstb": 8, "ngb": 1})
+        t16 = cpu.slater_profile({"nspb": 1, "nkpb": 1, "nstb": 8, "ngb": 16})
+        assert t16.compute < t1.compute
+        assert t16.total < t1.total
+
+    def test_grid_must_fit_allocation(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.slater_profile({"nspb": 1, "nkpb": 1, "nstb": 64, "ngb": 64})
+
+
+class TestBestGrid:
+    def test_best_grid_feasible_and_balanced(self, cpu):
+        best = cpu.best_balanced_grid()
+        assert (
+            best["nspb"] * best["nkpb"] * best["nstb"] * best["ngb"]
+            <= cpu.cluster.total_ranks
+        )
+        assert cpu.system.nbands % best["nstb"] == 0
+
+    def test_best_grid_uses_fft_parallelism(self, cpu):
+        """On the CPU path the optimizer chooses ngb > 1 — the
+        communication is worth the compute split, which is precisely the
+        trade-off the GPU version re-balances."""
+        assert cpu.best_balanced_grid()["ngb"] > 1
+
+    def test_best_grid_beats_serial_fft(self, cpu):
+        best = cpu.best_balanced_grid()
+        serial = dict(best, ngb=1)
+        assert cpu.total_runtime(best) < cpu.total_runtime(serial)

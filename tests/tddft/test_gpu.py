@@ -1,0 +1,75 @@
+"""Tests for the GPU architecture model and occupancy calculator."""
+
+import pytest
+
+from repro.tddft import GpuSpec, a100
+
+
+class TestA100Limits:
+    def test_published_limits(self):
+        g = a100()
+        assert g.sms == 108
+        assert g.max_threads_per_sm == 2048
+        assert g.max_blocks_per_sm == 32
+        assert g.max_warps_per_block == 32
+        assert g.max_threads_per_block == 1024
+
+    def test_paper_parameter_cardinalities(self):
+        """Table IV: 32 threadblock sizes x 32 blocks-per-SM values."""
+        g = a100()
+        assert len(g.tb_values()) == 32
+        assert len(g.tb_sm_values()) == 32
+        assert g.tb_values()[0] == 32 and g.tb_values()[-1] == 1024
+
+
+class TestValidity:
+    def test_occupancy_constraint(self):
+        g = a100()
+        assert g.threadblock_valid(64, 32)  # 2048 exactly
+        assert not g.threadblock_valid(128, 32)  # 4096 > 2048
+        assert g.threadblock_valid(1024, 2)
+        assert not g.threadblock_valid(1024, 3)
+
+    def test_warp_multiple_required(self):
+        g = a100()
+        assert not g.threadblock_valid(48, 1)
+        assert not g.threadblock_valid(0, 1)
+        assert not g.threadblock_valid(2048, 1)  # beyond block bound
+
+    def test_tb_sm_bounds(self):
+        g = a100()
+        assert not g.threadblock_valid(32, 0)
+        assert not g.threadblock_valid(32, 33)
+
+
+class TestOccupancy:
+    def test_full_occupancy(self):
+        occ = a100().occupancy(64, 32)
+        assert occ.fraction == 1.0
+        assert occ.active_threads_per_sm == 2048
+        assert occ.memory_efficiency() == pytest.approx(1.0)
+
+    def test_low_occupancy_penalized(self):
+        g = a100()
+        low = g.occupancy(32, 1)
+        high = g.occupancy(256, 8)
+        assert low.fraction == pytest.approx(32 / 2048)
+        assert low.memory_efficiency() < 0.2
+        assert high.memory_efficiency() > 0.8
+
+    def test_efficiency_monotone_in_occupancy(self):
+        g = a100()
+        effs = [g.occupancy(64, sm).memory_efficiency() for sm in (1, 2, 4, 8, 16, 32)]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            a100().occupancy(128, 32)
+
+
+class TestSpecValidation:
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            GpuSpec(sms=0)
+        with pytest.raises(ValueError):
+            GpuSpec(memory_bandwidth=0.0)

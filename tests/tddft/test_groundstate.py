@@ -1,0 +1,98 @@
+"""Tests for the imaginary-time ground-state solver (the SCF analog)."""
+
+import numpy as np
+import pytest
+
+from repro.tddft import ImaginaryTimeSolver, NumericSlaterApp
+
+
+@pytest.fixture(scope="module")
+def solution():
+    app = NumericSlaterApp((12, 12, 12), nbands=3, random_state=0)
+    solver = ImaginaryTimeSolver(app, dtau=0.25)
+    return app, solver, solver.solve(max_iterations=600, tol=1e-11, config=3)
+
+
+class TestConvergence:
+    def test_energy_monotone_decreasing(self, solution):
+        _, _, res = solution
+        assert np.all(np.diff(res.energy_history) <= 1e-9)
+
+    def test_band_energies_sorted(self, solution):
+        _, _, res = solution
+        assert np.all(np.diff(res.band_energies) >= -1e-12)
+
+    def test_orthonormal_bands(self, solution):
+        app, _, res = solution
+        flat = res.coefficients  # on the G-sphere; padding carries ~0 weight
+        gram = flat @ flat.conj().T
+        # The sphere projection drops the small off-sphere weight the
+        # potential scatters out (plane-wave truncation), so the Gram
+        # matrix is orthonormal to ~1e-3, not machine precision.
+        assert np.allclose(gram, np.eye(flat.shape[0]), atol=5e-3)
+
+    def test_eigenvalue_residuals_small(self, solution):
+        _, _, res = solution
+        # Residual scale: ||H psi|| ~ |E| ~ O(1).  The low spectrum of
+        # this potential is dense, so the subspace converges slowly; the
+        # exact-case tests below pin down correctness, this one guards
+        # against gross non-convergence.
+        assert np.all(res.residuals < 0.3)
+
+    def test_energy_below_random_start(self, solution):
+        app, solver, res = solution
+        boxes = app._scatter(app.coefficients)
+        boxes = solver._orthonormalize(boxes)
+        start = float(np.sum(solver.band_energies(boxes)))
+        assert res.energy_history[-1] < start
+
+
+class TestExactCases:
+    def test_constant_potential_ground_state(self):
+        """V = c: the ground state is the uniform G=0 mode, E = c."""
+        app = NumericSlaterApp((10, 10, 10), nbands=1, random_state=1)
+        app.set_constant_potential(2.0)
+        res = ImaginaryTimeSolver(app, dtau=0.2).solve(
+            max_iterations=500, tol=1e-12
+        )
+        assert res.band_energies[0] == pytest.approx(2.0, abs=1e-4)
+        assert res.residuals[0] < 1e-3
+
+    def test_free_particle_spectrum(self):
+        """V = 0: band energies converge onto kinetic eigenvalues."""
+        app = NumericSlaterApp((8, 8, 8), nbands=2, random_state=2)
+        app.set_constant_potential(0.0)
+        solver = ImaginaryTimeSolver(app, dtau=0.3)
+        res = solver.solve(max_iterations=800, tol=1e-13)
+        # Lowest kinetic eigenvalue is 0 (G=0); next is (2*pi/8)^2 / 2.
+        assert res.band_energies[0] == pytest.approx(0.0, abs=1e-3)
+        k1 = 0.5 * (2 * np.pi / 8) ** 2
+        assert res.band_energies[1] == pytest.approx(k1, rel=0.05)
+
+
+class TestInterface:
+    def test_batching_does_not_change_result(self):
+        a1 = NumericSlaterApp((10, 10, 10), nbands=4, random_state=3)
+        a2 = NumericSlaterApp((10, 10, 10), nbands=4, random_state=3)
+        r1 = ImaginaryTimeSolver(a1, dtau=0.2).solve(max_iterations=50, config=1)
+        r4 = ImaginaryTimeSolver(a2, dtau=0.2).solve(max_iterations=50, config=4)
+        assert np.allclose(r1.band_energies, r4.band_energies, atol=1e-10)
+
+    def test_config_dict(self):
+        app = NumericSlaterApp((8, 8, 8), nbands=2, random_state=0)
+        res = ImaginaryTimeSolver(app, dtau=0.2).solve(
+            max_iterations=5, config={"nbatches": 2}
+        )
+        assert res.iterations == 5
+
+    def test_timings_include_orthonormalization(self):
+        app = NumericSlaterApp((8, 8, 8), nbands=2, random_state=0)
+        res = ImaginaryTimeSolver(app, dtau=0.2).solve(max_iterations=5)
+        assert "orthonormalize" in res.timings.entries
+
+    def test_validation(self):
+        app = NumericSlaterApp((8, 8, 8), nbands=2, random_state=0)
+        with pytest.raises(ValueError):
+            ImaginaryTimeSolver(app, dtau=0.0)
+        with pytest.raises(ValueError):
+            ImaginaryTimeSolver(app, dtau=0.1).solve(max_iterations=0)

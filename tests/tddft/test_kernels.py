@@ -1,0 +1,134 @@
+"""Tests for the GPU kernel cost models."""
+
+import pytest
+
+from repro.tddft import (
+    SLATER_KERNELS,
+    KernelSpec,
+    a100,
+    fft3d_time,
+    memcpy_time,
+    pair_cache_pollution,
+)
+
+
+@pytest.fixture
+def gpu():
+    return a100()
+
+
+N = 3_000_000  # Case Study 1 FFT size
+
+
+class TestKernelRuntime:
+    def test_scales_with_elements(self, gpu):
+        k = SLATER_KERNELS["vec"]
+        t1 = k.runtime(gpu, N, 4, 256, 8)
+        t2 = k.runtime(gpu, 2 * N, 4, 256, 8)
+        # Near-linear; wave quantization makes the doubling slightly
+        # sublinear (the half-empty last wave amortizes).
+        assert 1.6 * t1 < t2 < 2.1 * t1
+
+    def test_occupancy_dominates(self, gpu):
+        k = SLATER_KERNELS["zcopy"]
+        slow = k.runtime(gpu, N, 2, 128, 1)   # 6% occupancy
+        fast = k.runtime(gpu, N, 2, 128, 16)  # full occupancy
+        assert slow > 2.5 * fast
+
+    def test_optimal_unroll_is_best(self, gpu):
+        k = SLATER_KERNELS["dscal"]  # u_opt = 8
+        times = {u: k.runtime(gpu, N, u, 256, 8) for u in (1, 2, 4, 8)}
+        assert min(times, key=times.get) == 8
+
+    def test_optimal_tb_is_best_among_grid(self, gpu):
+        # Hold occupancy fixed (tb * tb_sm = 1024) so the comparison
+        # isolates the block-size efficiency peak at tb_opt = 256.
+        k = SLATER_KERNELS["vec"]  # tb_opt = 256
+        times = {
+            tb: k.runtime(gpu, N, 4, tb, 1024 // tb)
+            for tb in (128, 256, 512, 1024)
+        }
+        assert min(times, key=times.get) == 256
+
+    def test_cache_pollution_slows_sensitive_kernels(self, gpu):
+        zcopy = SLATER_KERNELS["zcopy"]
+        clean = zcopy.runtime(gpu, N, 2, 128, 8, cache_pollution=0.0)
+        dirty = zcopy.runtime(gpu, N, 2, 128, 8, cache_pollution=1.0)
+        assert dirty > 2 * clean  # sensitivity 2.8
+
+    def test_insensitive_kernels_ignore_pollution(self, gpu):
+        pair = SLATER_KERNELS["pair"]
+        assert pair.runtime(gpu, N, 2, 512, 4, cache_pollution=1.0) == pytest.approx(
+            pair.runtime(gpu, N, 2, 512, 4, cache_pollution=0.0)
+        )
+
+    def test_invalid_inputs(self, gpu):
+        k = SLATER_KERNELS["vec"]
+        with pytest.raises(ValueError):
+            k.runtime(gpu, 0, 4, 256, 8)
+        with pytest.raises(ValueError):
+            k.runtime(gpu, N, 4, 256, 8, cache_pollution=1.5)
+        with pytest.raises(ValueError):
+            k.runtime(gpu, N, 4, 128, 32)  # violates occupancy bound
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", bytes_per_element=0.0, flops_per_element=1, u_opt=1, tb_opt=64)
+        with pytest.raises(ValueError):
+            KernelSpec("k", bytes_per_element=1.0, flops_per_element=1, u_opt=0, tb_opt=64)
+
+
+class TestFFT:
+    def test_batch_scales_superlinearly_amortized(self, gpu):
+        """Per-band FFT cost falls with batching (plan reuse ramp)."""
+        per_band_1 = fft3d_time(gpu, N, 1) / 1
+        per_band_16 = fft3d_time(gpu, N, 16) / 16
+        assert per_band_16 < per_band_1
+
+    def test_nlogn_scaling(self, gpu):
+        t_small = fft3d_time(gpu, 620_000, 8)  # Case Study 2 size
+        t_large = fft3d_time(gpu, N, 8)
+        assert t_large > 4 * t_small
+
+    def test_validation(self, gpu):
+        with pytest.raises(ValueError):
+            fft3d_time(gpu, 1, 1)
+        with pytest.raises(ValueError):
+            fft3d_time(gpu, N, 0)
+
+
+class TestMemcpy:
+    def test_bandwidth_bound(self):
+        t = memcpy_time(21e9)  # one second of PCIe traffic
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_zero_free(self):
+        assert memcpy_time(0) == 0.0
+
+    def test_latency_floor(self):
+        assert memcpy_time(1) >= 10e-6
+
+
+class TestCachePollution:
+    def test_range(self, gpu):
+        assert pair_cache_pollution(gpu, 32, 1) < 0.05
+        assert pair_cache_pollution(gpu, 1024, 2) == 1.0  # clipped
+
+    def test_monotone(self, gpu):
+        p = [pair_cache_pollution(gpu, 256, sm) for sm in (1, 2, 4, 8)]
+        assert all(a <= b for a, b in zip(p, p[1:]))
+
+    def test_validation(self, gpu):
+        with pytest.raises(ValueError):
+            pair_cache_pollution(gpu, 0, 1)
+
+
+class TestCalibration:
+    def test_kernel_set_complete(self):
+        assert set(SLATER_KERNELS) == {"vec", "zcopy", "pair", "dscal", "zvec"}
+
+    def test_only_group3_kernels_cache_sensitive(self):
+        assert SLATER_KERNELS["vec"].cache_sensitivity == 0.0
+        assert SLATER_KERNELS["pair"].cache_sensitivity == 0.0
+        for k in ("zcopy", "dscal", "zvec"):
+            assert SLATER_KERNELS[k].cache_sensitivity > 0.0

@@ -1,0 +1,76 @@
+"""Integration: the staged methodology end-to-end on the TDDFT app.
+
+Uses the random-search engine with small budgets so the test stays fast;
+what matters here is the *plumbing*: stage ordering, pin-carrying between
+stages, and the final combined configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TuningMethodology
+from repro.tddft import RTTDDFTApplication, case_study
+
+
+@pytest.fixture(scope="module")
+def result_and_app():
+    app = RTTDDFTApplication(case_study(1), random_state=3)
+    tm = TuningMethodology(
+        app.search_space(),
+        app.routines(),
+        cutoff=0.10,
+        n_variations=5,
+        n_baselines=3,
+        variation_mode="random",
+        hierarchy=app.hierarchy(),
+        engine="random",
+        random_state=3,
+    )
+    return tm.run(), app
+
+
+class TestStagedExecution:
+    def test_all_planned_searches_ran(self, result_and_app):
+        res, _ = result_and_app
+        ran = {s.name for s in res.campaign.searches}
+        planned = {s.name for s in res.plan.searches}
+        assert ran == planned
+
+    def test_later_stages_pin_earlier_optima(self, result_and_app):
+        """Every configuration evaluated by a stage>=1 search must carry
+        the tuned values found by the earlier stages."""
+        res, _ = result_and_app
+        by_name = {s.name: s for s in res.campaign.searches}
+        stage_of = {s.name: s.stage for s in res.plan.searches}
+
+        mpi_best = by_name["MPI Grid"].tuned_config
+        slater = by_name["Slater Determinant"]
+        for rec in slater.database:
+            for k, v in mpi_best.items():
+                assert rec.config[k] == v
+
+        slater_best = slater.tuned_config
+        for name, stage in stage_of.items():
+            if stage < 2:
+                continue
+            for rec in by_name[name].database:
+                for k, v in slater_best.items():
+                    assert rec.config[k] == v
+                for k, v in mpi_best.items():
+                    assert rec.config[k] == v
+
+    def test_combined_config_complete_and_valid(self, result_and_app):
+        res, app = result_and_app
+        best = res.best_config
+        sp = app.search_space()
+        assert set(best) >= set(sp.names)
+        assert sp.is_valid({k: best[k] for k in sp.names})
+
+    def test_tuning_beats_defaults(self, result_and_app):
+        res, app = result_and_app
+        app.noise_scale = 0.0
+        assert app.total_runtime(res.best_config) < app.total_runtime(app.defaults())
+
+    def test_staged_wall_time_sums_stages(self, result_and_app):
+        res, _ = result_and_app
+        assert res.staged_wall_time >= res.campaign.wall_time

@@ -1,0 +1,79 @@
+"""Tests for the numeric Slater mini-app (real FFT physics)."""
+
+import numpy as np
+import pytest
+
+from repro.tddft import NumericSlaterApp
+
+
+@pytest.fixture(scope="module")
+def app():
+    return NumericSlaterApp((16, 16, 16), nbands=8, random_state=0)
+
+
+class TestPhysics:
+    def test_density_integrates_to_band_count(self, app):
+        """Parseval: normalized orbitals -> sum of density = nbands."""
+        r = app.run(4)
+        assert r.density.sum() == pytest.approx(app.nbands, rel=1e-10)
+        assert np.all(r.density >= 0)
+
+    def test_constant_potential_energy_exact(self):
+        app = NumericSlaterApp((12, 12, 12), nbands=5, random_state=1)
+        app.set_constant_potential(2.5)
+        r = app.run(5)
+        assert r.energy == pytest.approx(2.5 * 5, rel=1e-10)
+
+    def test_energy_matches_direct_integral(self, app):
+        """<psi|V|psi> computed through the pipeline equals the direct
+        real-space integral of V times the density."""
+        r = app.run(8)
+        direct = float(np.sum(app.potential * r.density))
+        assert r.energy == pytest.approx(direct, rel=1e-10)
+
+    def test_constant_potential_hpsi_is_scaled_psi(self):
+        """V = c => V|psi> = c|psi> exactly (FFT round-trip identity)."""
+        app = NumericSlaterApp((12, 12, 12), nbands=4, random_state=2)
+        app.set_constant_potential(3.0)
+        r = app.run(2)
+        assert np.allclose(r.hpsi_g, 3.0 * app.coefficients)
+
+    def test_batch_size_does_not_change_results(self):
+        app = NumericSlaterApp((16, 16, 16), nbands=8, random_state=3)
+        r1 = app.run(1)
+        r8 = app.run(8)
+        assert np.allclose(r1.hpsi_g, r8.hpsi_g)
+        assert r1.energy == pytest.approx(r8.energy, rel=1e-12)
+        assert np.allclose(r1.density, r8.density)
+
+
+class TestInterface:
+    def test_config_dict_accepted(self, app):
+        r = app.run({"nbatches": 4})
+        assert r.wall_time > 0
+
+    def test_objective_returns_wall_time(self, app):
+        assert app.objective({"nbatches": 2}) > 0
+
+    def test_batch_capped_at_nbands(self, app):
+        r = app.run(10_000)
+        assert r.density.sum() == pytest.approx(app.nbands, rel=1e-10)
+
+    def test_timings_cover_pipeline(self, app):
+        r = app.run(4)
+        regions = set(r.timings.entries)
+        assert {"vec2zvec", "fft_backward", "pairwise", "fft_forward",
+                "zvec2vec"} <= regions
+        assert r.timings.grand_total > 0
+
+    def test_gsphere_is_compact(self, app):
+        assert 0 < app.n_gvectors < app.npoints * 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumericSlaterApp((1, 16, 16))
+        with pytest.raises(ValueError):
+            NumericSlaterApp((8, 8, 8), nbands=0)
+        app = NumericSlaterApp((8, 8, 8), nbands=2)
+        with pytest.raises(ValueError):
+            app.run(0)

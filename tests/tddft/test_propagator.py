@@ -1,0 +1,91 @@
+"""Tests for the split-operator real-time propagator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tddft import NumericSlaterApp, SplitOperatorPropagator
+
+
+@pytest.fixture(scope="module")
+def app():
+    return NumericSlaterApp((16, 16, 16), nbands=4, random_state=0)
+
+
+class TestUnitarity:
+    def test_norm_conserved_to_machine_precision(self, app):
+        prop = SplitOperatorPropagator(app, dt=0.05)
+        res = prop.propagate(25, config=2)
+        assert np.ptp(res.norms) < 1e-10 * res.norms[0]
+
+    def test_energy_conserved_for_static_hamiltonian(self, app):
+        prop = SplitOperatorPropagator(app, dt=0.02)
+        res = prop.propagate(25, config=4)
+        drift = np.ptp(res.energies) / abs(res.energies[0])
+        assert drift < 1e-4
+
+    def test_energy_error_scales_with_dt(self, app):
+        """Trotter error is O(dt^2): quartering dt cuts the wobble."""
+        coarse = SplitOperatorPropagator(app, dt=0.08).propagate(8, config=4)
+        fine = SplitOperatorPropagator(app, dt=0.02).propagate(32, config=4)
+        err_coarse = np.ptp(coarse.energies) / abs(coarse.energies[0])
+        err_fine = np.ptp(fine.energies) / abs(fine.energies[0])
+        assert err_fine < err_coarse
+
+
+class TestDynamics:
+    def test_kick_starts_dipole_oscillation(self, app):
+        quiet = SplitOperatorPropagator(app, dt=0.05, kick=0.0).propagate(10, config=4)
+        kicked = SplitOperatorPropagator(app, dt=0.05, kick=0.5).propagate(10, config=4)
+        assert np.ptp(kicked.dipole) > 5 * max(np.ptp(quiet.dipole), 1e-12)
+
+    def test_kick_preserves_norm(self, app):
+        prop = SplitOperatorPropagator(app, dt=0.05, kick=0.7)
+        boxes = prop.initial_state()
+        norm, _, _ = prop.observables(boxes)
+        assert norm == pytest.approx(app.nbands, rel=1e-10)
+
+    def test_free_particle_phase_exact(self):
+        """With V = 0 the propagator is exact: a single plane wave picks
+        up exactly exp(-i k^2/2 t)."""
+        app = NumericSlaterApp((8, 8, 8), nbands=1, random_state=0)
+        app.set_constant_potential(0.0)
+        # Put all weight on one G-vector of the sphere.
+        app.coefficients[:] = 0.0
+        app.coefficients[0, 1] = 1.0
+        prop = SplitOperatorPropagator(app, dt=0.1)
+        res = prop.propagate(5, config=1)
+        # Norm exactly 1, energy exactly the kinetic eigenvalue.
+        assert np.allclose(res.norms, 1.0)
+        assert np.ptp(res.energies) < 1e-12
+
+
+class TestBatching:
+    def test_batch_size_does_not_change_physics(self, app):
+        r1 = SplitOperatorPropagator(app, dt=0.05, kick=0.3).propagate(6, config=1)
+        r4 = SplitOperatorPropagator(app, dt=0.05, kick=0.3).propagate(6, config=4)
+        assert np.allclose(r1.coefficients, r4.coefficients)
+        assert np.allclose(r1.dipole, r4.dipole)
+
+    def test_config_dict_accepted(self, app):
+        res = SplitOperatorPropagator(app, dt=0.05).propagate(
+            3, config={"nbatches": 2}
+        )
+        assert res.n_steps == 3
+
+    def test_timings_recorded(self, app):
+        res = SplitOperatorPropagator(app, dt=0.05).propagate(3, config=2)
+        assert {"fft_backward", "fft_forward", "kinetic", "potential_half"} <= set(
+            res.timings.entries
+        )
+
+
+class TestValidation:
+    def test_bad_dt(self, app):
+        with pytest.raises(ValueError):
+            SplitOperatorPropagator(app, dt=0.0)
+
+    def test_bad_steps(self, app):
+        with pytest.raises(ValueError):
+            SplitOperatorPropagator(app, dt=0.1).propagate(0)

@@ -1,0 +1,133 @@
+"""Tests for the Slater pipeline and its stream-overlap simulation."""
+
+import pytest
+
+from repro.tddft import GROUP_KERNELS, SlaterPipeline, a100, case_study
+
+
+@pytest.fixture
+def pipe():
+    return SlaterPipeline(case_study(1), a100())
+
+
+def config(**over):
+    cfg = {}
+    for k in ("dscal", "pair", "zcopy", "vec", "zvec"):
+        cfg[f"u_{k}"] = 2
+        cfg[f"tb_{k}"] = 256
+        cfg[f"tb_sm_{k}"] = 4
+    cfg["nstreams"] = 1
+    cfg["nbatches"] = 4
+    cfg.update(over)
+    return cfg
+
+
+class TestGroupTimes:
+    def test_groups_positive_and_ordered(self, pipe):
+        cfg = config()
+        g1 = pipe.group_time("Group 1", 4, cfg)
+        g2 = pipe.group_time("Group 2", 4, cfg)
+        g3 = pipe.group_time("Group 3", 4, cfg)
+        assert g1 > 0 and g2 > 0 and g3 > 0
+        # Groups 1 and 3 carry the FFTs; the pairwise product is small.
+        assert g2 < g1 and g2 < g3
+        # Group 3 (padded transpose + two dscal passes) outweighs Group 1:
+        # the "region with highest impact" for the shared cuZcopy kernel.
+        assert g3 > g1
+
+    def test_batch_scales_group_time(self, pipe):
+        cfg = config()
+        t4 = pipe.group_time("Group 1", 4, cfg)
+        t16 = pipe.group_time("Group 1", 16, cfg)
+        assert 3.0 < t16 / t4 < 4.5
+
+    def test_pair_params_move_group3_only_via_cache(self, pipe):
+        base = config(tb_pair=32, tb_sm_pair=1)
+        big = config(tb_pair=1024, tb_sm_pair=2)
+        g3_base = pipe.group_time("Group 3", 4, base)
+        g3_big = pipe.group_time("Group 3", 4, big)
+        assert g3_big > 1.1 * g3_base  # the designed G2 -> G3 coupling
+        g1_base = pipe.group_time("Group 1", 4, base)
+        g1_big = pipe.group_time("Group 1", 4, big)
+        assert g1_big == pytest.approx(g1_base, rel=1e-9)  # G1 unaffected
+
+    def test_unknown_group(self, pipe):
+        with pytest.raises(KeyError):
+            pipe.group_time("Group 9", 4, config())
+
+    def test_bad_batch(self, pipe):
+        with pytest.raises(ValueError):
+            pipe.group_time("Group 1", 0, config())
+
+
+class TestBreakdown:
+    def test_profile_matches_paper_shape(self, pipe):
+        """cuFFT dominates; cuZvec2Vec is smallest — Section V-A."""
+        bd = pipe.kernel_breakdown(4, config())
+        total = sum(bd.values())
+        shares = {k: v / total for k, v in bd.items()}
+        assert 0.5 < shares["cuFFT"] < 0.75
+        assert shares["cuFFT"] > shares["cuZcopy"] > shares["cuZvec2Vec"]
+        assert set(bd) == {
+            "cuFFT", "cuZcopy", "cuVec2Zvec", "cuPairwise", "cuDscal", "cuZvec2Vec",
+        }
+
+
+class TestStreamedLoop:
+    def test_streams_overlap_transfers(self, pipe):
+        serial = pipe.slater_time(64, config(nstreams=1))
+        overlapped = pipe.slater_time(64, config(nstreams=4))
+        assert overlapped < 0.75 * serial
+
+    def test_stream_benefit_saturates(self, pipe):
+        t4 = pipe.slater_time(64, config(nstreams=4))
+        t32 = pipe.slater_time(64, config(nstreams=32))
+        # Three-stage pipeline: beyond a few streams only overhead grows.
+        assert t32 > 0.9 * t4
+
+    def test_single_invocation_cannot_overlap(self, pipe):
+        cfg = config(nbatches=32, nstreams=8)
+        one_inv = pipe.slater_time(32, cfg)  # 32 bands in one batch
+        serial = pipe.slater_time(32, config(nbatches=32, nstreams=1))
+        assert one_inv == pytest.approx(serial, rel=0.05)
+
+    def test_batch_sweet_spot_exists(self, pipe):
+        """Tiny batches pay overheads; huge batches lose overlap."""
+        cfg = lambda b: config(nbatches=b, nstreams=4)  # noqa: E731
+        t1 = pipe.slater_time(64, cfg(1))
+        t8 = pipe.slater_time(64, cfg(8))
+        t64 = pipe.slater_time(64, cfg(32))
+        assert t8 < t1
+        assert t8 < t64
+
+    def test_effective_batch_caps_at_local_bands(self, pipe):
+        assert pipe.effective_batch(4, 32) == 4
+        assert pipe.effective_batch(64, 8) == 8
+        with pytest.raises(ValueError):
+            pipe.effective_batch(0, 8)
+
+    def test_more_bands_more_time(self, pipe):
+        cfg = config(nstreams=2)
+        assert pipe.slater_time(64, cfg) > 1.8 * pipe.slater_time(32, cfg)
+
+    def test_serial_reference(self, pipe):
+        cfg = config(nstreams=16)
+        assert pipe.serial_slater_time(64, cfg) >= pipe.slater_time(64, cfg) * 0.95
+
+    def test_invalid_nstreams(self, pipe):
+        with pytest.raises(ValueError):
+            pipe.slater_time(64, config(nstreams=0))
+
+
+class TestGroupKernelMap:
+    def test_structure_matches_pseudocode(self):
+        assert [k for k, _ in GROUP_KERNELS["Group 1"]] == ["vec", "zcopy"]
+        assert [k for k, _ in GROUP_KERNELS["Group 2"]] == ["pair"]
+        assert [k for k, _ in GROUP_KERNELS["Group 3"]] == [
+            "dscal", "zcopy", "dscal", "zvec",
+        ]
+
+    def test_group3_zcopy_heavier_than_group1(self):
+        g1 = dict(GROUP_KERNELS["Group 1"])["zcopy"]
+        g3 = dict(GROUP_KERNELS["Group 3"])["zcopy"]
+        assert g3 > g1  # forward transpose&padding moves more data

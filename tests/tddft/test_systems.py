@@ -1,0 +1,71 @@
+"""Tests for the physical-system descriptions (paper Section VII)."""
+
+import pytest
+
+from repro.tddft import (
+    PhysicalSystem,
+    boron_nitride_slab,
+    case_study,
+    magnesium_porphyrin,
+)
+
+
+class TestCaseStudies:
+    def test_case_study_1(self):
+        s = magnesium_porphyrin()
+        assert (s.nspin, s.nkpoints, s.nbands) == (1, 1, 64)
+        assert s.fft_size == 3_000_000
+        assert s.band_bytes == 48_000_000  # double complex
+
+    def test_case_study_2(self):
+        s = boron_nitride_slab()
+        assert (s.nspin, s.nkpoints, s.nbands) == (1, 36, 64)
+        assert s.fft_size == 620_000
+
+    def test_lookup(self):
+        assert case_study(1).name == magnesium_porphyrin().name
+        assert case_study(2).name == boron_nitride_slab().name
+        with pytest.raises(ValueError):
+            case_study(3)
+
+    def test_transfer_bytes_smaller_than_box(self):
+        s = case_study(1)
+        assert 0 < s.transfer_bytes_per_band < s.band_bytes
+
+    def test_wavefunction_bytes(self):
+        s = case_study(2)
+        assert s.wavefunction_bytes == 1 * 36 * 64 * s.band_bytes
+
+
+class TestDivisors:
+    def test_band_divisors(self):
+        s = case_study(1)
+        assert s.divisors(64) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_kpoint_divisors(self):
+        s = case_study(2)
+        assert s.divisors(36) == [1, 2, 3, 4, 6, 9, 12, 18, 36]
+
+    def test_unknown_extent_rejected(self):
+        with pytest.raises(ValueError):
+            case_study(1).divisors(100)
+
+    def test_balanced_grids_respect_allocation(self):
+        s = case_study(2)
+        grids = s.balanced_grids(max_ranks=40)
+        assert grids
+        for nspb, nkpb, nstb in grids:
+            assert nspb * nkpb * nstb <= 40
+            assert 36 % nkpb == 0 and 64 % nstb == 0
+
+
+class TestValidation:
+    def test_extents_positive(self):
+        with pytest.raises(ValueError):
+            PhysicalSystem("x", 0, 1, 1, 100)
+
+    def test_gvector_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            PhysicalSystem("x", 1, 1, 1, 100, gvector_fraction=0.0)
+        with pytest.raises(ValueError):
+            PhysicalSystem("x", 1, 1, 1, 100, gvector_fraction=1.5)

@@ -1,0 +1,96 @@
+"""Tests for the distributed 4-D wavefunction (paper Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import CartGrid
+from repro.tddft import case_study
+from repro.tddft.wavefunction import DistributedWavefunction, _block_bounds
+
+
+def wf(nspb=1, nkpb=4, nstb=8, ngb=1, cs=2):
+    return DistributedWavefunction(case_study(cs), CartGrid(nspb, nkpb, nstb, ngb))
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert _block_bounds(8, 4, 0) == (0, 2)
+        assert _block_bounds(8, 4, 3) == (6, 8)
+
+    def test_ragged_split(self):
+        # 10 over 4: blocks of 3, 3, 2, 2.
+        bounds = [_block_bounds(10, 4, i) for i in range(4)]
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_parts_than_extent(self):
+        bounds = [_block_bounds(2, 4, i) for i in range(4)]
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _block_bounds(8, 0, 0)
+        with pytest.raises(ValueError):
+            _block_bounds(8, 4, 4)
+
+
+class TestDistribution:
+    def test_balanced_grid_is_exact_partition(self):
+        w = wf()
+        assert w.is_complete_partition()
+        assert w.imbalance() == pytest.approx(1.0)
+
+    def test_ragged_grid_still_partitions(self):
+        w = wf(nkpb=5)  # 36 k-points over 5
+        assert w.is_complete_partition()
+        assert w.imbalance() > 1.0
+
+    def test_local_shapes(self):
+        w = wf()
+        block = w.local_block(0)
+        assert block.shape == (1, 9, 8, case_study(2).fft_size)
+
+    def test_owner_consistency_everywhere(self):
+        w = wf(nkpb=5, nstb=7)  # doubly ragged
+        for rank, block in w.iter_blocks():
+            if block.n_elements == 0:
+                continue
+            for kp in (block.kpoint.start, block.kpoint.stop - 1):
+                for b in (block.band.start, block.band.stop - 1):
+                    assert w.owner_of(0, kp, b, 0) == rank
+
+    def test_memory_accounting(self):
+        w = wf()
+        total = sum(block.nbytes for _, block in w.iter_blocks())
+        assert total == w.global_nbytes
+        assert w.max_local_nbytes() == w.global_nbytes // w.grid.size
+
+    def test_gpu_grid_band_distribution(self):
+        """The GPU port's ngb=1 layout: bands split, G-vectors whole."""
+        w = wf(nstb=16, nkpb=1)
+        block = w.local_block(3)
+        assert block.gvector == slice(0, case_study(2).fft_size)
+        assert block.band.stop - block.band.start == 4
+
+    def test_allocate_local(self):
+        w = wf(nstb=64, nkpb=36)
+        arr = w.allocate_local(0, fill=1 + 2j)
+        assert arr.shape == w.local_block(0).shape
+        assert arr.dtype == complex
+        assert np.all(arr == 1 + 2j)
+
+    def test_out_of_range_coordinate(self):
+        with pytest.raises(ValueError):
+            wf().owner_of(0, 99, 0)
+
+
+@given(
+    st.integers(1, 3), st.integers(1, 6), st.integers(1, 9), st.integers(1, 4)
+)
+@settings(max_examples=40, deadline=None)
+def test_partition_property(nspb, nkpb, nstb, ngb):
+    """Any grid (balanced or not) partitions the wavefunction exactly."""
+    w = DistributedWavefunction(case_study(2), CartGrid(nspb, nkpb, nstb, ngb))
+    assert w.is_complete_partition()

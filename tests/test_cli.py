@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthetic_defaults(self):
+        args = build_parser().parse_args(["synthetic"])
+        assert args.case == 3 and args.cutoff == 0.25
+
+    def test_tddft_defaults(self):
+        args = build_parser().parse_args(["tddft"])
+        assert args.case_study == 1 and args.cutoff == 0.10
+
+    def test_invalid_case_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthetic", "--case", "7"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "bench_table3_strategies.py" in out
+
+    def test_synthetic_plan_only(self, capsys):
+        rc = main(
+            ["synthetic", "--case", "4", "--variations", "20", "--plan-only"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Group 3+Group 4" in out
+
+    def test_tddft_plan_only(self, capsys):
+        rc = main(
+            ["tddft", "--case-study", "1", "--variations", "5",
+             "--baselines", "2", "--plan-only"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Slater Determinant" in out
+        assert "Stage" in out
