@@ -109,22 +109,54 @@ class Evaluation:
 
 
 class EvaluationDatabase:
-    """Append-only evaluation store with atomic JSON checkpoints.
+    """Append-only evaluation store with incremental checkpoints.
 
     Parameters
     ----------
     path:
         Optional checkpoint file.  When given and the file exists, records
-        are loaded on construction (crash recovery); every :meth:`append`
-        rewrites the checkpoint atomically (write-to-temp + ``os.replace``)
-        so a crash mid-write never corrupts the database.
+        are loaded on construction (crash recovery).  Two on-disk formats
+        are supported and auto-detected by :meth:`load`:
+
+        * ``"json"`` — one atomic snapshot (``{"task": ..., "records":
+          [...]}``); every :meth:`append` rewrites the whole file (O(N)
+          per append — the legacy format, kept for backward
+          compatibility).
+        * ``"jsonl"`` — append-only JSON Lines: a header line followed by
+          one record per line; every :meth:`append` writes exactly one
+          line (O(1) per append), which is what keeps long checkpointed
+          searches from degrading to O(N^2) total I/O.  A crash mid-write
+          can at worst leave a partial *final* line, which the loader
+          skips.
     task:
         Label identifying the tuning task (used by transfer learning to
         select source databases).
+    format:
+        ``"json"``, ``"jsonl"``, or ``None`` to infer from the path
+        suffix (``.jsonl`` -> JSONL, anything else -> legacy JSON).
+        Controls the *incremental* checkpoint format; :meth:`save` can
+        still write either format explicitly.
     """
 
-    def __init__(self, path: str | os.PathLike | None = None, task: str = "task"):
+    _JSONL_HEADER = "repro-evaluation-db"
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        task: str = "task",
+        *,
+        format: str | None = None,
+    ):
         self.path = os.fspath(path) if path is not None else None
+        if format is None:
+            format = (
+                "jsonl"
+                if self.path is not None and self.path.endswith(".jsonl")
+                else "json"
+            )
+        if format not in ("json", "jsonl"):
+            raise ValueError("format must be 'json' or 'jsonl'")
+        self.format = format
         self.task = task
         self._records: list[Evaluation] = []
         if self.path and os.path.exists(self.path):
@@ -146,16 +178,46 @@ class EvaluationDatabase:
 
     # ------------------------------------------------------------------
     def append(self, record: Evaluation) -> None:
-        """Add a record and (when a path is set) checkpoint atomically."""
+        """Add a record and (when a path is set) checkpoint incrementally.
+
+        JSONL checkpoints append one line; legacy JSON checkpoints rewrite
+        the whole snapshot atomically.
+        """
         self._records.append(record)
         if self.path:
-            self.save(self.path)
+            if self.format == "jsonl":
+                self._append_lines([record])
+            else:
+                self.save(self.path)
 
     def extend(self, records: Iterator[Evaluation] | list[Evaluation]) -> None:
-        for r in records:
-            self._records.append(r)
+        added = list(records)
+        self._records.extend(added)
         if self.path:
-            self.save(self.path)
+            if self.format == "jsonl":
+                self._append_lines(added)
+            else:
+                self.save(self.path)
+
+    def _append_lines(self, records: list[Evaluation]) -> None:
+        """Append records to the JSONL checkpoint, creating it on demand."""
+        assert self.path is not None
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(self.path)
+        with open(self.path, "a") as f:
+            if fresh:
+                f.write(
+                    json.dumps({"format": self._JSONL_HEADER, "task": self.task})
+                    + "\n"
+                )
+                # First write of this checkpoint: persist everything we
+                # hold (covers in-memory records that predate the path).
+                records = self._records
+            for r in records:
+                f.write(json.dumps(r.to_dict()) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
 
     # ------------------------------------------------------------------
     def ok_records(self) -> list[Evaluation]:
@@ -190,19 +252,35 @@ class EvaluationDatabase:
         return np.minimum.accumulate(obj)
 
     # ------------------------------------------------------------------
-    def save(self, path: str | os.PathLike) -> None:
-        """Atomic checkpoint: temp file in the same directory + replace."""
+    def save(self, path: str | os.PathLike, *, format: str | None = None) -> None:
+        """Atomic full snapshot: temp file in the same directory + replace.
+
+        Writes the legacy JSON snapshot by default (backward compatible);
+        pass ``format="jsonl"`` for a full rewrite in the append-friendly
+        format (useful to compact or convert a checkpoint).
+        """
         path = os.fspath(path)
-        payload = {
-            "task": self.task,
-            "records": [r.to_dict() for r in self._records],
-        }
+        format = format if format is not None else "json"
+        if format not in ("json", "jsonl"):
+            raise ValueError("format must be 'json' or 'jsonl'")
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
-                json.dump(payload, f)
+                if format == "jsonl":
+                    f.write(
+                        json.dumps({"format": self._JSONL_HEADER, "task": self.task})
+                        + "\n"
+                    )
+                    for r in self._records:
+                        f.write(json.dumps(r.to_dict()) + "\n")
+                else:
+                    payload = {
+                        "task": self.task,
+                        "records": [r.to_dict() for r in self._records],
+                    }
+                    json.dump(payload, f)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
@@ -210,8 +288,43 @@ class EvaluationDatabase:
             raise
 
     def load(self, path: str | os.PathLike) -> None:
-        """Replace in-memory records with the checkpoint contents."""
+        """Replace in-memory records with the checkpoint contents.
+
+        Auto-detects the on-disk format: a JSON snapshot parses as one
+        document; anything else is treated as JSON Lines, tolerating a
+        partial final line (crash mid-append).
+        """
         with open(os.fspath(path)) as f:
-            payload = json.load(f)
-        self.task = payload.get("task", self.task)
-        self._records = [Evaluation.from_dict(d) for d in payload.get("records", [])]
+            text = f.read()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and "records" in payload:
+            # Legacy single-document snapshot.
+            self.task = payload.get("task", self.task)
+            self._records = [
+                Evaluation.from_dict(d) for d in payload.get("records", [])
+            ]
+            if self.format == "jsonl" and self.path == os.fspath(path):
+                # Convert in place so future incremental appends produce a
+                # consistent line-oriented file.
+                self.save(path, format="jsonl")
+            return
+        records: list[Evaluation] = []
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    continue  # torn final line from a crash mid-append
+                raise
+            if isinstance(d, dict) and d.get("format") == self._JSONL_HEADER:
+                self.task = d.get("task", self.task)
+                continue
+            records.append(Evaluation.from_dict(d))
+        self._records = records

@@ -18,14 +18,26 @@ decomposed searches.
 Failure handling: objectives may raise (recorded as FAILED) or exceed
 ``evaluation_timeout`` (recorded as TIMEOUT, matching the paper's 15-minute
 cap on suggested configurations); both are excluded from the GP training
-set but remembered so the acquisition avoids re-suggesting them.
+set but remembered so the acquisition avoids re-suggesting them.  Failed
+evaluations are charged a *simulated* failure penalty (``failure_cost``,
+defaulting to the timeout cap) so search-time columns never mix real
+machine seconds into the simulated-cost ledger; the measured seconds are
+preserved in the record's ``meta``.
+
+Determinism and crash recovery: all randomness is drawn from per-iteration
+:class:`numpy.random.SeedSequence` streams keyed on the number of records
+in the evaluation database.  Because the streams depend only on (seed,
+progress index) — not on how many times the process restarted — resuming
+from a checkpoint replays the completed evaluations, reconstructs the
+surrogate's hyperparameter state, and then continues *bit-identically* to
+an uninterrupted run (for the default ``refit_every=1`` schedule).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -112,7 +124,19 @@ class BayesianOptimizer:
         cap value (simulating the paper's 15-minute kill switch).
     database:
         Optional pre-loaded :class:`EvaluationDatabase` (crash recovery /
-        warm start).  Existing OK records count toward ``max_evaluations``.
+        warm start).  Existing OK records count toward ``max_evaluations``
+        and are excluded from the returned ``n_evaluations``.
+    resume:
+        When ``True`` (default) and the database already holds records,
+        the optimizer replays them to reconstruct the surrogate
+        hyperparameter state before continuing, so a resumed search
+        continues exactly where the crashed one left off.
+    failure_cost:
+        Simulated cost charged to FAILED/TIMEOUT evaluations.  ``None``
+        (default) charges ``evaluation_timeout`` when one is set, else 0 —
+        never real machine seconds, which would corrupt the simulated
+        search-time ledger.  The measured wall-clock of the failed run is
+        kept in ``meta["measured_seconds"]``.
     model_unit_cost:
         Seconds per unit of the O(N^3 + N d) modeling-work estimate; the
         knob that lets the simulated Table III reproduce the wall-clock gap
@@ -133,9 +157,11 @@ class BayesianOptimizer:
         n_candidates: int = 512,
         evaluation_timeout: float | None = None,
         database: EvaluationDatabase | None = None,
+        resume: bool = True,
+        failure_cost: float | None = None,
         model_unit_cost: float = 5e-7,
         mean_function: Callable[[np.ndarray], np.ndarray] | None = None,
-        random_state: int | np.random.Generator | None = None,
+        random_state: int | np.random.Generator | np.random.SeedSequence | None = None,
     ):
         if n_initial < 1:
             raise ValueError("n_initial must be >= 1")
@@ -161,14 +187,43 @@ class BayesianOptimizer:
         self._gp_noise: float | None = None
         self.evaluation_timeout = evaluation_timeout
         self.database = database if database is not None else EvaluationDatabase()
+        self.resume = bool(resume)
+        self.failure_cost = failure_cost
         self.model_unit_cost = float(model_unit_cost)
         self.mean_function = mean_function
-        self.rng = (
-            random_state
-            if isinstance(random_state, np.random.Generator)
-            else np.random.default_rng(random_state)
-        )
+        # All randomness derives from one SeedSequence so that per-iteration
+        # streams can be re-derived after a crash.  A Generator input (legacy
+        # API) contributes a single entropy draw.
+        if isinstance(random_state, np.random.SeedSequence):
+            self._seed_seq = random_state
+        elif isinstance(random_state, np.random.Generator):
+            self._seed_seq = np.random.SeedSequence(
+                int(random_state.integers(0, 2**63))
+            )
+        else:
+            self._seed_seq = np.random.SeedSequence(random_state)
+        # Legacy attribute: subclasses (batch BO) and Thompson sampling
+        # consume this sequentially.
+        self.rng = np.random.default_rng(self._stream(0))
         self._model: GaussianProcess | None = None
+
+    def _stream(self, index: int) -> np.random.SeedSequence:
+        """Independent child stream ``index`` of this optimizer's seed.
+
+        Iteration ``idx`` of the loop uses stream ``idx + 1`` (stream 0 is
+        reserved for ``self.rng``); the initial design uses the dedicated
+        ``_INIT_STREAM``.  Keyed on the database length, not on call
+        counts, so a resumed process derives the same streams.
+        """
+        key = tuple(self._seed_seq.spawn_key) + (int(index),)
+        return np.random.SeedSequence(self._seed_seq.entropy, spawn_key=key)
+
+    # Stream indices: 0 -> self.rng, 1 -> initial design, idx + 2 -> the
+    # loop iteration that produced record number `idx`.
+    _INIT_STREAM = 1
+
+    def _iter_rng(self, idx: int) -> np.random.Generator:
+        return np.random.default_rng(self._stream(idx + 2))
 
     # ------------------------------------------------------------------
     @property
@@ -180,8 +235,24 @@ class BayesianOptimizer:
         complete = getattr(self.space, "complete", None)
         return complete(config) if complete is not None else dict(config)
 
+    @property
+    def _failure_penalty(self) -> float:
+        """Simulated cost charged to failed/timed-out evaluations."""
+        if self.failure_cost is not None:
+            return float(self.failure_cost)
+        if self.evaluation_timeout is not None:
+            return float(self.evaluation_timeout)
+        return 0.0
+
     def _evaluate(self, config: Mapping[str, Any]) -> Evaluation:
-        """Run the objective with failure/timeout capture."""
+        """Run the objective with failure/timeout capture.
+
+        Failure/timeout records are charged the simulated
+        ``failure_cost`` penalty — never real ``perf_counter`` seconds,
+        which live on a different clock than the simulated runtimes the
+        cost ledger sums.  The measured seconds are kept in
+        ``meta["measured_seconds"]``.
+        """
         full = self._complete(config)
         t0 = time.perf_counter()
         try:
@@ -190,41 +261,51 @@ class BayesianOptimizer:
             return Evaluation(
                 config=full,
                 objective=float("nan"),
-                cost=time.perf_counter() - t0,
+                cost=self._failure_penalty,
                 status=EvaluationStatus.FAILED,
-                meta={"error": repr(exc)},
+                meta={
+                    "error": repr(exc),
+                    "measured_seconds": time.perf_counter() - t0,
+                },
             )
         if isinstance(out, tuple):
             value, meta = float(out[0]), dict(out[1])
         else:
             value, meta = float(out), {}
-        # The objective's value *is* the simulated runtime, hence the cost
-        # (clamped at zero: synthetic objectives may be negative logs).
-        cost = max(value, 0.0) if np.isfinite(value) else time.perf_counter() - t0
         if self.evaluation_timeout is not None and (
             not np.isfinite(value) or value > self.evaluation_timeout
         ):
+            # Simulated kill switch: charge the capped runtime (the run
+            # would have been killed at the timeout), never more.
             return Evaluation(
                 config=full,
                 objective=float("nan"),
-                cost=min(cost, self.evaluation_timeout)
-                if np.isfinite(cost)
-                else self.evaluation_timeout,
+                cost=min(value, self.evaluation_timeout)
+                if np.isfinite(value)
+                else self._failure_penalty,
                 status=EvaluationStatus.TIMEOUT,
-                meta=meta,
+                meta={**meta, "measured_seconds": time.perf_counter() - t0},
             )
         if not np.isfinite(value):
             return Evaluation(
                 config=full,
                 objective=float("nan"),
-                cost=time.perf_counter() - t0,
+                cost=self._failure_penalty,
                 status=EvaluationStatus.FAILED,
-                meta=meta,
+                meta={**meta, "measured_seconds": time.perf_counter() - t0},
             )
-        return Evaluation(config=full, objective=value, cost=cost, meta=meta)
+        # The objective's value *is* the simulated runtime, hence the cost
+        # (clamped at zero: synthetic objectives may be negative logs).
+        return Evaluation(config=full, objective=value, cost=max(value, 0.0), meta=meta)
 
-    def _training_set(self) -> tuple[np.ndarray, np.ndarray, list[dict[str, Any]]]:
-        ok = self.database.ok_records()
+    def _training_set(
+        self, records: Sequence[Evaluation] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, list[dict[str, Any]]]:
+        ok = (
+            self.database.ok_records()
+            if records is None
+            else [r for r in records if r.ok]
+        )
         configs = [
             {k: r.config[k] for k in self.space.names} for r in ok
         ]
@@ -232,18 +313,34 @@ class BayesianOptimizer:
         y = np.array([r.objective for r in ok], dtype=float)
         return X, y, configs
 
-    def _fit_model(self) -> float:
-        """Fit the surrogate; returns the simulated modeling cost.
+    def _fit_schedule(self, idx: int) -> tuple[bool, bool]:
+        """(fit?, optimize-hyperparameters?) for the iteration producing
+        record ``idx``.
 
-        Full MLE hyperparameter optimization runs every
-        ``hyper_refit_every`` fits; in between, the previous
-        hyperparameters are reused and only the Cholesky factorization is
-        refreshed with the new data — the standard BO-in-practice
-        economy that keeps per-iteration cost near O(N^3) alone.
+        Purely a function of ``idx`` — never of how many fits this
+        *process* performed — so a resumed run reproduces the exact fit
+        schedule of an uninterrupted one.  Surrogate refits happen every
+        ``refit_every`` records; every ``hyper_refit_every``-th of those
+        re-runs the full MLE, in between the previous hyperparameters are
+        reused and only the Cholesky factorization is refreshed — the
+        standard BO-in-practice economy that keeps per-iteration cost
+        near O(N^3) alone.
         """
-        X, y, _ = self._training_set()
+        steps = idx - self.n_initial
+        fit = steps % self.refit_every == 0
+        optimize = fit and (steps // self.refit_every) % self.hyper_refit_every == 0
+        return fit, optimize
+
+    def _fit_model(
+        self,
+        *,
+        optimize: bool,
+        rng: np.random.Generator,
+        records: Sequence[Evaluation] | None = None,
+    ) -> float:
+        """Fit the surrogate; returns the simulated modeling cost."""
+        X, y, _ = self._training_set(records)
         n, d = X.shape
-        optimize = (self._fit_count % self.hyper_refit_every) == 0
         self._fit_count += 1
         kernel = kernel_by_name(self.kernel_name, d)
         if self._kernel_theta is not None:
@@ -251,7 +348,7 @@ class BayesianOptimizer:
         model = GaussianProcess(
             kernel=kernel,
             mean_function=self.mean_function,
-            random_state=self.rng,
+            random_state=rng,
         )
         if self._gp_noise is not None:
             model.noise = self._gp_noise
@@ -266,6 +363,31 @@ class BayesianOptimizer:
         # over the candidate batch: the simulated modeling overhead.
         return self.model_unit_cost * (n**3 + n * n * d + self.n_candidates * n * d)
 
+    def _replay_model_state(self) -> None:
+        """Reconstruct surrogate hyperparameter state from replayed records.
+
+        Re-runs only the *MLE* fits of the pre-crash schedule (the
+        non-optimizing fits reuse — and therefore do not change — the
+        hyperparameters), each on the exact data prefix and RNG stream the
+        original process used, so ``_kernel_theta``/``_gp_noise`` match
+        the uninterrupted run at the resume point.  Replayed fits are not
+        charged to this run's modeling overhead: that cost was paid before
+        the crash.
+        """
+        records = self.database.records
+        for idx in range(self.n_initial, len(records)):
+            fit, optimize = self._fit_schedule(idx)
+            if not (fit and optimize):
+                continue
+            prefix = records[:idx]
+            if not any(r.ok for r in prefix):
+                continue
+            self._fit_model(optimize=True, rng=self._iter_rng(idx), records=prefix)
+        # The continuation loop refits on the full database before its
+        # first suggestion (self._model is reset below), matching the fit
+        # the uninterrupted run performed at this iteration.
+        self._model = None
+
     # ------------------------------------------------------------------
     def run(self) -> BOResult:
         """Execute the BO loop to completion and return the result."""
@@ -273,11 +395,18 @@ class BayesianOptimizer:
         model_cost = 0.0
         n_new = 0
 
-        # --- initial design (skipped/shrunk under crash recovery) -------
-        n_have = len(self.database.ok_records())
-        n_seed = max(0, self.n_initial - n_have)
-        if n_seed > 0:
-            for config in self.space.latin_hypercube(n_seed, self.rng):
+        if self.resume and len(self.database) > 0:
+            self._replay_model_state()
+
+        # --- initial design (partially replayed under crash recovery) ---
+        # The full design is derived from a dedicated stream so a resumed
+        # run regenerates the identical point set and evaluates only the
+        # missing tail.
+        if len(self.database) < self.n_initial:
+            design = self.space.latin_hypercube(
+                self.n_initial, np.random.default_rng(self._stream(self._INIT_STREAM))
+            )
+            for config in design[len(self.database):]:
                 rec = self._evaluate(config)
                 self.database.append(rec)
                 eval_cost += rec.cost
@@ -287,12 +416,15 @@ class BayesianOptimizer:
         total_iters = self.max_evaluations
         while len(self.database.ok_records()) < self.max_evaluations:
             it = len(self.database.ok_records())
+            idx = len(self.database)  # index of the record this iteration adds
+            rng = self._iter_rng(idx)
             self.acquisition.update(it, total_iters)
-            if self._model is None or (n_new % self.refit_every) == 0:
-                model_cost += self._fit_model()
+            fit, optimize = self._fit_schedule(idx)
+            if self._model is None or fit:
+                model_cost += self._fit_model(optimize=optimize, rng=rng)
             if self._model is None:
                 # Degenerate data (e.g. constant objective): random fallback.
-                config = self.space.sample(self.rng)
+                config = self.space.sample(rng)
             else:
                 best = self.database.best()
                 incumbent_cfg = {k: best.config[k] for k in self.space.names}
@@ -301,7 +433,7 @@ class BayesianOptimizer:
                     self._model,
                     self.space,
                     best.objective,
-                    self.rng,
+                    rng,
                     n_candidates=self.n_candidates,
                     incumbent_config=incumbent_cfg,
                     exclude=[

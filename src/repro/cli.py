@@ -30,6 +30,9 @@ def _cmd_synthetic(args: argparse.Namespace) -> int:
         app.routines(),
         cutoff=args.cutoff,
         n_variations=args.variations,
+        parallel=args.parallel,
+        n_workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
         random_state=args.seed,
     )
     result = tm.run() if not args.plan_only else tm.analyze()
@@ -52,6 +55,9 @@ def _cmd_tddft(args: argparse.Namespace) -> int:
         n_baselines=args.baselines,
         variation_mode="random",
         hierarchy=app.hierarchy(),
+        parallel=args.parallel,
+        n_workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
         random_state=args.seed,
     )
     result = tm.run() if not args.plan_only else tm.analyze()
@@ -93,6 +99,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_executor_options(p: argparse.ArgumentParser) -> None:
+    """Campaign-executor flags shared by the tuning commands."""
+    p.add_argument("--parallel", action="store_true",
+                   help="run each stage's member searches concurrently "
+                        "(process pool; falls back in-process for "
+                        "unpicklable objectives with identical results)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="process-pool width (default: cpu count)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="directory for crash-recovery evaluation "
+                        "checkpoints; rerunning resumes from them")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -107,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--plan-only", action="store_true",
                    help="run the analysis phases without executing searches")
+    _add_executor_options(p)
     p.set_defaults(func=_cmd_synthetic)
 
     p = sub.add_parser("tddft", help="tune a simulated RT-TDDFT case study")
@@ -116,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baselines", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--plan-only", action="store_true")
+    _add_executor_options(p)
     p.set_defaults(func=_cmd_tddft)
 
     p = sub.add_parser("info", help="package inventory and experiment map")

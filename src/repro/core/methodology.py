@@ -159,6 +159,14 @@ class TuningMethodology:
         Optional region nesting forwarded to the planner (see
         :class:`~repro.core.SearchPlanner`); enables staged plans like the
         paper's batch-first / MPI-first RT-TDDFT sequencing.
+    parallel / n_workers:
+        Execute each stage's member searches concurrently in a process
+        pool (deterministic in-process fallback when objectives are not
+        picklable — per-member results are identical either way).
+    checkpoint_dir:
+        Directory for crash-recovery checkpoints; each stage writes its
+        members' append-only JSONL evaluation databases to
+        ``<checkpoint_dir>/stage-<i>/`` and a rerun resumes them.
     """
 
     def __init__(
@@ -177,6 +185,9 @@ class TuningMethodology:
         engine: str = "bo",
         engine_options: dict[str, Any] | None = None,
         hierarchy: Mapping[str, Sequence[str]] | None = None,
+        parallel: bool = False,
+        n_workers: int | None = None,
+        checkpoint_dir: str | None = None,
         random_state: int | np.random.Generator | None = None,
     ):
         self.space = space
@@ -192,6 +203,9 @@ class TuningMethodology:
         self.total_objective = total_objective
         self.engine = engine
         self.engine_options = dict(engine_options or {})
+        self.parallel = bool(parallel)
+        self.n_workers = n_workers
+        self.checkpoint_dir = checkpoint_dir
         self.rng = (
             random_state
             if isinstance(random_state, np.random.Generator)
@@ -328,6 +342,13 @@ class TuningMethodology:
                 specs,
                 strategy=f"stage-{stage}",
                 random_state=self.rng,
+                parallel=self.parallel,
+                n_workers=self.n_workers,
+                checkpoint_dir=(
+                    f"{self.checkpoint_dir}/stage-{stage}"
+                    if self.checkpoint_dir
+                    else None
+                ),
             )
             stage_result = stage_campaign.run()
             campaign.searches.extend(stage_result.searches)

@@ -5,6 +5,8 @@ that executes a *set* of searches as a strategy with the paper's
 parallel-wall-clock cost accounting.
 """
 
+from .cache import MemoizingObjective, RetryingObjective, canonical_key
+from .executor import CampaignExecutor, run_search_spec, spec_seed_sequences
 from .grid_search import GridSearch
 from .local_search import HillClimbing, SimulatedAnnealing
 from .random_search import RandomSearch
@@ -20,4 +22,10 @@ __all__ = [
     "CampaignResult",
     "SearchCampaign",
     "SearchSpec",
+    "CampaignExecutor",
+    "run_search_spec",
+    "spec_seed_sequences",
+    "MemoizingObjective",
+    "RetryingObjective",
+    "canonical_key",
 ]

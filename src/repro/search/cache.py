@@ -1,0 +1,157 @@
+"""Objective wrappers used by the campaign executor.
+
+:class:`MemoizingObjective`
+    Caches objective results keyed on the *canonicalized* configuration
+    dict, so repeated configurations — common after a checkpoint resume
+    and in grid/random engines over small discrete spaces — are not
+    re-evaluated.  The cache can be pre-seeded from an
+    :class:`~repro.bo.history.EvaluationDatabase` so a resumed search
+    never pays twice for a configuration it already measured.
+:class:`RetryingObjective`
+    Retries objectives that raise, with exponential backoff, for
+    transient failures (flaky filesystems, node hiccups — the situations
+    GPTune's crash recovery is designed around).  Permanent failures
+    still surface as the final exception and are recorded as FAILED by
+    the engines.
+
+Both wrappers are plain picklable classes (no closures) so specs using
+them can cross a ``ProcessPoolExecutor`` boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..bo.optimizer import Objective
+
+__all__ = ["canonical_key", "MemoizingObjective", "RetryingObjective"]
+
+
+def _coerce(value: Any) -> Any:
+    """Make a config value JSON-stable (numpy scalars -> Python)."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def canonical_key(config: Mapping[str, Any]) -> str:
+    """Canonical string key for a configuration dict.
+
+    Keys are sorted and numpy scalars coerced so that logically equal
+    configurations (regardless of insertion order or numeric wrapper
+    type) map to the same cache entry.
+    """
+    return json.dumps(
+        {k: _coerce(config[k]) for k in sorted(config)}, sort_keys=True
+    )
+
+
+class MemoizingObjective:
+    """Wrap an objective with a canonical-config memoization cache.
+
+    Parameters
+    ----------
+    objective:
+        The wrapped callable (``config -> value`` or ``config ->
+        (value, meta)``).
+    Cache hits return the stored result with ``meta["cache_hit"] = True``
+    added (the original stored meta is not mutated), so accounting code
+    can distinguish replayed results from fresh measurements.
+    """
+
+    def __init__(self, objective: Objective):
+        self.objective = objective
+        self._cache: dict[str, tuple[float, dict[str, Any]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def seed_from_database(self, database) -> int:
+        """Pre-populate from the OK records of an evaluation database.
+
+        Returns the number of entries added.  Failed/timeout records are
+        not cached: the engines already remember and avoid them, and a
+        transient failure should be allowed to retry.
+        """
+        added = 0
+        for rec in database.ok_records():
+            key = canonical_key(rec.config)
+            if key not in self._cache:
+                self._cache[key] = (float(rec.objective), dict(rec.meta))
+                added += 1
+        return added
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __call__(self, config: Mapping[str, Any]) -> tuple[float, dict[str, Any]]:
+        key = canonical_key(config)
+        if key in self._cache:
+            self.hits += 1
+            value, meta = self._cache[key]
+            return value, {**meta, "cache_hit": True}
+        out = self.objective(config)
+        if isinstance(out, tuple):
+            value, meta = float(out[0]), dict(out[1])
+        else:
+            value, meta = float(out), {}
+        self.misses += 1
+        self._cache[key] = (value, meta)
+        return value, dict(meta)
+
+
+class RetryingObjective:
+    """Retry a raising objective with exponential backoff.
+
+    Parameters
+    ----------
+    objective:
+        The wrapped callable.
+    max_retries:
+        Additional attempts after the first failure (0 = no retries).
+    backoff:
+        Base sleep in seconds; attempt ``i`` sleeps ``backoff * 2**i``.
+    retry_on:
+        Exception classes considered transient.  Anything else (and the
+        final exhausted attempt) propagates to the engine, which records
+        the evaluation as FAILED.
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        *,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        self.objective = objective
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.retry_on = retry_on
+        self.retries = 0
+
+    def __call__(self, config: Mapping[str, Any]) -> Any:
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.objective(config)
+            except self.retry_on:
+                if attempt == self.max_retries:
+                    raise
+                self.retries += 1
+                if self.backoff > 0:
+                    time.sleep(self.backoff * (2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -89,6 +89,12 @@ class CampaignResult:
 
     strategy: str
     searches: list[SearchResult] = field(default_factory=list)
+    measured_campaign_seconds: float = 0.0
+    """Real elapsed wall-clock of the whole campaign when the executor
+    actually ran members concurrently (0.0 when members ran sequentially
+    and the parallel wall-clock is simulated as the max over members)."""
+    executed_parallel: bool = False
+    """Whether the members genuinely ran concurrently (process pool)."""
 
     @property
     def combined_config(self) -> dict[str, Any]:
@@ -124,7 +130,14 @@ class CampaignResult:
 
     @property
     def measured_wall_time(self) -> float:
-        """Real (machine-measured) parallel wall-clock of the strategy."""
+        """Real (machine-measured) parallel wall-clock of the strategy.
+
+        When the executor ran members concurrently this is the campaign's
+        true elapsed time (including pool overhead); otherwise it falls
+        back to the simulated-parallel max over member times.
+        """
+        if self.measured_campaign_seconds > 0.0:
+            return self.measured_campaign_seconds
         return max((s.measured_time for s in self.searches), default=0.0)
 
     @property

@@ -7,6 +7,12 @@ N = {50, 50, 100}).  :class:`SearchCampaign` takes a list of
 :class:`SearchSpec` (space + objective + engine + budget) and produces a
 :class:`CampaignResult` whose wall-clock is the maximum over the member
 searches, mirroring the paper's parallel execution of independent searches.
+
+Execution is delegated to :class:`repro.search.executor.CampaignExecutor`:
+pass ``parallel=True`` to run members concurrently in a process pool (with
+a deterministic in-process fallback for unpicklable objectives) and
+``checkpoint_dir=`` to make every member crash-recoverable via append-only
+JSONL evaluation checkpoints.
 """
 
 from __future__ import annotations
@@ -16,11 +22,10 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..bo.optimizer import BayesianOptimizer, Objective
+from ..bo.optimizer import Objective
 from ..space import SearchSpace
-from .grid_search import GridSearch
-from .random_search import RandomSearch
-from .result import CampaignResult, SearchResult
+from .executor import CampaignExecutor, spec_seed_sequences
+from .result import CampaignResult
 
 __all__ = ["SearchSpec", "SearchCampaign"]
 
@@ -44,6 +49,14 @@ class SearchSpec:
         Budget; ``None`` -> the paper's ``10 x dimensions``.
     engine_options:
         Extra keyword arguments forwarded to the engine constructor.
+    max_retries / retry_backoff:
+        Retry policy for objectives that raise transient errors: up to
+        ``max_retries`` extra attempts with exponential backoff starting
+        at ``retry_backoff`` seconds.  ``0`` (default) disables retries.
+    memoize:
+        Cache objective results keyed on the canonicalized configuration
+        so repeated configurations (after a resume, or in grid/random
+        engines over small spaces) are not re-evaluated.
     """
 
     space: SearchSpace
@@ -51,6 +64,9 @@ class SearchSpec:
     engine: str = "bo"
     max_evaluations: int | None = None
     engine_options: dict[str, Any] = field(default_factory=dict)
+    max_retries: int = 0
+    retry_backoff: float = 0.05
+    memoize: bool = False
 
     def budget(self) -> int:
         return (
@@ -67,14 +83,28 @@ class SearchCampaign:
     Parameters
     ----------
     specs:
-        Member searches.  They are logically concurrent; the runner
-        executes them sequentially but accounts wall-clock as the max of
-        their individual simulated search times.
+        Member searches.  They are logically concurrent; with
+        ``parallel=True`` they also *run* concurrently (process pool),
+        otherwise they execute sequentially and wall-clock is accounted
+        as the max of their individual times.
     strategy:
         Label, e.g. ``"G1, G2, G3+G4"``.
     random_state:
-        Seed; each member search gets an independent child generator so
-        results do not depend on the member order.
+        Seed.  Each member search gets an independent
+        :class:`~numpy.random.SeedSequence` keyed by its space name (plus
+        an occurrence ordinal for duplicates), so results do not depend
+        on the member order and adding/removing one member never reseeds
+        the others.
+    parallel:
+        Execute members concurrently via a process pool.  Falls back to
+        the deterministic in-process loop when objectives cannot be
+        pickled; both paths give bit-identical per-member results.
+    n_workers:
+        Pool width (``None`` -> ``os.cpu_count()`` capped at the member
+        count).
+    checkpoint_dir:
+        Directory for per-member crash-recovery checkpoints; an existing
+        checkpoint resumes the member instead of restarting it.
     """
 
     def __init__(
@@ -83,105 +113,27 @@ class SearchCampaign:
         *,
         strategy: str = "campaign",
         random_state: int | np.random.Generator | None = None,
+        parallel: bool = False,
+        n_workers: int | None = None,
+        checkpoint_dir: str | None = None,
     ):
         if not specs:
             raise ValueError("campaign needs at least one search spec")
         self.specs = list(specs)
         self.strategy = strategy
-        base = (
-            random_state
-            if isinstance(random_state, np.random.Generator)
-            else np.random.default_rng(random_state)
-        )
-        self._child_rngs = [np.random.default_rng(s) for s in base.integers(0, 2**63, len(specs))]
-
-    def _run_one(self, spec: SearchSpec, rng: np.random.Generator) -> SearchResult:
-        import time as _time
-
-        t0 = _time.perf_counter()
-        result = self._dispatch(spec, rng)
-        result.measured_time = _time.perf_counter() - t0
-        return result
-
-    def _dispatch(self, spec: SearchSpec, rng: np.random.Generator) -> SearchResult:
-        if spec.engine == "bo":
-            opt = BayesianOptimizer(
-                spec.space,
-                spec.objective,
-                max_evaluations=spec.budget(),
-                random_state=rng,
-                **spec.engine_options,
-            )
-            r = opt.run()
-            return SearchResult(
-                name=spec.space.name,
-                engine="bo",
-                best_config=r.best_config,
-                best_objective=r.best_objective,
-                search_time=r.search_time,
-                n_evaluations=r.n_evaluations,
-                database=r.database,
-                tuned_names=tuple(spec.space.names),
-            )
-        if spec.engine == "random":
-            rs = RandomSearch(
-                spec.space,
-                spec.objective,
-                max_evaluations=spec.budget(),
-                random_state=rng,
-                **spec.engine_options,
-            )
-            result = rs.run()
-            result.tuned_names = tuple(spec.space.names)
-            return result
-        if spec.engine == "grid":
-            gs = GridSearch(
-                spec.space,
-                spec.objective,
-                max_evaluations=spec.budget(),
-                **spec.engine_options,
-            )
-            result = gs.run()
-            result.tuned_names = tuple(spec.space.names)
-            return result
-        if spec.engine == "batch-bo":
-            from ..bo.batch import BatchBayesianOptimizer
-
-            opt = BatchBayesianOptimizer(
-                spec.space,
-                spec.objective,
-                max_evaluations=spec.budget(),
-                random_state=rng,
-                **spec.engine_options,
-            )
-            r = opt.run()
-            return SearchResult(
-                name=spec.space.name,
-                engine="batch-bo",
-                best_config=r.best_config,
-                best_objective=r.best_objective,
-                search_time=r.search_time,
-                n_evaluations=r.n_evaluations,
-                database=r.database,
-                tuned_names=tuple(spec.space.names),
-            )
-        if spec.engine in ("hillclimb", "anneal"):
-            from .local_search import HillClimbing, SimulatedAnnealing
-
-            cls = HillClimbing if spec.engine == "hillclimb" else SimulatedAnnealing
-            ls = cls(
-                spec.space,
-                spec.objective,
-                max_evaluations=spec.budget(),
-                random_state=rng,
-                **spec.engine_options,
-            )
-            return ls.run()
-        raise ValueError(f"unknown engine {spec.engine!r}")
+        self.parallel = bool(parallel)
+        self.n_workers = n_workers
+        self.checkpoint_dir = checkpoint_dir
+        self._seeds = spec_seed_sequences(self.specs, random_state)
 
     def run(self) -> CampaignResult:
         """Execute every member search; aggregate into a CampaignResult."""
-        result = CampaignResult(strategy=self.strategy)
-        for spec, rng in zip(self.specs, self._child_rngs):
-            result.searches.append(self._run_one(spec, rng))
-        return result
+        executor = CampaignExecutor(
+            n_workers=self.n_workers, checkpoint_dir=self.checkpoint_dir
+        )
+        return executor.run(
+            self.specs,
+            self._seeds,
+            strategy=self.strategy,
+            parallel=self.parallel,
+        )

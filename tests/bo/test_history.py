@@ -128,3 +128,102 @@ class TestCheckpointing:
         db = EvaluationDatabase(path)
         db.append(rec(1.0))
         assert path.exists()
+
+
+class TestJsonlCheckpointing:
+    """Append-only JSONL incremental checkpoints (O(1) I/O per append)."""
+
+    def test_jsonl_inferred_from_suffix(self, tmp_path):
+        db = EvaluationDatabase(tmp_path / "db.jsonl")
+        assert db.format == "jsonl"
+        db_json = EvaluationDatabase(tmp_path / "db.json")
+        assert db_json.format == "json"
+
+    def test_invalid_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EvaluationDatabase(tmp_path / "db.json", format="xml")
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        db = EvaluationDatabase(path, task="cs1")
+        db.append(rec(2.0))
+        db.append(rec(1.0))
+        db.extend([rec(3.0)])
+
+        loaded = EvaluationDatabase(path)
+        assert loaded.task == "cs1"
+        assert [r.objective for r in loaded] == [2.0, 1.0, 3.0]
+
+    def test_append_writes_one_line_not_a_rewrite(self, tmp_path):
+        """The O(N^2)-I/O fix: appending grows the file by exactly one
+        line instead of rewriting the entire database."""
+        path = tmp_path / "db.jsonl"
+        db = EvaluationDatabase(path)
+        db.append(rec(1.0))
+        lines_before = path.read_text().splitlines()
+        db.append(rec(2.0))
+        lines_after = path.read_text().splitlines()
+        assert len(lines_after) == len(lines_before) + 1
+        assert lines_after[: len(lines_before)] == lines_before
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        """A crash mid-append leaves a partial last line; the loader must
+        recover every complete record."""
+        path = tmp_path / "db.jsonl"
+        db = EvaluationDatabase(path)
+        db.append(rec(1.0))
+        db.append(rec(2.0))
+        with open(path, "a") as f:
+            f.write('{"config": {"a": 1}, "obj')  # torn write
+
+        loaded = EvaluationDatabase(path)
+        assert [r.objective for r in loaded] == [1.0, 2.0]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        db = EvaluationDatabase(path)
+        db.append(rec(1.0))
+        text = path.read_text()
+        with open(path, "w") as f:
+            f.write(text.replace('"status": "ok"', '"status": "ok'))
+            f.write("\n")
+        with pytest.raises(json.JSONDecodeError):
+            EvaluationDatabase(path)
+
+    def test_loader_autodetects_legacy_snapshot_at_jsonl_path(self, tmp_path):
+        """Back-compat: a legacy JSON snapshot is readable regardless of
+        the path suffix, and subsequent appends continue in JSONL."""
+        path = tmp_path / "db.jsonl"
+        legacy = EvaluationDatabase(task="old")
+        legacy.append(rec(4.0))
+        legacy.save(path)  # legacy single-document snapshot
+
+        db = EvaluationDatabase(path)
+        assert db.task == "old"
+        assert len(db) == 1
+        # The snapshot was converted in place: appends stay line-oriented
+        # and reloadable.
+        db.append(rec(2.0))
+        again = EvaluationDatabase(path)
+        assert [r.objective for r in again] == [4.0, 2.0]
+
+    def test_save_jsonl_snapshot(self, tmp_path):
+        db = EvaluationDatabase(task="t")
+        db.append(rec(1.0))
+        db.append(rec(2.0))
+        path = tmp_path / "snap.jsonl"
+        db.save(path, format="jsonl")
+        loaded = EvaluationDatabase(path)
+        assert loaded.task == "t"
+        assert [r.objective for r in loaded] == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            db.save(path, format="csv")
+
+    def test_first_append_persists_preexisting_memory_records(self, tmp_path):
+        """Records accumulated before the checkpoint file exists are all
+        written on the first append."""
+        path = tmp_path / "db.jsonl"
+        db = EvaluationDatabase(path)
+        db.append(rec(1.0))  # creates the file, writes header + record
+        db2 = EvaluationDatabase(path)
+        assert [r.objective for r in db2] == [1.0]

@@ -127,6 +127,91 @@ class TestFailureHandling:
             opt.run()  # database.best() on zero successes
 
 
+class TestEvaluateBranches:
+    """Direct coverage of the FAILED/TIMEOUT/non-finite paths and their
+    simulated-cost accounting (no real machine seconds in `cost`)."""
+
+    def test_failed_cost_is_simulated_penalty_not_wall_clock(self):
+        sp = quadratic_space()
+
+        def crash(cfg):
+            raise RuntimeError("boom")
+
+        opt = BayesianOptimizer(sp, crash, max_evaluations=5, random_state=0)
+        rec = opt._evaluate({"a": 0.5, "b": 0.5})
+        assert rec.status == EvaluationStatus.FAILED
+        assert rec.cost == 0.0  # no timeout configured -> default penalty 0
+        assert rec.meta["measured_seconds"] >= 0.0
+        assert "error" in rec.meta
+
+    def test_failed_cost_uses_timeout_as_default_penalty(self):
+        def crash(cfg):
+            raise RuntimeError("boom")
+
+        opt = BayesianOptimizer(
+            quadratic_space(), crash, max_evaluations=5,
+            evaluation_timeout=30.0, random_state=0,
+        )
+        rec = opt._evaluate({"a": 0.5, "b": 0.5})
+        assert rec.status == EvaluationStatus.FAILED
+        assert rec.cost == 30.0
+
+    def test_explicit_failure_cost_overrides_timeout(self):
+        def crash(cfg):
+            raise RuntimeError("boom")
+
+        opt = BayesianOptimizer(
+            quadratic_space(), crash, max_evaluations=5,
+            evaluation_timeout=30.0, failure_cost=7.0, random_state=0,
+        )
+        rec = opt._evaluate({"a": 0.5, "b": 0.5})
+        assert rec.cost == 7.0
+
+    def test_timeout_charged_at_cap(self):
+        opt = BayesianOptimizer(
+            quadratic_space(), lambda cfg: 120.0, max_evaluations=5,
+            evaluation_timeout=50.0, random_state=0,
+        )
+        rec = opt._evaluate({"a": 0.5, "b": 0.5})
+        assert rec.status == EvaluationStatus.TIMEOUT
+        assert rec.cost == 50.0
+        assert rec.meta["measured_seconds"] >= 0.0
+
+    def test_nonfinite_with_timeout_is_timeout_at_penalty(self):
+        opt = BayesianOptimizer(
+            quadratic_space(), lambda cfg: float("inf"), max_evaluations=5,
+            evaluation_timeout=50.0, random_state=0,
+        )
+        rec = opt._evaluate({"a": 0.5, "b": 0.5})
+        assert rec.status == EvaluationStatus.TIMEOUT
+        assert rec.cost == 50.0
+
+    def test_nonfinite_without_timeout_is_failed(self):
+        opt = BayesianOptimizer(
+            quadratic_space(), lambda cfg: float("nan"), max_evaluations=5,
+            random_state=0,
+        )
+        rec = opt._evaluate({"a": 0.5, "b": 0.5})
+        assert rec.status == EvaluationStatus.FAILED
+        assert rec.cost == 0.0
+
+    def test_total_cost_stays_in_simulated_units(self):
+        """A crashing objective must not leak perf_counter seconds into
+        the summed evaluation cost ledger."""
+        sp = SearchSpace([Integer("n", 0, 9)], name="f")
+
+        def flaky(cfg):
+            if cfg["n"] == 3:
+                raise RuntimeError("simulated crash")
+            return float(cfg["n"]) + 1.0
+
+        r = BayesianOptimizer(sp, flaky, max_evaluations=9, random_state=0).run()
+        failed = [rec for rec in r.database if not rec.ok]
+        assert all(rec.cost == 0.0 for rec in failed)
+        ok_sum = sum(rec.cost for rec in r.database if rec.ok)
+        assert r.evaluation_cost == pytest.approx(ok_sum)
+
+
 class TestCrashRecovery:
     def test_resume_from_checkpoint(self, tmp_path):
         path = tmp_path / "bo.json"
@@ -161,6 +246,90 @@ class TestCrashRecovery:
             sp, quadratic, max_evaluations=8, database=db2, random_state=1
         ).run()
         assert r.n_evaluations == 0
+
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        """Round-trip acceptance: kill a checkpointed search mid-run,
+        resume with the same seed, and the incumbent, every record, and
+        the evaluation count match an uninterrupted run."""
+        sp = quadratic_space()
+        uninterrupted = BayesianOptimizer(
+            sp, quadratic, max_evaluations=20, random_state=3
+        ).run()
+
+        calls = {"n": 0}
+
+        def killer(cfg):
+            calls["n"] += 1
+            if calls["n"] > 12:
+                raise KeyboardInterrupt  # hard kill, not a FAILED record
+            return quadratic(cfg)
+
+        path = tmp_path / "ck.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            BayesianOptimizer(
+                sp, killer, max_evaluations=20,
+                database=EvaluationDatabase(path), random_state=3,
+            ).run()
+        n_done = len(EvaluationDatabase(path))
+        assert n_done == 12
+
+        resumed = BayesianOptimizer(
+            sp, quadratic, max_evaluations=20,
+            database=EvaluationDatabase(path), random_state=3,
+        ).run()
+        # Completed evaluations replayed, only the remainder re-run ...
+        assert resumed.n_evaluations == 20 - n_done
+        assert len(resumed.database) == 20
+        # ... and the whole history matches never having crashed.
+        assert resumed.best_config == uninterrupted.best_config
+        assert resumed.best_objective == uninterrupted.best_objective
+        for a, b in zip(resumed.database, uninterrupted.database):
+            assert a.config == b.config
+            assert a.objective == b.objective
+
+    def test_resume_mid_initial_design(self, tmp_path):
+        """A crash inside the LHS initial design resumes with the same
+        design points (dedicated init stream)."""
+        sp = quadratic_space()
+        uninterrupted = BayesianOptimizer(
+            sp, quadratic, max_evaluations=12, random_state=9
+        ).run()
+
+        calls = {"n": 0}
+
+        def killer(cfg):
+            calls["n"] += 1
+            if calls["n"] > 3:  # n_initial defaults to 5: die inside it
+                raise KeyboardInterrupt
+            return quadratic(cfg)
+
+        path = tmp_path / "ck.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            BayesianOptimizer(
+                sp, killer, max_evaluations=12,
+                database=EvaluationDatabase(path), random_state=9,
+            ).run()
+        assert len(EvaluationDatabase(path)) == 3
+
+        resumed = BayesianOptimizer(
+            sp, quadratic, max_evaluations=12,
+            database=EvaluationDatabase(path), random_state=9,
+        ).run()
+        assert resumed.n_evaluations == 9
+        assert resumed.best_config == uninterrupted.best_config
+        for a, b in zip(resumed.database, uninterrupted.database):
+            assert a.config == b.config
+
+    def test_seed_sequence_random_state_accepted(self):
+        seed = np.random.SeedSequence(11)
+        a = BayesianOptimizer(
+            quadratic_space(), quadratic, max_evaluations=10, random_state=seed
+        ).run()
+        b = BayesianOptimizer(
+            quadratic_space(), quadratic, max_evaluations=10,
+            random_state=np.random.SeedSequence(11),
+        ).run()
+        assert a.best_config == b.best_config
 
 
 class TestObjectiveMeta:

@@ -1,0 +1,306 @@
+"""Tests for the fault-tolerant parallel campaign executor: parallel
+determinism, checkpoint/resume, retries, and memoization."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bo import EvaluationDatabase
+from repro.search import (
+    CampaignExecutor,
+    MemoizingObjective,
+    RetryingObjective,
+    SearchCampaign,
+    SearchSpec,
+    canonical_key,
+    run_search_spec,
+    spec_seed_sequences,
+)
+from repro.space import Integer, Real, SearchSpace
+
+
+def space(names, label):
+    return SearchSpace([Real(n, 0.0, 1.0) for n in names], name=label)
+
+
+class Quad:
+    """Picklable quadratic objective (process-pool friendly)."""
+
+    def __init__(self, center):
+        self.center = center
+
+    def __call__(self, cfg):
+        return sum((v - self.center) ** 2 for v in cfg.values()) + 0.05
+
+
+class SleepyQuad(Quad):
+    """Quadratic with real per-evaluation wall-clock cost."""
+
+    def __init__(self, center, delay):
+        super().__init__(center)
+        self.delay = delay
+
+    def __call__(self, cfg):
+        time.sleep(self.delay)
+        return super().__call__(cfg)
+
+
+def three_specs(engine="bo", n=10):
+    return [
+        SearchSpec(space(["a", "b"], "S1"), Quad(0.3), engine=engine,
+                   max_evaluations=n),
+        SearchSpec(space(["c"], "S2"), Quad(0.7), engine=engine,
+                   max_evaluations=n),
+        SearchSpec(space(["d", "e"], "S3"), Quad(0.5), engine=engine,
+                   max_evaluations=n),
+    ]
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_sequential_bit_identical(self):
+        specs = three_specs()
+        seq = SearchCampaign(specs, random_state=7).run()
+        par = SearchCampaign(
+            specs, random_state=7, parallel=True, n_workers=3
+        ).run()
+        assert par.executed_parallel
+        assert not seq.executed_parallel
+        for a, b in zip(seq.searches, par.searches):
+            assert a.best_config == b.best_config
+            assert a.best_objective == b.best_objective
+            assert a.n_evaluations == b.n_evaluations
+
+    def test_unpicklable_objective_falls_back_in_process(self):
+        center = 0.4
+        specs = [
+            SearchSpec(space(["a"], "S1"), lambda cfg: (cfg["a"] - center) ** 2,
+                       engine="random", max_evaluations=10),
+            SearchSpec(space(["b"], "S2"), lambda cfg: (cfg["b"] - center) ** 2,
+                       engine="random", max_evaluations=10),
+        ]
+        par = SearchCampaign(
+            specs, random_state=1, parallel=True, n_workers=2
+        ).run()
+        seq = SearchCampaign(specs, random_state=1).run()
+        assert not par.executed_parallel  # lambdas cannot cross processes
+        for a, b in zip(seq.searches, par.searches):
+            assert a.best_config == b.best_config
+
+    def test_n_workers_one_runs_in_process(self):
+        r = SearchCampaign(
+            three_specs(engine="random"), random_state=0,
+            parallel=True, n_workers=1,
+        ).run()
+        assert not r.executed_parallel
+        assert len(r.searches) == 3
+
+    def test_parallel_wall_clock_beats_sequential(self):
+        # >= 3 equal members with real per-evaluation cost: the pool must
+        # deliver genuine concurrency, not just a simulated max.
+        specs = [
+            SearchSpec(space([n], f"W{i}"), SleepyQuad(0.5, 0.05),
+                       engine="random", max_evaluations=12)
+            for i, n in enumerate(["a", "b", "c"])
+        ]
+        seq = SearchCampaign(specs, random_state=0).run()
+        par = SearchCampaign(
+            specs, random_state=0, parallel=True, n_workers=3
+        ).run()
+        assert par.executed_parallel
+        assert par.measured_wall_time < 0.7 * seq.measured_total_time
+        for a, b in zip(seq.searches, par.searches):
+            assert a.best_config == b.best_config
+
+
+class TestSeeding:
+    def test_seeds_keyed_by_name_not_position(self):
+        specs = three_specs(engine="random")
+        seeds = spec_seed_sequences(specs, 42)
+        permuted = [specs[2], specs[0], specs[1]]
+        seeds_perm = spec_seed_sequences(permuted, 42)
+        by_name = dict(zip(["S3", "S1", "S2"], seeds_perm))
+        for spec, seed in zip(specs, seeds):
+            other = by_name[spec.space.name]
+            assert seed.entropy == other.entropy
+            assert seed.spawn_key == other.spawn_key
+
+    def test_duplicate_names_get_distinct_seeds(self):
+        sp = space(["a"], "same")
+        specs = [
+            SearchSpec(sp, Quad(0.5), engine="random", max_evaluations=5),
+            SearchSpec(sp, Quad(0.5), engine="random", max_evaluations=5),
+        ]
+        s1, s2 = spec_seed_sequences(specs, 0)
+        assert s1.spawn_key != s2.spawn_key
+
+
+class TestCheckpointResume:
+    def test_checkpoint_files_created_and_resumed(self, tmp_path):
+        specs = three_specs(n=8)
+        ck = tmp_path / "ck"
+        first = SearchCampaign(
+            specs, random_state=3, checkpoint_dir=str(ck)
+        ).run()
+        files = sorted(os.listdir(ck))
+        assert files == ["S1-0.jsonl", "S2-0.jsonl", "S3-0.jsonl"]
+
+        # Rerun with the same checkpoint dir: members resume (replay, no
+        # fresh evaluations) and reproduce the same incumbents.
+        second = SearchCampaign(
+            specs, random_state=3, checkpoint_dir=str(ck)
+        ).run()
+        for a, b in zip(first.searches, second.searches):
+            assert b.n_evaluations == 0
+            assert b.best_config == a.best_config
+            assert b.best_objective == a.best_objective
+
+    def test_killed_campaign_resumes_to_uninterrupted_result(self, tmp_path):
+        sp = space(["a", "b"], "K")
+        uninterrupted = SearchCampaign(
+            [SearchSpec(sp, Quad(0.4), max_evaluations=14)], random_state=5
+        ).run()
+
+        calls = {"n": 0}
+
+        def killer(cfg):
+            calls["n"] += 1
+            if calls["n"] > 9:
+                raise KeyboardInterrupt  # simulated mid-run kill
+            return Quad(0.4)(cfg)
+
+        ck = tmp_path / "ck"
+        with pytest.raises(KeyboardInterrupt):
+            SearchCampaign(
+                [SearchSpec(sp, killer, max_evaluations=14)],
+                random_state=5, checkpoint_dir=str(ck),
+            ).run()
+        db = EvaluationDatabase(ck / "K-0.jsonl")
+        assert 0 < len(db) < 14
+
+        resumed = SearchCampaign(
+            [SearchSpec(sp, Quad(0.4), max_evaluations=14)],
+            random_state=5, checkpoint_dir=str(ck),
+        ).run()
+        s = resumed.searches[0]
+        u = uninterrupted.searches[0]
+        # Completed evaluations were replayed, not re-run ...
+        assert s.n_evaluations == 14 - len(db)
+        assert len(s.database) == 14
+        # ... and the continuation is bit-identical to never crashing.
+        assert s.best_config == u.best_config
+        assert s.best_objective == u.best_objective
+
+
+class IntQuad:
+    """Deterministic objective over a small integer space, counting calls
+    via a class attribute so pool-free tests can observe evaluations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, cfg):
+        self.calls += 1
+        return abs(cfg["n"] - 3) + 1.0
+
+
+class TestMemoization:
+    def test_memoize_serves_repeats_from_cache(self):
+        sp = SearchSpace([Integer("n", 0, 4)], name="M")
+        obj = IntQuad()
+        spec = SearchSpec(sp, obj, engine="random", max_evaluations=40,
+                          memoize=True)
+        r = SearchCampaign([spec], random_state=0).run()
+        assert r.searches[0].n_evaluations == 40
+        # Only 5 distinct configurations exist.
+        assert obj.calls <= 5
+
+    def test_memoizing_objective_canonicalizes(self):
+        obj = MemoizingObjective(lambda cfg: cfg["x"] + cfg["y"])
+        assert obj({"x": 1.0, "y": 2})[0] == 3.0
+        value, meta = obj({"y": np.int64(2), "x": np.float64(1.0)})
+        assert value == 3.0
+        assert meta["cache_hit"] is True
+        assert obj.misses == 1 and obj.hits == 1
+
+    def test_cache_preseeded_from_checkpoint(self, tmp_path):
+        sp = SearchSpace([Integer("n", 0, 4)], name="C")
+        obj = IntQuad()
+        spec = SearchSpec(sp, obj, engine="random", max_evaluations=10,
+                          memoize=True)
+        SearchCampaign([spec], random_state=0,
+                       checkpoint_dir=str(tmp_path)).run()
+        first_calls = obj.calls
+        assert first_calls <= 5
+        # Resume: all configs already measured -> zero fresh objective calls.
+        SearchCampaign([spec], random_state=0,
+                       checkpoint_dir=str(tmp_path)).run()
+        assert obj.calls == first_calls
+
+    def test_canonical_key_order_and_dtype_insensitive(self):
+        a = canonical_key({"b": 2, "a": 1.0})
+        b = canonical_key({"a": np.float64(1.0), "b": np.int64(2)})
+        assert a == b
+
+
+class Flaky:
+    """Raises for the first ``n_failures`` calls, then succeeds."""
+
+    def __init__(self, n_failures):
+        self.remaining = n_failures
+
+    def __call__(self, cfg):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise RuntimeError("transient")
+        return sum(cfg.values())
+
+
+class TestRetry:
+    def test_transient_failures_retried(self):
+        sp = space(["a"], "F")
+        spec = SearchSpec(sp, Flaky(2), engine="random", max_evaluations=6,
+                          max_retries=3, retry_backoff=0.0)
+        r = SearchCampaign([spec], random_state=0).run()
+        s = r.searches[0]
+        # Retries absorbed the transient errors: no FAILED records.
+        assert all(rec.ok for rec in s.database)
+        assert len(s.database) == 6
+
+    def test_exhausted_retries_surface_as_failed(self):
+        sp = space(["a"], "F")
+        spec = SearchSpec(sp, Flaky(10**9), engine="bo", max_evaluations=5,
+                          max_retries=1, retry_backoff=0.0)
+        with pytest.raises(LookupError):  # every evaluation fails
+            SearchCampaign([spec], random_state=0).run()
+
+    def test_retrying_objective_backoff_and_count(self):
+        obj = RetryingObjective(Flaky(2), max_retries=2, backoff=0.0)
+        assert obj({"a": 1.0}) == 1.0
+        assert obj.retries == 2
+
+    def test_retrying_objective_validation(self):
+        with pytest.raises(ValueError):
+            RetryingObjective(Flaky(0), max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryingObjective(Flaky(0), backoff=-0.5)
+
+
+class TestExecutorAPI:
+    def test_run_search_spec_direct(self):
+        spec = SearchSpec(space(["a"], "D"), Quad(0.2), engine="random",
+                          max_evaluations=10)
+        seed = spec_seed_sequences([spec], 9)[0]
+        r = run_search_spec(spec, seed)
+        assert r.name == "D"
+        assert r.measured_time > 0
+
+    def test_executor_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            CampaignExecutor(n_workers=0)
+
+    def test_mismatched_seeds_rejected(self):
+        spec = SearchSpec(space(["a"], "D"), Quad(0.2), engine="random")
+        with pytest.raises(ValueError):
+            CampaignExecutor().run([spec], [], strategy="x")

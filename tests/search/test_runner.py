@@ -100,6 +100,38 @@ class TestCampaign:
         r_again = SearchCampaign([s1, s2], random_state=5).run()
         assert r_fwd.combined_config == r_again.combined_config
 
+    def test_permuting_specs_leaves_every_result_unchanged(self):
+        """Regression: seeds are keyed by member identity, not position —
+        reordering specs must not reseed any member search."""
+        s1 = SearchSpec(space(["a"], "S1"), quad(0.3), engine="random",
+                        max_evaluations=10)
+        s2 = SearchSpec(space(["b"], "S2"), quad(0.6), engine="bo",
+                        max_evaluations=8)
+        s3 = SearchSpec(space(["c"], "S3"), quad(0.9), engine="random",
+                        max_evaluations=10)
+        fwd = SearchCampaign([s1, s2, s3], random_state=5).run()
+        rev = SearchCampaign([s3, s1, s2], random_state=5).run()
+        by_name = {s.name: s for s in rev.searches}
+        for s in fwd.searches:
+            assert by_name[s.name].best_config == s.best_config
+            assert by_name[s.name].best_objective == s.best_objective
+
+    def test_removing_a_spec_does_not_reseed_the_others(self):
+        """Regression: dropping one member must leave the remaining
+        members' searches bit-identical."""
+        s1 = SearchSpec(space(["a"], "S1"), quad(0.3), engine="random",
+                        max_evaluations=10)
+        s2 = SearchSpec(space(["b"], "S2"), quad(0.6), engine="random",
+                        max_evaluations=10)
+        s3 = SearchSpec(space(["c"], "S3"), quad(0.9), engine="random",
+                        max_evaluations=10)
+        full = SearchCampaign([s1, s2, s3], random_state=5).run()
+        partial = SearchCampaign([s1, s3], random_state=5).run()
+        by_name = {s.name: s for s in full.searches}
+        for s in partial.searches:
+            assert by_name[s.name].best_config == s.best_config
+            assert by_name[s.name].best_objective == s.best_objective
+
     def test_default_budget_from_dimension(self):
         spec = SearchSpec(space(["a", "b", "c"], "S"), quad(0.5))
         assert spec.budget() == 30
