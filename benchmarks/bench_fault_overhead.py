@@ -1,0 +1,135 @@
+"""Fault-injection overhead — the robustness layer must be (nearly) free.
+
+Runs the paper's Table III "methodology" strategy set (two 5-dim BO
+searches at N=50 plus the merged 10-dim search at N=100) on synthetic
+case 3, once bare and once wrapped in a *benign* ``FaultPlan`` (seeded
+but with every rate at zero, so the injection layer's bookkeeping —
+canonicalization, hashing, per-config RNG derivation — runs on every
+evaluation without changing any result), plus a transient-fault run with
+retry capacity to absorb it.
+
+Assertions:
+
+* the benign plan's campaign is **bit-identical** to the bare one
+  (same combined best configuration, same evaluation counts),
+* the measured overhead of the injection layer stays **under 5%**
+  (min-of-reps wall-clock; GP modeling dominates, so the per-evaluation
+  hashing cost is noise at Table III scale).
+"""
+
+import time
+
+from repro.faults import FaultPlan
+from repro.search import SearchCampaign, SearchSpec
+from repro.synthetic import GROUP_VARIABLES, SyntheticFunction
+
+from _helpers import budget, format_table, once, reps, write_result
+
+#: Active=True plan (nonzero seed channels nothing): exercises the full
+#: FaultyObjective path — hashing, uniform derivation, channel checks —
+#: while injecting no faults, so results stay comparable bit-for-bit.
+BENIGN_PLAN = FaultPlan(seed=7, transient_rate=1e-12)
+
+TRANSIENT_PLAN = FaultPlan(seed=7, transient_rate=1.0, transient_burst=1)
+
+MAX_OVERHEAD = 0.05
+
+
+def group_objective(f, names):
+    def obj(cfg):
+        outs = f.group_objectives(cfg)
+        return float(sum(outs[n] for n in names))
+
+    return obj
+
+
+def methodology_specs(f, fault_plan=None, max_retries=0):
+    sp = f.search_space()
+    g34 = sp.subspace(
+        list(GROUP_VARIABLES["Group 3"] + GROUP_VARIABLES["Group 4"]),
+        name="Group 3+4",
+    )
+    mk = dict(fault_plan=fault_plan, max_retries=max_retries, retry_backoff=0.0)
+    return [
+        SearchSpec(
+            sp.subspace(list(GROUP_VARIABLES["Group 1"]), name="Group 1"),
+            group_objective(f, ["Group 1"]),
+            max_evaluations=budget(50),
+            **mk,
+        ),
+        SearchSpec(
+            sp.subspace(list(GROUP_VARIABLES["Group 2"]), name="Group 2"),
+            group_objective(f, ["Group 2"]),
+            max_evaluations=budget(50),
+            **mk,
+        ),
+        SearchSpec(
+            g34,
+            group_objective(f, ["Group 3", "Group 4"]),
+            max_evaluations=budget(100),
+            **mk,
+        ),
+    ]
+
+
+def run_campaign(fault_plan=None, max_retries=0, seed=0):
+    f = SyntheticFunction(3, random_state=seed)
+    t0 = time.perf_counter()
+    result = SearchCampaign(
+        methodology_specs(f, fault_plan, max_retries), random_state=seed
+    ).run()
+    elapsed = time.perf_counter() - t0
+    combined = result.combined_config
+    return {
+        "elapsed": elapsed,
+        "best": f(combined),
+        "configs": [s.best_config for s in result.searches],
+        "n_evals": [s.n_evaluations for s in result.searches],
+    }
+
+
+def test_fault_injection_overhead(benchmark):
+    def body():
+        runs = {"bare": [], "benign": [], "transient": []}
+        for _ in range(max(3, reps())):
+            runs["bare"].append(run_campaign())
+            runs["benign"].append(run_campaign(BENIGN_PLAN))
+            runs["transient"].append(run_campaign(TRANSIENT_PLAN, max_retries=2))
+        return runs
+
+    runs = once(benchmark, body)
+    bare, benign, transient = (
+        runs["bare"][0], runs["benign"][0], runs["transient"][0]
+    )
+
+    # Bit-identity: the benign plan changes nothing observable, and the
+    # transient plan is fully absorbed by the retries.
+    assert benign["configs"] == bare["configs"]
+    assert benign["n_evals"] == bare["n_evals"]
+    assert transient["configs"] == bare["configs"]
+    assert transient["n_evals"] == bare["n_evals"]
+
+    # Overhead bound: min over reps filters scheduler noise.
+    t_bare = min(r["elapsed"] for r in runs["bare"])
+    t_benign = min(r["elapsed"] for r in runs["benign"])
+    overhead = t_benign / t_bare - 1.0
+
+    rows = [
+        ("bare", f"{t_bare:.2f}", "-", f"{bare['best']:.3f}"),
+        ("benign plan", f"{t_benign:.2f}", f"{100 * overhead:+.1f}%",
+         f"{benign['best']:.3f}"),
+        ("transient + 2 retries",
+         f"{min(r['elapsed'] for r in runs['transient']):.2f}", "-",
+         f"{transient['best']:.3f}"),
+    ]
+    write_result(
+        "fault_overhead",
+        format_table(
+            ["campaign", "time [s]", "overhead", "minima found"], rows
+        )
+        + f"\n\nbound: injection overhead < {100 * MAX_OVERHEAD:.0f}%",
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"fault-injection overhead {100 * overhead:.1f}% exceeds "
+        f"{100 * MAX_OVERHEAD:.0f}%"
+    )

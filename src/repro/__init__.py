@@ -11,6 +11,8 @@ Public API tour
 * :mod:`repro.bo` — the Bayesian-optimization engine (GP surrogates,
   acquisitions, crash-recoverable databases, transfer learning).
 * :mod:`repro.search` — random/grid baselines and the campaign runner.
+* :mod:`repro.faults` — failure taxonomy, deterministic fault injection,
+  evaluation watchdog, and circuit breaker (see ``docs/robustness.md``).
 * :mod:`repro.insights` — sensitivity analysis, correlation, random-forest
   feature importance.
 * :mod:`repro.synthetic` — the paper's five 20-dimensional synthetic cases.
@@ -29,7 +31,18 @@ Quickstart
 ['Group 1', 'Group 2', 'Group 3+Group 4']
 """
 
-from . import bo, core, insights, mpisim, profiling, search, space, synthetic, tddft
+from . import (
+    bo,
+    core,
+    faults,
+    insights,
+    mpisim,
+    profiling,
+    search,
+    space,
+    synthetic,
+    tddft,
+)
 from .core import (
     InfluenceMatrix,
     InterdependenceDAG,
@@ -47,6 +60,7 @@ __version__ = "1.0.0"
 __all__ = [
     "bo",
     "core",
+    "faults",
     "insights",
     "mpisim",
     "profiling",

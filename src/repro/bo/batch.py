@@ -121,7 +121,11 @@ class BatchBayesianOptimizer(BayesianOptimizer):
         n_seed = max(0, self.n_initial - n_have)
         if n_seed > 0:
             for config in self.space.latin_hypercube(n_seed, self.rng):
+                if self.breaker is not None and not self.breaker.allows(config):
+                    self.quarantine_skips += 1
+                    continue
                 rec = self._evaluate(config)
+                self._record_failure(rec)
                 self.database.append(rec)
                 n_new += 1
             eval_cost += max(
@@ -138,14 +142,20 @@ class BatchBayesianOptimizer(BayesianOptimizer):
                 n**3 + n * n * d + self.n_candidates * n * d
             )
             round_costs = []
+            exhausted = False
             for cfg in batch:
+                cfg = self._dequarantine(cfg, self.rng)
+                if cfg is None:
+                    exhausted = True
+                    break
                 rec = self._evaluate(cfg)
+                self._record_failure(rec)
                 self.database.append(rec)
                 round_costs.append(rec.cost)
                 n_new += 1
             # Parallel round: wall-clock is the slowest member.
             eval_cost += max(round_costs, default=0.0)
-            if n_new > 4 * self.max_evaluations:
+            if exhausted or n_new > 4 * self.max_evaluations:
                 break
 
         best = self.database.best()
@@ -156,4 +166,5 @@ class BatchBayesianOptimizer(BayesianOptimizer):
             n_evaluations=n_new,
             evaluation_cost=eval_cost,
             modeling_overhead=model_cost,
+            meta=self._result_meta(),
         )

@@ -36,11 +36,18 @@ an uninterrupted run (for the default ``refit_every=1`` schedule).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..faults.breaker import CircuitBreaker
+from ..faults.taxonomy import (
+    FAILURE_KIND_KEY,
+    FailureKind,
+    classify_exception,
+    failure_kind_of,
+)
 from ..space import SearchSpace
 from .acquisition import (
     AcquisitionFunction,
@@ -88,6 +95,9 @@ class BOResult:
     n_evaluations: int
     evaluation_cost: float
     modeling_overhead: float
+    meta: dict[str, Any] = field(default_factory=dict)
+    """Robustness annotations (failure-kind counts, circuit-breaker
+    quarantine summary) — forwarded into ``SearchResult.meta``."""
 
     @property
     def search_time(self) -> float:
@@ -141,6 +151,23 @@ class BayesianOptimizer:
         Seconds per unit of the O(N^3 + N d) modeling-work estimate; the
         knob that lets the simulated Table III reproduce the wall-clock gap
         between 20-dim joint BO and the decomposed searches.
+    quarantine_threshold / quarantine_resolution:
+        Circuit breaker: after ``quarantine_threshold`` PERMANENT/NUMERIC
+        classified failures inside one cell of the
+        ``quarantine_resolution``-per-axis grid over the unit cube, that
+        cell is quarantined — the optimizer stops suggesting
+        configurations there (resampling deterministically from the
+        iteration's RNG stream) and the search degrades gracefully
+        instead of re-probing poison.  ``None`` (default) disables the
+        breaker.  Tripped cells are reported in ``meta["quarantined"]``.
+    failure_penalty_factor:
+        When set, FAILED/TIMEOUT observations are fed to the GP as
+        *penalized* observations instead of being dropped: their target
+        value is ``y_max + factor * (y_max - y_min)`` over the successful
+        records (falling back to ``y_max + factor`` for a degenerate
+        spread), so the surrogate learns an elevated surface around
+        failing regions.  ``None`` (default) keeps the classic
+        drop-failures behavior.
     """
 
     def __init__(
@@ -160,6 +187,9 @@ class BayesianOptimizer:
         resume: bool = True,
         failure_cost: float | None = None,
         model_unit_cost: float = 5e-7,
+        quarantine_threshold: int | None = None,
+        quarantine_resolution: int = 4,
+        failure_penalty_factor: float | None = None,
         mean_function: Callable[[np.ndarray], np.ndarray] | None = None,
         random_state: int | np.random.Generator | np.random.SeedSequence | None = None,
     ):
@@ -190,6 +220,21 @@ class BayesianOptimizer:
         self.resume = bool(resume)
         self.failure_cost = failure_cost
         self.model_unit_cost = float(model_unit_cost)
+        self.failure_penalty_factor = (
+            float(failure_penalty_factor)
+            if failure_penalty_factor is not None
+            else None
+        )
+        self.breaker = (
+            CircuitBreaker(
+                space,
+                threshold=quarantine_threshold,
+                resolution=quarantine_resolution,
+            )
+            if quarantine_threshold is not None
+            else None
+        )
+        self.quarantine_skips = 0
         self.mean_function = mean_function
         # All randomness derives from one SeedSequence so that per-iteration
         # streams can be re-derived after a crash.  A Generator input (legacy
@@ -257,16 +302,25 @@ class BayesianOptimizer:
         t0 = time.perf_counter()
         try:
             out = self.objective(full)
-        except Exception as exc:  # objective crash -> FAILED record
+        except Exception as exc:  # objective crash -> classified record
+            kind = classify_exception(exc)
+            meta: dict[str, Any] = {
+                "error": repr(exc),
+                FAILURE_KIND_KEY: kind.value,
+                "measured_seconds": time.perf_counter() - t0,
+            }
+            if kind is FailureKind.TIMEOUT:
+                # The watchdog fired: a *real* wall-clock deadline, as
+                # opposed to the simulated cap below.
+                meta["timeout_kind"] = "wallclock"
             return Evaluation(
                 config=full,
                 objective=float("nan"),
                 cost=self._failure_penalty,
-                status=EvaluationStatus.FAILED,
-                meta={
-                    "error": repr(exc),
-                    "measured_seconds": time.perf_counter() - t0,
-                },
+                status=EvaluationStatus.TIMEOUT
+                if kind is FailureKind.TIMEOUT
+                else EvaluationStatus.FAILED,
+                meta=meta,
             )
         if isinstance(out, tuple):
             value, meta = float(out[0]), dict(out[1])
@@ -277,14 +331,22 @@ class BayesianOptimizer:
         ):
             # Simulated kill switch: charge the capped runtime (the run
             # would have been killed at the timeout), never more.
+            finite = np.isfinite(value)
             return Evaluation(
                 config=full,
                 objective=float("nan"),
                 cost=min(value, self.evaluation_timeout)
-                if np.isfinite(value)
+                if finite
                 else self._failure_penalty,
                 status=EvaluationStatus.TIMEOUT,
-                meta={**meta, "measured_seconds": time.perf_counter() - t0},
+                meta={
+                    **meta,
+                    FAILURE_KIND_KEY: (
+                        FailureKind.TIMEOUT if finite else FailureKind.NUMERIC
+                    ).value,
+                    "timeout_kind": "simulated",
+                    "measured_seconds": time.perf_counter() - t0,
+                },
             )
         if not np.isfinite(value):
             return Evaluation(
@@ -292,7 +354,11 @@ class BayesianOptimizer:
                 objective=float("nan"),
                 cost=self._failure_penalty,
                 status=EvaluationStatus.FAILED,
-                meta={**meta, "measured_seconds": time.perf_counter() - t0},
+                meta={
+                    **meta,
+                    FAILURE_KIND_KEY: FailureKind.NUMERIC.value,
+                    "measured_seconds": time.perf_counter() - t0,
+                },
             )
         # The objective's value *is* the simulated runtime, hence the cost
         # (clamped at zero: synthetic objectives may be negative logs).
@@ -301,16 +367,29 @@ class BayesianOptimizer:
     def _training_set(
         self, records: Sequence[Evaluation] | None = None
     ) -> tuple[np.ndarray, np.ndarray, list[dict[str, Any]]]:
-        ok = (
-            self.database.ok_records()
-            if records is None
-            else [r for r in records if r.ok]
-        )
+        recs = self.database.records if records is None else list(records)
+        ok = [r for r in recs if r.ok]
+        training = list(ok)
+        y_fail: float | None = None
+        if self.failure_penalty_factor is not None and ok:
+            # Failed points enter the GP as penalized observations (worse
+            # than the worst success by factor x the observed spread) so
+            # the surrogate learns to avoid failing regions instead of
+            # treating them as unexplored.
+            y_ok = np.array([r.objective for r in ok], dtype=float)
+            spread = float(y_ok.max() - y_ok.min())
+            y_fail = float(
+                y_ok.max()
+                + self.failure_penalty_factor * (spread if spread > 0 else 1.0)
+            )
+            training += [r for r in recs if not r.ok]
         configs = [
-            {k: r.config[k] for k in self.space.names} for r in ok
+            {k: r.config[k] for k in self.space.names} for r in training
         ]
         X = self.space.encode_batch(configs)
-        y = np.array([r.objective for r in ok], dtype=float)
+        y = np.array(
+            [r.objective if r.ok else y_fail for r in training], dtype=float
+        )
         return X, y, configs
 
     def _fit_schedule(self, idx: int) -> tuple[bool, bool]:
@@ -388,6 +467,48 @@ class BayesianOptimizer:
         # the uninterrupted run performed at this iteration.
         self._model = None
 
+    def _record_failure(self, rec: Evaluation) -> None:
+        """Feed a completed evaluation's classified failure (if any) to
+        the circuit breaker."""
+        if self.breaker is not None and not rec.ok:
+            self.breaker.record(rec.config, failure_kind_of(rec))
+
+    def _dequarantine(
+        self, config: dict[str, Any], rng: np.random.Generator
+    ) -> dict[str, Any] | None:
+        """Replace a quarantined suggestion with an allowed sample.
+
+        Pure pass-through while no cell has tripped (consumes no random
+        state — the chaos-determinism guarantee).  Once regions are
+        quarantined, draws replacement samples from the iteration's RNG
+        stream; ``None`` when the reachable space appears fully
+        quarantined, which ends the search gracefully.
+        """
+        if self.breaker is None or self.breaker.allows(config):
+            return config
+        self.quarantine_skips += 1
+        for _ in range(64):
+            cand = self.space.sample(rng)
+            if self.breaker.allows(cand):
+                return cand
+        return None
+
+    def _result_meta(self) -> dict[str, Any]:
+        """Robustness annotations for the result (empty when clean)."""
+        meta: dict[str, Any] = {}
+        counts: dict[str, int] = {}
+        for rec in self.database:
+            kind = failure_kind_of(rec)
+            if kind is not None:
+                counts[kind.value] = counts.get(kind.value, 0) + 1
+        if counts:
+            meta["failure_counts"] = counts
+        if self.breaker is not None and self.breaker.n_tripped:
+            meta["quarantined"] = self.breaker.summary()
+        if self.quarantine_skips:
+            meta["quarantine_skipped"] = self.quarantine_skips
+        return meta
+
     # ------------------------------------------------------------------
     def run(self) -> BOResult:
         """Execute the BO loop to completion and return the result."""
@@ -397,6 +518,10 @@ class BayesianOptimizer:
 
         if self.resume and len(self.database) > 0:
             self._replay_model_state()
+            # Rebuild the circuit-breaker state from the checkpointed
+            # failure kinds so a resumed campaign keeps its quarantine.
+            for rec in self.database:
+                self._record_failure(rec)
 
         # --- initial design (partially replayed under crash recovery) ---
         # The full design is derived from a dedicated stream so a resumed
@@ -407,7 +532,13 @@ class BayesianOptimizer:
                 self.n_initial, np.random.default_rng(self._stream(self._INIT_STREAM))
             )
             for config in design[len(self.database):]:
+                if self.breaker is not None and not self.breaker.allows(config):
+                    # Design point landed in a quarantined cell: skip it
+                    # (zero evaluations inside tripped regions).
+                    self.quarantine_skips += 1
+                    continue
                 rec = self._evaluate(config)
+                self._record_failure(rec)
                 self.database.append(rec)
                 eval_cost += rec.cost
                 n_new += 1
@@ -441,7 +572,14 @@ class BayesianOptimizer:
                         for r in self.database
                     ],
                 )
+            config = self._dequarantine(config, rng)
+            if config is None:
+                # Every reachable cell is quarantined: degrade gracefully
+                # with whatever incumbents exist instead of burning the
+                # rest of the budget on guaranteed failures.
+                break
             rec = self._evaluate(config)
+            self._record_failure(rec)
             self.database.append(rec)
             eval_cost += rec.cost
             n_new += 1
@@ -458,4 +596,5 @@ class BayesianOptimizer:
             n_evaluations=n_new,
             evaluation_cost=eval_cost,
             modeling_overhead=model_cost,
+            meta=self._result_meta(),
         )

@@ -30,10 +30,8 @@ def _cmd_synthetic(args: argparse.Namespace) -> int:
         app.routines(),
         cutoff=args.cutoff,
         n_variations=args.variations,
-        parallel=args.parallel,
-        n_workers=args.workers,
-        checkpoint_dir=args.checkpoint_dir,
         random_state=args.seed,
+        **_robustness_kwargs(args),
     )
     result = tm.run() if not args.plan_only else tm.analyze()
     print(result.summary())
@@ -55,10 +53,8 @@ def _cmd_tddft(args: argparse.Namespace) -> int:
         n_baselines=args.baselines,
         variation_mode="random",
         hierarchy=app.hierarchy(),
-        parallel=args.parallel,
-        n_workers=args.workers,
-        checkpoint_dir=args.checkpoint_dir,
         random_state=args.seed,
+        **_robustness_kwargs(args),
     )
     result = tm.run() if not args.plan_only else tm.analyze()
     print(result.summary())
@@ -110,6 +106,51 @@ def _add_executor_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="directory for crash-recovery evaluation "
                         "checkpoints; rerunning resumes from them")
+    p.add_argument("--max-retries", type=int, default=0, metavar="K",
+                   help="retry transiently-failing evaluations up to K "
+                        "times (permanent failures short-circuit)")
+    p.add_argument("--retry-backoff", type=float, default=0.05,
+                   metavar="SEC", help="initial exponential-backoff delay "
+                        "between retries (default: 0.05s)")
+    p.add_argument("--memoize", action="store_true",
+                   help="cache evaluations on the canonicalized "
+                        "configuration (permanent failures become poison "
+                        "keys and are never re-paid)")
+    p.add_argument("--wall-timeout", type=float, default=None, metavar="SEC",
+                   help="real wall-clock watchdog deadline per evaluation "
+                        "(catches genuinely hanging objectives)")
+    p.add_argument("--quarantine-threshold", type=int, default=None,
+                   metavar="K",
+                   help="circuit breaker: quarantine a space cell after K "
+                        "permanently-classified failures in it")
+    p.add_argument("--quarantine-resolution", type=int, default=4,
+                   metavar="R", help="breaker grid resolution per axis "
+                        "(default: 4)")
+    p.add_argument("--inject-faults", default=None, metavar="PLAN.json",
+                   help="chaos testing: inject deterministic faults per "
+                        "the FaultPlan JSON file (see docs/robustness.md)")
+
+
+def _robustness_kwargs(args: argparse.Namespace) -> dict:
+    """Translate executor flags into TuningMethodology keyword arguments."""
+    from .faults import FaultPlan
+
+    return {
+        "parallel": args.parallel,
+        "n_workers": args.workers,
+        "checkpoint_dir": args.checkpoint_dir,
+        "max_retries": args.max_retries,
+        "retry_backoff": args.retry_backoff,
+        "memoize": args.memoize,
+        "wall_timeout": args.wall_timeout,
+        "quarantine_threshold": args.quarantine_threshold,
+        "quarantine_resolution": args.quarantine_resolution,
+        "fault_plan": (
+            FaultPlan.from_json(args.inject_faults)
+            if args.inject_faults
+            else None
+        ),
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -30,6 +30,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..faults.injection import FaultPlan
 from ..insights.importance import ParameterInsights, analyze_parameters
 from ..insights.sensitivity import SensitivityAnalysis, SensitivityResult
 from ..search.result import CampaignResult
@@ -167,6 +168,22 @@ class TuningMethodology:
         Directory for crash-recovery checkpoints; each stage writes its
         members' append-only JSONL evaluation databases to
         ``<checkpoint_dir>/stage-<i>/`` and a rerun resumes them.
+    max_retries / retry_backoff / memoize:
+        Robustness policy applied to every search-stage objective (see
+        :class:`~repro.search.SearchSpec`).  Retries absorb
+        transiently-classified failures; permanently-classified ones
+        short-circuit.
+    wall_timeout:
+        Real wall-clock deadline (seconds) per search evaluation,
+        enforced by the :class:`~repro.faults.WatchdogObjective`.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injected around every
+        *search-stage* objective for chaos testing.  Sensitivity and
+        insight evaluations are never fault-injected, so
+        ``analysis_evaluations`` accounting is unaffected.
+    quarantine_threshold / quarantine_resolution:
+        Circuit-breaker configuration forwarded to every search (see
+        :class:`~repro.faults.CircuitBreaker`).
     """
 
     def __init__(
@@ -188,6 +205,13 @@ class TuningMethodology:
         parallel: bool = False,
         n_workers: int | None = None,
         checkpoint_dir: str | None = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        memoize: bool = False,
+        wall_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        quarantine_threshold: int | None = None,
+        quarantine_resolution: int = 4,
         random_state: int | np.random.Generator | None = None,
     ):
         self.space = space
@@ -206,6 +230,13 @@ class TuningMethodology:
         self.parallel = bool(parallel)
         self.n_workers = n_workers
         self.checkpoint_dir = checkpoint_dir
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.memoize = bool(memoize)
+        self.wall_timeout = wall_timeout
+        self.fault_plan = fault_plan
+        self.quarantine_threshold = quarantine_threshold
+        self.quarantine_resolution = int(quarantine_resolution)
         self.rng = (
             random_state
             if isinstance(random_state, np.random.Generator)
@@ -331,6 +362,13 @@ class TuningMethodology:
                     engine=self.engine,
                     max_evaluations=s.budget,
                     engine_options=dict(self.engine_options),
+                    max_retries=self.max_retries,
+                    retry_backoff=self.retry_backoff,
+                    memoize=self.memoize,
+                    wall_timeout=self.wall_timeout,
+                    fault_plan=self.fault_plan,
+                    quarantine_threshold=self.quarantine_threshold,
+                    quarantine_resolution=self.quarantine_resolution,
                 )
                 for s, sub, obj in planner.materialize(
                     result.plan, defaults=carried, stage=stage

@@ -1,0 +1,59 @@
+"""Fault injection, failure taxonomy, watchdog, and circuit breaker.
+
+The robustness layer that makes the campaign executor's fault tolerance
+*testable and complete* (the role GPTune's crash recovery plays for the
+paper's long HPC campaigns):
+
+:mod:`repro.faults.taxonomy`
+    :class:`FailureKind` (TRANSIENT / PERMANENT / TIMEOUT / NUMERIC /
+    WORKER_LOST), self-classifying fault exceptions, and the
+    :func:`classify_exception` hook.  Kinds are persisted in
+    ``Evaluation.meta["failure_kind"]`` and round-trip through JSONL
+    checkpoints.
+:mod:`repro.faults.injection`
+    :class:`FaultPlan` + :class:`FaultyObjective`: deterministic,
+    seed-driven fault injection (transient bursts, poison regions, NaN
+    results, hangs, runtime noise) for chaos-testing campaigns.
+:mod:`repro.faults.watchdog`
+    :class:`WatchdogObjective`: real wall-clock deadlines on in-process
+    evaluations (thread-based; abandons hung objectives).
+:mod:`repro.faults.breaker`
+    :class:`CircuitBreaker`: quarantine regions of the space after K
+    permanently-classified failures.
+"""
+
+from .taxonomy import (
+    FAILURE_KIND_KEY,
+    RETRYABLE_KINDS,
+    EvaluationTimeoutError,
+    FailureKind,
+    FaultError,
+    NumericFault,
+    PermanentFault,
+    TransientFault,
+    WorkerLostError,
+    classify_exception,
+    failure_kind_of,
+)
+from .breaker import CircuitBreaker
+from .injection import FaultPlan, FaultyObjective, PoisonRegion
+from .watchdog import WatchdogObjective
+
+__all__ = [
+    "FailureKind",
+    "RETRYABLE_KINDS",
+    "FAILURE_KIND_KEY",
+    "FaultError",
+    "TransientFault",
+    "PermanentFault",
+    "NumericFault",
+    "EvaluationTimeoutError",
+    "WorkerLostError",
+    "classify_exception",
+    "failure_kind_of",
+    "FaultPlan",
+    "PoisonRegion",
+    "FaultyObjective",
+    "WatchdogObjective",
+    "CircuitBreaker",
+]

@@ -1,0 +1,122 @@
+"""Circuit breaker: quarantine chronically-failing regions of the space.
+
+A poison region — configurations that fail *permanently* (bad kernel
+geometry, guaranteed OOM) — is invisible to retry logic: every sample
+drawn there burns a full failure penalty, and the acquisition function
+only learns to avoid the exact points it has seen.  The breaker takes
+the classic service-resilience pattern to the search space: the unit
+hypercube is partitioned into ``resolution^d`` cells (via the space's
+``encode`` map), permanently-classified failures are counted per cell,
+and once a cell accumulates ``threshold`` of them it *trips* — the
+engines stop sampling it entirely and the campaign degrades gracefully
+instead of re-probing poison.
+
+Only kinds in ``count_kinds`` (default: PERMANENT and NUMERIC — failures
+deterministic in the configuration) advance the breaker; transient
+failures and timeouts do not, so a flaky node cannot quarantine a
+healthy region.  Tripped cells are reported in
+``SearchResult.meta["quarantined"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from .taxonomy import FailureKind
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Per-region failure counter with a trip threshold.
+
+    Parameters
+    ----------
+    space:
+        The search (sub)space; its ``encode`` maps configurations into
+        the unit hypercube that is partitioned into cells.
+    threshold:
+        Permanent-failure count at which a cell trips (the issue's K).
+    resolution:
+        Cells per axis; a cell is a ``1/resolution``-wide hyper-interval
+        (the "neighborhood" granularity).
+    count_kinds:
+        Failure kinds that advance the counter.
+
+    The breaker never consumes random state — ``allows`` is a pure
+    lookup — so consulting it leaves a fault-free search's RNG streams
+    untouched (part of the chaos-determinism guarantee).
+    """
+
+    def __init__(
+        self,
+        space,
+        *,
+        threshold: int = 3,
+        resolution: int = 4,
+        count_kinds: Iterable[FailureKind] = (
+            FailureKind.PERMANENT,
+            FailureKind.NUMERIC,
+        ),
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        self.space = space
+        self.threshold = int(threshold)
+        self.resolution = int(resolution)
+        self.count_kinds = frozenset(FailureKind(k) for k in count_kinds)
+        self._counts: dict[tuple[int, ...], int] = {}
+        self._tripped: set[tuple[int, ...]] = set()
+
+    # ------------------------------------------------------------------
+    def cell(self, config: Mapping[str, Any]) -> tuple[int, ...]:
+        """The grid cell containing ``config`` (key of the neighborhood)."""
+        u = np.asarray(self.space.encode(config), dtype=float)
+        idx = np.floor(np.clip(u, 0.0, 1.0 - 1e-12) * self.resolution)
+        return tuple(int(i) for i in idx)
+
+    def record(
+        self, config: Mapping[str, Any], kind: FailureKind | str | None
+    ) -> bool:
+        """Count one classified failure; returns True when this record
+        trips the cell's breaker (first crossing of the threshold)."""
+        if kind is None:
+            return False
+        kind = FailureKind(kind)
+        if kind not in self.count_kinds:
+            return False
+        key = self.cell(config)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self._counts[key] >= self.threshold and key not in self._tripped:
+            self._tripped.add(key)
+            return True
+        return False
+
+    def allows(self, config: Mapping[str, Any]) -> bool:
+        """Whether ``config`` may be evaluated (its cell has not tripped)."""
+        return not self._tripped or self.cell(config) not in self._tripped
+
+    def is_quarantined(self, config: Mapping[str, Any]) -> bool:
+        return not self.allows(config)
+
+    # ------------------------------------------------------------------
+    @property
+    def tripped_cells(self) -> list[tuple[int, ...]]:
+        return sorted(self._tripped)
+
+    @property
+    def n_tripped(self) -> int:
+        return len(self._tripped)
+
+    def summary(self) -> dict[str, Any]:
+        """JSONL-safe description for ``SearchResult.meta["quarantined"]``."""
+        return {
+            "threshold": self.threshold,
+            "resolution": self.resolution,
+            "cells": [list(c) for c in self.tripped_cells],
+            "failures_counted": int(sum(self._counts.values())),
+        }

@@ -1,0 +1,295 @@
+"""Deterministic, seed-driven fault injection for objectives.
+
+The executor's resilience machinery (retries, checkpoint/resume,
+memoization, watchdog, circuit breaker) is only trustworthy if it can be
+*exercised* — and exercising it requires faults that are reproducible.
+:class:`FaultyObjective` wraps any objective with a :class:`FaultPlan`
+whose decisions are a pure function of ``(plan seed, configuration,
+attempt number)``: the same campaign seed and plan always produce the
+same faults at the same evaluations, in-process or across pool workers.
+
+Fault channels (all independently seeded per configuration):
+
+* **transient exceptions** — a fraction ``transient_rate`` of
+  configurations raise :class:`~repro.faults.TransientFault` on their
+  first ``transient_burst`` attempts, then succeed.  With retry capacity
+  >= the burst, a campaign under transient faults is *bit-identical* to
+  a fault-free one — the headline chaos-suite property.
+* **poison regions** — configurations inside a declared region of the
+  space always raise :class:`~repro.faults.PermanentFault` (the
+  "this kernel configuration can never launch" scenario the circuit
+  breaker quarantines).
+* **NaN results** — a fraction ``numeric_rate`` of configurations
+  return NaN on every attempt (deterministic numeric garbage).
+* **hangs** — a fraction ``hang_rate`` of configurations sleep
+  ``hang_seconds`` of real wall-clock before returning (watchdog prey).
+* **runtime noise** — multiplicative log-normal noise of scale
+  ``noise_scale`` on the returned value (seeded per configuration, so
+  still deterministic — but *not* bit-identical to a fault-free run).
+
+Plans serialize to/from JSON (``FaultPlan.from_json``) so campaigns can
+be chaos-tested from the CLI via ``--inject-faults plan.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .taxonomy import PermanentFault, TransientFault
+
+__all__ = ["FaultPlan", "PoisonRegion", "FaultyObjective"]
+
+_canonical_key = None
+
+
+def _config_key(config: Mapping[str, Any]) -> str:
+    """Canonical configuration key (lazy import: ``repro.search.cache``
+    imports this package's taxonomy, so a module-level import here would
+    be circular)."""
+    global _canonical_key
+    if _canonical_key is None:
+        from ..search.cache import canonical_key
+
+        _canonical_key = canonical_key
+    return _canonical_key(config)
+
+
+@dataclass(frozen=True)
+class PoisonRegion:
+    """An axis-aligned region of the configuration space that always fails.
+
+    ``bounds`` maps parameter names to either a ``[low, high]`` numeric
+    interval (inclusive) or an explicit list of poisoned values
+    (categorical/ordinal axes).  A configuration is poisoned when *every*
+    listed parameter matches; parameters absent from the configuration
+    never match.
+    """
+
+    bounds: Mapping[str, Any] = field(default_factory=dict)
+
+    def contains(self, config: Mapping[str, Any]) -> bool:
+        if not self.bounds:
+            return False
+        for name, spec in self.bounds.items():
+            if name not in config:
+                return False
+            value = config[name]
+            if (
+                isinstance(spec, Sequence)
+                and not isinstance(spec, str)
+                and len(spec) == 2
+                and all(isinstance(b, (int, float)) for b in spec)
+                and isinstance(value, (int, float, np.integer, np.floating))
+            ):
+                low, high = float(spec[0]), float(spec[1])
+                if not (low <= float(value) <= high):
+                    return False
+            elif isinstance(spec, Sequence) and not isinstance(spec, str):
+                if value not in spec:
+                    return False
+            else:
+                if value != spec:
+                    return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"bounds": {k: v for k, v in self.bounds.items()}}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PoisonRegion":
+        return cls(bounds=dict(d.get("bounds", d)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seed-driven description of which faults to inject, and how often.
+
+    All rates are fractions of the configuration space in ``[0, 1]``;
+    whether a given configuration is affected is decided by hashing the
+    canonicalized configuration with ``seed`` — never by global counters
+    or wall-clock — so injection commutes with retries, resumes, and
+    process-pool boundaries.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    transient_burst: int = 1
+    numeric_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_seconds: float = 0.0
+    noise_scale: float = 0.0
+    poison: tuple[PoisonRegion, ...] = ()
+
+    def __post_init__(self):
+        for name in ("transient_rate", "numeric_rate", "hang_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.transient_burst < 1:
+            raise ValueError("transient_burst must be >= 1")
+        if self.hang_seconds < 0 or self.noise_scale < 0:
+            raise ValueError("hang_seconds and noise_scale must be >= 0")
+        object.__setattr__(
+            self, "poison", tuple(
+                r if isinstance(r, PoisonRegion) else PoisonRegion.from_dict(r)
+                for r in self.poison
+            )
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "transient_rate": self.transient_rate,
+            "transient_burst": self.transient_burst,
+            "numeric_rate": self.numeric_rate,
+            "hang_rate": self.hang_rate,
+            "hang_seconds": self.hang_seconds,
+            "noise_scale": self.noise_scale,
+            "poison": [r.to_dict() for r in self.poison],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FaultPlan":
+        known = {
+            "seed", "transient_rate", "transient_burst", "numeric_rate",
+            "hang_rate", "hang_seconds", "noise_scale",
+        }
+        kwargs: dict[str, Any] = {k: d[k] for k in known if k in d}
+        kwargs["poison"] = tuple(
+            PoisonRegion.from_dict(r) for r in d.get("poison", ())
+        )
+        unknown = set(d) - known - {"poison"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, path: str | os.PathLike) -> "FaultPlan":
+        with open(os.fspath(path)) as f:
+            return cls.from_dict(json.load(f))
+
+    def save_json(self, path: str | os.PathLike) -> None:
+        with open(os.fspath(path), "w") as f:
+            json.dump(self.to_dict(), f, indent=2)
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan can inject anything at all."""
+        return bool(
+            self.transient_rate or self.numeric_rate or self.hang_rate
+            or self.noise_scale or self.poison
+        )
+
+
+class FaultyObjective:
+    """Wrap an objective with a deterministic fault plan.
+
+    A plain picklable class (no closures) so fault-injected specs cross
+    ``ProcessPoolExecutor`` boundaries like any other.  The only mutable
+    state is the per-configuration attempt counter that drives transient
+    bursts; it travels with the pickle, and because injection decisions
+    are keyed on (seed, configuration, attempt) the faults observed by a
+    resumed or pooled campaign match an uninterrupted one.
+    """
+
+    def __init__(self, objective, plan: FaultPlan):
+        self.objective = objective
+        self.plan = plan
+        self._attempts: dict[int, int] = {}
+        self.injected = {
+            "transient": 0, "permanent": 0, "numeric": 0, "hang": 0,
+        }
+
+    # -- deterministic per-config randomness ---------------------------
+    def _config_hash(self, config: Mapping[str, Any]) -> int:
+        return zlib.crc32(_config_key(config).encode("utf-8"))
+
+    def _uniforms(self, chash: int, n: int = 4) -> list[float]:
+        """``n`` uniforms that depend only on (plan seed, configuration).
+
+        Splitmix64 over a (seed, config-hash) state — a pure integer-mix
+        generator, so deriving the channel uniforms costs microseconds
+        per evaluation (constructing a ``numpy.random.SeedSequence`` here
+        instead measurably violated the <5% injection-overhead budget on
+        cheap objectives).
+        """
+        state = (
+            (self.plan.seed & _MASK64) * 0x9E3779B97F4A7C15 + chash
+        ) & _MASK64
+        out = []
+        for _ in range(n):
+            state = (state + 0x9E3779B97F4A7C15) & _MASK64
+            out.append(_mix64(state) / 2.0**64)
+        return out
+
+    # ------------------------------------------------------------------
+    def __call__(self, config: Mapping[str, Any]) -> Any:
+        plan = self.plan
+        for region in plan.poison:
+            if region.contains(config):
+                self.injected["permanent"] += 1
+                raise PermanentFault(
+                    f"injected permanent fault: poison region {region.bounds}"
+                )
+        chash = self._config_hash(config)
+        u_transient, u_numeric, u_hang, u_noise = self._uniforms(chash)
+        if plan.hang_rate and u_hang < plan.hang_rate and plan.hang_seconds > 0:
+            self.injected["hang"] += 1
+            time.sleep(plan.hang_seconds)
+        if plan.transient_rate and u_transient < plan.transient_rate:
+            attempt = self._attempts.get(chash, 0)
+            self._attempts[chash] = attempt + 1
+            if attempt < plan.transient_burst:
+                self.injected["transient"] += 1
+                raise TransientFault(
+                    f"injected transient fault (attempt {attempt + 1}"
+                    f"/{plan.transient_burst})"
+                )
+        if plan.numeric_rate and u_numeric < plan.numeric_rate:
+            self.injected["numeric"] += 1
+            return float("nan")
+        out = self.objective(config)
+        if plan.noise_scale:
+            # Seeded log-normal multiplicative noise: ln(factor) ~
+            # N(0, noise_scale), derived from the per-config uniform so
+            # repeated evaluations of one configuration agree.
+            z = math.sqrt(2.0) * _erfinv(2.0 * u_noise - 1.0)
+            factor = math.exp(plan.noise_scale * z)
+            if isinstance(out, tuple):
+                return float(out[0]) * factor, out[1]
+            return float(out) * factor
+        return out
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(z: int) -> int:
+    """Splitmix64 output mix (Steele, Lea & Flood 2014)."""
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (scipy-free; Winitzki's approximation
+    refined by one Newton step — plenty for noise generation)."""
+    a = 0.147
+    ln1mx2 = math.log(max(1.0 - x * x, 1e-300))
+    term = 2.0 / (math.pi * a) + ln1mx2 / 2.0
+    y = math.copysign(
+        math.sqrt(math.sqrt(term * term - ln1mx2 / a) - term), x
+    )
+    # One Newton refinement: f(y) = erf(y) - x.
+    err = math.erf(y) - x
+    y -= err * math.sqrt(math.pi) / 2.0 * math.exp(y * y)
+    return y

@@ -1,0 +1,178 @@
+"""Failure taxonomy: *why* an evaluation failed, not just that it did.
+
+GPTune-style crash recovery (PAPER.md §2) treats every failure alike:
+retry, and if retries run out, record FAILED.  That burns budget on
+failures that can never succeed (a configuration that always segfaults)
+and gives up too early on ones that would (a flaky filesystem).  This
+module introduces a small, closed vocabulary of failure *kinds*:
+
+``TRANSIENT``
+    Environmental hiccup (node flake, I/O error).  Retrying the same
+    configuration may succeed — the only kind worth backoff-retrying.
+``PERMANENT``
+    The configuration itself is broken (invalid kernel launch, OOM at
+    this size).  Retrying is wasted budget; the circuit breaker counts
+    these toward quarantining the surrounding region.
+``TIMEOUT``
+    The evaluation exceeded its wall-clock deadline (watchdog fired) or
+    its simulated runtime cap.  Re-running would spend the full timeout
+    again, so it is not retried.
+``NUMERIC``
+    The run completed but produced NaN/inf — numerically meaningless,
+    deterministic for a given configuration, not retryable.
+``WORKER_LOST``
+    The process-pool worker executing the evaluation died
+    (``BrokenProcessPool``).  The *configuration* is not implicated, so
+    the work is resubmitted.
+
+The kind is recorded in ``Evaluation.meta["failure_kind"]`` so it
+round-trips through the JSONL checkpoint: a resumed search and the
+memoization cache can distinguish retryable from permanent failures.
+
+:func:`classify_exception` is the default classifier hook.  Exceptions
+carrying a ``failure_kind`` attribute (all :class:`FaultError`
+subclasses) classify themselves; stdlib exception families get sensible
+defaults; everything unknown is TRANSIENT — the retry-friendly default
+that preserves the pre-taxonomy behavior of retrying generic errors.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from enum import Enum
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "FailureKind",
+    "RETRYABLE_KINDS",
+    "FaultError",
+    "TransientFault",
+    "PermanentFault",
+    "NumericFault",
+    "EvaluationTimeoutError",
+    "WorkerLostError",
+    "classify_exception",
+    "failure_kind_of",
+    "FAILURE_KIND_KEY",
+]
+
+#: ``Evaluation.meta`` key under which the kind is persisted (JSONL-safe).
+FAILURE_KIND_KEY = "failure_kind"
+
+
+class FailureKind(str, Enum):
+    """Closed vocabulary of evaluation-failure causes."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    TIMEOUT = "timeout"
+    NUMERIC = "numeric"
+    WORKER_LOST = "worker_lost"
+
+
+#: Kinds for which re-running the same configuration can succeed.
+RETRYABLE_KINDS = frozenset({FailureKind.TRANSIENT, FailureKind.WORKER_LOST})
+
+
+class FaultError(RuntimeError):
+    """Base class for self-classifying evaluation faults."""
+
+    kind: FailureKind = FailureKind.TRANSIENT
+
+    @property
+    def failure_kind(self) -> FailureKind:
+        return self.kind
+
+
+class TransientFault(FaultError):
+    """Environmental failure; the same configuration may succeed on retry."""
+
+    kind = FailureKind.TRANSIENT
+
+
+class PermanentFault(FaultError):
+    """The configuration itself cannot succeed; never retry it."""
+
+    kind = FailureKind.PERMANENT
+
+
+class NumericFault(FaultError):
+    """The run produced numerically meaningless output (NaN/inf)."""
+
+    kind = FailureKind.NUMERIC
+
+
+class EvaluationTimeoutError(FaultError):
+    """The evaluation exceeded its wall-clock deadline (watchdog fired)."""
+
+    kind = FailureKind.TIMEOUT
+
+
+class WorkerLostError(FaultError):
+    """The worker process executing the evaluation died."""
+
+    kind = FailureKind.WORKER_LOST
+
+
+# Exception classifier -------------------------------------------------------
+
+#: Signature of a classifier hook: exception -> FailureKind.
+Classifier = Callable[[BaseException], FailureKind]
+
+_PERMANENT_TYPES = (
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    NotImplementedError,
+    MemoryError,
+    AssertionError,
+)
+_NUMERIC_TYPES = (ZeroDivisionError, FloatingPointError, OverflowError)
+_TRANSIENT_TYPES = (ConnectionError, InterruptedError, BlockingIOError, OSError)
+
+
+def classify_exception(exc: BaseException) -> FailureKind:
+    """Map an exception raised by an objective to a :class:`FailureKind`.
+
+    Precedence: an explicit ``failure_kind`` attribute on the exception
+    (the hook for applications with richer error models) wins; then
+    timeouts and broken-executor errors; then numeric, permanent, and
+    transient stdlib families.  Unrecognized exceptions default to
+    TRANSIENT so generic errors keep the historical retry behavior.
+    """
+    kind = getattr(exc, "failure_kind", None)
+    if isinstance(kind, FailureKind):
+        return kind
+    if isinstance(kind, str):
+        try:
+            return FailureKind(kind)
+        except ValueError:
+            pass
+    if isinstance(exc, TimeoutError):
+        return FailureKind.TIMEOUT
+    if isinstance(exc, (BrokenExecutor, BrokenPipeError)):
+        return FailureKind.WORKER_LOST
+    if isinstance(exc, _NUMERIC_TYPES):
+        return FailureKind.NUMERIC
+    if isinstance(exc, _PERMANENT_TYPES):
+        return FailureKind.PERMANENT
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return FailureKind.TRANSIENT
+    return FailureKind.TRANSIENT
+
+
+def failure_kind_of(record_or_meta: Any) -> FailureKind | None:
+    """Extract the persisted failure kind from an ``Evaluation`` (or a
+    bare meta mapping); ``None`` for successful/unclassified records."""
+    meta = getattr(record_or_meta, "meta", record_or_meta)
+    if not isinstance(meta, Mapping):
+        return None
+    raw = meta.get(FAILURE_KIND_KEY)
+    if raw is None:
+        return None
+    try:
+        return FailureKind(raw)
+    except ValueError:
+        return None

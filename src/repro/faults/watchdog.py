@@ -1,0 +1,88 @@
+"""Wall-clock watchdog for in-process objective evaluations.
+
+The engines' ``evaluation_timeout`` compares the *returned simulated
+runtime* against a cap — it models the paper's 15-minute kill switch but
+cannot catch an objective that actually hangs (``time.sleep(3600)``, a
+deadlocked MPI collective, an NFS stall).  :class:`WatchdogObjective`
+enforces a real deadline: the objective runs in a worker thread and the
+caller waits at most ``timeout`` seconds before raising
+:class:`~repro.faults.EvaluationTimeoutError`, which the engines record
+as a TIMEOUT evaluation with ``failure_kind = "timeout"``.
+
+CPython cannot forcibly kill a thread, so a timed-out evaluation is
+*abandoned*: its daemon thread keeps running in the background until the
+objective returns (or the process exits), and its eventual result is
+discarded.  That is the honest in-process trade-off — genuine
+termination needs a process boundary, which the campaign executor
+provides at member granularity (future timeouts + worker resubmission).
+The watchdog guarantees the *search* makes progress within
+``timeout`` per evaluation regardless of objective behavior.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from .taxonomy import EvaluationTimeoutError
+
+__all__ = ["WatchdogObjective"]
+
+
+class WatchdogObjective:
+    """Enforce a real wall-clock deadline on each objective call.
+
+    Parameters
+    ----------
+    objective:
+        The wrapped callable (``config -> value`` or ``config ->
+        (value, meta)``).
+    timeout:
+        Deadline in real seconds per evaluation.
+
+    Picklable (threads are created per call, never stored), so
+    watchdogged specs cross process-pool boundaries.  Exceptions raised
+    by the objective inside the worker thread are re-raised in the
+    caller with their original type, preserving classifier behavior.
+    """
+
+    def __init__(self, objective, timeout: float):
+        if timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        self.objective = objective
+        self.timeout = float(timeout)
+        self.timeouts = 0
+
+    def __getstate__(self):
+        return {
+            "objective": self.objective,
+            "timeout": self.timeout,
+            "timeouts": self.timeouts,
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def __call__(self, config: Mapping[str, Any]) -> Any:
+        box: dict[str, Any] = {}
+
+        def target() -> None:
+            try:
+                box["result"] = self.objective(config)
+            except BaseException as exc:  # re-raised in the caller
+                box["error"] = exc
+
+        worker = threading.Thread(
+            target=target, name="repro-watchdog-eval", daemon=True
+        )
+        worker.start()
+        worker.join(self.timeout)
+        if worker.is_alive():
+            self.timeouts += 1
+            raise EvaluationTimeoutError(
+                f"evaluation exceeded wall-clock deadline of "
+                f"{self.timeout:g}s (worker thread abandoned)"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]

@@ -31,7 +31,7 @@ Variation strategies (``mode``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -60,13 +60,19 @@ class SensitivityResult:
     n_evaluations:
         Number of distinct application configurations evaluated (the cost
         figure the paper's "reduces the required observations" claims are
-        about).
+        about).  Includes re-measurements of failed variation runs.
+    warnings:
+        Human-readable degradation notes: variation measurements that
+        failed (raised or returned non-finite) even after one re-measure
+        and were imputed at the mean of the surviving variations.  Empty
+        for a clean analysis.
     """
 
     baseline: dict[str, Any]
     baseline_values: dict[str, float]
     scores: dict[str, dict[str, float]]
     n_evaluations: int
+    warnings: list[str] = field(default_factory=list)
 
     def top(self, target: str, k: int = 10) -> list[tuple[str, float]]:
         """The ``k`` most influential parameters for ``target``
@@ -98,22 +104,27 @@ class SensitivityResult:
 
     def to_dict(self) -> dict:
         """JSON-compatible representation (for analysis checkpointing)."""
-        return {
+        out = {
             "baseline": dict(self.baseline),
             "baseline_values": dict(self.baseline_values),
             "scores": {t: dict(ps) for t, ps in self.scores.items()},
             "n_evaluations": self.n_evaluations,
         }
+        if self.warnings:
+            out["warnings"] = list(self.warnings)
+        return out
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "SensitivityResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (``warnings`` optional, so
+        checkpoints written before degradation tracking still load)."""
         return cls(
             baseline=dict(d["baseline"]),
             baseline_values={k: float(v) for k, v in d["baseline_values"].items()},
             scores={t: {p: float(s) for p, s in ps.items()}
                     for t, ps in d["scores"].items()},
             n_evaluations=int(d["n_evaluations"]),
+            warnings=list(d.get("warnings", [])),
         )
 
     def format_table(self, k: int = 10) -> str:
@@ -274,29 +285,84 @@ class SensitivityAnalysis:
                 p: float(np.mean([r.scores[t][p] for r in results]))
                 for p in first.scores[t]
             }
+        merged_warnings: list[str] = []
+        for i, r in enumerate(results):
+            merged_warnings.extend(f"baseline {i}: {w}" for w in r.warnings)
         return SensitivityResult(
             baseline=first.baseline,
             baseline_values=first.baseline_values,
             scores=avg,
             n_evaluations=sum(r.n_evaluations for r in results),
+            warnings=merged_warnings,
         )
+
+    # ------------------------------------------------------------------
+    def _measure(
+        self,
+        fn: Callable[[Mapping[str, Any]], float],
+        cfg: Mapping[str, Any],
+        label: str,
+        warnings: list[str],
+    ) -> tuple[float | None, int]:
+        """Evaluate one target with a single re-measure on failure.
+
+        A raised exception or non-finite value is treated as a failed
+        measurement (node glitch, numeric blow-up) and re-run once; a
+        second failure gives up on the slot with a warning.  Returns
+        ``(value, extra_runs)`` where ``value`` is ``None`` when both
+        attempts failed and ``extra_runs`` counts re-measurements (for
+        ``n_evaluations`` accounting).
+        """
+        last = ""
+        for attempt in range(2):
+            try:
+                y = float(fn(cfg))
+            except Exception as exc:
+                last = repr(exc)
+            else:
+                if np.isfinite(y):
+                    return y, attempt
+                last = f"non-finite value {y!r}"
+        warnings.append(f"{label}: measurement failed twice ({last})")
+        return None, 1
 
     def run(self, baseline: Mapping[str, Any] | None = None) -> SensitivityResult:
         """Execute the analysis.
 
         ``baseline`` defaults to a random feasible configuration
         ("a baseline configuration was randomly selected").
+
+        Failed variation measurements (exceptions or non-finite values)
+        degrade gracefully: each is re-measured once, and slots that fail
+        twice are imputed at the mean of the surviving variations for
+        that (parameter, target) pair — recorded in
+        :attr:`SensitivityResult.warnings` — instead of poisoning the
+        influence scores with NaN or aborting the whole
+        ``1 + V x d``-observation analysis.
         """
         base = dict(baseline) if baseline is not None else self.space.sample(self.rng)
         self.space.validate(base)
 
-        base_vals = {name: float(fn(base)) for name, fn in self.targets.items()}
+        warns: list[str] = []
         n_evals = 1
+        base_vals: dict[str, float] = {}
+        for name, fn in self.targets.items():
+            y, extra = self._measure(fn, base, f"baseline[{name}]", warns)
+            n_evals += extra
+            if y is None:
+                # No baseline -> no denominator for any relative delta of
+                # this target; degradation cannot help here.
+                raise RuntimeError(
+                    f"baseline measurement of target {name!r} failed twice; "
+                    "sensitivity analysis needs a finite baseline"
+                )
+            base_vals[name] = y
 
         scores: dict[str, dict[str, float]] = {t: {} for t in self.targets}
         for param in self.space.parameters:
             varied_values = self._variation_values(param, base[param.name])
             deltas: dict[str, list[float]] = {t: [] for t in self.targets}
+            failed: dict[str, int] = {t: 0 for t in self.targets}
             for v in varied_values:
                 cfg = dict(base)
                 cfg[param.name] = v
@@ -315,7 +381,13 @@ class SensitivityAnalysis:
                         continue  # deterministic sequence: skip this step
                 n_evals += 1
                 for t, fn in self.targets.items():
-                    y = float(fn(cfg))
+                    y, extra = self._measure(
+                        fn, cfg, f"{t}/{param.name}", warns
+                    )
+                    n_evals += extra
+                    if y is None:
+                        failed[t] += 1
+                        continue
                     denom = base_vals[t]
                     if abs(denom) < 1e-12:
                         denom = 1e-12 if denom >= 0 else -1e-12
@@ -324,12 +396,30 @@ class SensitivityAnalysis:
                 # Mean over the *attempted* V variations: skipped
                 # (infeasible) variations contribute zero, which matches
                 # treating them as "no observable change within budget".
+                # Twice-failed slots are imputed at the mean of the
+                # surviving variations so a flaky node neither zeroes nor
+                # NaNs the influence score.
+                d = deltas[t]
+                total = float(np.sum(d))
+                if failed[t] and d:
+                    total += failed[t] * float(np.mean(d))
+                    warns.append(
+                        f"{t}/{param.name}: imputed {failed[t]} of "
+                        f"{self.n_variations} variations at the mean of "
+                        f"{len(d)} surviving measurements"
+                    )
+                elif failed[t] and not d:
+                    warns.append(
+                        f"{t}/{param.name}: all {failed[t]} feasible "
+                        "variations failed; score set to 0"
+                    )
                 scores[t][param.name] = (
-                    float(np.sum(deltas[t])) / self.n_variations if deltas[t] else 0.0
+                    total / self.n_variations if d else 0.0
                 )
         return SensitivityResult(
             baseline=base,
             baseline_values=base_vals,
             scores=scores,
             n_evaluations=n_evals,
+            warnings=warns,
         )

@@ -10,9 +10,13 @@
 :class:`RetryingObjective`
     Retries objectives that raise, with exponential backoff, for
     transient failures (flaky filesystems, node hiccups — the situations
-    GPTune's crash recovery is designed around).  Permanent failures
-    still surface as the final exception and are recorded as FAILED by
-    the engines.
+    GPTune's crash recovery is designed around).  Exceptions classified
+    PERMANENT / NUMERIC / TIMEOUT by the failure-taxonomy classifier
+    (:func:`repro.faults.classify_exception`) are re-raised *immediately*
+    — retrying a configuration that can never succeed would burn all
+    ``max_retries`` with backoff sleeps for nothing.  Exhausted-retry and
+    non-retryable exceptions surface to the engines, which record the
+    evaluation as FAILED/TIMEOUT with its classified kind.
 
 Both wrappers are plain picklable classes (no closures) so specs using
 them can cross a ``ProcessPoolExecutor`` boundary.
@@ -22,11 +26,18 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
 from ..bo.optimizer import Objective
+from ..faults.taxonomy import (
+    RETRYABLE_KINDS,
+    FailureKind,
+    PermanentFault,
+    classify_exception,
+    failure_kind_of,
+)
 
 __all__ = ["canonical_key", "MemoizingObjective", "RetryingObjective"]
 
@@ -72,22 +83,36 @@ class MemoizingObjective:
     def __init__(self, objective: Objective):
         self.objective = objective
         self._cache: dict[str, tuple[float, dict[str, Any]]] = {}
+        self._permanent: dict[str, str] = {}
         self.hits = 0
         self.misses = 0
+        self.permanent_hits = 0
 
     def seed_from_database(self, database) -> int:
         """Pre-populate from the OK records of an evaluation database.
 
-        Returns the number of entries added.  Failed/timeout records are
-        not cached: the engines already remember and avoid them, and a
-        transient failure should be allowed to retry.
+        Returns the number of entries added.  Transient/timeout failures
+        are not cached — a resumed search should be allowed to retry them
+        — but records classified PERMANENT or NUMERIC (deterministic in
+        the configuration; see :class:`repro.faults.FailureKind`) are
+        remembered as poison keys: re-querying one raises
+        :class:`~repro.faults.PermanentFault` instead of paying for the
+        doomed evaluation again.
         """
         added = 0
-        for rec in database.ok_records():
+        for rec in database:
             key = canonical_key(rec.config)
-            if key not in self._cache:
-                self._cache[key] = (float(rec.objective), dict(rec.meta))
-                added += 1
+            if rec.ok:
+                if key not in self._cache:
+                    self._cache[key] = (float(rec.objective), dict(rec.meta))
+                    added += 1
+            elif failure_kind_of(rec) in (
+                FailureKind.PERMANENT,
+                FailureKind.NUMERIC,
+            ):
+                self._permanent.setdefault(
+                    key, str(rec.meta.get("error", "permanent failure"))
+                )
         return added
 
     def __len__(self) -> int:
@@ -99,6 +124,11 @@ class MemoizingObjective:
             self.hits += 1
             value, meta = self._cache[key]
             return value, {**meta, "cache_hit": True}
+        if key in self._permanent:
+            self.permanent_hits += 1
+            raise PermanentFault(
+                f"memoized permanent failure: {self._permanent[key]}"
+            )
         out = self.objective(config)
         if isinstance(out, tuple):
             value, meta = float(out[0]), dict(out[1])
@@ -121,9 +151,17 @@ class RetryingObjective:
     backoff:
         Base sleep in seconds; attempt ``i`` sleeps ``backoff * 2**i``.
     retry_on:
-        Exception classes considered transient.  Anything else (and the
+        Exception classes *eligible* for retry.  Anything else (and the
         final exhausted attempt) propagates to the engine, which records
         the evaluation as FAILED.
+    classifier:
+        ``exception -> FailureKind`` hook (default
+        :func:`repro.faults.classify_exception`).  Exceptions whose kind
+        is not retryable (PERMANENT, NUMERIC, TIMEOUT) are re-raised
+        immediately — no attempts or backoff sleeps are wasted on a
+        configuration that can never succeed.  ``None`` disables
+        classification (legacy behavior: retry everything in
+        ``retry_on``).
     """
 
     def __init__(
@@ -133,6 +171,7 @@ class RetryingObjective:
         max_retries: int = 2,
         backoff: float = 0.05,
         retry_on: tuple[type[BaseException], ...] = (Exception,),
+        classifier: Callable[[BaseException], FailureKind] | None = classify_exception,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -142,13 +181,20 @@ class RetryingObjective:
         self.max_retries = int(max_retries)
         self.backoff = float(backoff)
         self.retry_on = retry_on
+        self.classifier = classifier
         self.retries = 0
+        self.short_circuits = 0
 
     def __call__(self, config: Mapping[str, Any]) -> Any:
         for attempt in range(self.max_retries + 1):
             try:
                 return self.objective(config)
-            except self.retry_on:
+            except self.retry_on as exc:
+                if self.classifier is not None:
+                    kind = self.classifier(exc)
+                    if kind not in RETRYABLE_KINDS:
+                        self.short_circuits += 1
+                        raise
                 if attempt == self.max_retries:
                     raise
                 self.retries += 1

@@ -39,12 +39,17 @@ import re
 import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..bo.history import EvaluationDatabase
 from ..bo.optimizer import BayesianOptimizer
+from ..faults.injection import FaultyObjective
+from ..faults.taxonomy import FailureKind
+from ..faults.watchdog import WatchdogObjective
 from .cache import MemoizingObjective, RetryingObjective
 from .grid_search import GridSearch
 from .random_search import RandomSearch
@@ -120,8 +125,19 @@ def checkpoint_path(
 
 
 def _wrap_objective(spec: "SearchSpec", database: EvaluationDatabase | None):
-    """Apply the spec's retry and memoization policies to its objective."""
+    """Apply the spec's robustness policies to its objective.
+
+    Wrapper order (inside out): fault injection sits closest to the
+    objective so every other layer is exercised by injected faults; the
+    watchdog turns hangs into classified timeouts; retries absorb
+    transient failures (and short-circuit on permanent ones); the
+    memoization cache sits outermost so cache hits skip everything.
+    """
     objective = spec.objective
+    if spec.fault_plan is not None and spec.fault_plan.active:
+        objective = FaultyObjective(objective, spec.fault_plan)
+    if spec.wall_timeout is not None:
+        objective = WatchdogObjective(objective, spec.wall_timeout)
     if spec.max_retries > 0:
         objective = RetryingObjective(
             objective, max_retries=spec.max_retries, backoff=spec.retry_backoff
@@ -160,6 +176,14 @@ def _dispatch(
     database: EvaluationDatabase | None,
 ) -> SearchResult:
     db_kwargs = {"database": database} if database is not None else {}
+    breaker_kwargs = (
+        {
+            "quarantine_threshold": spec.quarantine_threshold,
+            "quarantine_resolution": spec.quarantine_resolution,
+        }
+        if spec.quarantine_threshold is not None
+        else {}
+    )
     if spec.engine == "bo":
         opt = BayesianOptimizer(
             spec.space,
@@ -167,6 +191,7 @@ def _dispatch(
             max_evaluations=spec.budget(),
             random_state=seed,
             **db_kwargs,
+            **breaker_kwargs,
             **spec.engine_options,
         )
         r = opt.run()
@@ -179,6 +204,7 @@ def _dispatch(
             n_evaluations=r.n_evaluations,
             database=r.database,
             tuned_names=tuple(spec.space.names),
+            meta=dict(r.meta),
         )
     if spec.engine == "random":
         rs = RandomSearch(
@@ -187,6 +213,7 @@ def _dispatch(
             max_evaluations=spec.budget(),
             random_state=np.random.default_rng(seed),
             **db_kwargs,
+            **breaker_kwargs,
             **spec.engine_options,
         )
         result = rs.run()
@@ -211,6 +238,7 @@ def _dispatch(
             max_evaluations=spec.budget(),
             random_state=seed,
             **db_kwargs,
+            **breaker_kwargs,
             **spec.engine_options,
         )
         r = opt.run()
@@ -223,6 +251,7 @@ def _dispatch(
             n_evaluations=r.n_evaluations,
             database=r.database,
             tuned_names=tuple(spec.space.names),
+            meta=dict(r.meta),
         )
     if spec.engine in ("hillclimb", "anneal"):
         from .local_search import HillClimbing, SimulatedAnnealing
@@ -258,17 +287,34 @@ class CampaignExecutor:
     checkpoint_dir:
         Directory for per-member JSONL evaluation checkpoints; ``None``
         disables checkpointing.  Existing checkpoints are resumed.
+    member_timeout:
+        Pool-level watchdog: maximum real seconds to wait for a pooled
+        member's future.  A member that blows the deadline has its worker
+        processes terminated (the only way to stop a hung evaluation from
+        the outside) and is resubmitted once to a fresh pool; members
+        collateral-killed by the termination are resubmitted too, and
+        their checkpoints (when enabled) mean completed evaluations are
+        replayed, not re-run.  Pair with ``SearchSpec.wall_timeout`` so
+        the in-worker watchdog catches individual hanging evaluations
+        before the whole member is sacrificed.  ``None`` disables.
     """
+
+    #: Pool rounds before falling back (initial submission + one resubmission).
+    _POOL_ROUNDS = 2
 
     def __init__(
         self,
         *,
         n_workers: int | None = None,
         checkpoint_dir: str | os.PathLike | None = None,
+        member_timeout: float | None = None,
     ):
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if member_timeout is not None and member_timeout <= 0:
+            raise ValueError("member_timeout must be > 0")
         self.n_workers = n_workers
+        self.member_timeout = member_timeout
         self.checkpoint_dir = (
             os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
         )
@@ -327,8 +373,7 @@ class CampaignExecutor:
 
         t0 = time.perf_counter()
         if payloads is not None:
-            with ProcessPoolExecutor(max_workers=min(n_workers, len(specs))) as pool:
-                result.searches.extend(pool.map(_run_member, payloads))
+            result.searches.extend(self._run_pool(tasks, payloads, n_workers))
             result.measured_campaign_seconds = time.perf_counter() - t0
             result.executed_parallel = True
         else:
@@ -337,3 +382,90 @@ class CampaignExecutor:
                     run_search_spec(spec, seed, checkpoint=checkpoint)
                 )
         return result
+
+    # -- pool resilience ------------------------------------------------
+    def _run_pool(
+        self, tasks: list[tuple], payloads: list[bytes], n_workers: int
+    ) -> list[SearchResult]:
+        """Run pooled members with worker-loss recovery.
+
+        Members are submitted as individual futures.  A member whose
+        worker dies (``BrokenProcessPool``) or whose future blows
+        ``member_timeout`` is resubmitted once to a fresh pool; members
+        that still cannot complete in a pool fall back to the in-process
+        path — which is bit-identical by construction because both paths
+        drive :func:`run_search_spec` with the same spec, seed, and
+        checkpoint.  A member that timed out in every pool round is *not*
+        rerun in-process (that would hang the caller); a TimeoutError
+        naming the member is raised instead.
+        """
+        n = len(payloads)
+        results: list[SearchResult | None] = [None] * n
+        events: dict[int, list[str]] = {i: [] for i in range(n)}
+        pending = list(range(n))
+        for _ in range(self._POOL_ROUNDS):
+            if not pending:
+                break
+            pending = self._pool_round(
+                payloads, results, events, pending, n_workers
+            )
+        for i in pending:
+            if events[i] and events[i][-1] == "member_timeout":
+                raise TimeoutError(
+                    f"campaign member {i} ({tasks[i][0].space.name!r}) "
+                    f"exceeded member_timeout={self.member_timeout}s in "
+                    f"{self._POOL_ROUNDS} pool rounds; set "
+                    "SearchSpec.wall_timeout so the in-worker watchdog can "
+                    "stop hanging evaluations"
+                )
+            # Worker loss with no surviving pool: deterministic in-process
+            # fallback (same run_search_spec, same seed, same checkpoint).
+            spec, seed, checkpoint = tasks[i]
+            results[i] = run_search_spec(spec, seed, checkpoint=checkpoint)
+        for i, evs in events.items():
+            res = results[i]
+            if evs and res is not None:
+                res.meta.setdefault("recovery", {}).update(
+                    {
+                        "events": list(evs),
+                        "failure_kind": FailureKind.WORKER_LOST.value,
+                        "fallback": "in-process" if i in pending else "pool",
+                    }
+                )
+                if "worker_lost" in evs:
+                    res.meta["worker_lost"] = True
+        return [r for r in results if r is not None]
+
+    def _pool_round(
+        self,
+        payloads: list[bytes],
+        results: list[SearchResult | None],
+        events: dict[int, list[str]],
+        pending: list[int],
+        n_workers: int,
+    ) -> list[int]:
+        """One pool attempt over ``pending`` members; returns survivors.
+
+        On a member timeout the pool's worker processes are terminated —
+        the only way to stop a hung evaluation from outside — which also
+        kills in-flight siblings; they surface as ``BrokenProcessPool``
+        and are resubmitted in the next round (their checkpoints replay
+        completed evaluations, so no work is repeated).
+        """
+        still: list[int] = []
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(pending))
+        ) as pool:
+            futures = {i: pool.submit(_run_member, payloads[i]) for i in pending}
+            for i, fut in futures.items():
+                try:
+                    results[i] = fut.result(timeout=self.member_timeout)
+                except FuturesTimeoutError:
+                    events[i].append("member_timeout")
+                    still.append(i)
+                    for proc in list(getattr(pool, "_processes", {}).values()):
+                        proc.terminate()
+                except (BrokenProcessPool, OSError):
+                    events[i].append("worker_lost")
+                    still.append(i)
+        return still

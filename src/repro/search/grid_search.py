@@ -19,6 +19,7 @@ import numpy as np
 
 from ..bo.history import Evaluation, EvaluationDatabase, EvaluationStatus
 from ..bo.optimizer import Objective
+from ..faults.taxonomy import FAILURE_KIND_KEY, FailureKind, classify_exception
 from ..space import Real, SearchSpace
 from .result import SearchResult
 
@@ -117,10 +118,22 @@ class GridSearch:
                 value = float(out[0] if isinstance(out, tuple) else out)
                 meta = dict(out[1]) if isinstance(out, tuple) else {}
             except Exception as exc:
+                kind = classify_exception(exc)
                 self.database.append(
                     Evaluation(
                         config=full, objective=float("nan"), cost=0.0,
-                        status=EvaluationStatus.FAILED, meta={"error": repr(exc)},
+                        status=EvaluationStatus.TIMEOUT
+                        if kind is FailureKind.TIMEOUT
+                        else EvaluationStatus.FAILED,
+                        meta={
+                            "error": repr(exc),
+                            FAILURE_KIND_KEY: kind.value,
+                            **(
+                                {"timeout_kind": "wallclock"}
+                                if kind is FailureKind.TIMEOUT
+                                else {}
+                            ),
+                        },
                     )
                 )
                 n_done += 1
@@ -133,7 +146,8 @@ class GridSearch:
                 self.database.append(
                     Evaluation(
                         config=full, objective=float("nan"), cost=0.0,
-                        status=EvaluationStatus.FAILED, meta=meta,
+                        status=EvaluationStatus.FAILED,
+                        meta={**meta, FAILURE_KIND_KEY: FailureKind.NUMERIC.value},
                     )
                 )
             n_done += 1

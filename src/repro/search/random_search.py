@@ -15,6 +15,13 @@ import numpy as np
 
 from ..bo.history import Evaluation, EvaluationDatabase, EvaluationStatus
 from ..bo.optimizer import Objective
+from ..faults.breaker import CircuitBreaker
+from ..faults.taxonomy import (
+    FAILURE_KIND_KEY,
+    FailureKind,
+    classify_exception,
+    failure_kind_of,
+)
 from ..space import SearchSpace
 from .result import SearchResult
 
@@ -36,6 +43,20 @@ class RandomSearch:
         of the critical path under greedy list scheduling (equal to
         ``sum/parallelism`` when costs are uniform).  ``None`` means fully
         parallel (one slot per evaluation).
+    evaluation_timeout:
+        *Simulated* kill switch: evaluations whose returned value exceeds
+        this budget are recorded TIMEOUT (``meta["timeout_kind"] =
+        "simulated"``).  A genuinely hanging objective is the watchdog's
+        job (wrap it in :class:`repro.faults.WatchdogObjective`, as the
+        campaign executor does for ``SearchSpec.wall_timeout``); the
+        watchdog's :class:`~repro.faults.EvaluationTimeoutError` is
+        recorded here as a ``"wallclock"`` TIMEOUT.  See
+        :mod:`repro.search.result` for the full semantics.
+    quarantine_threshold / quarantine_resolution:
+        Circuit breaker over space cells (see
+        :class:`repro.faults.CircuitBreaker`); after the threshold of
+        PERMANENT/NUMERIC failures in one cell, samples landing there
+        are discarded and redrawn.  ``None`` disables.
     """
 
     def __init__(
@@ -46,6 +67,8 @@ class RandomSearch:
         max_evaluations: int | None = None,
         parallelism: int | None = None,
         evaluation_timeout: float | None = None,
+        quarantine_threshold: int | None = None,
+        quarantine_resolution: int = 4,
         database: EvaluationDatabase | None = None,
         random_state: int | np.random.Generator | None = None,
     ):
@@ -60,6 +83,16 @@ class RandomSearch:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
         self.evaluation_timeout = evaluation_timeout
+        self.breaker = (
+            CircuitBreaker(
+                space,
+                threshold=quarantine_threshold,
+                resolution=quarantine_resolution,
+            )
+            if quarantine_threshold is not None
+            else None
+        )
+        self.quarantine_skips = 0
         self.database = database if database is not None else EvaluationDatabase()
         self.rng = (
             random_state
@@ -76,12 +109,25 @@ class RandomSearch:
         try:
             out = self.objective(full)
         except Exception as exc:
+            kind = classify_exception(exc)
+            meta: dict[str, Any] = {
+                "error": repr(exc),
+                FAILURE_KIND_KEY: kind.value,
+            }
+            if kind is FailureKind.TIMEOUT:
+                # Real wall-clock deadline (watchdog) — distinct from the
+                # simulated value cap below; see search/result.py.
+                meta["timeout_kind"] = "wallclock"
             return Evaluation(
                 config=full,
                 objective=float("nan"),
-                cost=0.0,
-                status=EvaluationStatus.FAILED,
-                meta={"error": repr(exc)},
+                cost=self.evaluation_timeout or 0.0
+                if kind is FailureKind.TIMEOUT
+                else 0.0,
+                status=EvaluationStatus.TIMEOUT
+                if kind is FailureKind.TIMEOUT
+                else EvaluationStatus.FAILED,
+                meta=meta,
             )
         if isinstance(out, tuple):
             value, meta = float(out[0]), dict(out[1])
@@ -90,15 +136,22 @@ class RandomSearch:
         if not np.isfinite(value):
             return Evaluation(
                 config=full, objective=float("nan"), cost=0.0,
-                status=EvaluationStatus.FAILED, meta=meta,
+                status=EvaluationStatus.FAILED,
+                meta={**meta, FAILURE_KIND_KEY: FailureKind.NUMERIC.value},
             )
         if self.evaluation_timeout is not None and value > self.evaluation_timeout:
+            # SIMULATED timeout: the *returned* runtime exceeds the budget
+            # (the objective itself completed normally).
             return Evaluation(
                 config=full,
                 objective=float("nan"),
                 cost=self.evaluation_timeout,
                 status=EvaluationStatus.TIMEOUT,
-                meta=meta,
+                meta={
+                    **meta,
+                    FAILURE_KIND_KEY: FailureKind.TIMEOUT.value,
+                    "timeout_kind": "simulated",
+                },
             )
         return Evaluation(config=full, objective=value, cost=max(value, 0.0), meta=meta)
 
@@ -113,15 +166,49 @@ class RandomSearch:
             finish[i] += c
         return float(np.max(finish))
 
+    def _next_config(self) -> dict[str, Any] | None:
+        """Draw the next sample, discarding quarantined ones.
+
+        Consumes exactly one RNG draw while no cell has tripped, so a
+        breaker that never fires leaves the sample stream untouched.
+        ``None`` once the reachable space appears fully quarantined.
+        """
+        cfg = self.space.sample(self.rng)
+        if self.breaker is None or self.breaker.allows(cfg):
+            return cfg
+        self.quarantine_skips += 1
+        for _ in range(64):
+            cfg = self.space.sample(self.rng)
+            if self.breaker.allows(cfg):
+                return cfg
+            self.quarantine_skips += 1
+        return None
+
     def run(self) -> SearchResult:
         """Evaluate ``max_evaluations`` random feasible configurations."""
+        if self.breaker is not None:
+            # Resume support: replay checkpointed failure kinds so the
+            # quarantine state survives a crash.
+            for rec in self.database:
+                if not rec.ok:
+                    self.breaker.record(rec.config, failure_kind_of(rec))
         n_have = len(self.database)
         for _ in range(max(0, self.max_evaluations - n_have)):
-            cfg = self.space.sample(self.rng)
-            self.database.append(self._evaluate(cfg))
+            cfg = self._next_config()
+            if cfg is None:
+                break
+            rec = self._evaluate(cfg)
+            if self.breaker is not None and not rec.ok:
+                self.breaker.record(rec.config, failure_kind_of(rec))
+            self.database.append(rec)
         costs = np.array([r.cost for r in self.database], dtype=float)
         slots = self.parallelism if self.parallelism is not None else max(1, costs.size)
         best = self.database.best()
+        meta: dict[str, Any] = {}
+        if self.breaker is not None and self.breaker.n_tripped:
+            meta["quarantined"] = self.breaker.summary()
+        if self.quarantine_skips:
+            meta["quarantine_skipped"] = self.quarantine_skips
         return SearchResult(
             name=self.space.name,
             engine="random",
@@ -130,4 +217,5 @@ class RandomSearch:
             search_time=self._schedule_makespan(costs, slots),
             n_evaluations=len(self.database),
             database=self.database,
+            meta=meta,
         )

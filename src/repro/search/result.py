@@ -6,6 +6,24 @@ compare engines uniformly.  :class:`CampaignResult` aggregates a *set* of
 searches run under one strategy (e.g. the paper's "G1, G2, G3+G4") with the
 paper's cost accounting: independent searches run in parallel, so campaign
 wall-clock is the *maximum* search time, while total core-cost is the sum.
+
+Timeout semantics
+-----------------
+Two distinct conditions produce TIMEOUT evaluation records, and they are
+distinguished by ``Evaluation.meta["timeout_kind"]``:
+
+``"simulated"``
+    The objective *returned* a simulated runtime above the engine's
+    ``evaluation_timeout`` budget — the paper's 15-minute kill switch
+    applied to the value on the simulated-cost ledger.  The objective
+    itself completed normally; the cost charged is the cap.
+``"wallclock"``
+    The evaluation exceeded a *real* wall-clock deadline: the
+    :class:`repro.faults.WatchdogObjective` fired (the objective hung or
+    genuinely ran too long) and the record additionally carries
+    ``meta["failure_kind"] = "timeout"`` for the failure taxonomy.
+
+Both are excluded from surrogate training and neither is retried.
 """
 
 from __future__ import annotations
@@ -62,6 +80,13 @@ class SearchResult:
     modeling/engine overhead measured on this machine — what the paper's
     Table III "Time" column reports for the synthetic functions, where
     objective evaluations are essentially free)."""
+    meta: dict[str, Any] = field(default_factory=dict)
+    """Robustness annotations: ``"quarantined"`` (circuit-breaker summary
+    when any region tripped), ``"failure_counts"`` (evaluations per
+    :class:`repro.faults.FailureKind`), ``"worker_lost"`` / ``"recovery"``
+    (the member's pool worker died and the executor resubmitted or
+    re-ran it), ``"quarantine_skipped"`` (samples suppressed because
+    their region was quarantined)."""
 
     @property
     def tuned_config(self) -> dict[str, Any]:

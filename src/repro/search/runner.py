@@ -23,6 +23,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..bo.optimizer import Objective
+from ..faults.injection import FaultPlan
 from ..space import SearchSpace
 from .executor import CampaignExecutor, spec_seed_sequences
 from .result import CampaignResult
@@ -56,7 +57,23 @@ class SearchSpec:
     memoize:
         Cache objective results keyed on the canonicalized configuration
         so repeated configurations (after a resume, or in grid/random
-        engines over small spaces) are not re-evaluated.
+        engines over small spaces) are not re-evaluated.  Checkpointed
+        PERMANENT/NUMERIC failures are remembered as poison keys and
+        never paid for twice.
+    wall_timeout:
+        Real wall-clock deadline (seconds) per evaluation, enforced by a
+        :class:`repro.faults.WatchdogObjective` — catches objectives that
+        genuinely hang, which the engines' simulated
+        ``evaluation_timeout`` cannot.  ``None`` disables.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` injected around the
+        objective (innermost wrapper) for deterministic chaos testing.
+    quarantine_threshold / quarantine_resolution:
+        Circuit breaker configuration forwarded to engines that support
+        it (bo, batch-bo, random): after ``quarantine_threshold``
+        permanently-classified failures in one cell of the
+        ``quarantine_resolution``-per-axis grid, the cell is quarantined
+        and receives no further evaluations.  ``None`` disables.
     """
 
     space: SearchSpace
@@ -67,6 +84,10 @@ class SearchSpec:
     max_retries: int = 0
     retry_backoff: float = 0.05
     memoize: bool = False
+    wall_timeout: float | None = None
+    fault_plan: FaultPlan | None = None
+    quarantine_threshold: int | None = None
+    quarantine_resolution: int = 4
 
     def budget(self) -> int:
         return (
@@ -105,6 +126,9 @@ class SearchCampaign:
     checkpoint_dir:
         Directory for per-member crash-recovery checkpoints; an existing
         checkpoint resumes the member instead of restarting it.
+    member_timeout:
+        Pool-level watchdog deadline (real seconds) per pooled member;
+        see :class:`~repro.search.executor.CampaignExecutor`.
     """
 
     def __init__(
@@ -116,6 +140,7 @@ class SearchCampaign:
         parallel: bool = False,
         n_workers: int | None = None,
         checkpoint_dir: str | None = None,
+        member_timeout: float | None = None,
     ):
         if not specs:
             raise ValueError("campaign needs at least one search spec")
@@ -124,12 +149,15 @@ class SearchCampaign:
         self.parallel = bool(parallel)
         self.n_workers = n_workers
         self.checkpoint_dir = checkpoint_dir
+        self.member_timeout = member_timeout
         self._seeds = spec_seed_sequences(self.specs, random_state)
 
     def run(self) -> CampaignResult:
         """Execute every member search; aggregate into a CampaignResult."""
         executor = CampaignExecutor(
-            n_workers=self.n_workers, checkpoint_dir=self.checkpoint_dir
+            n_workers=self.n_workers,
+            checkpoint_dir=self.checkpoint_dir,
+            member_timeout=self.member_timeout,
         )
         return executor.run(
             self.specs,

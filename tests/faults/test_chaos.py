@@ -1,0 +1,236 @@
+"""Chaos suite: the headline robustness property — campaigns under
+injected transient faults are bit-identical to fault-free campaigns —
+plus kill-and-resume under faults and pool worker-loss recovery.
+
+The chaos seed is taken from ``REPRO_CHAOS_SEED`` (default 0) so CI can
+sweep seeds without code changes.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.bo import EvaluationDatabase
+from repro.core import TuningMethodology
+from repro.faults import FaultPlan
+from repro.search import SearchCampaign, SearchSpec
+from repro.space import Real, SearchSpace
+from repro.synthetic import SyntheticFunction
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+#: Every configuration faults once, then succeeds — fully absorbed by
+#: retry capacity >= the burst, which is what makes the runs comparable.
+TRANSIENT_PLAN = FaultPlan(
+    seed=CHAOS_SEED, transient_rate=1.0, transient_burst=1
+)
+
+
+def space(names, label):
+    return SearchSpace([Real(n, 0.0, 1.0) for n in names], name=label)
+
+
+class Quad:
+    def __init__(self, center):
+        self.center = center
+
+    def __call__(self, cfg):
+        return sum((v - self.center) ** 2 for v in cfg.values()) + 0.05
+
+
+def specs(fault_plan=None, max_retries=0, n=10):
+    return [
+        SearchSpec(space(["a", "b"], "S1"), Quad(0.3), max_evaluations=n,
+                   fault_plan=fault_plan, max_retries=max_retries),
+        SearchSpec(space(["c"], "S2"), Quad(0.7), engine="random",
+                   max_evaluations=n, fault_plan=fault_plan,
+                   max_retries=max_retries),
+        SearchSpec(space(["d", "e"], "S3"), Quad(0.5), max_evaluations=n,
+                   fault_plan=fault_plan, max_retries=max_retries),
+    ]
+
+
+def fingerprint(campaign):
+    return [
+        (s.name, s.best_config, s.best_objective, s.n_evaluations)
+        for s in campaign.searches
+    ]
+
+
+class TestChaosDeterminism:
+    def test_transient_faults_bit_identical_sequential(self):
+        clean = SearchCampaign(specs(), random_state=CHAOS_SEED).run()
+        chaos = SearchCampaign(
+            specs(TRANSIENT_PLAN, max_retries=2), random_state=CHAOS_SEED
+        ).run()
+        assert fingerprint(chaos) == fingerprint(clean)
+        # And nothing leaked into the databases: same record-for-record
+        # objectives (the retries absorbed every injected fault).
+        for a, b in zip(clean.searches, chaos.searches):
+            assert [r.objective for r in a.database] == [
+                r.objective for r in b.database
+            ]
+
+    def test_transient_faults_bit_identical_parallel(self):
+        clean = SearchCampaign(
+            specs(), random_state=CHAOS_SEED, parallel=True, n_workers=3
+        ).run()
+        chaos = SearchCampaign(
+            specs(TRANSIENT_PLAN, max_retries=2),
+            random_state=CHAOS_SEED, parallel=True, n_workers=3,
+        ).run()
+        assert clean.executed_parallel and chaos.executed_parallel
+        assert fingerprint(chaos) == fingerprint(clean)
+
+    def test_sequential_and_parallel_chaos_agree(self):
+        seq = SearchCampaign(
+            specs(TRANSIENT_PLAN, max_retries=2), random_state=CHAOS_SEED
+        ).run()
+        par = SearchCampaign(
+            specs(TRANSIENT_PLAN, max_retries=2),
+            random_state=CHAOS_SEED, parallel=True, n_workers=3,
+        ).run()
+        assert fingerprint(seq) == fingerprint(par)
+
+
+class Killer:
+    """In-process objective that dies mid-campaign (simulated crash)."""
+
+    def __init__(self, center, die_after):
+        self.center = center
+        self.calls = 0
+        self.die_after = die_after
+
+    def __call__(self, cfg):
+        self.calls += 1
+        if self.calls > self.die_after:
+            raise KeyboardInterrupt
+        return Quad(self.center)(cfg)
+
+
+class TestKillAndResumeUnderFaults:
+    def test_resume_under_faults_matches_uninterrupted(self, tmp_path):
+        sp = space(["a", "b"], "K")
+        plan = FaultPlan(seed=CHAOS_SEED, transient_rate=1.0, transient_burst=1)
+        uninterrupted = SearchCampaign(
+            [SearchSpec(sp, Quad(0.4), max_evaluations=14,
+                        fault_plan=plan, max_retries=2)],
+            random_state=CHAOS_SEED,
+        ).run()
+
+        ck = tmp_path / "ck"
+        with pytest.raises(KeyboardInterrupt):
+            SearchCampaign(
+                [SearchSpec(sp, Killer(0.4, die_after=9), max_evaluations=14,
+                            fault_plan=plan, max_retries=2)],
+                random_state=CHAOS_SEED, checkpoint_dir=str(ck),
+            ).run()
+        db = EvaluationDatabase(ck / "K-0.jsonl")
+        assert 0 < len(db) < 14
+
+        resumed = SearchCampaign(
+            [SearchSpec(sp, Quad(0.4), max_evaluations=14,
+                        fault_plan=plan, max_retries=2)],
+            random_state=CHAOS_SEED, checkpoint_dir=str(ck),
+        ).run()
+        s = resumed.searches[0]
+        u = uninterrupted.searches[0]
+        assert s.n_evaluations == 14 - len(db)
+        assert len(s.database) == 14
+        assert s.best_config == u.best_config
+        assert s.best_objective == u.best_objective
+
+
+class DiesInWorker:
+    """Kills its hosting pool worker; completes fine in the main process.
+
+    Exercises BrokenProcessPool recovery: both pool rounds lose their
+    workers, so the executor must fall back to the deterministic
+    in-process path.
+    """
+
+    def __init__(self, center):
+        self.center = center
+
+    def __call__(self, cfg):
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        return Quad(self.center)(cfg)
+
+
+class SleepsInWorker:
+    """Hangs inside pool workers only (main-process calls are instant)."""
+
+    def __call__(self, cfg):
+        if multiprocessing.parent_process() is not None:
+            time.sleep(600)
+        return float(cfg["a"]) + 0.05
+
+
+class TestPoolResilience:
+    def test_worker_loss_falls_back_in_process_bit_identical(self):
+        def make():
+            return [
+                SearchSpec(space(["a"], "L1"), DiesInWorker(0.3),
+                           engine="random", max_evaluations=8),
+                SearchSpec(space(["b"], "L2"), DiesInWorker(0.6),
+                           engine="random", max_evaluations=8),
+            ]
+
+        reference = SearchCampaign(make(), random_state=CHAOS_SEED).run()
+        recovered = SearchCampaign(
+            make(), random_state=CHAOS_SEED, parallel=True, n_workers=2
+        ).run()
+        assert recovered.executed_parallel
+        assert fingerprint(recovered) == fingerprint(reference)
+        for s in recovered.searches:
+            assert s.meta.get("worker_lost") is True
+            assert s.meta["recovery"]["fallback"] == "in-process"
+            assert "worker_lost" in s.meta["recovery"]["events"]
+
+    def test_member_timeout_raises_after_pool_rounds(self):
+        specs_ = [
+            SearchSpec(space(["a"], "T1"), SleepsInWorker(),
+                       engine="random", max_evaluations=4),
+            SearchSpec(space(["b"], "T2"), Quad(0.5),
+                       engine="random", max_evaluations=4),
+        ]
+        campaign = SearchCampaign(
+            specs_, random_state=CHAOS_SEED, parallel=True, n_workers=2,
+            member_timeout=0.5,
+        )
+        t0 = time.perf_counter()
+        with pytest.raises(TimeoutError, match="member_timeout"):
+            campaign.run()
+        # Two pool rounds at ~0.5s each, not the 600s hang.
+        assert time.perf_counter() - t0 < 30.0
+
+
+class TestMethodologyChaos:
+    def test_methodology_under_transient_faults_matches_clean(self):
+        def run(fault_plan, retries):
+            f = SyntheticFunction(3, random_state=CHAOS_SEED)
+            tm = TuningMethodology(
+                f.search_space(),
+                f.routines(),
+                cutoff=0.25,
+                n_variations=10,
+                random_state=CHAOS_SEED,
+                engine="random",
+                fault_plan=fault_plan,
+                max_retries=retries,
+            )
+            return tm.run()
+
+        clean = run(None, 0)
+        chaos = run(TRANSIENT_PLAN, 2)
+        assert chaos.best_config == clean.best_config
+        # Fault injection applies only to the search stage, so the
+        # analysis accounting is untouched and total evaluations agree.
+        assert chaos.analysis_evaluations == clean.analysis_evaluations
+        assert chaos.total_evaluations == clean.total_evaluations
+        assert (
+            chaos.campaign.n_evaluations == clean.campaign.n_evaluations
+        )

@@ -1,0 +1,169 @@
+"""Deterministic fault injection: plan serialization, per-channel
+behavior, and the (seed, config, attempt) determinism guarantee."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultyObjective,
+    PermanentFault,
+    PoisonRegion,
+    TransientFault,
+)
+
+
+def base_objective(cfg):
+    return float(cfg["x"]) + 1.0
+
+
+def decisions(obj, configs):
+    """Outcome label per config: 'transient'/'nan'/value."""
+    out = []
+    for cfg in configs:
+        try:
+            v = obj(cfg)
+        except TransientFault:
+            out.append("transient")
+        except PermanentFault:
+            out.append("permanent")
+        else:
+            out.append("nan" if isinstance(v, float) and math.isnan(v) else v)
+    return out
+
+
+CONFIGS = [{"x": i / 10.0, "y": i} for i in range(30)]
+
+
+class TestPlanSerialization:
+    def test_roundtrip_via_json_file(self, tmp_path):
+        plan = FaultPlan(
+            seed=7,
+            transient_rate=0.3,
+            transient_burst=2,
+            numeric_rate=0.1,
+            noise_scale=0.05,
+            poison=(PoisonRegion({"x": [0.0, 0.2]}),),
+        )
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        assert FaultPlan.from_json(path) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"seed": 0, "typo_rate": 0.5})
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(numeric_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(transient_burst=0)
+        with pytest.raises(ValueError):
+            FaultPlan(noise_scale=-1.0)
+
+    def test_active_property(self):
+        assert not FaultPlan().active
+        assert FaultPlan(transient_rate=0.1).active
+        assert FaultPlan(poison=(PoisonRegion({"x": [0, 1]}),)).active
+
+
+class TestPoisonRegion:
+    def test_interval_and_value_list_and_scalar(self):
+        region = PoisonRegion({"x": [0.2, 0.4], "mode": ["a", "b"], "k": 3})
+        assert region.contains({"x": 0.3, "mode": "a", "k": 3})
+        assert not region.contains({"x": 0.5, "mode": "a", "k": 3})
+        assert not region.contains({"x": 0.3, "mode": "c", "k": 3})
+        assert not region.contains({"x": 0.3, "mode": "a", "k": 4})
+
+    def test_missing_parameter_never_matches(self):
+        region = PoisonRegion({"x": [0.0, 1.0]})
+        assert not region.contains({"y": 0.5})
+
+    def test_empty_region_matches_nothing(self):
+        assert not PoisonRegion().contains({"x": 0.5})
+
+    def test_poisoned_configs_raise_permanent(self):
+        plan = FaultPlan(poison=(PoisonRegion({"x": [0.0, 0.55]}),))
+        obj = FaultyObjective(base_objective, plan)
+        with pytest.raises(PermanentFault):
+            obj({"x": 0.5})
+        assert obj({"x": 0.9}) == 1.9
+        assert obj.injected["permanent"] == 1
+
+
+class TestDeterminism:
+    def test_fresh_instances_agree(self):
+        plan = FaultPlan(seed=3, transient_rate=0.4, numeric_rate=0.2)
+        a = decisions(FaultyObjective(base_objective, plan), CONFIGS)
+        b = decisions(FaultyObjective(base_objective, plan), CONFIGS)
+        assert a == b
+        assert "transient" in a and "nan" in a  # both channels exercised
+
+    def test_pickled_copy_agrees(self):
+        plan = FaultPlan(seed=3, transient_rate=0.4, numeric_rate=0.2)
+        obj = FaultyObjective(base_objective, plan)
+        clone = pickle.loads(pickle.dumps(obj))
+        assert decisions(obj, CONFIGS) == decisions(clone, CONFIGS)
+
+    def test_different_seeds_differ(self):
+        a = decisions(
+            FaultyObjective(base_objective, FaultPlan(seed=0, transient_rate=0.5)),
+            CONFIGS,
+        )
+        b = decisions(
+            FaultyObjective(base_objective, FaultPlan(seed=1, transient_rate=0.5)),
+            CONFIGS,
+        )
+        assert a != b
+
+    def test_decision_keyed_on_config_not_call_order(self):
+        plan = FaultPlan(seed=5, numeric_rate=0.5)
+        obj = FaultyObjective(base_objective, plan)
+        forward = decisions(obj, CONFIGS)
+        backward = decisions(
+            FaultyObjective(base_objective, plan), list(reversed(CONFIGS))
+        )
+        assert forward == list(reversed(backward))
+
+
+class TestTransientBurst:
+    def test_burst_then_success(self):
+        plan = FaultPlan(seed=0, transient_rate=1.0, transient_burst=2)
+        obj = FaultyObjective(base_objective, plan)
+        cfg = {"x": 0.5}
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                obj(cfg)
+        assert obj(cfg) == 1.5  # third attempt succeeds
+        assert obj.injected["transient"] == 2
+
+    def test_bursts_counted_per_config(self):
+        plan = FaultPlan(seed=0, transient_rate=1.0, transient_burst=1)
+        obj = FaultyObjective(base_objective, plan)
+        with pytest.raises(TransientFault):
+            obj({"x": 0.1})
+        with pytest.raises(TransientFault):
+            obj({"x": 0.2})  # separate config: its own burst
+        assert obj({"x": 0.1}) == 1.1
+        assert obj({"x": 0.2}) == 1.2
+
+
+class TestNoise:
+    def test_noise_deterministic_per_config(self):
+        plan = FaultPlan(seed=2, noise_scale=0.1)
+        obj = FaultyObjective(base_objective, plan)
+        v1 = obj({"x": 0.5})
+        v2 = obj({"x": 0.5})
+        assert v1 == v2  # repeated evaluation agrees
+        assert v1 != 1.5 and v1 == pytest.approx(1.5, rel=0.6)
+
+    def test_noise_preserves_meta_tuple(self):
+        plan = FaultPlan(seed=2, noise_scale=0.1)
+        obj = FaultyObjective(lambda cfg: (2.0, {"tag": 1}), plan)
+        value, meta = obj({"x": 0.0})
+        assert meta == {"tag": 1}
+        assert value == pytest.approx(2.0, rel=0.6)

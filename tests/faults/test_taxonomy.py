@@ -1,0 +1,157 @@
+"""Failure taxonomy: classifier behavior, JSONL persistence, and the
+retry short-circuit on permanently-classified exceptions."""
+
+import pytest
+
+from repro.bo import EvaluationDatabase
+from repro.bo.history import Evaluation, EvaluationStatus
+from repro.faults import (
+    FAILURE_KIND_KEY,
+    RETRYABLE_KINDS,
+    EvaluationTimeoutError,
+    FailureKind,
+    NumericFault,
+    PermanentFault,
+    TransientFault,
+    WorkerLostError,
+    classify_exception,
+    failure_kind_of,
+)
+from repro.search import MemoizingObjective, RetryingObjective
+
+
+class TestClassifier:
+    def test_self_classifying_fault_errors(self):
+        assert classify_exception(TransientFault()) is FailureKind.TRANSIENT
+        assert classify_exception(PermanentFault()) is FailureKind.PERMANENT
+        assert classify_exception(NumericFault()) is FailureKind.NUMERIC
+        assert classify_exception(EvaluationTimeoutError()) is FailureKind.TIMEOUT
+        assert classify_exception(WorkerLostError()) is FailureKind.WORKER_LOST
+
+    def test_failure_kind_attribute_wins(self):
+        exc = ValueError("would be permanent")
+        exc.failure_kind = FailureKind.TRANSIENT
+        assert classify_exception(exc) is FailureKind.TRANSIENT
+        exc.failure_kind = "numeric"  # string form also accepted
+        assert classify_exception(exc) is FailureKind.NUMERIC
+
+    def test_stdlib_families(self):
+        assert classify_exception(TimeoutError()) is FailureKind.TIMEOUT
+        assert classify_exception(BrokenPipeError()) is FailureKind.WORKER_LOST
+        assert classify_exception(ZeroDivisionError()) is FailureKind.NUMERIC
+        assert classify_exception(OverflowError()) is FailureKind.NUMERIC
+        assert classify_exception(ValueError()) is FailureKind.PERMANENT
+        assert classify_exception(KeyError()) is FailureKind.PERMANENT
+        assert classify_exception(MemoryError()) is FailureKind.PERMANENT
+        assert classify_exception(ConnectionError()) is FailureKind.TRANSIENT
+        assert classify_exception(OSError()) is FailureKind.TRANSIENT
+
+    def test_unknown_defaults_to_transient(self):
+        # Generic RuntimeErrors keep the historical retry-friendly default.
+        assert classify_exception(RuntimeError("transient")) is FailureKind.TRANSIENT
+
+    def test_retryable_kinds(self):
+        assert FailureKind.TRANSIENT in RETRYABLE_KINDS
+        assert FailureKind.WORKER_LOST in RETRYABLE_KINDS
+        assert FailureKind.PERMANENT not in RETRYABLE_KINDS
+        assert FailureKind.TIMEOUT not in RETRYABLE_KINDS
+        assert FailureKind.NUMERIC not in RETRYABLE_KINDS
+
+
+class TestPersistence:
+    def test_failure_kind_roundtrips_through_jsonl(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        db = EvaluationDatabase(path)
+        db.append(
+            Evaluation(
+                config={"x": 1.0},
+                objective=float("nan"),
+                status=EvaluationStatus.FAILED,
+                meta={FAILURE_KIND_KEY: FailureKind.PERMANENT.value},
+            )
+        )
+        db.append(Evaluation(config={"x": 2.0}, objective=3.0))
+        reloaded = EvaluationDatabase(path)
+        assert failure_kind_of(reloaded[0]) is FailureKind.PERMANENT
+        assert failure_kind_of(reloaded[1]) is None
+
+    def test_failure_kind_of_accepts_meta_mapping(self):
+        assert failure_kind_of({FAILURE_KIND_KEY: "timeout"}) is FailureKind.TIMEOUT
+        assert failure_kind_of({FAILURE_KIND_KEY: "garbage"}) is None
+        assert failure_kind_of({}) is None
+        assert failure_kind_of(None) is None
+
+
+class AlwaysRaise:
+    def __init__(self, exc):
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, cfg):
+        self.calls += 1
+        raise self.exc
+
+
+class TestRetryShortCircuit:
+    def test_permanent_reraised_immediately(self):
+        inner = AlwaysRaise(PermanentFault("bad config"))
+        obj = RetryingObjective(inner, max_retries=5, backoff=0.0)
+        with pytest.raises(PermanentFault):
+            obj({"x": 1.0})
+        assert inner.calls == 1  # no retries burnt
+        assert obj.retries == 0
+        assert obj.short_circuits == 1
+
+    def test_timeout_and_numeric_not_retried(self):
+        for exc in (EvaluationTimeoutError(), NumericFault(), ValueError("x")):
+            inner = AlwaysRaise(exc)
+            obj = RetryingObjective(inner, max_retries=3, backoff=0.0)
+            with pytest.raises(type(exc)):
+                obj({"x": 1.0})
+            assert inner.calls == 1
+
+    def test_transient_still_retried(self):
+        inner = AlwaysRaise(TransientFault())
+        obj = RetryingObjective(inner, max_retries=2, backoff=0.0)
+        with pytest.raises(TransientFault):
+            obj({"x": 1.0})
+        assert inner.calls == 3  # initial + 2 retries
+
+    def test_classifier_none_restores_legacy_retry_everything(self):
+        inner = AlwaysRaise(ValueError("x"))
+        obj = RetryingObjective(
+            inner, max_retries=2, backoff=0.0, classifier=None
+        )
+        with pytest.raises(ValueError):
+            obj({"x": 1.0})
+        assert inner.calls == 3
+
+
+class TestMemoizedPoisonKeys:
+    def _failed(self, config, kind):
+        return Evaluation(
+            config=config,
+            objective=float("nan"),
+            status=EvaluationStatus.FAILED,
+            meta={FAILURE_KIND_KEY: kind.value, "error": "boom"},
+        )
+
+    def test_permanent_failure_becomes_poison_key(self):
+        db = EvaluationDatabase()
+        db.append(self._failed({"x": 1.0}, FailureKind.PERMANENT))
+        inner = AlwaysRaise(PermanentFault())
+        memo = MemoizingObjective(inner)
+        memo.seed_from_database(db)
+        with pytest.raises(PermanentFault):
+            memo({"x": 1.0})
+        assert inner.calls == 0  # never re-paid
+        assert memo.permanent_hits == 1
+
+    def test_transient_failure_is_retried_after_resume(self):
+        db = EvaluationDatabase()
+        db.append(self._failed({"x": 1.0}, FailureKind.TRANSIENT))
+
+        memo = MemoizingObjective(lambda cfg: cfg["x"] * 2)
+        memo.seed_from_database(db)
+        value, _ = memo({"x": 1.0})
+        assert value == 2.0  # transient records do not poison

@@ -1,0 +1,116 @@
+"""Watchdog: real wall-clock deadlines on genuinely hanging objectives,
+in-process and through the campaign executor's checkpoint path."""
+
+import time
+
+import pytest
+
+from repro.bo import EvaluationDatabase
+from repro.faults import EvaluationTimeoutError, FailureKind, WatchdogObjective
+from repro.search import SearchCampaign, SearchSpec
+from repro.space import Real, SearchSpace
+
+
+def hang_forever(cfg):
+    time.sleep(3600)
+
+
+class HangAbove:
+    """Picklable objective that genuinely hangs for part of the space."""
+
+    def __init__(self, cut=0.5):
+        self.cut = cut
+
+    def __call__(self, cfg):
+        if cfg["a"] > self.cut:
+            time.sleep(3600)
+        return float(cfg["a"]) + 0.1
+
+
+class TestWatchdogObjective:
+    def test_hanging_objective_terminated_within_twice_timeout(self):
+        wd = WatchdogObjective(hang_forever, timeout=0.4)
+        t0 = time.perf_counter()
+        with pytest.raises(EvaluationTimeoutError):
+            wd({"a": 1.0})
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 2 * 0.4  # the issue's acceptance bound
+        assert wd.timeouts == 1
+
+    def test_fast_objective_passes_through(self):
+        wd = WatchdogObjective(lambda cfg: cfg["a"] * 2, timeout=5.0)
+        assert wd({"a": 2.0}) == 4.0
+        assert wd.timeouts == 0
+
+    def test_objective_exception_reraised_with_original_type(self):
+        def bad(cfg):
+            raise ValueError("permanent")
+
+        wd = WatchdogObjective(bad, timeout=5.0)
+        with pytest.raises(ValueError):
+            wd({"a": 1.0})
+
+    def test_timeout_error_is_classified_timeout(self):
+        exc = EvaluationTimeoutError("deadline")
+        assert exc.failure_kind is FailureKind.TIMEOUT
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            WatchdogObjective(hang_forever, timeout=0.0)
+
+
+class TestWatchdogInCampaign:
+    def test_hangs_recorded_as_wallclock_timeouts_in_checkpoint(self, tmp_path):
+        space = SearchSpace([Real("a", 0.0, 1.0)], name="W")
+        spec = SearchSpec(
+            space,
+            HangAbove(0.5),
+            engine="random",
+            max_evaluations=6,
+            wall_timeout=0.3,
+        )
+        t0 = time.perf_counter()
+        result = SearchCampaign(
+            [spec], random_state=0, checkpoint_dir=str(tmp_path)
+        ).run()
+        elapsed = time.perf_counter() - t0
+        # Every evaluation bounded by the deadline (+ generous slack).
+        assert elapsed < 6 * 2 * 0.3 + 1.0
+
+        search = result.searches[0]
+        timeouts = [r for r in search.database if r.status == "timeout"]
+        oks = [r for r in search.database if r.ok]
+        assert timeouts and oks  # both halves of the space sampled
+        for rec in timeouts:
+            assert rec.config["a"] > 0.5
+            assert rec.meta["failure_kind"] == FailureKind.TIMEOUT.value
+            assert rec.meta["timeout_kind"] == "wallclock"
+
+        # And the classification is persisted through the JSONL checkpoint.
+        db = EvaluationDatabase(tmp_path / "W-0.jsonl")
+        persisted = [r for r in db if r.status == "timeout"]
+        assert len(persisted) == len(timeouts)
+        for rec in persisted:
+            assert rec.meta["failure_kind"] == "timeout"
+            assert rec.meta["timeout_kind"] == "wallclock"
+
+    def test_simulated_timeout_distinguished_from_wallclock(self):
+        # Returned-value cap (simulated) vs watchdog (wallclock): the two
+        # TIMEOUT flavors documented in search/result.py.
+        space = SearchSpace([Real("a", 0.0, 1.0)], name="S")
+        spec = SearchSpec(
+            space,
+            lambda cfg: cfg["a"] * 10.0 + 0.01,  # values above ~5 time out
+            engine="random",
+            max_evaluations=20,
+            engine_options={"evaluation_timeout": 5.0},
+        )
+        result = SearchCampaign([spec], random_state=0).run()
+        timeouts = [
+            r for r in result.searches[0].database if r.status == "timeout"
+        ]
+        assert timeouts
+        for rec in timeouts:
+            assert rec.meta["timeout_kind"] == "simulated"
+            assert rec.meta["failure_kind"] == FailureKind.TIMEOUT.value
+            assert rec.cost == 5.0  # charged the cap, not the value
