@@ -117,6 +117,10 @@ class BatchBayesianOptimizer(BayesianOptimizer):
         model_cost = 0.0
         n_new = 0
 
+        if self.tracer is not None:
+            for i, rec in enumerate(self.database):
+                self._emit_eval(i, rec)
+
         n_have = len(self.database.ok_records())
         n_seed = max(0, self.n_initial - n_have)
         if n_seed > 0:
@@ -124,9 +128,10 @@ class BatchBayesianOptimizer(BayesianOptimizer):
                 if self.breaker is not None and not self.breaker.allows(config):
                     self.quarantine_skips += 1
                     continue
-                rec = self._evaluate(config)
+                rec = self._traced_evaluate(config)
                 self._record_failure(rec)
                 self.database.append(rec)
+                self._emit_eval(len(self.database) - 1, rec)
                 n_new += 1
             eval_cost += max(
                 (r.cost for r in self.database.records[-n_seed:]), default=0.0
@@ -148,9 +153,10 @@ class BatchBayesianOptimizer(BayesianOptimizer):
                 if cfg is None:
                     exhausted = True
                     break
-                rec = self._evaluate(cfg)
+                rec = self._traced_evaluate(cfg)
                 self._record_failure(rec)
                 self.database.append(rec)
+                self._emit_eval(len(self.database) - 1, rec)
                 round_costs.append(rec.cost)
                 n_new += 1
             # Parallel round: wall-clock is the slowest member.

@@ -49,6 +49,7 @@ from ..faults.taxonomy import (
     failure_kind_of,
 )
 from ..space import SearchSpace
+from ..telemetry.core import NULL_TRACER, config_hash
 from .acquisition import (
     AcquisitionFunction,
     acquisition_by_name,
@@ -168,6 +169,14 @@ class BayesianOptimizer:
         spread), so the surrogate learns an elevated surface around
         failing regions.  ``None`` (default) keeps the classic
         drop-failures behavior.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer` — a pure observer that
+        emits ``bo_iteration`` / ``gp_fit`` / ``acquisition`` /
+        ``evaluation`` spans and one ``eval`` event per database record
+        (replayed records re-emit theirs, keeping resumed traces aligned
+        with uninterrupted ones).  ``None`` (default) skips all
+        instrumentation; the tracer never draws random state or alters
+        control flow, so results are bit-identical either way.
     """
 
     def __init__(
@@ -191,6 +200,7 @@ class BayesianOptimizer:
         quarantine_resolution: int = 4,
         failure_penalty_factor: float | None = None,
         mean_function: Callable[[np.ndarray], np.ndarray] | None = None,
+        tracer=None,
         random_state: int | np.random.Generator | np.random.SeedSequence | None = None,
     ):
         if n_initial < 1:
@@ -236,6 +246,8 @@ class BayesianOptimizer:
         )
         self.quarantine_skips = 0
         self.mean_function = mean_function
+        self.tracer = tracer
+        self._best_seen: float | None = None
         # All randomness derives from one SeedSequence so that per-iteration
         # streams can be re-derived after a crash.  A Generator input (legacy
         # API) contributes a single entropy draw.
@@ -364,6 +376,41 @@ class BayesianOptimizer:
         # (clamped at zero: synthetic objectives may be negative logs).
         return Evaluation(config=full, objective=value, cost=max(value, 0.0), meta=meta)
 
+    def _traced_evaluate(self, config: Mapping[str, Any]) -> Evaluation:
+        """:meth:`_evaluate` wrapped in an ``evaluation`` span."""
+        if self.tracer is None:
+            return self._evaluate(config)
+        with self.tracer.span("evaluation") as sp:
+            rec = self._evaluate(config)
+            sp.attrs.update(status=rec.status, cost=rec.cost)
+        return rec
+
+    def _emit_eval(self, index: int, rec: Evaluation) -> None:
+        """Emit one ``eval`` event keyed by database index.
+
+        Tracks the running best over OK records; called for replayed
+        records too, so resumed traces carry the full evaluation stream.
+        No-op (and zero bookkeeping) when tracing is disabled.
+        """
+        if self.tracer is None:
+            return
+        if rec.ok and (self._best_seen is None or rec.objective < self._best_seen):
+            self._best_seen = float(rec.objective)
+        kind = failure_kind_of(rec)
+        extra: dict[str, Any] = {}
+        if rec.meta.get("cache_hit"):
+            extra["cache_hit"] = True
+        self.tracer.eval_event(
+            index,
+            objective=float(rec.objective),
+            cost=float(rec.cost),
+            status=rec.status,
+            best=self._best_seen,
+            failure_kind=kind.value if kind is not None else None,
+            cfg_hash=config_hash(rec.config),
+            **extra,
+        )
+
     def _training_set(
         self, records: Sequence[Evaluation] | None = None
     ) -> tuple[np.ndarray, np.ndarray, list[dict[str, Any]]]:
@@ -416,8 +463,29 @@ class BayesianOptimizer:
         optimize: bool,
         rng: np.random.Generator,
         records: Sequence[Evaluation] | None = None,
+        replay: bool = False,
     ) -> float:
         """Fit the surrogate; returns the simulated modeling cost."""
+        if self.tracer is not None:
+            with self.tracer.span("gp_fit", optimize=optimize,
+                                  replay=replay) as sp:
+                cost = self._fit_model_inner(
+                    optimize=optimize, rng=rng, records=records
+                )
+                sp.attrs["sim_cost"] = cost
+                sp.attrs["n_points"] = len(
+                    self.database if records is None else records
+                )
+            return cost
+        return self._fit_model_inner(optimize=optimize, rng=rng, records=records)
+
+    def _fit_model_inner(
+        self,
+        *,
+        optimize: bool,
+        rng: np.random.Generator,
+        records: Sequence[Evaluation] | None = None,
+    ) -> float:
         X, y, _ = self._training_set(records)
         n, d = X.shape
         self._fit_count += 1
@@ -461,7 +529,10 @@ class BayesianOptimizer:
             prefix = records[:idx]
             if not any(r.ok for r in prefix):
                 continue
-            self._fit_model(optimize=True, rng=self._iter_rng(idx), records=prefix)
+            self._fit_model(
+                optimize=True, rng=self._iter_rng(idx), records=prefix,
+                replay=True,
+            )
         # The continuation loop refits on the full database before its
         # first suggestion (self._model is reset below), matching the fit
         # the uninterrupted run performed at this iteration.
@@ -516,6 +587,13 @@ class BayesianOptimizer:
         model_cost = 0.0
         n_new = 0
 
+        if self.tracer is not None:
+            # Re-emit eval events for replayed records: the persisted
+            # evaluation stream of a resumed run must equal the stream of
+            # an uninterrupted one (JsonlSink dedups by database index).
+            for i, rec in enumerate(self.database):
+                self._emit_eval(i, rec)
+
         if self.resume and len(self.database) > 0:
             self._replay_model_state()
             # Rebuild the circuit-breaker state from the checkpointed
@@ -537,55 +615,64 @@ class BayesianOptimizer:
                     # (zero evaluations inside tripped regions).
                     self.quarantine_skips += 1
                     continue
-                rec = self._evaluate(config)
+                rec = self._traced_evaluate(config)
                 self._record_failure(rec)
                 self.database.append(rec)
+                self._emit_eval(len(self.database) - 1, rec)
                 eval_cost += rec.cost
                 n_new += 1
 
         # --- sequential BO iterations -----------------------------------
         total_iters = self.max_evaluations
+        tr = self.tracer if self.tracer is not None else NULL_TRACER
         while len(self.database.ok_records()) < self.max_evaluations:
             it = len(self.database.ok_records())
             idx = len(self.database)  # index of the record this iteration adds
-            rng = self._iter_rng(idx)
-            self.acquisition.update(it, total_iters)
-            fit, optimize = self._fit_schedule(idx)
-            if self._model is None or fit:
-                model_cost += self._fit_model(optimize=optimize, rng=rng)
-            if self._model is None:
-                # Degenerate data (e.g. constant objective): random fallback.
-                config = self.space.sample(rng)
-            else:
-                best = self.database.best()
-                incumbent_cfg = {k: best.config[k] for k in self.space.names}
-                config = maximize_acquisition(
-                    self.acquisition,
-                    self._model,
-                    self.space,
-                    best.objective,
-                    rng,
-                    n_candidates=self.n_candidates,
-                    incumbent_config=incumbent_cfg,
-                    exclude=[
-                        {k: r.config[k] for k in self.space.names}
-                        for r in self.database
-                    ],
-                )
-            config = self._dequarantine(config, rng)
-            if config is None:
-                # Every reachable cell is quarantined: degrade gracefully
-                # with whatever incumbents exist instead of burning the
-                # rest of the budget on guaranteed failures.
-                break
-            rec = self._evaluate(config)
-            self._record_failure(rec)
-            self.database.append(rec)
-            eval_cost += rec.cost
-            n_new += 1
-            if n_new > 4 * self.max_evaluations:
-                # Safety valve: a pathological objective failing every run
-                # must not loop forever.
+            stop = False
+            with tr.span("bo_iteration", index=idx):
+                rng = self._iter_rng(idx)
+                self.acquisition.update(it, total_iters)
+                fit, optimize = self._fit_schedule(idx)
+                if self._model is None or fit:
+                    model_cost += self._fit_model(optimize=optimize, rng=rng)
+                if self._model is None:
+                    # Degenerate data (e.g. constant objective): random fallback.
+                    config = self.space.sample(rng)
+                else:
+                    best = self.database.best()
+                    incumbent_cfg = {k: best.config[k] for k in self.space.names}
+                    with tr.span("acquisition", n_candidates=self.n_candidates):
+                        config = maximize_acquisition(
+                            self.acquisition,
+                            self._model,
+                            self.space,
+                            best.objective,
+                            rng,
+                            n_candidates=self.n_candidates,
+                            incumbent_config=incumbent_cfg,
+                            exclude=[
+                                {k: r.config[k] for k in self.space.names}
+                                for r in self.database
+                            ],
+                        )
+                config = self._dequarantine(config, rng)
+                if config is None:
+                    # Every reachable cell is quarantined: degrade gracefully
+                    # with whatever incumbents exist instead of burning the
+                    # rest of the budget on guaranteed failures.
+                    stop = True
+                else:
+                    rec = self._traced_evaluate(config)
+                    self._record_failure(rec)
+                    self.database.append(rec)
+                    self._emit_eval(len(self.database) - 1, rec)
+                    eval_cost += rec.cost
+                    n_new += 1
+                    if n_new > 4 * self.max_evaluations:
+                        # Safety valve: a pathological objective failing
+                        # every run must not loop forever.
+                        stop = True
+            if stop:
                 break
 
         best = self.database.best()

@@ -7,6 +7,9 @@ Commands
     analysis + tuning summary.
 ``tddft``
     Run the staged methodology on a simulated RT-TDDFT case study.
+``report``
+    Analyze a campaign trace (``--trace-dir`` output): stage wall-time
+    attribution and best-value-vs-evaluations progression.
 ``info``
     Print the package inventory and the per-experiment benchmark map.
 """
@@ -14,10 +17,36 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 __all__ = ["main"]
+
+
+def _make_telemetry(args: argparse.Namespace, command: str):
+    """Build the run's Telemetry handle from CLI flags (or ``None``).
+
+    Tracing requires ``--trace-dir`` (one JSONL trace file per command
+    run); the live progress line additionally needs a TTY stderr and no
+    ``--no-progress``.  Without either, no telemetry object exists at
+    all — the zero-overhead default, and no telemetry files are written.
+    """
+    want_progress = (
+        not getattr(args, "no_progress", False) and sys.stderr.isatty()
+    )
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is None and not want_progress:
+        return None
+    from .telemetry import JsonlSink, ProgressReporter, Telemetry
+
+    sinks = []
+    if trace_dir is not None:
+        sinks.append(
+            JsonlSink(os.path.join(trace_dir, f"{command}.trace.jsonl"))
+        )
+    progress = ProgressReporter() if want_progress else None
+    return Telemetry(sinks, progress=progress)
 
 
 def _cmd_synthetic(args: argparse.Namespace) -> int:
@@ -25,15 +54,21 @@ def _cmd_synthetic(args: argparse.Namespace) -> int:
     from .synthetic import SyntheticFunction
 
     app = SyntheticFunction(args.case, random_state=args.seed)
+    telemetry = _make_telemetry(args, "synthetic")
     tm = TuningMethodology(
         app.search_space(),
         app.routines(),
         cutoff=args.cutoff,
         n_variations=args.variations,
+        telemetry=telemetry,
         random_state=args.seed,
         **_robustness_kwargs(args),
     )
-    result = tm.run() if not args.plan_only else tm.analyze()
+    try:
+        result = tm.run() if not args.plan_only else tm.analyze()
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(result.summary())
     if not args.plan_only:
         print(f"\ncombined best F = {app(result.best_config):.3f}")
@@ -45,6 +80,7 @@ def _cmd_tddft(args: argparse.Namespace) -> int:
     from .tddft import RTTDDFTApplication, case_study
 
     app = RTTDDFTApplication(case_study(args.case_study), random_state=args.seed)
+    telemetry = _make_telemetry(args, "tddft")
     tm = TuningMethodology(
         app.search_space(),
         app.routines(),
@@ -53,10 +89,15 @@ def _cmd_tddft(args: argparse.Namespace) -> int:
         n_baselines=args.baselines,
         variation_mode="random",
         hierarchy=app.hierarchy(),
+        telemetry=telemetry,
         random_state=args.seed,
         **_robustness_kwargs(args),
     )
-    result = tm.run() if not args.plan_only else tm.analyze()
+    try:
+        result = tm.run() if not args.plan_only else tm.analyze()
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(result.summary())
     if not args.plan_only:
         app.noise_scale = 0.0
@@ -65,6 +106,17 @@ def _cmd_tddft(args: argparse.Namespace) -> int:
         print(f"\ndefault : {1000 * before:9.2f} ms/iteration")
         print(f"tuned   : {1000 * after:9.2f} ms/iteration "
               f"({before / after:.2f}x speedup)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry import TraceReport
+
+    report = TraceReport.from_file(args.trace)
+    if not report.events:
+        print(f"{args.trace}: empty trace")
+        return 1
+    print(report.format())
     return 0
 
 
@@ -95,8 +147,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_verbosity(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="log level: -v = INFO, -vv = DEBUG on the "
+                        "repro.* logger hierarchy (default: WARNING)")
+
+
 def _add_executor_options(p: argparse.ArgumentParser) -> None:
     """Campaign-executor flags shared by the tuning commands."""
+    _add_verbosity(p)
     p.add_argument("--parallel", action="store_true",
                    help="run each stage's member searches concurrently "
                         "(process pool; falls back in-process for "
@@ -129,6 +188,13 @@ def _add_executor_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--inject-faults", default=None, metavar="PLAN.json",
                    help="chaos testing: inject deterministic faults per "
                         "the FaultPlan JSON file (see docs/robustness.md)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write a JSONL campaign trace (spans, per-"
+                        "evaluation events, metrics) to DIR; inspect it "
+                        "with `repro report` (see docs/observability.md)")
+    p.add_argument("--no-progress", "--quiet", dest="no_progress",
+                   action="store_true",
+                   help="suppress the live progress/ETA line on stderr")
 
 
 def _robustness_kwargs(args: argparse.Namespace) -> dict:
@@ -180,14 +246,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_options(p)
     p.set_defaults(func=_cmd_tddft)
 
+    p = sub.add_parser(
+        "report", help="analyze a campaign trace written by --trace-dir"
+    )
+    p.add_argument("trace", metavar="TRACE.jsonl",
+                   help="trace file produced by --trace-dir")
+    _add_verbosity(p)
+    p.set_defaults(func=_cmd_report)
+
     p = sub.add_parser("info", help="package inventory and experiment map")
+    _add_verbosity(p)
     p.set_defaults(func=_cmd_info)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from .log import configure_logging
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    configure_logging(getattr(args, "verbose", 0))
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # e.g. `repro report trace.jsonl | head`; suppress the stderr
+        # noise from the interpreter closing the torn stdout at exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

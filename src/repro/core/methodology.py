@@ -36,6 +36,7 @@ from ..insights.sensitivity import SensitivityAnalysis, SensitivityResult
 from ..search.result import CampaignResult
 from ..search.runner import SearchCampaign, SearchSpec
 from ..space import SearchSpace
+from ..telemetry.core import NULL_TRACER
 from .dag import InterdependenceDAG
 from .influence import InfluenceMatrix
 from .planner import SearchPlan, SearchPlanner
@@ -184,6 +185,14 @@ class TuningMethodology:
     quarantine_threshold / quarantine_resolution:
         Circuit-breaker configuration forwarded to every search (see
         :class:`~repro.faults.CircuitBreaker`).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`.  The pipeline emits
+        ``campaign`` / ``insights`` / ``sensitivity`` / ``dag_partition``
+        spans in the campaign scope and threads the handle through every
+        stage's :class:`~repro.search.SearchCampaign` (member ``search``
+        spans, per-evaluation events, metrics, live progress).  A pure
+        observer: results are bit-identical with telemetry on or off.
+        ``None`` (default) disables.
     """
 
     def __init__(
@@ -212,6 +221,7 @@ class TuningMethodology:
         fault_plan: FaultPlan | None = None,
         quarantine_threshold: int | None = None,
         quarantine_resolution: int = 4,
+        telemetry=None,
         random_state: int | np.random.Generator | None = None,
     ):
         self.space = space
@@ -237,6 +247,7 @@ class TuningMethodology:
         self.fault_plan = fault_plan
         self.quarantine_threshold = quarantine_threshold
         self.quarantine_resolution = int(quarantine_resolution)
+        self.telemetry = telemetry
         self.rng = (
             random_state
             if isinstance(random_state, np.random.Generator)
@@ -244,6 +255,12 @@ class TuningMethodology:
         )
 
     # ------------------------------------------------------------------
+    def _tracer(self):
+        """Campaign-scope tracer (the no-op singleton when disabled)."""
+        if self.telemetry is None:
+            return NULL_TRACER
+        return self.telemetry.tracer()
+
     def _default_total(self, config: Mapping[str, Any]) -> float:
         return float(sum(r.weight * r.evaluate(config) for r in self.routines))
 
@@ -293,27 +310,36 @@ class TuningMethodology:
         import json
         import os
 
+        tracer = self._tracer()
         insights: ParameterInsights | None = None
         analysis_evals = 0
         if self.insight_samples > 0:
-            insights, n = self.collect_insights()
+            with tracer.span("insights", n_samples=self.insight_samples):
+                insights, n = self.collect_insights()
             analysis_evals += n
 
         sens: SensitivityResult | None = None
         if checkpoint and os.path.exists(checkpoint):
             with open(checkpoint) as f:
                 sens = SensitivityResult.from_dict(json.load(f))
+            tracer.event("sensitivity_checkpoint_loaded", path=checkpoint)
         if sens is None:
-            sens = self.run_sensitivity(baseline)
+            with tracer.span("sensitivity", n_variations=self.n_variations) as sp:
+                sens = self.run_sensitivity(baseline)
+                sp.attrs["n_evaluations"] = sens.n_evaluations
             analysis_evals += sens.n_evaluations
             if checkpoint:
                 with open(checkpoint, "w") as f:
                     json.dump(sens.to_dict(), f)
 
-        influence = InfluenceMatrix.from_sensitivity(self.routines, sens)
-        planner = self._planner(influence, insights)
-        plan = planner.plan()
-        dag = planner.build_dag()
+        with tracer.span("dag_partition") as sp:
+            influence = InfluenceMatrix.from_sensitivity(self.routines, sens)
+            planner = self._planner(influence, insights)
+            plan = planner.plan()
+            dag = planner.build_dag()
+            sp.attrs.update(
+                n_searches=len(plan.searches), n_stages=plan.n_stages
+            )
         return MethodologyResult(
             sensitivity=sens,
             influence=influence,
@@ -347,6 +373,20 @@ class TuningMethodology:
         parallel) with every parameter tuned by an *earlier* stage pinned
         to its found optimum.
         """
+        tracer = self._tracer()
+        with tracer.span("campaign", space=self.space.name) as campaign_span:
+            result = self._run_pipeline(baseline, defaults)
+            if result.campaign is not None:
+                campaign_span.attrs["n_evaluations"] = (
+                    result.campaign.n_evaluations
+                )
+        return result
+
+    def _run_pipeline(
+        self,
+        baseline: Mapping[str, Any] | None,
+        defaults: Mapping[str, Any] | None,
+    ) -> MethodologyResult:
         result = self.analyze(baseline)
         planner = self._planner(result.influence, result.insights)
 
@@ -387,6 +427,7 @@ class TuningMethodology:
                     if self.checkpoint_dir
                     else None
                 ),
+                telemetry=self.telemetry,
             )
             stage_result = stage_campaign.run()
             campaign.searches.extend(stage_result.searches)

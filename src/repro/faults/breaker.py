@@ -24,9 +24,12 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
+from ..log import get_logger
 from .taxonomy import FailureKind
 
 __all__ = ["CircuitBreaker"]
+
+logger = get_logger("faults")
 
 
 class CircuitBreaker:
@@ -93,6 +96,10 @@ class CircuitBreaker:
         self._counts[key] = self._counts.get(key, 0) + 1
         if self._counts[key] >= self.threshold and key not in self._tripped:
             self._tripped.add(key)
+            logger.warning(
+                "circuit breaker tripped: cell %s quarantined after %d "
+                "%s failures", key, self._counts[key], kind.value,
+            )
             return True
         return False
 

@@ -43,9 +43,12 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from ..log import get_logger
 from .taxonomy import PermanentFault, TransientFault
 
 __all__ = ["FaultPlan", "PoisonRegion", "FaultyObjective"]
+
+logger = get_logger("faults")
 
 _canonical_key = None
 
@@ -237,6 +240,10 @@ class FaultyObjective:
         for region in plan.poison:
             if region.contains(config):
                 self.injected["permanent"] += 1
+                logger.debug(
+                    "injecting permanent fault (poison region %s)",
+                    region.bounds,
+                )
                 raise PermanentFault(
                     f"injected permanent fault: poison region {region.bounds}"
                 )
@@ -250,6 +257,10 @@ class FaultyObjective:
             self._attempts[chash] = attempt + 1
             if attempt < plan.transient_burst:
                 self.injected["transient"] += 1
+                logger.debug(
+                    "injecting transient fault (attempt %d/%d)",
+                    attempt + 1, plan.transient_burst,
+                )
                 raise TransientFault(
                     f"injected transient fault (attempt {attempt + 1}"
                     f"/{plan.transient_burst})"

@@ -24,9 +24,12 @@ from __future__ import annotations
 import threading
 from typing import Any, Mapping
 
+from ..log import get_logger
 from .taxonomy import EvaluationTimeoutError
 
 __all__ = ["WatchdogObjective"]
+
+logger = get_logger("faults")
 
 
 class WatchdogObjective:
@@ -79,6 +82,10 @@ class WatchdogObjective:
         worker.join(self.timeout)
         if worker.is_alive():
             self.timeouts += 1
+            logger.warning(
+                "watchdog fired: evaluation exceeded %gs wall-clock "
+                "deadline; abandoning worker thread", self.timeout,
+            )
             raise EvaluationTimeoutError(
                 f"evaluation exceeded wall-clock deadline of "
                 f"{self.timeout:g}s (worker thread abandoned)"

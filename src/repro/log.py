@@ -1,0 +1,56 @@
+"""The ``repro``-namespaced logging hierarchy.
+
+Every subsystem logs under a child of the ``repro`` logger —
+``repro.search`` (executor, retries, cache), ``repro.faults``
+(injection, watchdog, circuit breaker), ``repro.telemetry`` (sinks,
+progress), ``repro.insights`` (sensitivity degradation) — replacing the
+bare stderr prints and silent failure paths the robustness layers used
+to have.  Libraries attach no handlers; :func:`configure_logging` wires
+a stderr handler for the CLI's ``--verbose/-v`` flag.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["get_logger", "configure_logging"]
+
+ROOT = "repro"
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """Logger for one subsystem, e.g. ``get_logger("faults")``."""
+    if not subsystem:
+        return logging.getLogger(ROOT)
+    return logging.getLogger(f"{ROOT}.{subsystem}")
+
+
+def configure_logging(
+    verbosity: int = 0, *, stream: TextIO | None = None
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root logger.
+
+    ``verbosity`` 0 -> WARNING, 1 (``-v``) -> INFO, >=2 (``-vv``) ->
+    DEBUG.  Idempotent: re-configuring replaces the handler installed by
+    a previous call instead of stacking duplicates.
+    """
+    root = logging.getLogger(ROOT)
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO if verbosity == 1 else logging.DEBUG
+    )
+    root.setLevel(level)
+    for h in list(root.handlers):
+        if getattr(h, "_repro_cli", False):
+            root.removeHandler(h)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -8,6 +8,7 @@ authors "40-50% of the runtime is attributed to communication primitives".
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -92,12 +93,38 @@ class TimingReport:
         total = self.grand_total
         return self.entries[name][0] / total if total > 0 else 0.0
 
+    def to_json(self) -> str:
+        """Serialize to a JSON string (inverse of :meth:`from_json`)."""
+        return json.dumps(
+            {n: [t, c] for n, (t, c) in sorted(self.entries.items())},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimingReport":
+        data = json.loads(text)
+        return cls({n: (float(t), int(c)) for n, (t, c) in data.items()})
+
+    def merge(self, other: "TimingReport") -> "TimingReport":
+        """New report with totals and call counts summed per region."""
+        entries = dict(self.entries)
+        for name, (t, c) in other.entries.items():
+            t0, c0 = entries.get(name, (0.0, 0))
+            entries[name] = (t0 + t, c0 + c)
+        return TimingReport(entries)
+
     def format(self) -> str:
-        """Sorted profile table (largest region first)."""
+        """Sorted profile table (largest region first).
+
+        The name column widens to fit the longest region name, so long
+        names (e.g. span kinds like ``sensitivity_checkpoint_loaded``)
+        no longer push their row out of alignment.
+        """
         total = self.grand_total
-        lines = [f"{'Region':<24} {'Total':>12} {'Calls':>8} {'Share':>7}"]
+        w = max(24, max((len(n) for n in self.entries), default=0))
+        lines = [f"{'Region':<{w}} {'Total':>12} {'Calls':>8} {'Share':>7}"]
         for name, (t, c) in sorted(self.entries.items(), key=lambda kv: -kv[1][0]):
             share = 100.0 * t / total if total > 0 else 0.0
-            lines.append(f"{name:<24} {t:>10.4f}s {c:>8} {share:>6.1f}%")
-        lines.append(f"{'TOTAL':<24} {total:>10.4f}s")
+            lines.append(f"{name:<{w}} {t:>11.4f}s {c:>8} {share:>6.1f}%")
+        lines.append(f"{'TOTAL':<{w}} {total:>11.4f}s")
         return "\n".join(lines)

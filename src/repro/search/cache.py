@@ -38,8 +38,11 @@ from ..faults.taxonomy import (
     classify_exception,
     failure_kind_of,
 )
+from ..log import get_logger
 
 __all__ = ["canonical_key", "MemoizingObjective", "RetryingObjective"]
+
+logger = get_logger("search")
 
 
 def _coerce(value: Any) -> Any:
@@ -194,10 +197,22 @@ class RetryingObjective:
                     kind = self.classifier(exc)
                     if kind not in RETRYABLE_KINDS:
                         self.short_circuits += 1
+                        logger.debug(
+                            "not retrying %s-classified failure: %r",
+                            kind.value, exc,
+                        )
                         raise
                 if attempt == self.max_retries:
+                    logger.debug(
+                        "retries exhausted after %d attempts: %r",
+                        attempt + 1, exc,
+                    )
                     raise
                 self.retries += 1
+                logger.debug(
+                    "retrying after failure (attempt %d/%d): %r",
+                    attempt + 1, self.max_retries + 1, exc,
+                )
                 if self.backoff > 0:
                     time.sleep(self.backoff * (2**attempt))
         raise AssertionError("unreachable")  # pragma: no cover

@@ -50,6 +50,10 @@ from ..bo.optimizer import BayesianOptimizer
 from ..faults.injection import FaultyObjective
 from ..faults.taxonomy import FailureKind
 from ..faults.watchdog import WatchdogObjective
+from ..log import get_logger
+from ..telemetry.core import Telemetry
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.sinks import MemorySink
 from .cache import MemoizingObjective, RetryingObjective
 from .grid_search import GridSearch
 from .random_search import RandomSearch
@@ -62,8 +66,11 @@ __all__ = [
     "CampaignExecutor",
     "run_search_spec",
     "member_keys",
+    "member_scope",
     "spec_seed_sequences",
 ]
+
+logger = get_logger("search")
 
 
 def member_keys(specs: Sequence["SearchSpec"]) -> list[tuple[int, int]]:
@@ -124,6 +131,17 @@ def checkpoint_path(
     )
 
 
+def member_scope(
+    strategy: str, spec: "SearchSpec", key: tuple[int, int]
+) -> str:
+    """Trace scope of one member: ``<strategy>/<name>-<occurrence>``.
+
+    Mirrors :func:`checkpoint_path`'s stable naming so trace streams and
+    checkpoints of the same member line up.
+    """
+    return f"{strategy}/{_slug(spec.space.name)}-{key[1]}"
+
+
 def _wrap_objective(spec: "SearchSpec", database: EvaluationDatabase | None):
     """Apply the spec's robustness policies to its objective.
 
@@ -154,19 +172,88 @@ def run_search_spec(
     seed: np.random.SeedSequence,
     *,
     checkpoint: str | os.PathLike | None = None,
+    telemetry: Telemetry | None = None,
+    scope: str | None = None,
 ) -> SearchResult:
     """Execute one member search: engine dispatch + robustness wrappers.
 
     This is the single execution path shared by the sequential and
     parallel campaign modes (and by pool worker processes), which is what
-    makes the two modes bit-identical for a given seed.
+    makes the two modes bit-identical for a given seed.  With a
+    ``telemetry`` handle it additionally emits the member's trace stream
+    (a ``search_start`` event, the ``search`` span wrapping the engine
+    run, one ``eval`` event per database record, and a final metrics
+    snapshot) under ``scope`` — a pure observer either way.
     """
     t0 = time.perf_counter()
     database = EvaluationDatabase(checkpoint) if checkpoint is not None else None
     objective = _wrap_objective(spec, database)
-    result = _dispatch(spec, seed, objective, database)
+    if telemetry is None:
+        result = _dispatch(spec, seed, objective, database)
+    else:
+        tracer = telemetry.tracer(
+            scope if scope is not None else _slug(spec.space.name)
+        )
+        strategy = (
+            tracer.scope.rsplit("/", 1)[0] if "/" in tracer.scope else ""
+        )
+        tracer.event(
+            "search_start",
+            budget=spec.budget(),
+            engine=spec.engine,
+            space=spec.space.name,
+            strategy=strategy,
+            resumed=len(database) if database is not None else 0,
+        )
+        with tracer.span(
+            "search", engine=spec.engine, space=spec.space.name
+        ) as sp:
+            result = _dispatch(spec, seed, objective, database, tracer=tracer)
+            sp.attrs["n_evaluations"] = result.n_evaluations
+        _member_metrics(telemetry, tracer, spec, objective, result)
     result.measured_time = time.perf_counter() - t0
     return result
+
+
+def _member_metrics(
+    telemetry: Telemetry, tracer, spec: "SearchSpec", objective, result: SearchResult
+) -> None:
+    """Aggregate one member's counters into the telemetry registry.
+
+    Counts are derived from the finished result and the robustness
+    wrapper chain — deterministic for a given search — and snapshotted
+    into the member's event stream so pool workers ship them home.
+    """
+    m = telemetry.metrics
+    m.counter("evaluations", engine=spec.engine).inc(result.n_evaluations)
+    if result.database is not None:
+        hist = m.histogram("evaluation_cost_seconds")
+        for rec in result.database:
+            hist.observe(rec.cost)
+    m.gauge("best_objective", search=spec.space.name).set(result.best_objective)
+    obj = objective
+    while obj is not None:
+        if isinstance(obj, MemoizingObjective):
+            if obj.hits:
+                m.counter("cache_hits").inc(obj.hits)
+            if obj.misses:
+                m.counter("cache_misses").inc(obj.misses)
+            if obj.permanent_hits:
+                m.counter("cache_permanent_hits").inc(obj.permanent_hits)
+        elif isinstance(obj, RetryingObjective):
+            if obj.retries:
+                m.counter("retries").inc(obj.retries)
+            if obj.short_circuits:
+                m.counter("retry_short_circuits").inc(obj.short_circuits)
+        obj = getattr(obj, "objective", None)
+        if not callable(obj):
+            break
+    for kind, count in (result.meta.get("failure_counts") or {}).items():
+        m.counter("faults", kind=kind).inc(count)
+    quarantined = result.meta.get("quarantined")
+    if quarantined:
+        m.counter("breaker_trips").inc(len(quarantined.get("cells", ())))
+    tracer.metrics_event(m)
 
 
 def _dispatch(
@@ -174,8 +261,10 @@ def _dispatch(
     seed: np.random.SeedSequence,
     objective,
     database: EvaluationDatabase | None,
+    tracer=None,
 ) -> SearchResult:
     db_kwargs = {"database": database} if database is not None else {}
+    trace_kwargs = {"tracer": tracer} if tracer is not None else {}
     breaker_kwargs = (
         {
             "quarantine_threshold": spec.quarantine_threshold,
@@ -192,6 +281,7 @@ def _dispatch(
             random_state=seed,
             **db_kwargs,
             **breaker_kwargs,
+            **trace_kwargs,
             **spec.engine_options,
         )
         r = opt.run()
@@ -214,6 +304,7 @@ def _dispatch(
             random_state=np.random.default_rng(seed),
             **db_kwargs,
             **breaker_kwargs,
+            **trace_kwargs,
             **spec.engine_options,
         )
         result = rs.run()
@@ -224,6 +315,7 @@ def _dispatch(
             spec.space,
             objective,
             max_evaluations=spec.budget(),
+            **trace_kwargs,
             **spec.engine_options,
         )
         result = gs.run()
@@ -239,6 +331,7 @@ def _dispatch(
             random_state=seed,
             **db_kwargs,
             **breaker_kwargs,
+            **trace_kwargs,
             **spec.engine_options,
         )
         r = opt.run()
@@ -268,10 +361,24 @@ def _dispatch(
     raise ValueError(f"unknown engine {spec.engine!r}")
 
 
-def _run_member(payload: bytes) -> SearchResult:
-    """Pool worker entry point: unpickle one member task and run it."""
-    spec, seed, checkpoint = pickle.loads(payload)
-    return run_search_spec(spec, seed, checkpoint=checkpoint)
+def _run_member(payload: bytes):
+    """Pool worker entry point: unpickle one member task and run it.
+
+    Returns ``(result, events, metrics_snapshot)``: the worker buffers
+    its trace events in a :class:`MemorySink` and snapshots its own
+    metrics registry; the parent forwards/merges them *in member order*,
+    so parallel campaigns produce the same trace as sequential ones.
+    """
+    spec, seed, checkpoint, scope, clock = pickle.loads(payload)
+    if scope is None:
+        result = run_search_spec(spec, seed, checkpoint=checkpoint)
+        return result, [], None
+    buffer = MemorySink()
+    telemetry = Telemetry([buffer], clock=clock, metrics=MetricsRegistry())
+    result = run_search_spec(
+        spec, seed, checkpoint=checkpoint, telemetry=telemetry, scope=scope
+    )
+    return result, buffer.events, telemetry.metrics.snapshot()
 
 
 class CampaignExecutor:
@@ -297,6 +404,13 @@ class CampaignExecutor:
         replayed, not re-run.  Pair with ``SearchSpec.wall_timeout`` so
         the in-worker watchdog catches individual hanging evaluations
         before the whole member is sacrificed.  ``None`` disables.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`.  Members emit their
+        trace streams into per-member buffers (in-process or inside pool
+        workers) which the executor forwards *in member order* and merges
+        with the campaign metrics — so sequential and parallel campaigns
+        with the same deterministic clock produce identical traces.
+        ``None`` (default) disables all instrumentation.
     """
 
     #: Pool rounds before falling back (initial submission + one resubmission).
@@ -308,6 +422,7 @@ class CampaignExecutor:
         n_workers: int | None = None,
         checkpoint_dir: str | os.PathLike | None = None,
         member_timeout: float | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -315,6 +430,7 @@ class CampaignExecutor:
             raise ValueError("member_timeout must be > 0")
         self.n_workers = n_workers
         self.member_timeout = member_timeout
+        self.telemetry = telemetry
         self.checkpoint_dir = (
             os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
         )
@@ -362,14 +478,35 @@ class CampaignExecutor:
         if len(specs) != len(seeds):
             raise ValueError("specs and seeds must have the same length")
         checkpoints = self._member_checkpoints(specs)
-        tasks = list(zip(specs, seeds, checkpoints))
+        if self.telemetry is not None:
+            scopes = [
+                member_scope(strategy, spec, key)
+                for spec, key in zip(specs, member_keys(specs))
+            ]
+            clock = self.telemetry.clock
+        else:
+            scopes = [None] * len(specs)
+            clock = None
+        tasks = list(zip(specs, seeds, checkpoints, scopes))
 
         result = CampaignResult(strategy=strategy)
         n_workers = self.n_workers
         if n_workers is None:
             n_workers = min(len(specs), os.cpu_count() or 1)
         use_pool = parallel and n_workers > 1 and len(specs) > 1
-        payloads = self._picklable_tasks(tasks) if use_pool else None
+        payloads = (
+            self._picklable_tasks(
+                [task + (clock,) for task in tasks]
+            )
+            if use_pool
+            else None
+        )
+        if use_pool and payloads is None:
+            logger.info(
+                "campaign %r: member tasks not picklable; "
+                "falling back to in-process execution",
+                strategy,
+            )
 
         t0 = time.perf_counter()
         if payloads is not None:
@@ -377,11 +514,25 @@ class CampaignExecutor:
             result.measured_campaign_seconds = time.perf_counter() - t0
             result.executed_parallel = True
         else:
-            for spec, seed, checkpoint in tasks:
+            for spec, seed, checkpoint, scope in tasks:
                 result.searches.append(
-                    run_search_spec(spec, seed, checkpoint=checkpoint)
+                    self._run_inline(spec, seed, checkpoint, scope)
                 )
         return result
+
+    def _run_inline(self, spec, seed, checkpoint, scope) -> SearchResult:
+        """One member in-process, with live progress and buffered trace."""
+        if self.telemetry is None:
+            return run_search_spec(spec, seed, checkpoint=checkpoint)
+        child, buffer = self.telemetry.member(live=True)
+        res = run_search_spec(
+            spec, seed, checkpoint=checkpoint, telemetry=child, scope=scope
+        )
+        # The progress reporter already saw these events live via the
+        # member telemetry; forward to the persistent sinks only.
+        self.telemetry.forward(buffer.events, live=False)
+        self.telemetry.metrics.merge(child.metrics)
+        return res
 
     # -- pool resilience ------------------------------------------------
     def _run_pool(
@@ -401,13 +552,16 @@ class CampaignExecutor:
         """
         n = len(payloads)
         results: list[SearchResult | None] = [None] * n
+        member_events: list[list] = [[] for _ in range(n)]
+        member_snaps: list[dict | None] = [None] * n
         events: dict[int, list[str]] = {i: [] for i in range(n)}
         pending = list(range(n))
         for _ in range(self._POOL_ROUNDS):
             if not pending:
                 break
             pending = self._pool_round(
-                payloads, results, events, pending, n_workers
+                payloads, results, member_events, member_snaps, events,
+                pending, n_workers,
             )
         for i in pending:
             if events[i] and events[i][-1] == "member_timeout":
@@ -420,8 +574,29 @@ class CampaignExecutor:
                 )
             # Worker loss with no surviving pool: deterministic in-process
             # fallback (same run_search_spec, same seed, same checkpoint).
-            spec, seed, checkpoint = tasks[i]
-            results[i] = run_search_spec(spec, seed, checkpoint=checkpoint)
+            spec, seed, checkpoint, scope = tasks[i]
+            logger.warning(
+                "campaign member %d (%r): pool execution failed (%s); "
+                "falling back to in-process",
+                i, spec.space.name, ", ".join(events[i]),
+            )
+            if self.telemetry is None:
+                results[i] = run_search_spec(spec, seed, checkpoint=checkpoint)
+            else:
+                child, buffer = self.telemetry.member(live=False)
+                results[i] = run_search_spec(
+                    spec, seed, checkpoint=checkpoint,
+                    telemetry=child, scope=scope,
+                )
+                member_events[i] = buffer.events
+                member_snaps[i] = child.metrics.snapshot()
+        if self.telemetry is not None:
+            # Deterministic merge: member streams forwarded in member
+            # order, exactly as the sequential path emits them.
+            for i in range(n):
+                self.telemetry.forward(member_events[i], live=True)
+                if member_snaps[i] is not None:
+                    self.telemetry.metrics.merge_snapshot(member_snaps[i])
         for i, evs in events.items():
             res = results[i]
             if evs and res is not None:
@@ -440,6 +615,8 @@ class CampaignExecutor:
         self,
         payloads: list[bytes],
         results: list[SearchResult | None],
+        member_events: list[list],
+        member_snaps: list[dict | None],
         events: dict[int, list[str]],
         pending: list[int],
         n_workers: int,
@@ -459,13 +636,24 @@ class CampaignExecutor:
             futures = {i: pool.submit(_run_member, payloads[i]) for i in pending}
             for i, fut in futures.items():
                 try:
-                    results[i] = fut.result(timeout=self.member_timeout)
+                    results[i], member_events[i], member_snaps[i] = fut.result(
+                        timeout=self.member_timeout
+                    )
                 except FuturesTimeoutError:
+                    logger.warning(
+                        "campaign member %d exceeded member_timeout=%ss; "
+                        "terminating pool workers",
+                        i, self.member_timeout,
+                    )
                     events[i].append("member_timeout")
                     still.append(i)
                     for proc in list(getattr(pool, "_processes", {}).values()):
                         proc.terminate()
                 except (BrokenProcessPool, OSError):
+                    logger.warning(
+                        "campaign member %d lost its pool worker; "
+                        "will resubmit", i,
+                    )
                     events[i].append("worker_lost")
                     still.append(i)
         return still

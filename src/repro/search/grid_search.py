@@ -22,6 +22,7 @@ from ..bo.optimizer import Objective
 from ..faults.taxonomy import FAILURE_KIND_KEY, FailureKind, classify_exception
 from ..space import Real, SearchSpace
 from .result import SearchResult
+from .tracing import emit_eval
 
 __all__ = ["GridSearch"]
 
@@ -44,6 +45,10 @@ class GridSearch:
     hard_limit:
         Absolute safety cap on enumerations to protect against accidentally
         exhaustive runs on huge spaces.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer` (pure observer —
+        ``evaluation`` spans plus one ``eval`` event per record).
+        ``None`` (default) disables.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class GridSearch:
         max_evaluations: int | None = None,
         parallelism: int | None = None,
         hard_limit: int = 1_000_000,
+        tracer=None,
     ):
         if points_per_axis < 2:
             raise ValueError("points_per_axis must be >= 2")
@@ -68,6 +74,7 @@ class GridSearch:
         self.max_evaluations = max_evaluations
         self.parallelism = parallelism
         self.hard_limit = int(hard_limit)
+        self.tracer = tracer
         self.database = EvaluationDatabase()
 
     # ------------------------------------------------------------------
@@ -98,6 +105,39 @@ class GridSearch:
         complete = getattr(self.space, "complete", None)
         return complete(config) if complete is not None else dict(config)
 
+    def _evaluate_one(self, full: dict[str, Any]) -> Evaluation:
+        """Evaluate one completed configuration with failure capture."""
+        try:
+            out = self.objective(full)
+            value = float(out[0] if isinstance(out, tuple) else out)
+            meta = dict(out[1]) if isinstance(out, tuple) else {}
+        except Exception as exc:
+            kind = classify_exception(exc)
+            return Evaluation(
+                config=full, objective=float("nan"), cost=0.0,
+                status=EvaluationStatus.TIMEOUT
+                if kind is FailureKind.TIMEOUT
+                else EvaluationStatus.FAILED,
+                meta={
+                    "error": repr(exc),
+                    FAILURE_KIND_KEY: kind.value,
+                    **(
+                        {"timeout_kind": "wallclock"}
+                        if kind is FailureKind.TIMEOUT
+                        else {}
+                    ),
+                },
+            )
+        if np.isfinite(value):
+            return Evaluation(
+                config=full, objective=value, cost=max(value, 0.0), meta=meta
+            )
+        return Evaluation(
+            config=full, objective=float("nan"), cost=0.0,
+            status=EvaluationStatus.FAILED,
+            meta={**meta, FAILURE_KIND_KEY: FailureKind.NUMERIC.value},
+        )
+
     def run(self) -> SearchResult:
         """Evaluate the (strided) grid, skipping infeasible points."""
         if self.grid_size() > self.hard_limit and self.max_evaluations is None:
@@ -106,6 +146,7 @@ class GridSearch:
                 f"{self.hard_limit}; set max_evaluations"
             )
         n_done = 0
+        best_seen: float | None = None
         budget = self.max_evaluations or self.hard_limit
         for cfg in self._iter_grid():
             if n_done >= budget:
@@ -113,42 +154,16 @@ class GridSearch:
             if not self.space.is_valid(cfg):
                 continue
             full = self._complete(cfg)
-            try:
-                out = self.objective(full)
-                value = float(out[0] if isinstance(out, tuple) else out)
-                meta = dict(out[1]) if isinstance(out, tuple) else {}
-            except Exception as exc:
-                kind = classify_exception(exc)
-                self.database.append(
-                    Evaluation(
-                        config=full, objective=float("nan"), cost=0.0,
-                        status=EvaluationStatus.TIMEOUT
-                        if kind is FailureKind.TIMEOUT
-                        else EvaluationStatus.FAILED,
-                        meta={
-                            "error": repr(exc),
-                            FAILURE_KIND_KEY: kind.value,
-                            **(
-                                {"timeout_kind": "wallclock"}
-                                if kind is FailureKind.TIMEOUT
-                                else {}
-                            ),
-                        },
-                    )
-                )
-                n_done += 1
-                continue
-            if np.isfinite(value):
-                self.database.append(
-                    Evaluation(config=full, objective=value, cost=max(value, 0.0), meta=meta)
-                )
+            if self.tracer is None:
+                rec = self._evaluate_one(full)
             else:
-                self.database.append(
-                    Evaluation(
-                        config=full, objective=float("nan"), cost=0.0,
-                        status=EvaluationStatus.FAILED,
-                        meta={**meta, FAILURE_KIND_KEY: FailureKind.NUMERIC.value},
-                    )
+                with self.tracer.span("evaluation") as sp:
+                    rec = self._evaluate_one(full)
+                    sp.attrs.update(status=rec.status, cost=rec.cost)
+            self.database.append(rec)
+            if self.tracer is not None:
+                best_seen = emit_eval(
+                    self.tracer, len(self.database) - 1, rec, best_seen
                 )
             n_done += 1
         if not self.database.ok_records():

@@ -24,6 +24,7 @@ from ..faults.taxonomy import (
 )
 from ..space import SearchSpace
 from .result import SearchResult
+from .tracing import emit_eval
 
 __all__ = ["RandomSearch"]
 
@@ -57,6 +58,10 @@ class RandomSearch:
         :class:`repro.faults.CircuitBreaker`); after the threshold of
         PERMANENT/NUMERIC failures in one cell, samples landing there
         are discarded and redrawn.  ``None`` disables.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer` (pure observer —
+        ``evaluation`` spans plus one ``eval`` event per database record,
+        replayed records included).  ``None`` (default) disables.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class RandomSearch:
         quarantine_threshold: int | None = None,
         quarantine_resolution: int = 4,
         database: EvaluationDatabase | None = None,
+        tracer=None,
         random_state: int | np.random.Generator | None = None,
     ):
         self.space = space
@@ -94,6 +100,7 @@ class RandomSearch:
         )
         self.quarantine_skips = 0
         self.database = database if database is not None else EvaluationDatabase()
+        self.tracer = tracer
         self.rng = (
             random_state
             if isinstance(random_state, np.random.Generator)
@@ -186,6 +193,13 @@ class RandomSearch:
 
     def run(self) -> SearchResult:
         """Evaluate ``max_evaluations`` random feasible configurations."""
+        best_seen: float | None = None
+        if self.tracer is not None:
+            # Re-emit eval events for replayed records (resume support):
+            # the sink dedups by database index, so the persisted stream
+            # matches an uninterrupted run byte-for-byte.
+            for i, rec in enumerate(self.database):
+                best_seen = emit_eval(self.tracer, i, rec, best_seen)
         if self.breaker is not None:
             # Resume support: replay checkpointed failure kinds so the
             # quarantine state survives a crash.
@@ -197,10 +211,19 @@ class RandomSearch:
             cfg = self._next_config()
             if cfg is None:
                 break
-            rec = self._evaluate(cfg)
+            if self.tracer is None:
+                rec = self._evaluate(cfg)
+            else:
+                with self.tracer.span("evaluation") as sp:
+                    rec = self._evaluate(cfg)
+                    sp.attrs.update(status=rec.status, cost=rec.cost)
             if self.breaker is not None and not rec.ok:
                 self.breaker.record(rec.config, failure_kind_of(rec))
             self.database.append(rec)
+            if self.tracer is not None:
+                best_seen = emit_eval(
+                    self.tracer, len(self.database) - 1, rec, best_seen
+                )
         costs = np.array([r.cost for r in self.database], dtype=float)
         slots = self.parallelism if self.parallelism is not None else max(1, costs.size)
         best = self.database.best()

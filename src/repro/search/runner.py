@@ -129,6 +129,11 @@ class SearchCampaign:
     member_timeout:
         Pool-level watchdog deadline (real seconds) per pooled member;
         see :class:`~repro.search.executor.CampaignExecutor`.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` — enables span
+        tracing, per-member eval events, metrics, and live progress for
+        this campaign.  A pure observer: results are bit-identical with
+        telemetry on or off.  ``None`` (default) disables.
     """
 
     def __init__(
@@ -141,6 +146,7 @@ class SearchCampaign:
         n_workers: int | None = None,
         checkpoint_dir: str | None = None,
         member_timeout: float | None = None,
+        telemetry=None,
     ):
         if not specs:
             raise ValueError("campaign needs at least one search spec")
@@ -150,6 +156,7 @@ class SearchCampaign:
         self.n_workers = n_workers
         self.checkpoint_dir = checkpoint_dir
         self.member_timeout = member_timeout
+        self.telemetry = telemetry
         self._seeds = spec_seed_sequences(self.specs, random_state)
 
     def run(self) -> CampaignResult:
@@ -158,6 +165,7 @@ class SearchCampaign:
             n_workers=self.n_workers,
             checkpoint_dir=self.checkpoint_dir,
             member_timeout=self.member_timeout,
+            telemetry=self.telemetry,
         )
         return executor.run(
             self.specs,

@@ -1,0 +1,43 @@
+"""Shared eval-event emission for the non-BO search engines.
+
+:class:`~repro.bo.optimizer.BayesianOptimizer` carries its own
+``_emit_eval`` (it also feeds the replay path); random and grid search
+use this free function instead of duplicating the field mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bo.history import Evaluation
+from ..faults.taxonomy import failure_kind_of
+from ..telemetry.core import config_hash
+
+__all__ = ["emit_eval"]
+
+
+def emit_eval(
+    tracer: Any, index: int, rec: Evaluation, best_seen: float | None
+) -> float | None:
+    """Emit one ``eval`` event keyed by database index.
+
+    Returns the updated best-so-far over OK records (the event's ``best``
+    field), which the caller threads through subsequent calls.
+    """
+    if rec.ok and (best_seen is None or rec.objective < best_seen):
+        best_seen = float(rec.objective)
+    kind = failure_kind_of(rec)
+    extra: dict[str, Any] = {}
+    if rec.meta.get("cache_hit"):
+        extra["cache_hit"] = True
+    tracer.eval_event(
+        index,
+        objective=float(rec.objective),
+        cost=float(rec.cost),
+        status=rec.status,
+        best=best_seen,
+        failure_kind=kind.value if kind is not None else None,
+        cfg_hash=config_hash(rec.config),
+        **extra,
+    )
+    return best_seen

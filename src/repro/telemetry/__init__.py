@@ -1,0 +1,63 @@
+"""Campaign telemetry: span tracing, metrics, event sinks, progress.
+
+A pure observation layer over the tuning pipeline (see
+``docs/observability.md``): a :class:`Telemetry` handle threads through
+:class:`~repro.core.TuningMethodology`,
+:class:`~repro.search.SearchCampaign`, the campaign executor (including
+process-pool members, whose events are forwarded and merged
+deterministically), and the search engines.  Disabled (the default,
+``telemetry=None``) it costs nothing and writes nothing; enabled it
+never changes search results — only observes them.
+
+Quick start::
+
+    from repro.telemetry import Telemetry, JsonlSink, ProgressReporter
+
+    tel = Telemetry([JsonlSink("trace/campaign.trace.jsonl")],
+                    progress=ProgressReporter())
+    tm = TuningMethodology(space, routines, telemetry=tel, ...)
+    result = tm.run()
+    tel.close()
+
+    from repro.telemetry import TraceReport
+    print(TraceReport.from_file("trace/campaign.trace.jsonl").format())
+"""
+
+from .clock import MonotonicClock, NullClock, TickClock
+from .core import (
+    CAMPAIGN_SCOPE,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Telemetry,
+    Tracer,
+    config_hash,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .progress import EWMA, ProgressReporter
+from .report import TraceReport, load_trace
+from .sinks import JsonlSink, MemorySink, encode_event
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "Span",
+    "NullTracer",
+    "NULL_TRACER",
+    "CAMPAIGN_SCOPE",
+    "config_hash",
+    "MonotonicClock",
+    "NullClock",
+    "TickClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EWMA",
+    "ProgressReporter",
+    "TraceReport",
+    "load_trace",
+    "JsonlSink",
+    "MemorySink",
+    "encode_event",
+]

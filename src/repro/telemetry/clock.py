@@ -1,0 +1,57 @@
+"""Injectable clocks for the telemetry layer.
+
+Trace timestamps come from a clock object so that tests (and the
+bit-identical-replay guarantees) can swap the real monotonic clock for a
+deterministic one.  The search pipeline itself never reads these clocks —
+telemetry is a pure observation layer — so the choice of clock can never
+perturb search results.
+
+All clocks are small stateless-or-trivially-stateful picklable classes:
+they must cross a ``ProcessPoolExecutor`` boundary together with the
+member task they instrument.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["MonotonicClock", "NullClock", "TickClock"]
+
+
+class MonotonicClock:
+    """Real monotonic time (``time.perf_counter``) — the default."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class NullClock:
+    """Always returns 0.0.
+
+    Used by the determinism tests: with every timestamp pinned to zero, a
+    trace's bytes depend only on the (deterministic) event sequence and
+    attributes, so sequential and parallel runs of the same campaign
+    produce byte-identical member event streams.
+    """
+
+    def now(self) -> float:
+        return 0.0
+
+
+class TickClock:
+    """Deterministic fake time: advances by ``step`` per call.
+
+    Useful for unit-testing duration math (EWMA ETA, span lengths)
+    without sleeping.  Not suitable for cross-run byte-identity (call
+    counts may differ between a fresh and a resumed process); use
+    :class:`NullClock` for that.
+    """
+
+    def __init__(self, step: float = 1.0, start: float = 0.0):
+        self.step = float(step)
+        self._t = float(start)
+
+    def now(self) -> float:
+        t = self._t
+        self._t += self.step
+        return t

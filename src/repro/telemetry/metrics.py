@@ -1,0 +1,232 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the in-memory side of campaign telemetry — the numbers
+behind the paper's cost accounting (evaluations spent, faults absorbed,
+cache hits saved) kept as live, mergeable aggregates instead of scattered
+``meta`` dicts.
+
+Design constraints:
+
+* **Deterministic snapshots** — :meth:`MetricsRegistry.snapshot` sorts
+  every key, so two runs performing the same work serialize identically
+  (the trace byte-identity tests rely on this).
+* **Mergeable** — pool workers keep their own registry and return a
+  snapshot; the parent merges member snapshots in member order, which
+  makes sequential and parallel campaigns aggregate identically.
+* **Fixed buckets** — histograms use explicit upper bounds chosen at
+  creation (no adaptive resizing), so bucket counts from different
+  processes merge exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram upper bounds (seconds-ish scale, log-spaced).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0
+)
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. best-so-far per search, pool occupancy)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style bucket counts).
+
+    ``buckets`` are the inclusive upper bounds of each bin; observations
+    above the last bound land in the implicit overflow (``+Inf``) bin.
+    """
+
+    __slots__ = ("buckets", "counts", "overflow", "total", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("buckets must be strictly increasing and non-empty")
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        i = bisect_left(self.buckets, value)
+        if i < len(self.buckets):
+            self.counts[i] += 1
+        else:
+            self.overflow += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named, labelled metric instruments.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("evaluations", search="G1").inc()
+    >>> reg.counter("evaluations", search="G1").value
+    1.0
+    """
+
+    def __init__(self):
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge()
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(buckets)
+        return h
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fmt_key(key: tuple) -> str:
+        name, labels = key
+        if not labels:
+            return name
+        return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic JSON-compatible dump (keys sorted)."""
+        return {
+            "counters": {
+                self._fmt_key(k): c.value
+                for k, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                self._fmt_key(k): g.value
+                for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                self._fmt_key(k): {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "overflow": h.overflow,
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (sums/last-write/bins)."""
+        for key, c in other._counters.items():
+            k = self._counters.get(key)
+            if k is None:
+                k = self._counters[key] = Counter()
+            k.value += c.value
+        for key, g in other._gauges.items():
+            if g.value is not None:
+                mine = self._gauges.get(key)
+                if mine is None:
+                    mine = self._gauges[key] = Gauge()
+                mine.value = g.value
+        for key, h in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram(h.buckets)
+            if mine.buckets != h.buckets:
+                raise ValueError(
+                    f"cannot merge histograms with different buckets: {key}"
+                )
+            for i, c in enumerate(h.counts):
+                mine.counts[i] += c
+            mine.overflow += h.overflow
+            mine.total += h.total
+            mine.count += h.count
+
+    def merge_snapshot(self, snap: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. returned by a pool worker)."""
+        for fmt_key, value in snap.get("counters", {}).items():
+            name, labels = self._parse_key(fmt_key)
+            self.counter(name, **labels).inc(value)
+        for fmt_key, value in snap.get("gauges", {}).items():
+            if value is not None:
+                name, labels = self._parse_key(fmt_key)
+                self.gauge(name, **labels).set(value)
+        for fmt_key, h in snap.get("histograms", {}).items():
+            name, labels = self._parse_key(fmt_key)
+            mine = self.histogram(name, buckets=h["buckets"], **labels)
+            if list(mine.buckets) != list(h["buckets"]):
+                raise ValueError(
+                    f"cannot merge histograms with different buckets: {fmt_key}"
+                )
+            for i, c in enumerate(h["counts"]):
+                mine.counts[i] += int(c)
+            mine.overflow += int(h["overflow"])
+            mine.total += float(h["total"])
+            mine.count += int(h["count"])
+
+    @staticmethod
+    def _parse_key(fmt_key: str) -> tuple[str, dict[str, str]]:
+        if "{" not in fmt_key:
+            return fmt_key, {}
+        name, rest = fmt_key.split("{", 1)
+        labels = {}
+        for part in rest.rstrip("}").split(","):
+            if part:
+                k, _, v = part.partition("=")
+                labels[k] = v
+        return name, labels

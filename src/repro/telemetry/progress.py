@@ -1,0 +1,202 @@
+"""Live progress / ETA reporting for running campaigns.
+
+The reporter consumes the same event stream the trace sinks see —
+``search_start`` events announce a member's budget, ``eval`` events tick
+it forward, ``span(name="search")`` closes it — and renders a throttled
+one-line status to stderr:
+
+``[stage-0] 2/3 searches · evals 87/200 (43%) · best 0.1234 · eta 12s``
+
+Design constraints:
+
+* **Cosmetic only** — the reporter keeps its *own* real clock (never the
+  trace clock, which tests pin to zero) and is fed exactly once per
+  event by the executor, so enabling it cannot perturb traces or search
+  results.
+* **Throttled** — at most one render per ``interval`` real seconds (plus
+  one final render on ``close()``), so per-evaluation overhead stays
+  negligible even for microsecond objectives.
+* **EWMA ETA** — the remaining-evaluation estimate multiplies the
+  exponentially weighted moving average of recent per-evaluation arrival
+  gaps, which adapts to cost drift (BO's growing modeling overhead)
+  faster than a global mean.  Pool members forward their events in one
+  batch at member completion, so in ``--parallel`` campaigns progress
+  advances at member granularity.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Mapping, TextIO
+
+__all__ = ["EWMA", "ProgressReporter"]
+
+
+class EWMA:
+    """Exponentially weighted moving average; ``None`` until first update."""
+
+    __slots__ = ("alpha", "value")
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.value: float | None = None
+
+    def update(self, x: float) -> float:
+        if self.value is None:
+            self.value = float(x)
+        else:
+            self.value = self.alpha * float(x) + (1.0 - self.alpha) * self.value
+        return self.value
+
+
+class _SearchState:
+    __slots__ = ("budget", "done", "best", "finished")
+
+    def __init__(self):
+        self.budget: int | None = None
+        self.done = 0
+        self.best: float | None = None
+        self.finished = False
+
+
+class ProgressReporter:
+    """Render campaign progress to a stream at a throttled interval.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default ``sys.stderr`` resolved at render time).
+    interval:
+        Minimum real seconds between renders.
+    clock:
+        Real-time source, injectable for tests (callable -> seconds).
+    ewma_alpha:
+        Smoothing factor of the per-evaluation rate estimate.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        *,
+        interval: float = 0.5,
+        clock=time.monotonic,
+        ewma_alpha: float = 0.3,
+    ):
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        self._stream = stream
+        self.interval = float(interval)
+        self.clock = clock
+        self._rate = EWMA(ewma_alpha)
+        self._searches: dict[str, _SearchState] = {}
+        self._stage: str = ""
+        self._last_render: float | None = None
+        self._last_eval_t: float | None = None
+        self._rendered = False
+
+    # ------------------------------------------------------------------
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _state(self, scope: str) -> _SearchState:
+        s = self._searches.get(scope)
+        if s is None:
+            s = self._searches[scope] = _SearchState()
+        return s
+
+    # -- sink interface -------------------------------------------------
+    def emit(self, event: Mapping[str, Any]) -> None:
+        kind = event.get("kind")
+        scope = event.get("scope", "")
+        if kind == "event" and event.get("name") == "search_start":
+            attrs = event.get("attrs", {})
+            state = self._state(scope)
+            state.budget = int(attrs.get("budget", 0)) or None
+            self._stage = str(attrs.get("strategy", self._stage))
+        elif kind == "eval":
+            state = self._state(scope)
+            state.done = max(state.done, int(event.get("seq", -1)) + 1)
+            best = event.get("best")
+            if best is not None:
+                state.best = float(best)
+            now = self.clock()
+            if self._last_eval_t is not None:
+                self._rate.update(max(0.0, now - self._last_eval_t))
+            self._last_eval_t = now
+        elif kind == "span" and event.get("name") == "search":
+            self._state(scope).finished = True
+        else:
+            return
+        self._maybe_render()
+
+    # -- ETA / rendering -------------------------------------------------
+    def eta_seconds(self) -> float | None:
+        """EWMA-based remaining-time estimate (``None`` before data)."""
+        if self._rate.value is None:
+            return None
+        remaining = 0
+        for s in self._searches.values():
+            if s.budget is not None and not s.finished:
+                remaining += max(0, s.budget - s.done)
+        return remaining * self._rate.value
+
+    @staticmethod
+    def _fmt_eta(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.0f}s"
+
+    def render_line(self) -> str:
+        """The current status line (pure; used by tests)."""
+        searches = self._searches
+        n_done = sum(1 for s in searches.values() if s.finished)
+        done = sum(s.done for s in searches.values())
+        budget = sum(s.budget or 0 for s in searches.values())
+        bests = [s.best for s in searches.values() if s.best is not None]
+        parts = []
+        if self._stage:
+            parts.append(f"[{self._stage}]")
+        parts.append(f"{n_done}/{len(searches)} searches")
+        if budget:
+            pct = 100.0 * min(done, budget) / budget
+            parts.append(f"evals {done}/{budget} ({pct:.0f}%)")
+        else:
+            parts.append(f"evals {done}")
+        if bests:
+            parts.append(f"best {min(bests):.4g}")
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"eta {self._fmt_eta(eta)}")
+        return " · ".join(parts)
+
+    def _maybe_render(self, *, force: bool = False) -> None:
+        now = self.clock()
+        if (
+            not force
+            and self._last_render is not None
+            and now - self._last_render < self.interval
+        ):
+            return
+        self._last_render = now
+        line = self.render_line()
+        stream = self.stream
+        if stream.isatty():
+            stream.write("\r\x1b[2K" + line)
+        else:
+            stream.write(line + "\n")
+        stream.flush()
+        self._rendered = True
+
+    def close(self) -> None:
+        """Final render plus a terminating newline on TTYs."""
+        if self._searches:
+            self._maybe_render(force=True)
+        if self._rendered and self.stream.isatty():
+            self.stream.write("\n")
+            self.stream.flush()

@@ -1,0 +1,228 @@
+"""Pluggable telemetry sinks.
+
+:class:`MemorySink`
+    In-memory event buffer — used by tests and, internally, to collect a
+    campaign member's events so they can be forwarded from a pool worker
+    to the parent process and merged deterministically.
+:class:`JsonlSink`
+    Append-only JSON Lines trace file: one campaign, one file.  The
+    evaluation channel is crash-safe in the same sense as the evaluation
+    checkpoints: every ``eval`` event is flushed on write (a crash can at
+    worst tear the final line, which the loader skips), while span/event
+    lines are buffered between evals to keep the per-span syscall cost
+    off the hot path.  The sink is *resumable alongside checkpoints*:
+    re-opening an existing trace skips evaluation events whose per-scope
+    sequence number is already on disk, so a kill/resume cycle converges
+    to the same evaluation stream as an uninterrupted run instead of
+    duplicating replayed records (evals buffered-but-lost in a crash are
+    re-emitted from the checkpoint database on resume).
+
+Events are serialized with sorted keys and without NaN (non-finite
+floats become ``null``), so a given event always produces the same
+bytes — the substrate of the byte-identity guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Mapping
+
+from ..log import get_logger
+
+__all__ = ["MemorySink", "JsonlSink", "encode_event"]
+
+logger = get_logger("telemetry")
+
+TRACE_HEADER = "repro-trace"
+TRACE_VERSION = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Make a value JSON-encodable deterministically.
+
+    Non-finite floats (invalid JSON) become ``null``; numpy scalars and
+    arrays are coerced to plain Python without importing numpy here.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if type(value).__module__ == "numpy":
+        item = getattr(value, "item", None)
+        if item is not None and getattr(value, "ndim", 0) == 0:
+            return _json_safe(item())
+        tolist = getattr(value, "tolist", None)
+        if tolist is not None:
+            return _json_safe(tolist())
+    return value
+
+
+def encode_event(event: Mapping[str, Any]) -> str:
+    """Deterministic single-line JSON encoding of one event."""
+    return json.dumps(
+        _json_safe(dict(event)), sort_keys=True, separators=(",", ":")
+    )
+
+
+class MemorySink:
+    """Collect events in a list (tests, worker-side member buffers)."""
+
+    def __init__(self):
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self.events.append(dict(event))
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class JsonlSink:
+    """Append-only JSONL trace file with resume dedup and size rotation.
+
+    Parameters
+    ----------
+    path:
+        Trace file (conventionally ``<dir>/campaign.trace.jsonl``).  When
+        it already exists the sink *resumes* it: the header is not
+        rewritten and evaluation events already present (per-scope
+        ``seq`` high-water mark) are skipped on re-emission, mirroring
+        how resumed searches replay — rather than re-run — checkpointed
+        evaluations.
+    max_bytes:
+        Optional rotation threshold.  When the current file exceeds it,
+        the file is rotated to ``<path>.1`` (shifting older rotations to
+        ``.2``, ``.3``, ...) and a fresh file (with header) is started.
+        The dedup high-water marks persist across rotations.
+    max_files:
+        Rotated files kept before the oldest is dropped.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        max_bytes: int | None = None,
+        max_files: int = 8,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.max_files = int(max_files)
+        self._eval_seen: dict[str, int] = {}
+        self._file = None
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        existing = self._scan_existing()
+        self._file = open(self.path, "a")
+        if not existing:
+            self._write_line(
+                encode_event(
+                    {"kind": "header", "format": TRACE_HEADER,
+                     "version": TRACE_VERSION}
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _segments(self) -> list[str]:
+        """All on-disk segments, oldest first (rotated then current)."""
+        rotated = []
+        i = 1
+        while os.path.exists(f"{self.path}.{i}"):
+            rotated.append(f"{self.path}.{i}")
+            i += 1
+        return list(reversed(rotated)) + (
+            [self.path] if os.path.exists(self.path) else []
+        )
+
+    def _scan_existing(self) -> bool:
+        """Build per-scope eval high-water marks from existing segments."""
+        segments = self._segments()
+        found = False
+        for seg in segments:
+            with open(seg) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn final line from a crash mid-append
+                    found = True
+                    if event.get("kind") == "eval":
+                        scope = event.get("scope", "")
+                        seq = int(event.get("seq", -1))
+                        if seq > self._eval_seen.get(scope, -1):
+                            self._eval_seen[scope] = seq
+        if found:
+            logger.info(
+                "resuming trace %s (%d scopes already recorded)",
+                self.path, len(self._eval_seen),
+            )
+        return found
+
+    # ------------------------------------------------------------------
+    def _write_line(self, line: str, *, flush: bool = True) -> None:
+        assert self._file is not None
+        self._file.write(line + "\n")
+        if flush:
+            self._file.flush()
+
+    def _rotate(self) -> None:
+        assert self._file is not None
+        self._file.close()
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.unlink(oldest)
+        for i in range(self.max_files - 1, 0, -1):
+            src = f"{self.path}.{i}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{i + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        logger.info("rotated trace %s", self.path)
+        self._file = open(self.path, "a")
+        self._write_line(
+            encode_event(
+                {"kind": "header", "format": TRACE_HEADER,
+                 "version": TRACE_VERSION}
+            )
+        )
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        is_eval = event.get("kind") == "eval"
+        if is_eval:
+            scope = event.get("scope", "")
+            seq = int(event.get("seq", -1))
+            if seq <= self._eval_seen.get(scope, -1):
+                return  # already persisted by a previous (killed) run
+            self._eval_seen[scope] = seq
+        if (
+            self.max_bytes is not None
+            and self._file is not None
+            and self._file.tell() > self.max_bytes
+        ):
+            self._rotate()
+        # Flush (a syscall) only on evaluation events: they are the
+        # resumable channel, and they amortize against a real objective
+        # evaluation.  A crash can lose buffered span lines, but evals
+        # lost with them are re-emitted from the checkpoint on resume.
+        self._write_line(encode_event(event), flush=is_eval)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

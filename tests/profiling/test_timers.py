@@ -65,3 +65,45 @@ class TestReport:
     def test_empty_report(self):
         rep = TimingReport()
         assert rep.grand_total == 0.0
+
+    def test_long_names_stay_aligned(self):
+        t = RegionTimer()
+        t.add("a_region_name_well_beyond_twenty_four_chars", 2.0)
+        t.add("short", 1.0)
+        lines = t.report().format().splitlines()
+        # Every row's time column starts at the same offset.
+        offsets = {line.rindex("s ") for line in lines[1:-1]}
+        assert len(offsets) == 1
+        total_line = lines[-1]
+        assert total_line.rstrip().endswith("s")
+        assert total_line.rindex("s") >= max(offsets)
+
+
+class TestReportSerialization:
+    def test_json_roundtrip(self):
+        t = RegionTimer()
+        t.add("fft", 6.0, count=3)
+        t.add("comm", 4.0)
+        rep = t.report()
+        back = TimingReport.from_json(rep.to_json())
+        assert back.entries == rep.entries
+        assert back.grand_total == pytest.approx(rep.grand_total)
+
+    def test_json_is_deterministic(self):
+        a, b = RegionTimer(), RegionTimer()
+        a.add("x", 1.0)
+        a.add("y", 2.0)
+        b.add("y", 2.0)
+        b.add("x", 1.0)
+        assert a.report().to_json() == b.report().to_json()
+
+    def test_merge_sums_totals_and_counts(self):
+        t1, t2 = RegionTimer(), RegionTimer()
+        t1.add("fft", 6.0, count=2)
+        t1.add("solo", 1.0)
+        t2.add("fft", 4.0)
+        merged = t1.report().merge(t2.report())
+        assert merged.entries["fft"] == (pytest.approx(10.0), 3)
+        assert merged.entries["solo"] == (pytest.approx(1.0), 1)
+        # Inputs untouched.
+        assert t1.report().entries["fft"] == (pytest.approx(6.0), 2)

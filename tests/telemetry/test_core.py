@@ -1,0 +1,170 @@
+"""Tests for the tracer / Telemetry facade."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    MemorySink,
+    MetricsRegistry,
+    NullClock,
+    Telemetry,
+    TickClock,
+    config_hash,
+)
+
+
+def make(clock=None):
+    sink = MemorySink()
+    tel = Telemetry([sink], clock=clock if clock is not None else NullClock())
+    return tel, sink
+
+
+class TestSpans:
+    def test_nesting_and_parent_links(self):
+        tel, sink = make()
+        tr = tel.tracer("campaign")
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = sink.events  # inner closes first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert inner["seq"] == 0 and outer["seq"] == 1
+
+    def test_span_attrs_updatable_until_close(self):
+        tel, sink = make()
+        with tel.tracer().span("work", fixed=1) as sp:
+            sp.attrs["late"] = 2
+        assert sink.events[0]["attrs"] == {"fixed": 1, "late": 2}
+
+    def test_error_flag_on_exception(self):
+        tel, sink = make()
+        with pytest.raises(RuntimeError):
+            with tel.tracer().span("risky"):
+                raise RuntimeError
+        assert sink.events[0]["error"] is True
+
+    def test_timestamps_from_injected_clock(self):
+        tel, sink = make(clock=TickClock(step=1.0))
+        with tel.tracer().span("t"):
+            pass
+        ev = sink.events[0]
+        assert ev["t1"] > ev["t0"]
+
+    def test_null_clock_pins_time(self):
+        tel, sink = make(clock=NullClock())
+        with tel.tracer().span("t"):
+            pass
+        assert sink.events[0]["t0"] == 0.0 and sink.events[0]["t1"] == 0.0
+
+    def test_scopes_are_independent(self):
+        tel, sink = make()
+        with tel.tracer("a").span("x"):
+            pass
+        with tel.tracer("b").span("y"):
+            pass
+        a, b = sink.events
+        # Each scope numbers its own spans and sequence from zero.
+        assert a["id"] == b["id"] == 0
+        assert a["seq"] == b["seq"] == 0
+
+    def test_two_tracers_same_scope_share_state(self):
+        tel, sink = make()
+        with tel.tracer("s").span("outer"):
+            with tel.tracer("s").span("inner"):
+                pass
+        inner, outer = sink.events
+        assert inner["parent"] == outer["id"]
+
+
+class TestEvents:
+    def test_eval_event_keyed_by_index(self):
+        tel, sink = make()
+        tel.tracer("m").eval_event(
+            7, objective=1.5, cost=0.1, status="ok", best=1.5,
+            cfg_hash=42, cache_hit=True,
+        )
+        ev = sink.events[0]
+        assert ev["kind"] == "eval" and ev["seq"] == 7
+        assert ev["config_hash"] == 42
+        assert ev["attrs"] == {"cache_hit": True}
+        assert "failure_kind" not in ev
+
+    def test_metrics_event_embeds_snapshot(self):
+        tel, sink = make()
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        tel.tracer().metrics_event(reg)
+        ev = sink.events[0]
+        assert ev["kind"] == "metrics"
+        assert ev["counters"] == {"n": 1.0}
+
+
+class TestForwarding:
+    def test_member_buffer_forwarded_in_order(self):
+        tel, sink = make()
+        child, buffer = tel.member(live=False)
+        child.tracer("m").event("one")
+        child.tracer("m").event("two")
+        assert sink.events == []  # buffered, not yet in parent sinks
+        tel.forward(buffer.events)
+        assert [e["name"] for e in sink.events] == ["one", "two"]
+
+    def test_member_shares_clock_not_metrics(self):
+        tel, _ = make(clock=TickClock())
+        child, _ = tel.member()
+        assert child.clock is tel.clock
+        assert child.metrics is not tel.metrics
+
+    def test_live_flag_controls_progress_feed(self):
+        class Spy:
+            def __init__(self):
+                self.n = 0
+
+            def emit(self, event):
+                self.n += 1
+
+        spy = Spy()
+        tel = Telemetry([MemorySink()], clock=NullClock(), progress=spy)
+        tel.emit({"kind": "event"}, live=False)
+        assert spy.n == 0
+        tel.emit({"kind": "event"})
+        assert spy.n == 1
+        # Sequential members feed progress live; their buffer is then
+        # forwarded live=False so each event reaches progress exactly once.
+        child, buffer = tel.member(live=True)
+        child.tracer("m").event("e")
+        assert spy.n == 2
+        tel.forward(buffer.events, live=False)
+        assert spy.n == 2
+        # Pool members do the opposite.
+        child2, buffer2 = tel.member(live=False)
+        child2.tracer("m").event("e")
+        assert spy.n == 2
+        tel.forward(buffer2.events, live=True)
+        assert spy.n == 3
+
+
+class TestConfigHash:
+    def test_insensitive_to_key_order_and_numpy(self):
+        assert config_hash({"a": 1, "b": 2.5}) == config_hash(
+            {"b": np.float64(2.5), "a": np.int64(1)}
+        )
+
+    def test_distinguishes_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+class TestNullTracer:
+    def test_span_attrs_are_discarded_fresh_dicts(self):
+        with NULL_TRACER.span("x") as sp:
+            sp.attrs["k"] = 1
+        with NULL_TRACER.span("y") as sp2:
+            assert sp2.attrs == {}
+
+    def test_all_methods_noop(self):
+        NULL_TRACER.event("e", a=1)
+        NULL_TRACER.eval_event(0, objective=1.0, cost=0.0, status="ok", best=None)
+        NULL_TRACER.metrics_event(MetricsRegistry())

@@ -1,0 +1,126 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        assert g.value is None
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogramBucketing:
+    def test_boundary_is_inclusive_upper_bound(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)   # exactly on a bound -> that bucket
+        h.observe(0.5)   # below first bound -> first bucket
+        h.observe(3.0)   # between bounds -> next bucket up
+        assert h.counts == [2, 0, 1]
+        assert h.overflow == 0
+
+    def test_overflow_bin(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(100.0)
+        assert h.counts == [0]
+        assert h.overflow == 1
+        assert h.count == 1
+        assert h.mean == pytest.approx(100.0)
+
+    def test_mean_and_total(self):
+        h = Histogram(buckets=(10.0,))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.total == pytest.approx(6.0)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("evals", engine="bo").inc()
+        reg.counter("evals", engine="bo").inc()
+        reg.counter("evals", engine="random").inc()
+        snap = reg.snapshot()
+        assert snap["counters"]["evals{engine=bo}"] == 2.0
+        assert snap["counters"]["evals{engine=random}"] == 1.0
+
+    def test_snapshot_sorted_and_deterministic(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        # Insertion in different orders must serialize identically.
+        a.counter("z").inc()
+        a.counter("a", x="1").inc()
+        b.counter("a", x="1").inc()
+        b.counter("z").inc()
+        assert a.snapshot() == b.snapshot()
+        assert list(a.snapshot()["counters"]) == ["a{x=1}", "z"]
+
+    def test_merge_in_process(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        b.gauge("best", search="S").set(0.5)
+        b.histogram("cost", buckets=(1.0, 2.0)).observe(1.5)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5.0
+        assert snap["gauges"]["best{search=S}"] == 0.5
+        assert snap["histograms"]["cost"]["counts"] == [0, 1]
+
+    def test_merge_snapshot_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("faults", kind="transient").inc(4)
+        worker.gauge("best", search="G1").set(0.25)
+        worker.histogram("cost", buckets=(0.5, 1.0)).observe(0.7)
+        parent = MetricsRegistry()
+        parent.counter("faults", kind="transient").inc(1)
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["faults{kind=transient}"] == 5.0
+        assert snap["gauges"]["best{search=G1}"] == 0.25
+        assert snap["histograms"]["cost"]["count"] == 1
+
+    def test_merge_mismatched_buckets_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_equals_merge_snapshot(self):
+        """Pool workers (snapshot dicts) and in-process children (live
+        registries) must aggregate identically."""
+        def member():
+            r = MetricsRegistry()
+            r.counter("evals", engine="bo").inc(7)
+            r.histogram("cost").observe(0.02)
+            r.gauge("best", search="S").set(1.25)
+            return r
+
+        via_merge, via_snap = MetricsRegistry(), MetricsRegistry()
+        via_merge.merge(member())
+        via_snap.merge_snapshot(member().snapshot())
+        assert via_merge.snapshot() == via_snap.snapshot()

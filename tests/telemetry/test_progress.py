@@ -1,0 +1,141 @@
+"""Tests for the live progress reporter and its EWMA ETA."""
+
+import io
+
+import pytest
+
+from repro.telemetry import EWMA, ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def search_start(scope, budget, strategy="stage-0"):
+    return {
+        "kind": "event", "scope": scope, "seq": 0, "name": "search_start",
+        "attrs": {"budget": budget, "strategy": strategy},
+    }
+
+
+def eval_event(scope, seq, best=None):
+    return {"kind": "eval", "scope": scope, "seq": seq, "best": best}
+
+
+def search_close(scope):
+    return {"kind": "span", "scope": scope, "seq": 99, "name": "search"}
+
+
+class TestEWMA:
+    def test_first_update_sets_value(self):
+        e = EWMA(alpha=0.5)
+        assert e.value is None
+        assert e.update(4.0) == 4.0
+
+    def test_smoothing(self):
+        e = EWMA(alpha=0.5)
+        e.update(4.0)
+        assert e.update(2.0) == pytest.approx(3.0)
+        assert e.update(3.0) == pytest.approx(3.0)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            EWMA(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMA(alpha=1.5)
+
+
+class TestEta:
+    def make(self, interval=0.0):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(
+            stream, interval=interval, clock=clock, ewma_alpha=1.0
+        )
+        return rep, clock, stream
+
+    def test_eta_tracks_observed_rate(self):
+        rep, clock, _ = self.make()
+        rep.emit(search_start("m", budget=10))
+        assert rep.eta_seconds() is None  # no rate estimate yet
+        rep.emit(eval_event("m", 0, best=5.0))
+        clock.t = 2.0
+        rep.emit(eval_event("m", 1, best=4.0))
+        # alpha=1: rate = last gap = 2s/eval; 8 evals remain.
+        assert rep.eta_seconds() == pytest.approx(16.0)
+
+    def test_eta_adapts_to_cost_drift(self):
+        clock = FakeClock()
+        rep = ProgressReporter(
+            io.StringIO(), interval=0.0, clock=clock, ewma_alpha=0.5
+        )
+        rep.emit(search_start("m", budget=100))
+        for gap in (1.0, 1.0, 3.0):
+            clock.t += gap
+            rep.emit(eval_event("m", int(clock.t)))
+        # EWMA leans toward the recent 3s gap: 0.5*3 + 0.5*1 = 2.
+        assert rep._rate.value == pytest.approx(2.0)
+
+    def test_finished_searches_excluded_from_eta(self):
+        rep, clock, _ = self.make()
+        rep.emit(search_start("a", budget=10))
+        rep.emit(search_start("b", budget=10))
+        rep.emit(eval_event("a", 0))
+        clock.t = 1.0
+        rep.emit(eval_event("a", 1))
+        rep.emit(search_close("a"))
+        # Only b's full budget remains (a is finished despite 8 unseen).
+        assert rep.eta_seconds() == pytest.approx(10.0)
+
+
+class TestRendering:
+    def test_render_line_contents(self):
+        rep = ProgressReporter(io.StringIO(), interval=0.0, clock=FakeClock())
+        rep.emit(search_start("m1", budget=50))
+        rep.emit(search_start("m2", budget=50))
+        rep.emit(eval_event("m1", 24, best=0.1234))
+        rep.emit(search_close("m1"))
+        line = rep.render_line()
+        assert "[stage-0]" in line
+        assert "1/2 searches" in line
+        assert "evals 25/100 (25%)" in line
+        assert "best 0.1234" in line
+
+    def test_throttle_limits_renders(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(stream, interval=10.0, clock=clock)
+        rep.emit(search_start("m", budget=100))
+        for i in range(50):
+            clock.t += 0.01
+            rep.emit(eval_event("m", i))
+        # One render at t=0; everything after is inside the interval.
+        assert stream.getvalue().count("\n") == 1
+
+    def test_close_forces_final_render(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(stream, interval=10.0, clock=clock)
+        rep.emit(search_start("m", budget=10))
+        for i in range(10):
+            rep.emit(eval_event("m", i))
+        rep.emit(search_close("m"))
+        rep.close()
+        last = stream.getvalue().splitlines()[-1]
+        assert "1/1 searches" in last
+        assert "evals 10/10 (100%)" in last
+
+    def test_non_tty_writes_newlines(self):
+        stream = io.StringIO()  # not a TTY
+        rep = ProgressReporter(stream, interval=0.0, clock=FakeClock())
+        rep.emit(search_start("m", budget=10))
+        assert "\r" not in stream.getvalue()
+        assert stream.getvalue().endswith("\n")
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(io.StringIO(), interval=-1.0)

@@ -22,6 +22,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["synthetic", "--case", "7"])
 
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["synthetic", "--trace-dir", "/tmp/t", "--quiet", "-vv"]
+        )
+        assert args.trace_dir == "/tmp/t"
+        assert args.no_progress is True
+        assert args.verbose == 2
+
+    def test_report_requires_trace_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -47,3 +59,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Slater Determinant" in out
         assert "Stage" in out
+
+
+class TestTelemetryCommands:
+    def test_no_trace_dir_writes_no_telemetry_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["synthetic", "--case", "1", "--variations", "5", "--seed", "0",
+             "--no-progress", "--plan-only"]
+        )
+        assert rc == 0
+        assert list(tmp_path.rglob("*.jsonl")) == []
+
+    def test_trace_dir_then_report(self, tmp_path, capsys):
+        rc = main(
+            ["synthetic", "--case", "1", "--variations", "5", "--seed", "0",
+             "--trace-dir", str(tmp_path), "--no-progress"]
+        )
+        assert rc == 0
+        trace = tmp_path / "synthetic.trace.jsonl"
+        assert trace.exists()
+        capsys.readouterr()
+
+        rc = main(["report", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage wall-time attribution" in out
+        assert "best-value-vs-evaluations progression" in out
+        assert "campaign" in out
+
+    def test_report_empty_trace_fails(self, tmp_path, capsys):
+        trace = tmp_path / "empty.trace.jsonl"
+        trace.write_text(
+            '{"format":"repro-trace","kind":"header","version":1}\n'
+        )
+        assert main(["report", str(trace)]) == 1
+        assert "empty trace" in capsys.readouterr().out
