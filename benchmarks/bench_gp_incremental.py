@@ -1,0 +1,171 @@
+"""Incremental-GP fast path — the surrogate-fit speedup, measured.
+
+The BO loop adds one observation per iteration, yet the classic loop
+refits from scratch: an O(N^3) Cholesky per step.  The incremental path
+(:meth:`repro.bo.gp.GaussianProcess.update`) extends the existing factor
+by a rank-1 block in O(N^2) and reuses cached kernel cross-columns when
+re-scoring a candidate pool.  This benchmark measures both effects and
+ties the speedup claim to correctness:
+
+* **per-observation fit**: median wall-clock of absorbing one new point,
+  full refit vs. incremental update, at N = 50/100/200/400 — the
+  acceptance bound is a **>= 3x median speedup at N = 200**,
+* **candidate re-scoring**: predicting on a C=512 pool after an update,
+  cold cache vs. the cross-column cache,
+* **differential guard**: the harness seeds must produce *identical*
+  proposal sequences with the fast path on vs. off — a speedup that
+  changes what BO proposes would be a bug, not an optimization.
+
+Sizes are fixed (not ``REPRO_BENCH_SCALE``-scaled): the N=200 bound *is*
+the acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import kernel_by_name
+
+from _helpers import format_table, once, reps, write_result
+from tests.bo.harness.differential import run_differential
+
+SIZES = (50, 100, 200, 400)
+TARGET_N = 200
+MIN_SPEEDUP = 3.0
+STEPS = 8          # observations absorbed (and timed) per measurement
+POOL = 512         # candidate-pool size for the re-scoring measurement
+HARNESS_SEEDS = (0, 1, 2)
+
+
+def _data(n, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n + STEPS, d))
+    y = np.sin(X.sum(axis=1)) + 0.1 * rng.standard_normal(n + STEPS)
+    return X, y
+
+
+def _fresh(d=6):
+    return GaussianProcess(kernel=kernel_by_name("matern52", d), random_state=0)
+
+
+def time_full_refit(n):
+    """Median seconds per absorbed observation via full refit."""
+    X, y = _data(n)
+    gp = _fresh()
+    gp.fit(X[:n], y[:n], optimize=False)
+    times = []
+    for i in range(STEPS):
+        t0 = time.perf_counter()
+        gp.fit(X[: n + i + 1], y[: n + i + 1], optimize=False)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def time_incremental(n):
+    """Median seconds per absorbed observation via rank-1 update."""
+    X, y = _data(n)
+    gp = _fresh()
+    gp.fit(X[:n], y[:n], optimize=False)
+    times = []
+    for i in range(STEPS):
+        t0 = time.perf_counter()
+        gp.update(X[n + i : n + i + 1], y[n + i : n + i + 1])
+        times.append(time.perf_counter() - t0)
+    assert gp.last_fit_mode == "incremental"
+    assert gp.n_incremental == STEPS
+    return float(np.median(times))
+
+
+def time_rescoring(n):
+    """(cold, cached) median seconds to score a C=512 pool post-update.
+
+    Both passes follow the constant-liar pattern — update one point, then
+    re-score the pool — but the cold pass hands ``predict`` a fresh array
+    each time (cache miss by object identity) while the cached pass keeps
+    scoring the same pool object, riding the cross-column cache.
+    """
+    X, y = _data(n)
+    pool = np.random.default_rng(1).random((POOL, X.shape[1]))
+    cold_times, cached_times = [], []
+
+    gp = _fresh()
+    gp.fit(X[:n], y[:n], optimize=False)
+    for i in range(STEPS):
+        gp.update(X[n + i : n + i + 1], y[n + i : n + i + 1])
+        fresh_pool = pool.copy()  # different object: full (N x C) solve
+        t0 = time.perf_counter()
+        gp.predict(fresh_pool)
+        cold_times.append(time.perf_counter() - t0)
+
+    gp = _fresh()
+    gp.fit(X[:n], y[:n], optimize=False)
+    gp.predict(pool)  # prime the cache
+    for i in range(STEPS):
+        gp.update(X[n + i : n + i + 1], y[n + i : n + i + 1])
+        t0 = time.perf_counter()
+        gp.predict(pool)  # extends the cached Ks/V by one row
+        cached_times.append(time.perf_counter() - t0)
+    return float(np.median(cold_times)), float(np.median(cached_times))
+
+
+def test_incremental_speedup(benchmark):
+    def body():
+        measurements = {}
+        for n in SIZES:
+            # Best-of-reps guards against scheduler noise on shared CI.
+            full = min(time_full_refit(n) for _ in range(max(3, reps())))
+            inc = min(time_incremental(n) for _ in range(max(3, reps())))
+            cold, cached = time_rescoring(n)
+            measurements[n] = (full, inc, cold, cached)
+        return measurements
+
+    measurements = once(benchmark, body)
+
+    rows = []
+    for n, (full, inc, cold, cached) in measurements.items():
+        rows.append(
+            (
+                n,
+                f"{full * 1e3:.3f}",
+                f"{inc * 1e3:.3f}",
+                f"{full / inc:.1f}x",
+                f"{cold * 1e3:.3f}",
+                f"{cached * 1e3:.3f}",
+                f"{cold / cached:.1f}x",
+            )
+        )
+    table = format_table(
+        [
+            "N",
+            "full refit [ms]",
+            "rank-1 update [ms]",
+            "fit speedup",
+            "pool rescore cold [ms]",
+            "cached [ms]",
+            "rescore speedup",
+        ],
+        rows,
+    )
+
+    reports = [run_differential(seed) for seed in HARNESS_SEEDS]
+    guard_lines = [r.line() for r in reports]
+    speedup = measurements[TARGET_N][0] / measurements[TARGET_N][1]
+    write_result(
+        "gp_incremental",
+        table
+        + f"\n\nbound: fit speedup >= {MIN_SPEEDUP:.0f}x at N={TARGET_N} "
+        "(median per absorbed observation)\n"
+        "differential guard (fast path on vs. off):\n  "
+        + "\n  ".join(guard_lines),
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental speedup {speedup:.1f}x at N={TARGET_N} below "
+        f"{MIN_SPEEDUP:.0f}x bound"
+    )
+    for report in reports:
+        assert report.identical, report.line()
+        assert report.n_incremental_fits > 0

@@ -6,3 +6,7 @@ from pathlib import Path
 # Make the sibling _helpers module importable from every bench file even
 # when pytest is invoked from a different working directory.
 sys.path.insert(0, str(Path(__file__).parent))
+# And the repo root, so benchmarks can reuse the tests/bo/harness
+# differential runner (bench_gp_incremental ties its speedup claim to
+# proposal-sequence identity on the harness seeds).
+sys.path.insert(0, str(Path(__file__).parent.parent))

@@ -29,6 +29,7 @@ __all__ = [
     "LowerConfidenceBound",
     "ThompsonSampling",
     "acquisition_by_name",
+    "assemble_candidates",
     "maximize_acquisition",
 ]
 
@@ -137,23 +138,26 @@ def acquisition_by_name(name: str, **kwargs) -> AcquisitionFunction:
     return cls(**kwargs)
 
 
-def maximize_acquisition(
-    acquisition: AcquisitionFunction,
-    model: GaussianProcess,
+def assemble_candidates(
     space: SearchSpace,
-    incumbent: float,
     rng: np.random.Generator,
     *,
     n_candidates: int = 512,
     incumbent_config: Mapping[str, Any] | None = None,
     exclude: Sequence[Mapping[str, Any]] = (),
-) -> dict[str, Any]:
-    """Pick the feasible configuration with the best acquisition score.
+) -> list[dict[str, Any]]:
+    """Build the feasible candidate pool the acquisition scores.
 
     Candidate pool = constrained random samples + the feasible neighbors of
     the incumbent configuration (local refinement).  Already-evaluated
     configurations in ``exclude`` are skipped so discrete searches do not
-    stall re-suggesting the same point.
+    stall re-suggesting the same point (unless the space is exhausted, in
+    which case repeats are allowed rather than returning nothing).
+
+    Shared by the sequential maximizer and the batch (constant-liar)
+    proposer: batch BO builds the pool *once*, encodes it once, and scores
+    all Q proposals against the same candidate matrix so the surrogate's
+    kernel cross-columns are computed a single time.
     """
     candidates: list[dict[str, Any]] = []
     try:
@@ -170,7 +174,31 @@ def maximize_acquisition(
     fresh = [c for c in candidates if tuple(c[k] for k in names) not in seen]
     if fresh:
         candidates = fresh  # only fall back to repeats when space is exhausted
+    return candidates
 
+
+def maximize_acquisition(
+    acquisition: AcquisitionFunction,
+    model: GaussianProcess,
+    space: SearchSpace,
+    incumbent: float,
+    rng: np.random.Generator,
+    *,
+    n_candidates: int = 512,
+    incumbent_config: Mapping[str, Any] | None = None,
+    exclude: Sequence[Mapping[str, Any]] = (),
+) -> dict[str, Any]:
+    """Pick the feasible configuration with the best acquisition score.
+
+    See :func:`assemble_candidates` for how the pool is built.
+    """
+    candidates = assemble_candidates(
+        space,
+        rng,
+        n_candidates=n_candidates,
+        incumbent_config=incumbent_config,
+        exclude=exclude,
+    )
     X = space.encode_batch(candidates)
     scores = np.asarray(acquisition(model, X, incumbent), dtype=float)
     scores[~np.isfinite(scores)] = -np.inf

@@ -10,7 +10,19 @@ Implements exact GP regression with
 * output normalization (zero mean / unit variance in y) so acquisition
   functions operate on a standardized scale,
 * an optional fixed *prior mean function*, which is how transfer learning
-  (:mod:`repro.bo.transfer`) injects a source-task model.
+  (:mod:`repro.bo.transfer`) injects a source-task model,
+* an **incremental fast path** (:meth:`GaussianProcess.update`): appending
+  observations extends the existing Cholesky factor by a rank-1 block in
+  O(N^2) instead of refitting in O(N^3), with cached kernel cross-columns
+  so repeated candidate scoring against a growing model costs O(N x C)
+  per update instead of O(N^2 x C).
+
+The incremental factor is the exact Cholesky of the extended covariance
+(the leading principal block of a Cholesky factor is the factor of the
+corresponding submatrix), so incremental and full-refit models agree to
+floating-point rounding; callers bound the accumulated drift with periodic
+full refits (see ``BayesianOptimizer(full_refit_every=...)``) and the
+differential harness in ``tests/bo/harness`` measures it.
 
 The implementation is deliberately self-contained (numpy + scipy only): it
 is the GPTune stand-in documented in DESIGN.md.
@@ -97,6 +109,24 @@ class GaussianProcess:
         self._y_std = 1.0
         self._L: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        # Escalated Cholesky jitter persists across fits (and is carried
+        # between model instances by the BO loop) so repeated near-singular
+        # fits do not pay repeated failed factorization attempts.
+        self._jitter = 1e-10
+        # Cached noise-free train covariance (+ the theta it was built
+        # with) so a same-hyperparameter full refit skips the O(N^2 d)
+        # kernel evaluation, and the incremental path extends it in O(N d).
+        self._K: np.ndarray | None = None
+        self._K_theta: np.ndarray | None = None
+        # Cross-column cache for repeated prediction on one candidate
+        # matrix across incremental updates (see :meth:`_posterior_terms`).
+        self._cross_cache: dict | None = None
+        #: ``"full"`` after a fresh factorization, ``"incremental"`` after
+        #: a rank-1 extension — the ``gp_fit`` span's ``mode`` attribute.
+        self.last_fit_mode: str = "full"
+        #: Observations appended via :meth:`update` since the last full
+        #: factorization (the incremental chain length).
+        self.n_incremental: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +136,33 @@ class GaussianProcess:
     @property
     def n_train(self) -> int:
         return 0 if self._X is None else self._X.shape[0]
+
+    @property
+    def train_X(self) -> np.ndarray | None:
+        """Training inputs (encoded); ``None`` before :meth:`fit`."""
+        return self._X
+
+    @property
+    def train_y(self) -> np.ndarray | None:
+        """Raw (unnormalized) training targets; ``None`` before fit."""
+        return self._y_raw
+
+    @property
+    def cholesky_factor(self) -> np.ndarray | None:
+        """Lower-triangular factor of ``K + (noise + jitter) I``."""
+        return self._L
+
+    @property
+    def jitter(self) -> float:
+        """Current (possibly escalated) Cholesky jitter."""
+        return self._jitter
+
+    @jitter.setter
+    def jitter(self, value: float) -> None:
+        value = float(value)
+        if value <= 0:
+            raise ValueError("jitter must be > 0")
+        self._jitter = value
 
     # ------------------------------------------------------------------
     def _residual_targets(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -129,7 +186,17 @@ class GaussianProcess:
 
         self._X = X
         self._y_raw = y.copy()
-        resid = self._residual_targets(X, y)
+        self._K = None  # new data invalidates the cached train covariance
+        self._refresh_targets()
+
+        if optimize and X.shape[0] >= 2:
+            self._optimize_hyperparameters()
+        self._factorize()
+        return self
+
+    def _refresh_targets(self) -> None:
+        """Recompute normalization and normalized residual targets."""
+        resid = self._residual_targets(self._X, self._y_raw)
         if self.normalize_y:
             self._y_mean = float(np.mean(resid))
             std = float(np.std(resid))
@@ -138,9 +205,81 @@ class GaussianProcess:
             self._y_mean, self._y_std = 0.0, 1.0
         self._y = (resid - self._y_mean) / self._y_std
 
-        if optimize and X.shape[0] >= 2:
-            self._optimize_hyperparameters()
-        self._factorize()
+    def update(self, X_new: np.ndarray, y_new: np.ndarray) -> "GaussianProcess":
+        """Append observations via rank-1 Cholesky extension — O(N^2) each.
+
+        The existing factor ``L`` of ``K + (noise + jitter) I`` is extended
+        with one row per new observation::
+
+            L_ext = [[L,     0  ],        l12 = L^{-1} k(X, x_new)
+                     [l12^T, l22]],       l22 = sqrt(k(x,x) + noise + jitter
+                                                     - l12.l12)
+
+        Target normalization and ``alpha`` are recomputed from the full
+        target vector (two O(N^2) triangular solves), so predictions match
+        a same-hyperparameter full refit to floating-point rounding.
+        Hyperparameters are *not* re-optimized.  If the extension breaks
+        down numerically (non-positive pivot), the model transparently
+        falls back to a full factorization; check :attr:`last_fit_mode`.
+        """
+        if not self.is_fit:
+            raise GPFitError("update() called before fit()")
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).reshape(-1)
+        if X_new.shape[0] != y_new.shape[0]:
+            raise ValueError(
+                f"X_new has {X_new.shape[0]} rows but y_new has "
+                f"{y_new.shape[0]} entries"
+            )
+        if X_new.shape[0] == 0:
+            return self
+        if X_new.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"expected {self._X.shape[1]} columns, got {X_new.shape[1]}"
+            )
+        if not np.all(np.isfinite(X_new)) or not np.all(np.isfinite(y_new)):
+            raise GPFitError("non-finite values in update data")
+
+        fallback = False
+        for i, (x, yv) in enumerate(zip(X_new, y_new)):
+            row = x[None, :]
+            n = self._X.shape[0]
+            k = self.kernel(self._X, row)[:, 0]  # (n,) cross-column
+            k_ss = float(self.kernel.diag(row)[0])
+            # Extend the cached noise-free covariance in O(N d).
+            if self._K is not None and self._K.shape[0] == n:
+                K_ext = np.empty((n + 1, n + 1))
+                K_ext[:n, :n] = self._K
+                K_ext[n, :n] = K_ext[:n, n] = k
+                K_ext[n, n] = k_ss
+                self._K = K_ext
+            self._X = np.vstack([self._X, row])
+            self._y_raw = np.append(self._y_raw, yv)
+
+            l12 = solve_triangular(self._L, k, lower=True)
+            d2 = k_ss + self.noise + self._jitter - float(l12 @ l12)
+            if not np.isfinite(d2) or d2 <= 0.0:
+                # Numerical breakdown: absorb the remaining rows as plain
+                # data and refactorize from scratch below.
+                if i + 1 < X_new.shape[0]:
+                    self._X = np.vstack([self._X, X_new[i + 1:]])
+                    self._y_raw = np.append(self._y_raw, y_new[i + 1:])
+                    self._K = None
+                fallback = True
+                break
+            L_ext = np.zeros((n + 1, n + 1))
+            L_ext[:n, :n] = self._L
+            L_ext[n, :n] = l12
+            L_ext[n, n] = np.sqrt(d2)
+            self._L = L_ext
+
+        self._refresh_targets()
+        if fallback:
+            self._factorize()  # resets caches, mode, and chain length
+        else:
+            self._alpha = cho_solve((self._L, True), self._y)
+            self.last_fit_mode = "incremental"
+            self.n_incremental += X_new.shape[0]
         return self
 
     # ------------------------------------------------------------------
@@ -217,10 +356,26 @@ class GaussianProcess:
                 best_nll, best_theta = float(res.fun), res.x
         self._set_theta_full(best_theta)
 
+    def _train_covariance(self) -> np.ndarray:
+        """Noise-free ``K(X, X)``, reused when theta is unchanged."""
+        theta = self.kernel.theta
+        if (
+            self._K is not None
+            and self._K.shape[0] == self._X.shape[0]
+            and self._K_theta is not None
+            and np.array_equal(self._K_theta, theta)
+        ):
+            return self._K
+        self._K = self.kernel(self._X)
+        self._K_theta = theta
+        return self._K
+
     def _factorize(self) -> None:
         X, y = self._X, self._y
-        K = self.kernel(X)
-        jitter = 1e-10
+        K = self._train_covariance()
+        # Start from the persisted jitter: a previous fit that had to
+        # escalate does not re-pay the failed Cholesky attempts.
+        jitter = self._jitter
         for _ in range(8):
             try:
                 self._L = cholesky(
@@ -231,9 +386,48 @@ class GaussianProcess:
                 jitter *= 10.0
         else:
             raise GPFitError("covariance matrix not positive definite even with jitter")
+        self._jitter = jitter
+        self._cross_cache = None
+        self.last_fit_mode = "full"
+        self.n_incremental = 0
         self._alpha = cho_solve((self._L, True), y)
 
     # ------------------------------------------------------------------
+    def _posterior_terms(
+        self, X: np.ndarray, *, need_V: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Cross-kernel ``Ks`` (m, n) and whitened columns ``V`` (n, m).
+
+        Caches both, keyed on the candidate matrix *object*: scoring the
+        same candidate pool again after :meth:`update` extends the cached
+        arrays with one O(N x C) row per new observation instead of
+        redoing the full O(N^2 x C) triangular solve — the fast path the
+        constant-liar batch proposer rides.  The cache is dropped on any
+        full factorization (data or hyperparameter change).
+        """
+        n = self._X.shape[0]
+        c = self._cross_cache
+        if c is not None and c["X"] is X and 0 < c["n"] <= n:
+            Ks, V = c["Ks"], c["V"]
+            q = n - c["n"]
+            if q:
+                K2 = self.kernel(X, self._X[c["n"]:])  # (m, q)
+                Ks = np.hstack([Ks, K2])
+                if V is not None:
+                    # L = [[L11, 0], [L21, L22]] -> only the new rows of
+                    # the whitened columns need solving.
+                    L21 = self._L[c["n"]:, : c["n"]]
+                    L22 = self._L[c["n"]:, c["n"]:]
+                    V = np.vstack(
+                        [V, solve_triangular(L22, K2.T - L21 @ V, lower=True)]
+                    )
+        else:
+            Ks, V = self.kernel(X, self._X), None
+        if need_V and V is None:
+            V = solve_triangular(self._L, Ks.T, lower=True)
+        self._cross_cache = {"X": X, "n": n, "Ks": Ks, "V": V}
+        return Ks, V
+
     def predict(
         self, X: np.ndarray, *, return_std: bool = True
     ) -> tuple[np.ndarray, np.ndarray] | np.ndarray:
@@ -246,14 +440,13 @@ class GaussianProcess:
         if not self.is_fit:
             raise GPFitError("predict() called before fit()")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        Ks = self.kernel(X, self._X)  # (m, n)
+        Ks, V = self._posterior_terms(X, need_V=return_std)
         mu = Ks @ self._alpha  # normalized residual mean
         mu = mu * self._y_std + self._y_mean
         if self.mean_function is not None:
             mu = mu + np.asarray(self.mean_function(X), dtype=float).reshape(-1)
         if not return_std:
             return mu
-        V = solve_triangular(self._L, Ks.T, lower=True)  # (n, m)
         var = self.kernel.diag(X) - np.sum(V * V, axis=0)
         np.maximum(var, 1e-12, out=var)
         std = np.sqrt(var) * self._y_std
@@ -275,9 +468,10 @@ class GaussianProcess:
         """
         rng = rng or self.rng
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        mu = self.predict(X, return_std=False)
-        Ks = self.kernel(X, self._X)
-        V = solve_triangular(self._L, Ks.T, lower=True)
+        Ks, V = self._posterior_terms(X, need_V=True)
+        mu = Ks @ self._alpha * self._y_std + self._y_mean
+        if self.mean_function is not None:
+            mu = mu + np.asarray(self.mean_function(X), dtype=float).reshape(-1)
         cov = self.kernel(X) - V.T @ V
         cov = (cov + cov.T) / 2.0 + 1e-10 * np.eye(X.shape[0])
         Lc = cholesky(cov, lower=True)

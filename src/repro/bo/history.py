@@ -159,6 +159,7 @@ class EvaluationDatabase:
         self.format = format
         self.task = task
         self._records: list[Evaluation] = []
+        self._n_ok = 0
         if self.path and os.path.exists(self.path):
             self.load(self.path)
 
@@ -184,6 +185,8 @@ class EvaluationDatabase:
         the whole snapshot atomically.
         """
         self._records.append(record)
+        if record.ok:
+            self._n_ok += 1
         if self.path:
             if self.format == "jsonl":
                 self._append_lines([record])
@@ -193,6 +196,7 @@ class EvaluationDatabase:
     def extend(self, records: Iterator[Evaluation] | list[Evaluation]) -> None:
         added = list(records)
         self._records.extend(added)
+        self._n_ok += sum(1 for r in added if r.ok)
         if self.path:
             if self.format == "jsonl":
                 self._append_lines(added)
@@ -220,6 +224,16 @@ class EvaluationDatabase:
             os.fsync(f.fileno())
 
     # ------------------------------------------------------------------
+    @property
+    def n_ok(self) -> int:
+        """Number of successful records, maintained incrementally.
+
+        The BO loop consults this every iteration (stopping criterion and
+        acquisition schedule); the cached counter keeps that O(1) instead
+        of an O(N) scan per iteration.
+        """
+        return self._n_ok
+
     def ok_records(self) -> list[Evaluation]:
         """Successful evaluations only (the GP training set)."""
         return [r for r in self._records if r.ok]
@@ -306,6 +320,7 @@ class EvaluationDatabase:
             self._records = [
                 Evaluation.from_dict(d) for d in payload.get("records", [])
             ]
+            self._n_ok = sum(1 for r in self._records if r.ok)
             if self.format == "jsonl" and self.path == os.fspath(path):
                 # Convert in place so future incremental appends produce a
                 # consistent line-oriented file.
@@ -328,3 +343,4 @@ class EvaluationDatabase:
                 continue
             records.append(Evaluation.from_dict(d))
         self._records = records
+        self._n_ok = sum(1 for r in self._records if r.ok)

@@ -28,9 +28,10 @@ Determinism and crash recovery: all randomness is drawn from per-iteration
 :class:`numpy.random.SeedSequence` streams keyed on the number of records
 in the evaluation database.  Because the streams depend only on (seed,
 progress index) — not on how many times the process restarted — resuming
-from a checkpoint replays the completed evaluations, reconstructs the
-surrogate's hyperparameter state, and then continues *bit-identically* to
-an uninterrupted run (for the default ``refit_every=1`` schedule).
+from a checkpoint replays the completed evaluations, re-executes the
+pre-crash fit schedule (rebuilding incremental Cholesky state
+deterministically from history; it is never serialized), and then
+continues *bit-identically* to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -130,6 +131,21 @@ class BayesianOptimizer:
         Acquisition function instance or name ("ei", "pi", "lcb", "ts").
     kernel:
         Kernel name for the GP surrogate ("matern52" default).
+    incremental:
+        Enable the incremental-GP fast path (default ``True``): between
+        full refits the surrogate absorbs new observations via O(N^2)
+        rank-1 Cholesky extensions (:meth:`GaussianProcess.update`)
+        instead of O(N^3) refits.  Incremental and full-refit models
+        agree to floating-point rounding; ``tests/bo/harness`` is the
+        differential harness that verifies proposal sequences match the
+        full-refit baseline and measures the drift.
+    full_refit_every:
+        The K-refit knob: every K-th scheduled fit is forced to a full
+        factorization (in addition to the hyperparameter refits, which
+        are always full), bounding the incremental chain length and hence
+        the accumulated floating-point drift.  The drift observed at each
+        full refit is exposed as ``last_drift`` and on the ``gp_fit``
+        span.  Only meaningful when ``incremental`` is on.
     evaluation_timeout:
         Objective values above this threshold are recorded as TIMEOUT at the
         cap value (simulating the paper's 15-minute kill switch).
@@ -190,6 +206,8 @@ class BayesianOptimizer:
         kernel: str = "matern52",
         refit_every: int = 1,
         hyper_refit_every: int = 5,
+        incremental: bool = True,
+        full_refit_every: int = 10,
         n_candidates: int = 512,
         evaluation_timeout: float | None = None,
         database: EvaluationDatabase | None = None,
@@ -221,10 +239,18 @@ class BayesianOptimizer:
         self.kernel_name = kernel
         self.refit_every = max(1, int(refit_every))
         self.hyper_refit_every = max(1, int(hyper_refit_every))
+        self.incremental = bool(incremental)
+        self.full_refit_every = max(1, int(full_refit_every))
         self.n_candidates = int(n_candidates)
         self._fit_count = 0
         self._kernel_theta: np.ndarray | None = None
         self._gp_noise: float | None = None
+        self._gp_jitter: float | None = None
+        #: Mode of the most recent surrogate fit ("full"/"incremental")
+        #: and the drift measured at the most recent full refit — the
+        #: values the ``gp_fit`` telemetry span reports.
+        self.last_fit_mode: str | None = None
+        self.last_drift: float | None = None
         self.evaluation_timeout = evaluation_timeout
         self.database = database if database is not None else EvaluationDatabase()
         self.resume = bool(resume)
@@ -439,23 +465,29 @@ class BayesianOptimizer:
         )
         return X, y, configs
 
-    def _fit_schedule(self, idx: int) -> tuple[bool, bool]:
-        """(fit?, optimize-hyperparameters?) for the iteration producing
-        record ``idx``.
+    def _fit_schedule(self, idx: int) -> tuple[bool, bool, bool]:
+        """(fit?, optimize-hyperparameters?, full-refit?) for the
+        iteration producing record ``idx``.
 
         Purely a function of ``idx`` — never of how many fits this
         *process* performed — so a resumed run reproduces the exact fit
         schedule of an uninterrupted one.  Surrogate refits happen every
         ``refit_every`` records; every ``hyper_refit_every``-th of those
-        re-runs the full MLE, in between the previous hyperparameters are
-        reused and only the Cholesky factorization is refreshed — the
-        standard BO-in-practice economy that keeps per-iteration cost
-        near O(N^3) alone.
+        re-runs the full MLE.  In between, the previous hyperparameters
+        are reused and — with ``incremental`` on — the factor is extended
+        in O(N^2) via rank-1 updates, except every ``full_refit_every``-th
+        fit, which refactorizes from scratch to bound numerical drift.
         """
         steps = idx - self.n_initial
         fit = steps % self.refit_every == 0
-        optimize = fit and (steps // self.refit_every) % self.hyper_refit_every == 0
-        return fit, optimize
+        fit_no = steps // self.refit_every
+        optimize = fit and fit_no % self.hyper_refit_every == 0
+        full = fit and (
+            optimize
+            or not self.incremental
+            or fit_no % self.full_refit_every == 0
+        )
+        return fit, optimize, full
 
     def _fit_model(
         self,
@@ -464,20 +496,81 @@ class BayesianOptimizer:
         rng: np.random.Generator,
         records: Sequence[Evaluation] | None = None,
         replay: bool = False,
+        full: bool = True,
     ) -> float:
         """Fit the surrogate; returns the simulated modeling cost."""
         if self.tracer is not None:
             with self.tracer.span("gp_fit", optimize=optimize,
                                   replay=replay) as sp:
                 cost = self._fit_model_inner(
-                    optimize=optimize, rng=rng, records=records
+                    optimize=optimize, rng=rng, records=records, full=full
                 )
                 sp.attrs["sim_cost"] = cost
                 sp.attrs["n_points"] = len(
                     self.database if records is None else records
                 )
+                sp.attrs["mode"] = self.last_fit_mode
+                if self.last_drift is not None:
+                    sp.attrs["drift"] = self.last_drift
             return cost
-        return self._fit_model_inner(optimize=optimize, rng=rng, records=records)
+        return self._fit_model_inner(
+            optimize=optimize, rng=rng, records=records, full=full
+        )
+
+    def _try_incremental(self, X: np.ndarray, y: np.ndarray) -> bool:
+        """Absorb the new training rows into the current surrogate.
+
+        Applies only when the existing model's training set is an exact
+        prefix of the new one (same inputs *and* raw targets — a changed
+        failure-penalty target, for example, disqualifies the prefix and
+        forces a full refit).  Returns ``True`` on success.
+        """
+        m = self._model
+        if m is None or not m.is_fit or not (0 < m.n_train <= X.shape[0]):
+            return False
+        n_old = m.n_train
+        if not (
+            np.array_equal(m.train_X, X[:n_old])
+            and np.array_equal(m.train_y, y[:n_old])
+        ):
+            return False
+        try:
+            m.update(X[n_old:], y[n_old:])
+        except GPFitError:
+            return False
+        if m.last_fit_mode != "incremental":
+            # update() hit a numerical breakdown and refactorized fully.
+            self.last_fit_mode = "full"
+        else:
+            self.last_fit_mode = "incremental"
+        self._gp_jitter = m.jitter
+        return True
+
+    def _measure_drift(
+        self, old: GaussianProcess | None, new: GaussianProcess
+    ) -> float | None:
+        """Max |ΔL| between the refit factor's leading block and the
+        superseded (incrementally-extended) factor.
+
+        Only defined when the superseded model shares hyperparameters,
+        noise, jitter, and a training-set prefix with the refit one — the
+        exact situation the periodic K-refit creates.  This is the drift
+        bound the ``gp_fit`` span and the differential harness record.
+        """
+        if old is None or not old.is_fit or old is new:
+            return None
+        n_old = old.n_train
+        if n_old > new.n_train or old.n_incremental == 0:
+            return None
+        if not np.array_equal(old.kernel.theta, new.kernel.theta):
+            return None
+        if old.noise != new.noise or old.jitter != new.jitter:
+            return None
+        if not np.array_equal(old.train_X, new.train_X[:n_old]):
+            return None
+        L_old = old.cholesky_factor
+        L_new = new.cholesky_factor[:n_old, :n_old]
+        return float(np.max(np.abs(L_new - L_old)))
 
     def _fit_model_inner(
         self,
@@ -485,10 +578,21 @@ class BayesianOptimizer:
         optimize: bool,
         rng: np.random.Generator,
         records: Sequence[Evaluation] | None = None,
+        full: bool = True,
     ) -> float:
         X, y, _ = self._training_set(records)
         n, d = X.shape
         self._fit_count += 1
+        self.last_drift = None
+        if not full and not optimize and self._try_incremental(X, y):
+            # Note: the *simulated* cost ledger deliberately keeps the
+            # paper's O(N^3)-per-fit accounting model (Table III is a
+            # statement about the GPTune-style full-refit baseline); the
+            # real-wall-clock win of the fast path shows up in the gp_fit
+            # span durations and benchmarks/bench_gp_incremental.py.
+            return self.model_unit_cost * (
+                n**3 + n * n * d + self.n_candidates * n * d
+            )
         kernel = kernel_by_name(self.kernel_name, d)
         if self._kernel_theta is not None:
             kernel.theta = self._kernel_theta
@@ -499,44 +603,45 @@ class BayesianOptimizer:
         )
         if self._gp_noise is not None:
             model.noise = self._gp_noise
+        if self._gp_jitter is not None:
+            model.jitter = self._gp_jitter
         try:
             model.fit(X, y, optimize=optimize)
+            self.last_drift = self._measure_drift(self._model, model)
             self._model = model
             self._kernel_theta = model.kernel.theta.copy()
             self._gp_noise = model.noise
+            self._gp_jitter = model.jitter
         except GPFitError:
             self._model = None
+        self.last_fit_mode = "full"
         # O(N^3) Cholesky + O(N^2 d) kernel work, plus acquisition scoring
         # over the candidate batch: the simulated modeling overhead.
         return self.model_unit_cost * (n**3 + n * n * d + self.n_candidates * n * d)
 
     def _replay_model_state(self) -> None:
-        """Reconstruct surrogate hyperparameter state from replayed records.
+        """Reconstruct the surrogate from replayed records.
 
-        Re-runs only the *MLE* fits of the pre-crash schedule (the
-        non-optimizing fits reuse — and therefore do not change — the
-        hyperparameters), each on the exact data prefix and RNG stream the
-        original process used, so ``_kernel_theta``/``_gp_noise`` match
-        the uninterrupted run at the resume point.  Replayed fits are not
+        Re-runs *every* fit of the pre-crash schedule — full and
+        incremental alike, applying the exact decision logic of the live
+        loop — on the same data prefixes and RNG streams the original
+        process used.  Incremental state is therefore rebuilt
+        deterministically from history (it is never serialized): the
+        resulting Cholesky factor is the product of the identical sequence
+        of floating-point operations, so the resumed search continues
+        *bit-identically* to an uninterrupted run.  Replayed fits are not
         charged to this run's modeling overhead: that cost was paid before
         the crash.
         """
         records = self.database.records
         for idx in range(self.n_initial, len(records)):
-            fit, optimize = self._fit_schedule(idx)
-            if not (fit and optimize):
-                continue
-            prefix = records[:idx]
-            if not any(r.ok for r in prefix):
+            fit, optimize, full = self._fit_schedule(idx)
+            if not (self._model is None or fit):
                 continue
             self._fit_model(
-                optimize=True, rng=self._iter_rng(idx), records=prefix,
-                replay=True,
+                optimize=optimize, rng=self._iter_rng(idx),
+                records=records[:idx], replay=True, full=full,
             )
-        # The continuation loop refits on the full database before its
-        # first suggestion (self._model is reset below), matching the fit
-        # the uninterrupted run performed at this iteration.
-        self._model = None
 
     def _record_failure(self, rec: Evaluation) -> None:
         """Feed a completed evaluation's classified failure (if any) to
@@ -625,16 +730,18 @@ class BayesianOptimizer:
         # --- sequential BO iterations -----------------------------------
         total_iters = self.max_evaluations
         tr = self.tracer if self.tracer is not None else NULL_TRACER
-        while len(self.database.ok_records()) < self.max_evaluations:
-            it = len(self.database.ok_records())
+        while self.database.n_ok < self.max_evaluations:
+            it = self.database.n_ok
             idx = len(self.database)  # index of the record this iteration adds
             stop = False
             with tr.span("bo_iteration", index=idx):
                 rng = self._iter_rng(idx)
                 self.acquisition.update(it, total_iters)
-                fit, optimize = self._fit_schedule(idx)
+                fit, optimize, full = self._fit_schedule(idx)
                 if self._model is None or fit:
-                    model_cost += self._fit_model(optimize=optimize, rng=rng)
+                    model_cost += self._fit_model(
+                        optimize=optimize, full=full, rng=rng
+                    )
                 if self._model is None:
                     # Degenerate data (e.g. constant objective): random fallback.
                     config = self.space.sample(rng)

@@ -1,0 +1,43 @@
+"""Correctness harness for the incremental-GP fast path.
+
+Two pillars, both dependency-free (seeded splitmix64 streams matching
+``repro.faults.injection`` — no hypothesis, no new packages):
+
+:mod:`~tests.bo.harness.generators`
+    Seeded property-based generators: a :class:`SplitMix64` PRNG plus
+    small deterministic builders for training matrices, kernels, update
+    sequences, and random search spaces.  The property suites
+    (``tests/bo/test_kernel_properties.py``,
+    ``tests/space/test_space_properties.py``,
+    ``tests/bo/test_incremental_vs_refit.py``) draw their cases here.
+
+:mod:`~tests.bo.harness.differential`
+    The differential runner: executes seeded BO campaigns with the fast
+    path on vs. off, asserts identical proposal sequences, and records
+    the numerical drift the ``gp_fit`` spans measure at each periodic
+    full refit.  Also runnable as a CLI for CI::
+
+        PYTHONPATH=src python -m tests.bo.harness.differential --seeds 0,1,2
+"""
+
+from .differential import DifferentialReport, run_campaign, run_differential
+from .generators import (
+    SplitMix64,
+    objective_values,
+    random_kernel,
+    random_space,
+    training_matrix,
+    update_sequence,
+)
+
+__all__ = [
+    "SplitMix64",
+    "DifferentialReport",
+    "objective_values",
+    "random_kernel",
+    "random_space",
+    "run_campaign",
+    "run_differential",
+    "training_matrix",
+    "update_sequence",
+]

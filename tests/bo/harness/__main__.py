@@ -1,0 +1,6 @@
+"""CLI entry point: ``python -m tests.bo.harness --seeds 0,1,2``."""
+
+from .differential import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

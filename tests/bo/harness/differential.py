@@ -1,0 +1,217 @@
+"""Differential runner: the fast path must not change what BO proposes.
+
+Runs seeded BO campaigns twice — incremental Cholesky updates on vs. off —
+over a deterministic family of objectives and compares the *entire*
+proposal sequence (every configuration the optimizer evaluated, in
+order).  The fast path is only shippable because this holds exactly: the
+rank-1-extended factor agrees with the full refit to floating-point
+rounding, and the periodic K-refit bounds the accumulated drift, which
+this runner also collects from the ``gp_fit`` telemetry spans and
+reports.
+
+Usable three ways:
+
+* imported by ``tests/bo/test_incremental_vs_refit.py``,
+* imported by ``benchmarks/bench_gp_incremental.py`` (the acceptance
+  criterion ties the speedup claim to proposal identity on these seeds),
+* run directly in CI::
+
+      PYTHONPATH=src python -m tests.bo.harness.differential --seeds 0,1,2
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.bo.optimizer import BayesianOptimizer
+from repro.space import Integer, Real, SearchSpace
+from repro.telemetry import Telemetry
+from repro.telemetry.sinks import MemorySink
+
+from .generators import SplitMix64
+
+__all__ = ["DifferentialReport", "make_space", "make_objective",
+           "run_campaign", "run_differential", "main"]
+
+
+def make_space(seed: int) -> SearchSpace:
+    """Deterministic small mixed space (continuous + integer) per seed."""
+    rng = SplitMix64(seed * 7919 + 13)
+    dims = rng.int_between(2, 4)
+    params = []
+    for i in range(dims):
+        if rng.uniform() < 0.7:
+            low = rng.uniform(-2.0, 0.0)
+            params.append(Real(f"x{i}", low, low + rng.uniform(1.0, 4.0)))
+        else:
+            params.append(Integer(f"x{i}", 1, rng.int_between(8, 32)))
+    return SearchSpace(params, name=f"diff-{seed}")
+
+
+def make_objective(space: SearchSpace, seed: int):
+    """Deterministic multimodal objective over the encoded unit cube."""
+    rng = SplitMix64(seed * 104729 + 7)
+    d = space.dimension
+    center = np.array([rng.uniform(0.2, 0.8) for _ in range(d)])
+    weights = np.array([rng.uniform(0.5, 3.0) for _ in range(d)])
+    freq = np.array([rng.uniform(2.0, 6.0) for _ in range(d)])
+
+    def objective(config: dict[str, Any]) -> float:
+        x = space.encode(config)
+        bowl = float(((x - center) ** 2 * weights).sum())
+        ripple = float(0.1 * np.sin(freq * x).sum())
+        return bowl + ripple
+
+    return objective
+
+
+@dataclass
+class CampaignRun:
+    """One executed campaign: its proposals and its gp_fit span record."""
+
+    proposals: list[tuple]
+    modes: list[str]
+    drifts: list[float]
+
+    @property
+    def n_incremental(self) -> int:
+        return sum(1 for m in self.modes if m == "incremental")
+
+    @property
+    def max_drift(self) -> float:
+        return max(self.drifts, default=0.0)
+
+
+@dataclass
+class DifferentialReport:
+    """Fast-path-on vs. fast-path-off comparison for one seed."""
+
+    seed: int
+    identical: bool
+    n_proposals: int
+    n_incremental_fits: int
+    max_drift: float
+    first_divergence: int | None = None
+
+    def line(self) -> str:
+        status = "identical" if self.identical else (
+            f"DIVERGED at proposal {self.first_divergence}"
+        )
+        return (
+            f"seed {self.seed:>3}: {status}  "
+            f"({self.n_proposals} proposals, "
+            f"{self.n_incremental_fits} incremental fits, "
+            f"max drift {self.max_drift:.3e})"
+        )
+
+
+def run_campaign(
+    seed: int,
+    *,
+    incremental: bool,
+    max_evaluations: int = 30,
+    n_initial: int = 5,
+    full_refit_every: int = 4,
+    database=None,
+) -> CampaignRun:
+    """One seeded BO campaign; gp_fit modes/drifts come from telemetry."""
+    space = make_space(seed)
+    sink = MemorySink()
+    telemetry = Telemetry([sink])
+    opt = BayesianOptimizer(
+        space,
+        make_objective(space, seed),
+        n_initial=n_initial,
+        max_evaluations=max_evaluations,
+        incremental=incremental,
+        full_refit_every=full_refit_every,
+        random_state=seed,
+        database=database,
+        tracer=telemetry.tracer(f"diff-{seed}"),
+    )
+    result = opt.run()
+    proposals = [
+        tuple(sorted(r.config.items())) for r in result.database
+    ]
+    fits = [e for e in sink.events
+            if e.get("kind") == "span" and e.get("name") == "gp_fit"]
+    modes = [e["attrs"]["mode"] for e in fits]
+    drifts = [e["attrs"]["drift"] for e in fits if "drift" in e["attrs"]]
+    return CampaignRun(proposals=proposals, modes=modes, drifts=drifts)
+
+
+def run_differential(
+    seed: int, *, max_evaluations: int = 30, full_refit_every: int = 4
+) -> DifferentialReport:
+    """Compare fast-path-on vs. fast-path-off campaigns for one seed."""
+    on = run_campaign(
+        seed, incremental=True, max_evaluations=max_evaluations,
+        full_refit_every=full_refit_every,
+    )
+    off = run_campaign(
+        seed, incremental=False, max_evaluations=max_evaluations,
+        full_refit_every=full_refit_every,
+    )
+    identical = on.proposals == off.proposals
+    first = None
+    if not identical:
+        for i, (a, b) in enumerate(zip(on.proposals, off.proposals)):
+            if a != b:
+                first = i
+                break
+        else:
+            first = min(len(on.proposals), len(off.proposals))
+    return DifferentialReport(
+        seed=seed,
+        identical=identical,
+        n_proposals=len(on.proposals),
+        n_incremental_fits=on.n_incremental,
+        max_drift=on.max_drift,
+        first_divergence=first,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential harness: incremental-GP on vs. off"
+    )
+    parser.add_argument(
+        "--seeds", default="0,1,2",
+        help="comma-separated campaign seeds (default: 0,1,2)",
+    )
+    parser.add_argument(
+        "--max-evaluations", type=int, default=30,
+        help="evaluation budget per campaign (default: 30)",
+    )
+    parser.add_argument(
+        "--full-refit-every", type=int, default=4,
+        help="K-refit knob under test (default: 4)",
+    )
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    failures = 0
+    for seed in seeds:
+        report = run_differential(
+            seed,
+            max_evaluations=args.max_evaluations,
+            full_refit_every=args.full_refit_every,
+        )
+        print(report.line())
+        if not report.identical:
+            failures += 1
+        if report.n_incremental_fits == 0:
+            print(f"seed {seed:>3}: WARNING — no incremental fits exercised")
+            failures += 1
+    if failures:
+        print(f"{failures} of {len(seeds)} seeds FAILED")
+        return 1
+    print(f"all {len(seeds)} seeds passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""Seeded property-based generators (splitmix64 — no new dependencies).
+
+The harness needs hundreds of reproducible "random" cases without pulling
+in a property-testing framework.  A :class:`SplitMix64` stream — the same
+output mix :mod:`repro.faults.injection` uses for its fault channels —
+gives every case a deterministic identity: case *i* of seed *s* is the
+same on every machine, every run, forever, so a failing case number is a
+complete bug report.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bo.kernels import Kernel, kernel_by_name
+from repro.space import (
+    Categorical,
+    Constant,
+    ExpressionConstraint,
+    Integer,
+    Ordinal,
+    Real,
+    SearchSpace,
+)
+
+__all__ = [
+    "SplitMix64",
+    "training_matrix",
+    "objective_values",
+    "random_kernel",
+    "update_sequence",
+    "random_space",
+]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(z: int) -> int:
+    """Splitmix64 output mix (Steele, Lea & Flood 2014)."""
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class SplitMix64:
+    """Minimal deterministic PRNG for generator streams.
+
+    Same constants as ``repro.faults.injection``; deliberately tiny —
+    uniforms, integers, choices, and Box–Muller normals are all the
+    generators need.
+    """
+
+    def __init__(self, seed: int):
+        self._state = int(seed) & _MASK64
+
+    def next_u64(self) -> int:
+        self._state = (self._state + _GOLDEN) & _MASK64
+        return _mix64(self._state)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return low + (high - low) * (self.next_u64() / 2.0**64)
+
+    def int_between(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        return low + self.next_u64() % (high - low + 1)
+
+    def choice(self, seq):
+        return seq[self.next_u64() % len(seq)]
+
+    def normal(self) -> float:
+        """One standard normal via Box–Muller."""
+        u1 = max(self.next_u64() / 2.0**64, 1e-300)
+        u2 = self.next_u64() / 2.0**64
+        return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+    def spawn(self, key: int) -> "SplitMix64":
+        """Derived independent stream (e.g. one per case index)."""
+        return SplitMix64(_mix64((self._state ^ _mix64(key & _MASK64)) & _MASK64))
+
+
+# ----------------------------------------------------------------------
+# Numeric generators (kernel / GP properties)
+# ----------------------------------------------------------------------
+
+def training_matrix(rng: SplitMix64, n: int, dim: int) -> np.ndarray:
+    """``(n, dim)`` inputs in the unit cube, deduplicated by jitter.
+
+    Points are uniform with a small per-coordinate perturbation so exact
+    duplicates (which make ``K`` singular regardless of jitter) cannot
+    occur, keeping the generated cases about the *math*, not about
+    degenerate data.
+    """
+    X = np.empty((n, dim))
+    for i in range(n):
+        for j in range(dim):
+            X[i, j] = rng.uniform()
+    return X
+
+
+def objective_values(rng: SplitMix64, X: np.ndarray, noise: float = 0.05) -> np.ndarray:
+    """Smooth deterministic targets: random quadratic bowl + noise."""
+    dim = X.shape[1]
+    center = np.array([rng.uniform() for _ in range(dim)])
+    weights = np.array([rng.uniform(0.5, 2.0) for _ in range(dim)])
+    y = ((X - center) ** 2 * weights).sum(axis=1)
+    return y + noise * np.array([rng.normal() for _ in range(X.shape[0])])
+
+
+_KERNEL_NAMES = ("rbf", "matern32", "matern52")
+
+
+def random_kernel(rng: SplitMix64, dim: int) -> Kernel:
+    """A kernel with randomized (bounded) log-hyperparameters."""
+    kernel = kernel_by_name(rng.choice(_KERNEL_NAMES), dim)
+    # theta is log-space: keep lengthscales/variance in a sane range so
+    # the conditioning of K stays a property of the math, not the draw.
+    theta = np.array(
+        [rng.uniform(math.log(0.2), math.log(3.0)) for _ in kernel.theta]
+    )
+    kernel.theta = theta
+    return kernel
+
+
+def update_sequence(
+    rng: SplitMix64,
+    *,
+    dim: int | None = None,
+    n_initial: int | None = None,
+    n_chunks: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+    """An initial training block plus a list of update chunks.
+
+    Returns ``(X0, y0, [(X1, y1), (X2, y2), ...])`` where chunk sizes vary
+    between 1 and 3 rows — exactly the shapes
+    :meth:`repro.bo.gp.GaussianProcess.update` sees in the BO loop (one
+    new observation) and the constant-liar batch proposer (a few).
+    """
+    dim = dim if dim is not None else rng.int_between(1, 4)
+    n_initial = n_initial if n_initial is not None else rng.int_between(3, 10)
+    n_chunks = n_chunks if n_chunks is not None else rng.int_between(1, 6)
+    X0 = training_matrix(rng, n_initial, dim)
+    y0 = objective_values(rng, X0)
+    chunks = []
+    for _ in range(n_chunks):
+        m = rng.int_between(1, 3)
+        Xc = training_matrix(rng, m, dim)
+        chunks.append((Xc, objective_values(rng, Xc)))
+    return X0, y0, chunks
+
+
+# ----------------------------------------------------------------------
+# Search-space generator (space properties)
+# ----------------------------------------------------------------------
+
+def random_space(rng: SplitMix64, *, max_params: int = 5) -> SearchSpace:
+    """A random mixed search space, optionally constrained.
+
+    Covers every parameter type :mod:`repro.space` serializes (linear and
+    log Real/Integer, Categorical, Ordinal, Constant) plus — in about a
+    third of the draws — an always-satisfiable expression constraint
+    between two numeric parameters, so repair sampling paths get
+    exercised too.
+    """
+    n_params = rng.int_between(1, max_params)
+    params = []
+    numeric: list[tuple[str, float, float]] = []  # (name, low, high)
+    for i in range(n_params):
+        name = f"p{i}"
+        kind = rng.int_between(0, 5)
+        if kind == 0:
+            low = rng.uniform(-5.0, 0.0)
+            high = low + rng.uniform(0.5, 10.0)
+            params.append(Real(name, low, high))
+            numeric.append((name, low, high))
+        elif kind == 1:
+            low = rng.uniform(1e-3, 1.0)
+            high = low * rng.uniform(10.0, 1e3)
+            params.append(Real(name, low, high, log=True))
+            numeric.append((name, low, high))
+        elif kind == 2:
+            low = rng.int_between(-8, 4)
+            high = low + rng.int_between(1, 40)
+            params.append(Integer(name, low, high))
+            numeric.append((name, low, high))
+        elif kind == 3:
+            low = rng.int_between(1, 4)
+            high = low * rng.int_between(4, 64)
+            params.append(Integer(name, low, high, log=True))
+            numeric.append((name, low, high))
+        elif kind == 4:
+            n_choices = rng.int_between(2, 5)
+            params.append(Categorical(name, [f"c{j}" for j in range(n_choices)]))
+        else:
+            n_values = rng.int_between(2, 6)
+            params.append(Ordinal(name, [2**j for j in range(n_values)]))
+    if rng.uniform() < 0.25:
+        params.append(Constant(f"p{n_params}", rng.choice(["fixed", 7, 2.5])))
+    constraints = []
+    if numeric and rng.uniform() < 0.35:
+        # Satisfiable by construction (the threshold sits strictly inside
+        # the range) but rejects real probability mass, so constrained
+        # sampling and repair actually run.
+        name, low, high = numeric[0]
+        threshold = low + 0.7 * (high - low)
+        constraints.append(
+            ExpressionConstraint(f"{name} <= {threshold!r}", name="cap")
+        )
+    return SearchSpace(params, constraints, name=f"gen-{rng.next_u64() % 10**6}")

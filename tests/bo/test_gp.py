@@ -132,3 +132,85 @@ class TestPosteriorSampling:
         assert S.shape == (64, 6)
         mu, std = gp.predict(Z)
         assert np.allclose(S.mean(axis=0), mu, atol=4 * std.max() / 8 + 0.2)
+
+
+class TestJitterPersistence:
+    """Regression: escalated Cholesky jitter must persist across fits.
+
+    Previously every fit() restarted the escalation ladder at the base
+    jitter, so a sequence of near-singular fits paid the same failed
+    factorization attempts over and over.
+    """
+
+    @staticmethod
+    def _strict_cholesky(gp, X, calls, min_jitter=1e-7):
+        """A cholesky stand-in rejecting diagonals below ``min_jitter``.
+
+        LAPACK's potrf tolerates genuinely singular kernels surprisingly
+        well, so near-singularity is *simulated*: the GP adds
+        ``noise + jitter`` to the kernel diagonal, and (with noise 0) the
+        stand-in refuses to factorize until the escalation ladder reaches
+        ``min_jitter`` — a deterministic stress of the retry logic.
+        """
+        import repro.bo.gp as gp_module
+
+        real = gp_module.cholesky
+        k_diag = float(gp.kernel.diag(X[:1])[0])
+
+        def strict(A, *args, **kwargs):
+            jitter = A[0, 0] - k_diag
+            calls.append(jitter)
+            if jitter < min_jitter:
+                raise np.linalg.LinAlgError("simulated near-singular")
+            return real(A, *args, **kwargs)
+
+        return strict
+
+    def test_escalated_jitter_persists(self, monkeypatch):
+        import repro.bo.gp as gp_module
+
+        rng = np.random.default_rng(0)
+        X, y = rng.random((12, 2)), rng.random(12)
+        gp = GaussianProcess(dim=2, noise=0.0, optimize_noise=False,
+                             random_state=0)
+        base = gp.jitter
+        calls: list = []
+        monkeypatch.setattr(
+            gp_module, "cholesky", self._strict_cholesky(gp, X, calls)
+        )
+
+        gp.fit(X, y, optimize=False)
+        assert gp.jitter > base          # escalation happened (1e-10 -> 1e-6)
+        assert len(calls) > 1            # ... after real failed attempts
+        escalated = gp.jitter
+
+        # The regression: a refit must start from the escalated value,
+        # succeeding on its first factorization attempt instead of
+        # replaying the whole failed ladder.
+        calls.clear()
+        gp.fit(X, y, optimize=False)
+        assert gp.jitter == escalated
+        assert len(calls) == 1
+
+    def test_unfactorizable_matrix_still_raises(self, monkeypatch):
+        import repro.bo.gp as gp_module
+
+        rng = np.random.default_rng(0)
+        X, y = rng.random((6, 2)), rng.random(6)
+        gp = GaussianProcess(dim=2, noise=0.0, optimize_noise=False,
+                             random_state=0)
+        monkeypatch.setattr(
+            gp_module, "cholesky",
+            self._strict_cholesky(gp, X, [], min_jitter=np.inf),
+        )
+        with pytest.raises(GPFitError):
+            gp.fit(X, y, optimize=False)
+
+    def test_jitter_setter_validates(self):
+        gp = GaussianProcess(dim=2)
+        with pytest.raises(ValueError):
+            gp.jitter = 0.0
+        with pytest.raises(ValueError):
+            gp.jitter = -1e-10
+        gp.jitter = 1e-6
+        assert gp.jitter == 1e-6

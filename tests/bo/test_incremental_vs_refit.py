@@ -1,0 +1,159 @@
+"""Differential tests: incremental Cholesky updates vs. full refits.
+
+The fast path's contract, verified three ways:
+
+* **GP level** — after any seeded sequence of rank-1 updates, posterior
+  mean and standard deviation agree with a same-hyperparameter full
+  refit to ``<= 1e-8`` everywhere (they are the same math, reordered).
+* **Optimizer level** — whole BO campaigns propose *identical*
+  configuration sequences with the fast path on vs. off
+  (``tests/bo/harness/differential``), and the gp_fit spans record
+  bounded drift at each periodic K-refit.
+* **Crash recovery** — a campaign killed mid-run and resumed from its
+  evaluation database rebuilds the incremental state deterministically
+  from history (it is never serialized) and continues bit-identically,
+  down to the surrogate's Cholesky factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo.gp import GaussianProcess
+from repro.bo.history import EvaluationDatabase
+from repro.bo.optimizer import BayesianOptimizer
+
+from .harness.differential import make_objective, make_space, run_campaign, run_differential
+from .harness.generators import SplitMix64, random_kernel, training_matrix, update_sequence
+
+GP_SEEDS = [pytest.param(s, id=f"case{s}") for s in range(30)] + [
+    pytest.param(s, id=f"case{s}", marks=pytest.mark.slow) for s in range(30, 120)
+]
+
+ATOL = 1e-8
+
+
+@pytest.mark.parametrize("seed", GP_SEEDS)
+def test_posterior_agreement_after_update_chain(seed):
+    """Mean/std agree <=1e-8 between the incremental chain and a refit."""
+    rng = SplitMix64(seed)
+    X0, y0, chunks = update_sequence(rng)
+    dim = X0.shape[1]
+    probes = training_matrix(rng, 8, dim)
+
+    kernel = random_kernel(rng.spawn(1), dim)
+    incremental = GaussianProcess(kernel=kernel.clone(), noise=1e-4, random_state=0)
+    incremental.fit(X0, y0, optimize=False)
+
+    X_all, y_all = X0, y0
+    for Xc, yc in chunks:
+        incremental.update(Xc, yc)
+        X_all = np.vstack([X_all, Xc])
+        y_all = np.append(y_all, yc)
+
+        reference = GaussianProcess(
+            kernel=kernel.clone(), noise=1e-4, random_state=0
+        )
+        reference.jitter = incremental.jitter
+        reference.fit(X_all, y_all, optimize=False)
+
+        mu_inc, std_inc = incremental.predict(probes)
+        mu_ref, std_ref = reference.predict(probes)
+        np.testing.assert_allclose(mu_inc, mu_ref, rtol=0, atol=ATOL)
+        np.testing.assert_allclose(std_inc, std_ref, rtol=0, atol=ATOL)
+
+    assert incremental.last_fit_mode == "incremental"
+    assert incremental.n_incremental == sum(len(yc) for _, yc in chunks)
+    # The extended factor is the exact factor of the extended matrix.
+    np.testing.assert_allclose(
+        incremental.cholesky_factor,
+        reference.cholesky_factor,
+        rtol=0,
+        atol=ATOL,
+    )
+
+
+@pytest.mark.parametrize("seed", [pytest.param(s, id=f"case{s}") for s in range(20)])
+def test_cross_column_cache_consistency(seed):
+    """Cached candidate-pool predictions match fresh ones after updates."""
+    rng = SplitMix64(seed)
+    X0, y0, chunks = update_sequence(rng)
+    dim = X0.shape[1]
+    pool = training_matrix(rng, 16, dim)  # one pool object, scored repeatedly
+
+    gp = GaussianProcess(kernel=random_kernel(rng.spawn(2), dim),
+                         noise=1e-4, random_state=0)
+    gp.fit(X0, y0, optimize=False)
+    gp.predict(pool)  # prime the cross-column cache
+    for Xc, yc in chunks:
+        gp.update(Xc, yc)
+        mu_cached, std_cached = gp.predict(pool)  # rides the cache
+        mu_fresh, std_fresh = gp.predict(pool.copy())  # cache miss by identity
+        np.testing.assert_allclose(mu_cached, mu_fresh, rtol=0, atol=ATOL)
+        np.testing.assert_allclose(std_cached, std_fresh, rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_campaign_proposals_identical(seed):
+    report = run_differential(seed)
+    assert report.identical, report.line()
+    # The comparison must actually exercise the fast path, and the drift
+    # the K-refits measure must stay within the documented bound.
+    assert report.n_incremental_fits > 0
+    assert report.max_drift < 1e-6
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_kill_resume_bit_identical_with_fast_path(seed):
+    """Incremental state rebuilt from history == never-killed state."""
+    space = make_space(seed)
+    objective = make_objective(space, seed)
+
+    def build(db=None, max_evaluations=30):
+        return BayesianOptimizer(
+            space, objective, n_initial=5, max_evaluations=max_evaluations,
+            incremental=True, full_refit_every=4, random_state=seed,
+            database=db,
+        )
+
+    uninterrupted = build()
+    uninterrupted.run()
+
+    # Kill after 17 records: replay the first 17 evaluations into a fresh
+    # database (what a checkpoint file would hold) and resume.
+    killed = build(max_evaluations=17)
+    partial = killed.run()
+    checkpoint = EvaluationDatabase()
+    checkpoint.extend(partial.database.records)
+    resumed = build(db=checkpoint)
+    resumed.run()
+
+    a = [tuple(sorted(r.config.items())) for r in uninterrupted.database]
+    b = [tuple(sorted(r.config.items())) for r in resumed.database]
+    assert a == b
+
+    # Stronger than proposal identity: the surrogate state itself is
+    # bit-identical, because resume replays the exact fit schedule
+    # (incremental chains included) rather than loading serialized state.
+    np.testing.assert_array_equal(
+        uninterrupted.model.cholesky_factor, resumed.model.cholesky_factor
+    )
+    np.testing.assert_array_equal(
+        uninterrupted.model.train_X, resumed.model.train_X
+    )
+    assert uninterrupted.model.n_incremental == resumed.model.n_incremental
+    assert uninterrupted._gp_jitter == resumed._gp_jitter
+
+
+def test_incremental_off_never_updates():
+    """The control arm really is the classic full-refit loop."""
+    run = run_campaign(3, incremental=False)
+    assert run.n_incremental == 0
+    assert all(m == "full" for m in run.modes)
+
+
+def test_incremental_on_mostly_updates():
+    run = run_campaign(3, incremental=True)
+    assert run.n_incremental > len(run.modes) // 3
+    assert all(d < 1e-6 for d in run.drifts)
