@@ -24,7 +24,40 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-__all__ = ["Evaluation", "EvaluationDatabase", "EvaluationStatus"]
+__all__ = [
+    "Evaluation",
+    "EvaluationDatabase",
+    "EvaluationStatus",
+    "repair_torn_tail",
+]
+
+
+def repair_torn_tail(path: str | os.PathLike) -> bool:
+    """Truncate a JSONL checkpoint whose final line was torn by a crash.
+
+    Every complete append ends with a newline, so a line-oriented
+    checkpoint that does not is carrying a partial record from a write
+    that died mid-line.  Loaders tolerate the fragment, but a later
+    append-mode write would concatenate the next record onto it, turning
+    the recoverable torn *final* line into an unparsable *interior* one
+    that invalidates the whole file.  Dropping the fragment at load time
+    keeps the file line-oriented; the file is removed entirely when no
+    complete line survives.  Returns True if the file was modified.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as f:
+        data = f.read()
+    if not data or data.endswith(b"\n"):
+        return False
+    keep = data.rfind(b"\n") + 1
+    if keep == 0:
+        os.unlink(path)
+        return True
+    with open(path, "r+b") as f:
+        f.truncate(keep)
+        f.flush()
+        os.fsync(f.fileno())
+    return True
 
 
 class EvaluationStatus:
@@ -328,6 +361,12 @@ class EvaluationDatabase:
             return
         records: list[Evaluation] = []
         lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            # Torn final line from a crash mid-append: drop the fragment
+            # here and on disk, so the next append starts a fresh line
+            # instead of concatenating onto it.
+            repair_torn_tail(path)
+            lines = lines[:-1]
         for i, line in enumerate(lines):
             line = line.strip()
             if not line:

@@ -683,6 +683,14 @@ class BayesianOptimizer:
             meta["quarantined"] = self.breaker.summary()
         if self.quarantine_skips:
             meta["quarantine_skipped"] = self.quarantine_skips
+        warm = sum(
+            1 for rec in self.database if rec.meta.get("warm_start")
+        )
+        if warm:
+            # Seed history injected before the run (e.g. projected
+            # Phase-1 observations): each such record consumed one unit
+            # of budget without a fresh objective call.
+            meta["warm_seeded"] = warm
         return meta
 
     # ------------------------------------------------------------------

@@ -165,6 +165,30 @@ def _add_executor_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="directory for crash-recovery evaluation "
                         "checkpoints; rerunning resumes from them")
+    p.add_argument("--parallel-analysis", action="store_true",
+                   help="fan phase-1 measurements (baseline, variations, "
+                        "insight sample) across the process pool; "
+                        "bit-identical to sequential for deterministic "
+                        "objectives")
+    p.add_argument("--analysis-checkpoint-dir", default=None, metavar="DIR",
+                   help="directory for phase-1 append-only observation "
+                        "logs; a killed analysis resumes mid-variation "
+                        "instead of restarting")
+    p.add_argument("--warm-start", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="recycle phase-1 observations as BO seed history "
+                        "(each match replaces one cold search "
+                        "evaluation); --no-warm-start keeps searches "
+                        "cold (default)")
+    p.add_argument("--warm-start-tolerance", type=float, default=0.0,
+                   metavar="TOL",
+                   help="relative tolerance for numeric pin matching "
+                        "during warm-start projection (default: 0 = "
+                        "exact; inexact matches never prime the "
+                        "memoization cache)")
+    p.add_argument("--warm-start-max", type=int, default=None, metavar="K",
+                   help="cap on seeded observations per search "
+                        "(default: the engine's n_initial)")
     p.add_argument("--max-retries", type=int, default=0, metavar="K",
                    help="retry transiently-failing evaluations up to K "
                         "times (permanent failures short-circuit)")
@@ -205,6 +229,11 @@ def _robustness_kwargs(args: argparse.Namespace) -> dict:
         "parallel": args.parallel,
         "n_workers": args.workers,
         "checkpoint_dir": args.checkpoint_dir,
+        "parallel_analysis": args.parallel_analysis,
+        "analysis_checkpoint_dir": args.analysis_checkpoint_dir,
+        "warm_start": args.warm_start,
+        "warm_start_tolerance": args.warm_start_tolerance,
+        "warm_start_max": args.warm_start_max,
         "max_retries": args.max_retries,
         "retry_backoff": args.retry_backoff,
         "memoize": args.memoize,

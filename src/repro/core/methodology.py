@@ -25,14 +25,22 @@ accounting that backs the paper's cost claims.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..faults.injection import FaultPlan
 from ..insights.importance import ParameterInsights, analyze_parameters
+from ..insights.phase1 import (
+    MeasureTask,
+    Phase1Evaluator,
+    ProfiledMeasurer,
+    TargetMeasurer,
+    project_observations,
+)
 from ..insights.sensitivity import SensitivityAnalysis, SensitivityResult
+from ..log import get_logger
 from ..search.result import CampaignResult
 from ..search.runner import SearchCampaign, SearchSpec
 from ..space import SearchSpace
@@ -43,6 +51,8 @@ from .planner import SearchPlan, SearchPlanner
 from .routine import RoutineSet
 
 __all__ = ["TuningMethodology", "MethodologyResult"]
+
+logger = get_logger("core")
 
 
 @dataclass
@@ -66,7 +76,21 @@ class MethodologyResult:
     analysis_evaluations:
         Objective evaluations spent on sensitivity + insights — the
         methodology's *overhead*, which the paper argues is small compared
-        to a traditional orthogonality analysis.
+        to a traditional orthogonality analysis.  With profiled
+        evaluation (a profiler-carrying routine set) each analysis
+        configuration costs **one** application run regardless of the
+        number of targets, so this figure is the paper's ``1 + V x d``
+        (plus the insight sample and any re-measurements) rather than
+        ``t x`` that.
+    analysis_warnings:
+        Degradation notes from the insight sample (failed measurements
+        that were re-measured once and then dropped); sensitivity-phase
+        warnings live on ``sensitivity.warnings``.
+    warm_seeded:
+        Phase-1 observations injected into search evaluation databases as
+        warm-start seed history, summed over members.  Every seeded
+        record replaces one fresh search evaluation, so the campaign's
+        ``n_evaluations`` is smaller by exactly this amount.
     """
 
     sensitivity: SensitivityResult
@@ -76,6 +100,8 @@ class MethodologyResult:
     insights: ParameterInsights | None = None
     campaign: CampaignResult | None = None
     analysis_evaluations: int = 0
+    analysis_warnings: list[str] = field(default_factory=list)
+    warm_seeded: int = 0
     dag_diagram: str = ""
     """Hierarchy-aware rendering of the DAG (staged edges separated)."""
 
@@ -126,6 +152,12 @@ class MethodologyResult:
                 f"campaign wall-time: {self.campaign.measured_wall_time:.2f}s "
                 f"(measured)  evaluations: {self.campaign.n_evaluations}",
             ]
+            if self.warm_seeded:
+                lines.append(
+                    f"warm-start: seeded {self.warm_seeded} phase-1 "
+                    f"observations ({self.warm_seeded} fewer search "
+                    "evaluations)"
+                )
         return "\n".join(lines)
 
 
@@ -165,6 +197,35 @@ class TuningMethodology:
         Execute each stage's member searches concurrently in a process
         pool (deterministic in-process fallback when objectives are not
         picklable — per-member results are identical either way).
+    parallel_analysis:
+        Fan the Phase-1 measurements (baseline, variations, insight
+        sample) across the same process pool.  Planning consumes all
+        random state before any measurement, so the parallel analysis is
+        bit-identical to the sequential one for deterministic objectives
+        (set ``noise_scale=0`` on the synthetic suite to verify).
+    analysis_checkpoint_dir:
+        Directory for Phase-1 append-only observation logs
+        (``sensitivity-b<i>.jsonl``, ``insights.jsonl``); a killed
+        analysis resumes mid-``V x d`` instead of restarting.
+    warm_start:
+        Recycle Phase-1 observations as BO seed history: each planned
+        search's subspace is matched against the observation log
+        (non-tuned parameters are pinned at the sensitivity baseline so
+        one-at-a-time variations of tuned parameters match exactly) and
+        up to ``warm_start_max`` matches are injected into the member's
+        evaluation database before the engine starts — replacing that
+        many cold evaluations.  Applies to the ``bo`` / ``batch-bo``
+        engines; off by default so existing campaigns reproduce
+        bit-for-bit.
+    warm_start_tolerance:
+        Relative tolerance for numeric pin matching during projection
+        (0 = exact).  Tolerance-matched records are tagged
+        ``warm_inexact`` and never served from the memoization cache.
+    warm_start_max:
+        Cap on seeded records per search (``None`` -> the engine's
+        ``n_initial``, default 5).  Uncapped seeding could swallow the
+        whole budget with one-at-a-time variations and leave BO no fresh
+        evaluations.
     checkpoint_dir:
         Directory for crash-recovery checkpoints; each stage writes its
         members' append-only JSONL evaluation databases to
@@ -213,6 +274,11 @@ class TuningMethodology:
         hierarchy: Mapping[str, Sequence[str]] | None = None,
         parallel: bool = False,
         n_workers: int | None = None,
+        parallel_analysis: bool = False,
+        analysis_checkpoint_dir: str | None = None,
+        warm_start: bool = False,
+        warm_start_tolerance: float = 0.0,
+        warm_start_max: int | None = None,
         checkpoint_dir: str | None = None,
         max_retries: int = 0,
         retry_backoff: float = 0.05,
@@ -239,6 +305,11 @@ class TuningMethodology:
         self.engine_options = dict(engine_options or {})
         self.parallel = bool(parallel)
         self.n_workers = n_workers
+        self.parallel_analysis = bool(parallel_analysis)
+        self.analysis_checkpoint_dir = analysis_checkpoint_dir
+        self.warm_start = bool(warm_start)
+        self.warm_start_tolerance = float(warm_start_tolerance)
+        self.warm_start_max = warm_start_max
         self.checkpoint_dir = checkpoint_dir
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
@@ -264,18 +335,87 @@ class TuningMethodology:
     def _default_total(self, config: Mapping[str, Any]) -> float:
         return float(sum(r.weight * r.evaluate(config) for r in self.routines))
 
-    def collect_insights(self) -> tuple[ParameterInsights, int]:
-        """Step 2: random evaluation sample -> statistical insights."""
-        total = self.total_objective or self._default_total
-        configs = self.space.sample_batch(self.insight_samples, self.rng)
-        objectives = [total(c) for c in configs]
-        ins = analyze_parameters(
-            self.space, configs, objectives, random_state=self.rng
+    def _phase1_evaluator(self) -> Phase1Evaluator:
+        """The Phase-1 evaluation engine configured for this run."""
+        return Phase1Evaluator(
+            parallel=self.parallel_analysis,
+            n_workers=self.n_workers,
+            checkpoint_dir=self.analysis_checkpoint_dir,
+            telemetry=self.telemetry,
         )
-        return ins, len(configs)
+
+    def collect_insights(
+        self, evaluator: Phase1Evaluator | None = None
+    ) -> tuple[ParameterInsights, int, list[str]]:
+        """Step 2: random evaluation sample -> statistical insights.
+
+        Measurements run through the Phase-1 engine: profiled (one
+        application run yields all routine timings, summed with their
+        weights for the total objective) when the routine set has a
+        profiler and no explicit ``total_objective`` was given.  Failed
+        measurements (raised or non-finite) are re-measured once; a
+        sample point that fails twice is dropped from the sample with a
+        warning instead of aborting the campaign.  Returns ``(insights,
+        n_evaluations, warnings)``.
+        """
+        configs = self.space.sample_batch(self.insight_samples, self.rng)
+        tasks = [
+            MeasureTask(i, "insight", None, dict(c))
+            for i, c in enumerate(configs)
+        ]
+        if self.total_objective is not None:
+            measurer = TargetMeasurer({"__total__": self.total_objective})
+        elif self.routines.has_profiler:
+            measurer = ProfiledMeasurer(self.routines)
+        else:
+            measurer = TargetMeasurer({"__total__": self._default_total})
+        if evaluator is None:
+            evaluator = Phase1Evaluator()
+        observations = evaluator.run(tasks, measurer, label="insights")
+
+        kept: list[Mapping[str, Any]] = []
+        objectives: list[float] = []
+        warns: list[str] = []
+        n_evals = 0
+        for task in tasks:
+            obs = observations[task.index]
+            n_evals += 1 + obs.extra_runs
+            if "__total__" in obs.values:
+                y = obs.values["__total__"]
+            elif obs.ok:
+                y = float(
+                    sum(
+                        r.weight * obs.values[r.name] for r in self.routines
+                    )
+                )
+            else:
+                y = None
+            if y is None or not np.isfinite(y):
+                last = "; ".join(
+                    f"{t}: {e}" for t, e in obs.errors.items()
+                ) or f"non-finite total {y!r}"
+                warns.append(
+                    f"insight sample {task.index}: measurement failed "
+                    f"twice ({last}); dropped from the sample"
+                )
+                continue
+            kept.append(configs[task.index])
+            objectives.append(y)
+        if warns:
+            logger.warning(
+                "insight sample degraded: %d of %d configurations dropped",
+                len(warns), len(configs),
+            )
+        ins = analyze_parameters(
+            self.space, kept, objectives, random_state=self.rng
+        )
+        return ins, n_evals, warns
 
     def run_sensitivity(
-        self, baseline: Mapping[str, Any] | None = None
+        self,
+        baseline: Mapping[str, Any] | None = None,
+        *,
+        evaluator: Phase1Evaluator | None = None,
     ) -> SensitivityResult:
         """Step 3 / phase 1: per-routine sensitivity analysis."""
         sa = SensitivityAnalysis.from_routines(
@@ -287,8 +427,8 @@ class TuningMethodology:
             random_state=self.rng,
         )
         if self.n_baselines > 1 and baseline is None:
-            return sa.run_averaged(self.n_baselines)
-        return sa.run(baseline)
+            return sa.run_averaged(self.n_baselines, evaluator=evaluator)
+        return sa.run(baseline, evaluator=evaluator)
 
     # ------------------------------------------------------------------
     def analyze(
@@ -296,6 +436,7 @@ class TuningMethodology:
         baseline: Mapping[str, Any] | None = None,
         *,
         checkpoint: str | None = None,
+        evaluator: Phase1Evaluator | None = None,
     ) -> MethodologyResult:
         """Run the analysis phases only (no search execution).
 
@@ -303,34 +444,70 @@ class TuningMethodology:
         from that JSON file when it exists (skipping the ``1 + V x d``
         application runs) and saved there after a fresh analysis — crash
         recovery for the observation-expensive phase, mirroring the
-        evaluation database's role for the searches.  Phase 2 is pure
-        computation and always re-runs (so cut-off/cap changes re-plan
-        from cached observations for free).
+        evaluation database's role for the searches.  The file is written
+        atomically (temp file + ``os.replace``), and an unparsable
+        checkpoint falls back to a fresh analysis with a warning instead
+        of poisoning the resume.  Phase 2 is pure computation and always
+        re-runs (so cut-off/cap changes re-plan from cached observations
+        for free).
+
+        ``evaluator`` overrides the Phase-1 evaluation engine (default:
+        one built from ``parallel_analysis`` / ``analysis_checkpoint_dir``
+        / ``telemetry``); :meth:`run` passes its own so warm-start
+        projection can reuse the collected observations.
         """
         import json
         import os
+        import tempfile
 
+        if evaluator is None:
+            evaluator = self._phase1_evaluator()
         tracer = self._tracer()
         insights: ParameterInsights | None = None
+        analysis_warns: list[str] = []
         analysis_evals = 0
         if self.insight_samples > 0:
             with tracer.span("insights", n_samples=self.insight_samples):
-                insights, n = self.collect_insights()
+                insights, n, analysis_warns = self.collect_insights(evaluator)
             analysis_evals += n
 
         sens: SensitivityResult | None = None
         if checkpoint and os.path.exists(checkpoint):
-            with open(checkpoint) as f:
-                sens = SensitivityResult.from_dict(json.load(f))
-            tracer.event("sensitivity_checkpoint_loaded", path=checkpoint)
+            try:
+                with open(checkpoint) as f:
+                    sens = SensitivityResult.from_dict(json.load(f))
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                logger.warning(
+                    "sensitivity checkpoint %s is unparsable (%r); "
+                    "falling back to a fresh analysis", checkpoint, exc,
+                )
+                sens = None
+            else:
+                tracer.event("sensitivity_checkpoint_loaded", path=checkpoint)
         if sens is None:
             with tracer.span("sensitivity", n_variations=self.n_variations) as sp:
-                sens = self.run_sensitivity(baseline)
+                sens = self.run_sensitivity(baseline, evaluator=evaluator)
                 sp.attrs["n_evaluations"] = sens.n_evaluations
             analysis_evals += sens.n_evaluations
             if checkpoint:
-                with open(checkpoint, "w") as f:
-                    json.dump(sens.to_dict(), f)
+                directory = os.path.dirname(os.path.abspath(checkpoint))
+                fd, tmp = tempfile.mkstemp(
+                    dir=directory,
+                    prefix=os.path.basename(checkpoint) + ".",
+                    suffix=".tmp",
+                )
+                try:
+                    with os.fdopen(fd, "w") as f:
+                        json.dump(sens.to_dict(), f)
+                        f.flush()
+                        os.fsync(f.fileno())
+                    os.replace(tmp, checkpoint)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
 
         with tracer.span("dag_partition") as sp:
             influence = InfluenceMatrix.from_sensitivity(self.routines, sens)
@@ -347,6 +524,7 @@ class TuningMethodology:
             plan=plan,
             insights=insights,
             analysis_evaluations=analysis_evals,
+            analysis_warnings=analysis_warns,
             dag_diagram=planner.format_dag(dag),
         )
 
@@ -382,15 +560,50 @@ class TuningMethodology:
                 )
         return result
 
+    def _warm_records(self, observations, planner, search, subspace):
+        """Project Phase-1 observations onto one member's subspace."""
+        if not observations or self.engine not in ("bo", "batch-bo"):
+            return None
+        cap = self.warm_start_max
+        if cap is None:
+            cap = int(self.engine_options.get("n_initial", 5))
+        records = project_observations(
+            observations,
+            planner.members(search),
+            subspace,
+            tolerance=self.warm_start_tolerance,
+            max_records=cap,
+        )
+        return records or None
+
     def _run_pipeline(
         self,
         baseline: Mapping[str, Any] | None,
         defaults: Mapping[str, Any] | None,
     ) -> MethodologyResult:
-        result = self.analyze(baseline)
+        evaluator = self._phase1_evaluator()
+        result = self.analyze(baseline, evaluator=evaluator)
         planner = self._planner(result.influence, result.insights)
 
         carried: dict[str, Any] = dict(defaults or {})
+        observations = evaluator.observations if self.warm_start else []
+        if self.warm_start:
+            if observations:
+                # Pin non-tuned parameters at the sensitivity baseline (a
+                # caller's explicit defaults still win): one-at-a-time
+                # variations of a search's tuned parameters then match its
+                # pinned slice exactly, which is what makes Phase-1
+                # observations projectable onto the search subspaces.
+                carried = {
+                    **dict(result.sensitivity.baseline),
+                    **(defaults or {}),
+                }
+            else:
+                logger.debug(
+                    "warm start requested but no phase-1 observations were "
+                    "collected (checkpoint-loaded analysis?); searches "
+                    "start cold"
+                )
         campaign = CampaignResult(
             strategy=", ".join(s.name for s in result.plan.searches)
         )
@@ -409,6 +622,7 @@ class TuningMethodology:
                     fault_plan=self.fault_plan,
                     quarantine_threshold=self.quarantine_threshold,
                     quarantine_resolution=self.quarantine_resolution,
+                    warm_start=self._warm_records(observations, planner, s, sub),
                 )
                 for s, sub, obj in planner.materialize(
                     result.plan, defaults=carried, stage=stage
@@ -434,4 +648,7 @@ class TuningMethodology:
             for s in stage_result.searches:
                 carried.update(s.tuned_config)
         result.campaign = campaign
+        result.warm_seeded = sum(
+            s.meta.get("warm_seeded", 0) for s in campaign.searches
+        )
         return result

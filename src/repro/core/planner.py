@@ -399,10 +399,20 @@ class SearchPlanner:
             if stage is not None and s.stage != stage:
                 continue
             sub = self.space.subspace(list(s.tuned), pinned=base, name=s.name)
-            members = [self.routines[r] for r in s.routines]
+            members = self.members(s)
 
             def objective(config: Mapping[str, Any], _members=members) -> float:
                 return float(sum(m.weight * m.evaluate(config) for m in _members))
 
             out.append((s, sub, objective))
         return out
+
+    def members(self, search: PlannedSearch) -> list:
+        """The member routines of one planned search, in plan order.
+
+        The order matters: a search's objective sums ``weight *
+        objective`` over exactly this sequence, and warm-start projection
+        reconstructs that sum from profiled Phase-1 observations — same
+        members, same order, bit-identical floating-point result.
+        """
+        return [self.routines[r] for r in search.routines]

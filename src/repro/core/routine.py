@@ -72,9 +72,28 @@ class RoutineSet:
     used when classifying DAG edges.  Parameters may be owned by multiple
     routines (the paper's shared cuZcopy kernel appears in Groups 1 and 3);
     :meth:`owners` returns all of them.
+
+    Parameters
+    ----------
+    routines:
+        The member routines, in application order.
+    profiler:
+        Optional cross-target profiled evaluation: ``config -> {routine
+        name: runtime}`` from **one** application run.  One profiled run
+        observes every routine at once — the physical reality the paper's
+        ``1 + V x d`` cost formula assumes ("evaluating all targets at one
+        configuration costs a single application run") — so analyses that
+        would otherwise call each routine objective separately collapse a
+        ``t x`` per-configuration redundancy.  The mapping must cover
+        every routine name; extra keys are ignored.
     """
 
-    def __init__(self, routines: Sequence[Routine]):
+    def __init__(
+        self,
+        routines: Sequence[Routine],
+        *,
+        profiler: Callable[[Mapping[str, Any]], Mapping[str, float]] | None = None,
+    ):
         rs = list(routines)
         if not rs:
             raise ValueError("a routine set needs at least one routine")
@@ -84,6 +103,31 @@ class RoutineSet:
             raise ValueError(f"duplicate routine names: {dupes}")
         self.routines: list[Routine] = rs
         self._by_name = {r.name: r for r in rs}
+        self.profiler = profiler
+
+    @property
+    def has_profiler(self) -> bool:
+        """Whether one application run yields all routine timings."""
+        return self.profiler is not None
+
+    def profile(self, config: Mapping[str, Any]) -> dict[str, float]:
+        """All routine runtimes for ``config``.
+
+        With a :attr:`profiler` this is **one** application run; without
+        one it falls back to evaluating each routine objective separately
+        (``len(self)`` runs), so callers can always use the profiled code
+        path and pay the profiler's cost advantage only when the
+        application actually offers it.
+        """
+        if self.profiler is None:
+            return {r.name: r.evaluate(config) for r in self.routines}
+        out = self.profiler(config)
+        missing = [r.name for r in self.routines if r.name not in out]
+        if missing:
+            raise KeyError(
+                f"profiler output is missing routines: {missing}"
+            )
+        return {r.name: float(out[r.name]) for r in self.routines}
 
     def __iter__(self):
         return iter(self.routines)

@@ -24,11 +24,27 @@ from .orthogonality import (
     observation_cost,
     sensitivity_observation_cost,
 )
+from .phase1 import (
+    MeasureTask,
+    Phase1Evaluator,
+    Phase1Log,
+    Phase1Observation,
+    ProfiledMeasurer,
+    TargetMeasurer,
+    project_observations,
+)
 from .sensitivity import SensitivityAnalysis, SensitivityResult
 
 __all__ = [
     "SensitivityAnalysis",
     "SensitivityResult",
+    "MeasureTask",
+    "Phase1Observation",
+    "Phase1Log",
+    "TargetMeasurer",
+    "ProfiledMeasurer",
+    "Phase1Evaluator",
+    "project_observations",
     "PairwiseOrthogonalityAnalysis",
     "OrthogonalityResult",
     "observation_cost",

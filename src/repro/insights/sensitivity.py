@@ -38,6 +38,13 @@ import numpy as np
 
 from ..core.routine import RoutineSet
 from ..space import Categorical, Integer, Ordinal, Parameter, Real, SearchSpace
+from .phase1 import (
+    MeasureTask,
+    Phase1Evaluator,
+    Phase1Observation,
+    ProfiledMeasurer,
+    TargetMeasurer,
+)
 
 __all__ = ["SensitivityAnalysis", "SensitivityResult"]
 
@@ -189,18 +196,33 @@ class SensitivityAnalysis:
             if isinstance(random_state, np.random.Generator)
             else np.random.default_rng(random_state)
         )
+        #: Set by :meth:`from_routines` when profiled measurement applies.
+        self.routines: RoutineSet | None = None
 
     @classmethod
     def from_routines(
         cls,
         space: SearchSpace,
         routines: RoutineSet,
+        *,
+        profiled: bool = True,
         **kwargs: Any,
     ) -> "SensitivityAnalysis":
         """Build with one target per routine (the phase-1 configuration of
-        the methodology)."""
+        the methodology).
+
+        When the routine set carries a profiler (one application run
+        yields all routine timings) and ``profiled`` is left on, the
+        analysis measures every target from a **single** profiled run per
+        configuration — ``1 + V x d`` application runs instead of ``t x``
+        that — with the per-target retry/imputation semantics preserved.
+        ``profiled=False`` forces the legacy one-call-per-target path.
+        """
         targets = {r.name: r.objective for r in routines}
-        return cls(space, targets, **kwargs)
+        inst = cls(space, targets, **kwargs)
+        if profiled and routines.has_profiler:
+            inst.routines = routines
+        return inst
 
     # ------------------------------------------------------------------
     def _variation_values(self, param: Parameter, base_value: Any) -> list[Any]:
@@ -260,7 +282,11 @@ class SensitivityAnalysis:
 
     # ------------------------------------------------------------------
     def run_averaged(
-        self, n_baselines: int, baselines: Sequence[Mapping[str, Any]] | None = None
+        self,
+        n_baselines: int,
+        baselines: Sequence[Mapping[str, Any]] | None = None,
+        *,
+        evaluator: Phase1Evaluator | None = None,
     ) -> SensitivityResult:
         """Run the analysis from several baselines and average the scores.
 
@@ -269,13 +295,21 @@ class SensitivityAnalysis:
         a parameter); averaging over ``n_baselines`` independent baselines
         multiplies the observation cost but stabilizes the influence
         ranking the planner's drop decisions depend on.
+
+        An ``evaluator`` is shared by all per-baseline runs (labels
+        ``sensitivity-b0``, ``sensitivity-b1``, ...), so each baseline's
+        observation log resumes independently.
         """
         if n_baselines < 1:
             raise ValueError("n_baselines must be >= 1")
         if baselines is not None and len(baselines) != n_baselines:
             raise ValueError("baselines length must equal n_baselines")
         results = [
-            self.run(baselines[i] if baselines is not None else None)
+            self.run(
+                baselines[i] if baselines is not None else None,
+                evaluator=evaluator,
+                label=f"sensitivity-b{i}",
+            )
             for i in range(n_baselines)
         ]
         first = results[0]
@@ -297,73 +331,26 @@ class SensitivityAnalysis:
         )
 
     # ------------------------------------------------------------------
-    def _measure(
-        self,
-        fn: Callable[[Mapping[str, Any]], float],
-        cfg: Mapping[str, Any],
-        label: str,
-        warnings: list[str],
-    ) -> tuple[float | None, int]:
-        """Evaluate one target with a single re-measure on failure.
+    # Plan -> evaluate -> assemble
+    # ------------------------------------------------------------------
+    def plan(
+        self, baseline: Mapping[str, Any] | None = None
+    ) -> tuple[dict[str, Any], list[MeasureTask]]:
+        """Plan every configuration the analysis needs to measure.
 
-        A raised exception or non-finite value is treated as a failed
-        measurement (node glitch, numeric blow-up) and re-run once; a
-        second failure gives up on the slot with a warning.  Returns
-        ``(value, extra_runs)`` where ``value`` is ``None`` when both
-        attempts failed and ``extra_runs`` counts re-measurements (for
-        ``n_evaluations`` accounting).
-        """
-        last = ""
-        for attempt in range(2):
-            try:
-                y = float(fn(cfg))
-            except Exception as exc:
-                last = repr(exc)
-            else:
-                if np.isfinite(y):
-                    return y, attempt
-                last = f"non-finite value {y!r}"
-        warnings.append(f"{label}: measurement failed twice ({last})")
-        return None, 1
-
-    def run(self, baseline: Mapping[str, Any] | None = None) -> SensitivityResult:
-        """Execute the analysis.
-
-        ``baseline`` defaults to a random feasible configuration
-        ("a baseline configuration was randomly selected").
-
-        Failed variation measurements (exceptions or non-finite values)
-        degrade gracefully: each is re-measured once, and slots that fail
-        twice are imputed at the mean of the surviving variations for
-        that (parameter, target) pair — recorded in
-        :attr:`SensitivityResult.warnings` — instead of poisoning the
-        influence scores with NaN or aborting the whole
-        ``1 + V x d``-observation analysis.
+        Task 0 is the baseline; the rest are the (feasible) one-at-a-time
+        variations in parameter order.  Planning consumes *all* of the
+        analysis's random state — the baseline sample, variation values,
+        and random-mode redraws of infeasible variations — exactly as the
+        pre-engine interleaved loop did, so evaluation is free to run out
+        of order (process pools) or resume from a log without perturbing
+        any random stream.
         """
         base = dict(baseline) if baseline is not None else self.space.sample(self.rng)
         self.space.validate(base)
-
-        warns: list[str] = []
-        n_evals = 1
-        base_vals: dict[str, float] = {}
-        for name, fn in self.targets.items():
-            y, extra = self._measure(fn, base, f"baseline[{name}]", warns)
-            n_evals += extra
-            if y is None:
-                # No baseline -> no denominator for any relative delta of
-                # this target; degradation cannot help here.
-                raise RuntimeError(
-                    f"baseline measurement of target {name!r} failed twice; "
-                    "sensitivity analysis needs a finite baseline"
-                )
-            base_vals[name] = y
-
-        scores: dict[str, dict[str, float]] = {t: {} for t in self.targets}
+        tasks = [MeasureTask(0, "baseline", None, dict(base))]
         for param in self.space.parameters:
-            varied_values = self._variation_values(param, base[param.name])
-            deltas: dict[str, list[float]] = {t: [] for t in self.targets}
-            failed: dict[str, int] = {t: 0 for t in self.targets}
-            for v in varied_values:
+            for v in self._variation_values(param, base[param.name]):
                 cfg = dict(base)
                 cfg[param.name] = v
                 if not self.space.is_valid(cfg):
@@ -379,13 +366,106 @@ class SensitivityAnalysis:
                             continue
                     else:
                         continue  # deterministic sequence: skip this step
-                n_evals += 1
-                for t, fn in self.targets.items():
-                    y, extra = self._measure(
-                        fn, cfg, f"{t}/{param.name}", warns
-                    )
-                    n_evals += extra
+                tasks.append(
+                    MeasureTask(len(tasks), "variation", param.name, cfg)
+                )
+        return base, tasks
+
+    def measurer(self):
+        """The measurer matching this analysis's configuration.
+
+        Profiled (one application run observes every target) when
+        :meth:`from_routines` attached a profiler-carrying routine set;
+        otherwise the legacy one-objective-call-per-target path, which
+        issues its calls in exactly the order the pre-engine loop did.
+        """
+        if self.routines is not None:
+            return ProfiledMeasurer(self.routines)
+        return TargetMeasurer(self.targets)
+
+    def run(
+        self,
+        baseline: Mapping[str, Any] | None = None,
+        *,
+        evaluator: Phase1Evaluator | None = None,
+        label: str = "sensitivity",
+    ) -> SensitivityResult:
+        """Execute the analysis.
+
+        ``baseline`` defaults to a random feasible configuration
+        ("a baseline configuration was randomly selected").
+
+        ``evaluator`` controls *how* the planned configurations are
+        measured: in parallel, resumably (append-only observation log
+        under ``label``), and with telemetry — see
+        :class:`repro.insights.Phase1Evaluator`.  ``None`` measures
+        sequentially in-process.  Results are identical either way for
+        deterministic targets: planning consumes all random state first.
+
+        Failed variation measurements (exceptions or non-finite values)
+        degrade gracefully: each is re-measured once, and slots that fail
+        twice are imputed at the mean of the surviving variations for
+        that (parameter, target) pair — recorded in
+        :attr:`SensitivityResult.warnings` — instead of poisoning the
+        influence scores with NaN or aborting the whole
+        ``1 + V x d``-observation analysis.
+        """
+        base, tasks = self.plan(baseline)
+        if evaluator is None:
+            evaluator = Phase1Evaluator()
+        observations = evaluator.run(tasks, self.measurer(), label=label)
+        return self._assemble(base, tasks, observations)
+
+    def _assemble(
+        self,
+        base: dict[str, Any],
+        tasks: Sequence[MeasureTask],
+        observations: Mapping[int, Phase1Observation],
+    ) -> SensitivityResult:
+        """Turn raw observations back into a :class:`SensitivityResult`.
+
+        Reproduces the pre-engine bookkeeping exactly: warning order
+        (baseline failures in target order; per-variation failures with
+        targets innermost; imputation notes per parameter last),
+        ``n_evaluations`` (one per measured configuration plus
+        re-measurements), and the imputed/zeroed score rules.
+        """
+        warns: list[str] = []
+        base_obs = observations[0]
+        n_evals = 1 + base_obs.extra_runs
+        base_vals: dict[str, float] = {}
+        for name in self.targets:
+            y = base_obs.values.get(name)
+            if y is None:
+                warns.append(
+                    f"baseline[{name}]: measurement failed twice "
+                    f"({base_obs.errors.get(name, '')})"
+                )
+                # No baseline -> no denominator for any relative delta of
+                # this target; degradation cannot help here.
+                raise RuntimeError(
+                    f"baseline measurement of target {name!r} failed twice; "
+                    "sensitivity analysis needs a finite baseline"
+                )
+            base_vals[name] = y
+
+        by_param: dict[str, list[Phase1Observation]] = {}
+        for task in tasks[1:]:
+            by_param.setdefault(task.param, []).append(observations[task.index])
+
+        scores: dict[str, dict[str, float]] = {t: {} for t in self.targets}
+        for param in self.space.parameters:
+            deltas: dict[str, list[float]] = {t: [] for t in self.targets}
+            failed: dict[str, int] = {t: 0 for t in self.targets}
+            for obs in by_param.get(param.name, ()):
+                n_evals += 1 + obs.extra_runs
+                for t in self.targets:
+                    y = obs.values.get(t)
                     if y is None:
+                        warns.append(
+                            f"{t}/{param.name}: measurement failed twice "
+                            f"({obs.errors.get(t, '')})"
+                        )
                         failed[t] += 1
                         continue
                     denom = base_vals[t]

@@ -106,6 +106,12 @@ class MemoizingObjective:
         for rec in database:
             key = canonical_key(rec.config)
             if rec.ok:
+                if rec.meta.get("warm_inexact"):
+                    # Tolerance-matched warm-start projections: the
+                    # observation came from a *nearby* configuration, so
+                    # serving it for this exact key would silently return
+                    # a slightly wrong value.
+                    continue
                 if key not in self._cache:
                     self._cache[key] = (float(rec.objective), dict(rec.meta))
                     added += 1

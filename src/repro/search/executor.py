@@ -65,6 +65,7 @@ if TYPE_CHECKING:  # avoid a circular import with runner.py
 __all__ = [
     "CampaignExecutor",
     "run_search_spec",
+    "run_measure_tasks",
     "member_keys",
     "member_scope",
     "spec_seed_sequences",
@@ -187,6 +188,22 @@ def run_search_spec(
     """
     t0 = time.perf_counter()
     database = EvaluationDatabase(checkpoint) if checkpoint is not None else None
+    n_warm = 0
+    warm = getattr(spec, "warm_start", None)
+    if warm:
+        if database is None:
+            database = EvaluationDatabase()
+        if len(database) == 0:
+            # Seed history only into an *empty* database: a resumed
+            # checkpoint already contains these records (they were
+            # persisted on the first run), and re-injecting them would
+            # duplicate history.
+            database.extend(warm)
+            n_warm = len(warm)
+        else:
+            n_warm = sum(
+                1 for rec in database if rec.meta.get("warm_start")
+            )
     objective = _wrap_objective(spec, database)
     if telemetry is None:
         result = _dispatch(spec, seed, objective, database)
@@ -205,12 +222,19 @@ def run_search_spec(
             strategy=strategy,
             resumed=len(database) if database is not None else 0,
         )
+        if n_warm:
+            tracer.event(
+                "warm_start", seeded=n_warm, space=spec.space.name
+            )
+            telemetry.metrics.counter("warm_start_seeded").inc(n_warm)
         with tracer.span(
             "search", engine=spec.engine, space=spec.space.name
         ) as sp:
             result = _dispatch(spec, seed, objective, database, tracer=tracer)
             sp.attrs["n_evaluations"] = result.n_evaluations
         _member_metrics(telemetry, tracer, spec, objective, result)
+    if n_warm:
+        result.meta["warm_seeded"] = n_warm
     result.measured_time = time.perf_counter() - t0
     return result
 
@@ -379,6 +403,42 @@ def _run_member(payload: bytes):
         spec, seed, checkpoint=checkpoint, telemetry=telemetry, scope=scope
     )
     return result, buffer.events, telemetry.metrics.snapshot()
+
+
+def _run_measure_task(payload: bytes):
+    """Pool worker entry point for one Phase-1 measurement."""
+    measurer, task = pickle.loads(payload)
+    return measurer.measure(task)
+
+
+def run_measure_tasks(
+    measurer, tasks: Sequence, *, n_workers: int | None = None
+):
+    """Measure Phase-1 tasks in a process pool, in task order.
+
+    Returns the observations aligned with ``tasks``, or ``None`` when the
+    measurer/tasks cannot cross a process boundary or the pool is lost —
+    the caller falls back to an in-process loop with identical results
+    (measurement consumes no random state; the plan fixed every
+    configuration up front).
+    """
+    payloads = CampaignExecutor._picklable_tasks(
+        [(measurer, task) for task in tasks]
+    )
+    if payloads is None:
+        return None
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    n_workers = max(1, min(int(n_workers), len(payloads)))
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(_run_measure_task, payloads))
+    except (BrokenProcessPool, OSError) as exc:
+        logger.warning(
+            "phase-1 measurement pool failed (%r); falling back in-process",
+            exc,
+        )
+        return None
 
 
 class CampaignExecutor:

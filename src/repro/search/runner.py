@@ -74,6 +74,18 @@ class SearchSpec:
         permanently-classified failures in one cell of the
         ``quarantine_resolution``-per-axis grid, the cell is quarantined
         and receives no further evaluations.  ``None`` disables.
+    warm_start:
+        Optional seed history: :class:`~repro.bo.history.Evaluation`
+        records (typically Phase-1 observations projected onto this
+        search's subspace by
+        :func:`repro.insights.project_observations`) injected into the
+        member's evaluation database before the engine starts.  The
+        engine's resume path treats them exactly like replayed
+        evaluations — the BO surrogate is fit on them and each seeded
+        record replaces one evaluation of budget — so a warm-started
+        search pays for strictly fewer fresh objective calls.  Records
+        are injected only when the database starts empty (a resumed
+        checkpoint already persisted them).
     """
 
     space: SearchSpace
@@ -88,6 +100,7 @@ class SearchSpec:
     fault_plan: FaultPlan | None = None
     quarantine_threshold: int | None = None
     quarantine_resolution: int = 4
+    warm_start: list | None = None
 
     def budget(self) -> int:
         return (

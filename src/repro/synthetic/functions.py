@@ -82,6 +82,25 @@ def _safe_log_abs(value: float) -> float:
     return math.log(max(abs(value), _LOG_FLOOR))
 
 
+class _GroupObjective:
+    """One group's runtime-like output as a standalone objective.
+
+    A module-level class (rather than a closure inside
+    :meth:`SyntheticFunction.routines`) so routine objectives can cross a
+    ``ProcessPoolExecutor`` boundary — parallel Phase-1 analysis and
+    parallel campaigns pickle the whole routine set into worker processes.
+    """
+
+    __slots__ = ("fn", "group")
+
+    def __init__(self, fn: "SyntheticFunction", group: str):
+        self.fn = fn
+        self.group = group
+
+    def __call__(self, config: Mapping[str, Any]) -> float:
+        return self.fn.group_outputs(config)[self.group]
+
+
 class SyntheticFunction:
     """One of the five synthetic cases, exposed as a tunable application.
 
@@ -246,21 +265,20 @@ class SyntheticFunction:
         evaluated on the full configuration — Group 3's objective reads
         x15..x19 in every case, which is precisely the interdependence the
         sensitivity analysis must detect.
+
+        The set carries :meth:`group_outputs` as its profiler: one
+        evaluation of the synthetic "application" computes all four group
+        outputs, so profiled Phase-1 analyses observe every routine from a
+        single run per configuration.  Objectives are picklable
+        (:class:`_GroupObjective`), so both the routine set and the
+        profiler can cross process-pool boundaries.
         """
-
-        def make(group: str):
-            def objective(config: Mapping[str, Any]) -> float:
-                return self.group_outputs(config)[group]
-
-            return objective
-
         return RoutineSet(
             [
-                Routine("Group 1", GROUP_VARIABLES["Group 1"], make("Group 1")),
-                Routine("Group 2", GROUP_VARIABLES["Group 2"], make("Group 2")),
-                Routine("Group 3", GROUP_VARIABLES["Group 3"], make("Group 3")),
-                Routine("Group 4", GROUP_VARIABLES["Group 4"], make("Group 4")),
-            ]
+                Routine(g, GROUP_VARIABLES[g], _GroupObjective(self, g))
+                for g in ("Group 1", "Group 2", "Group 3", "Group 4")
+            ],
+            profiler=self.group_outputs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

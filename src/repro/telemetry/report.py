@@ -170,6 +170,21 @@ class TraceReport:
                     counters[k] = counters.get(k, 0.0) + float(v)
         return counters
 
+    def warm_start_summary(self) -> dict[str, int]:
+        """Seeded warm-start records per member scope.
+
+        Reconstructed from the ``warm_start`` events the executor emits
+        when Phase-1 observations are injected as seed history; each
+        seeded record replaced one fresh search evaluation.
+        """
+        out: dict[str, int] = {}
+        for e in self.events:
+            if e.get("kind") == "event" and e.get("name") == "warm_start":
+                scope = str(e.get("scope"))
+                seeded = int(e.get("attrs", {}).get("seeded", 0))
+                out[scope] = max(out.get(scope, 0), seeded)
+        return out
+
     # -- rendering -------------------------------------------------------
     def format_profile(self) -> str:
         return self.timing_report().format()
@@ -214,6 +229,18 @@ class TraceReport:
             "-" * 56,
             self.format_progression(),
         ]
+        warm = self.warm_start_summary()
+        if warm:
+            total = sum(warm.values())
+            lines += ["", "warm-start reuse", "-" * 56]
+            lines += [
+                f"  {scope:<40} {seeded} seeded"
+                for scope, seeded in sorted(warm.items())
+            ]
+            lines.append(
+                f"  total: {total} phase-1 observations reused "
+                f"({total} search evaluations saved)"
+            )
         counters = self.merged_metrics()
         if counters:
             lines += ["", "counters", "-" * 56]

@@ -179,6 +179,36 @@ class TestJsonlCheckpointing:
         loaded = EvaluationDatabase(path)
         assert [r.objective for r in loaded] == [1.0, 2.0]
 
+    def test_append_after_torn_line_stays_parsable(self, tmp_path):
+        """Loading repairs a torn tail in place, so the next append
+        starts a fresh line instead of concatenating onto the fragment
+        (which would corrupt the checkpoint for every later load)."""
+        path = tmp_path / "db.jsonl"
+        db = EvaluationDatabase(path)
+        db.append(rec(1.0))
+        db.append(rec(2.0))
+        with open(path, "a") as f:
+            f.write('{"config": {"a": 1}, "obj')  # torn write
+
+        resumed = EvaluationDatabase(path)  # load truncates the fragment
+        resumed.append(rec(3.0))
+
+        reloaded = EvaluationDatabase(path)
+        assert [r.objective for r in reloaded] == [1.0, 2.0, 3.0]
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line is complete JSON again
+
+    def test_torn_only_line_removes_file(self, tmp_path):
+        """A crash during the very first append leaves just a fragment;
+        the loader drops the file so the next append rewrites a header."""
+        path = tmp_path / "db.jsonl"
+        path.write_text('{"format": "repro-eval')
+        db = EvaluationDatabase(path)
+        assert list(db) == []
+        assert not path.exists()
+        db.append(rec(1.0))
+        assert [r.objective for r in EvaluationDatabase(path)] == [1.0]
+
     def test_corrupt_middle_line_raises(self, tmp_path):
         path = tmp_path / "db.jsonl"
         db = EvaluationDatabase(path)

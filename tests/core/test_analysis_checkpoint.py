@@ -59,3 +59,43 @@ class TestCheckpointedAnalyze:
         res = strict.analyze(checkpoint=path)
         assert res.analysis_evaluations == 0
         assert all(not s.is_merged for s in res.plan.searches)
+
+    def test_corrupt_checkpoint_falls_back_to_fresh_analysis(self, tmp_path):
+        path = str(tmp_path / "phase1.json")
+        with open(path, "w") as f:
+            f.write('{"baseline": {"x0"')  # torn mid-write
+
+        res = methodology().analyze(checkpoint=path)
+        assert res.analysis_evaluations == 1 + 20 * 20  # fresh, not poisoned
+        # The fresh result replaced the corrupt file...
+        with open(path) as f:
+            SensitivityResult.from_dict(json.load(f))
+        # ...and a third run replays it.
+        assert methodology(seed=9).analyze(
+            checkpoint=path
+        ).analysis_evaluations == 0
+
+    def test_wrong_schema_checkpoint_falls_back(self, tmp_path):
+        path = str(tmp_path / "phase1.json")
+        with open(path, "w") as f:
+            json.dump({"unrelated": True}, f)  # valid JSON, wrong shape
+        res = methodology().analyze(checkpoint=path)
+        assert res.analysis_evaluations == 1 + 20 * 20
+
+    def test_checkpoint_written_atomically(self, tmp_path):
+        path = str(tmp_path / "phase1.json")
+        methodology().analyze(checkpoint=path)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []  # temp file was renamed, not abandoned
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "phase1.json")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        import os as _os
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(OSError):
+            methodology().analyze(checkpoint=path)
+        assert list(tmp_path.iterdir()) == []  # tmp unlinked on failure

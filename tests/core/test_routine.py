@@ -52,3 +52,44 @@ class TestRoutineSet:
         assert [o.name for o in rs.owners("u_zcopy")] == ["G1", "G3"]
         assert rs.shared_parameters() == {"u_zcopy": ["G1", "G3"]}
         assert rs.owners("nothing") == []
+
+
+class TestProfiledRoutineSet:
+    def routines(self):
+        return [
+            Routine("A", ("p",), lambda c: 2.0 * c["p"], weight=2.0),
+            Routine("B", ("q",), lambda c: c["q"] + 1.0),
+        ]
+
+    def test_profiler_used_once_per_call(self):
+        calls = []
+
+        def profiler(cfg):
+            calls.append(dict(cfg))
+            return {"A": 10.0, "B": 20.0, "extra": 99.0}
+
+        rs = RoutineSet(self.routines(), profiler=profiler)
+        assert rs.has_profiler
+        out = rs.profile({"p": 1.0, "q": 2.0})
+        assert out == {"A": 10.0, "B": 20.0}  # extra keys ignored
+        assert len(calls) == 1
+
+    def test_missing_routine_raises(self):
+        rs = RoutineSet(
+            self.routines(), profiler=lambda cfg: {"A": 10.0}
+        )
+        with pytest.raises(KeyError, match="B"):
+            rs.profile({"p": 1.0, "q": 2.0})
+
+    def test_fallback_without_profiler(self):
+        rs = RoutineSet(self.routines())
+        assert not rs.has_profiler
+        assert rs.profile({"p": 3.0, "q": 4.0}) == {"A": 6.0, "B": 5.0}
+
+    def test_values_coerced_to_float(self):
+        rs = RoutineSet(
+            self.routines(), profiler=lambda cfg: {"A": 1, "B": "2.5"}
+        )
+        out = rs.profile({"p": 0.0, "q": 0.0})
+        assert out == {"A": 1.0, "B": 2.5}
+        assert all(isinstance(v, float) for v in out.values())

@@ -1,0 +1,177 @@
+"""BO warm-start reuse of Phase-1 observations (issue tentpole, layer c):
+projection into seed history, executor injection, accounting, and the
+cold-path bit-identity guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.bo.history import Evaluation, EvaluationDatabase
+from repro.core import Routine, RoutineSet, TuningMethodology
+from repro.search.cache import MemoizingObjective, canonical_key
+from repro.search.executor import run_search_spec
+from repro.search.runner import SearchSpec
+from repro.space import Real, SearchSpace
+
+
+def _fa(c):
+    return (c["x"] - 3.0) ** 2 + 1.0
+
+
+def _fb(c):
+    return (c["y"] - 7.0) ** 2 + 2.0
+
+
+def _profiler(c):
+    return {"A": _fa(c), "B": _fb(c)}
+
+
+def methodology(seed=0, **kwargs):
+    space = SearchSpace(
+        [Real("x", 0.1, 10.0), Real("y", 0.1, 10.0)], name="tiny"
+    )
+    routines = RoutineSet(
+        [Routine("A", ("x",), _fa), Routine("B", ("y",), _fb)],
+        profiler=_profiler,
+    )
+    kwargs.setdefault("engine", "bo")
+    return TuningMethodology(
+        space, routines, cutoff=0.25, n_variations=6,
+        random_state=seed, **kwargs,
+    )
+
+
+class TestMethodologyWarmStart:
+    def test_seeded_records_replace_cold_evaluations(self):
+        cold = methodology().run()
+        warm = methodology(warm_start=True).run()
+
+        assert warm.warm_seeded > 0
+        # The BO budget counts database records, so every seeded record
+        # is one fresh evaluation the warm campaign did not pay for.
+        assert (
+            warm.campaign.n_evaluations
+            == cold.campaign.n_evaluations - warm.warm_seeded
+        )
+        assert warm.analysis_evaluations == cold.analysis_evaluations
+        assert f"seeded {warm.warm_seeded}" in warm.summary()
+
+    def test_warm_run_reaches_seed_best(self):
+        warm = methodology(warm_start=True).run()
+        for s in warm.campaign.searches:
+            seeded = [
+                rec for rec in s.database if rec.meta.get("warm_start")
+            ]
+            assert seeded, f"search {s.name} got no seed history"
+            assert all(rec.cost == 0.0 for rec in seeded)
+            assert s.best_objective <= min(r.objective for r in seeded)
+            assert s.meta["warm_seeded"] == len(seeded)
+
+    def test_seeding_capped_at_n_initial(self):
+        warm = methodology(warm_start=True, warm_start_max=2).run()
+        assert all(
+            s.meta.get("warm_seeded", 0) <= 2
+            for s in warm.campaign.searches
+        )
+        default = methodology(warm_start=True).run()
+        # Default cap = the engine's n_initial (5) per search.
+        assert all(
+            s.meta.get("warm_seeded", 0) <= 5
+            for s in default.campaign.searches
+        )
+
+    def test_disabled_is_bit_identical_to_default(self):
+        off = methodology(warm_start=False).run()
+        default = methodology().run()
+        assert off.best_config == default.best_config
+        assert off.campaign.n_evaluations == default.campaign.n_evaluations
+        assert off.warm_seeded == default.warm_seeded == 0
+        assert "warm-start" not in default.summary()
+
+    def test_non_bo_engine_ignores_warm_start(self):
+        res = methodology(warm_start=True, engine="random").run()
+        assert res.warm_seeded == 0
+
+
+class TestExecutorInjection:
+    def spec(self, warm=None):
+        space = SearchSpace([Real("x", 0.0, 1.0)], name="m")
+        return SearchSpec(
+            space=space,
+            objective=_square,
+            engine="bo",
+            max_evaluations=6,
+            engine_options={"n_initial": 2},
+            warm_start=warm,
+        )
+
+    def warm_records(self):
+        return [
+            Evaluation(
+                config={"x": 0.5}, objective=0.25, cost=0.0,
+                meta={"warm_start": True},
+            ),
+            Evaluation(
+                config={"x": 0.25}, objective=0.0625, cost=0.0,
+                meta={"warm_start": True},
+            ),
+        ]
+
+    def test_seeds_only_an_empty_database(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        seed = np.random.SeedSequence(0)
+        first = run_search_spec(
+            self.spec(self.warm_records()), seed, checkpoint=path
+        )
+        assert first.meta["warm_seeded"] == 2
+        assert first.n_evaluations == 6 - 2  # fresh evaluations only
+        assert len(first.database) == 6
+
+        # Resume: the checkpoint already holds the seeded records, so a
+        # second injection would duplicate history.
+        again = run_search_spec(
+            self.spec(self.warm_records()), seed, checkpoint=path
+        )
+        assert again.meta["warm_seeded"] == 2
+        assert again.n_evaluations == 0
+        assert len(again.database) == 6
+        assert (
+            sum(1 for r in again.database if r.meta.get("warm_start")) == 2
+        )
+
+    def test_no_warm_records_means_no_meta(self):
+        res = run_search_spec(self.spec(None), np.random.SeedSequence(0))
+        assert "warm_seeded" not in res.meta
+
+
+class TestMemoizationGuard:
+    def test_inexact_records_never_prime_the_cache(self):
+        db = EvaluationDatabase()
+        db.extend([
+            Evaluation(
+                config={"x": 0.5}, objective=0.25, cost=0.0,
+                meta={"warm_start": True},
+            ),
+            Evaluation(
+                config={"x": 0.6}, objective=0.34, cost=0.0,
+                meta={"warm_start": True, "warm_inexact": True},
+            ),
+        ])
+        calls = []
+
+        def objective(cfg):
+            calls.append(dict(cfg))
+            return cfg["x"] ** 2
+
+        memo = MemoizingObjective(objective)
+        assert memo.seed_from_database(db) == 1
+        value, meta = memo({"x": 0.5})
+        assert value == 0.25 and meta["cache_hit"] and not calls
+        # The inexact record's observation came from a *nearby* config;
+        # querying its exact key must re-evaluate.
+        value, _ = memo({"x": 0.6})
+        assert calls == [{"x": 0.6}]
+        assert value == pytest.approx(0.36)
+
+
+def _square(c):
+    return c["x"] ** 2

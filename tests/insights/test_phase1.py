@@ -1,0 +1,405 @@
+"""Phase-1 evaluation engine: profiled cross-target measurement,
+parallel fan-out, mid-run resume from the observation log, staleness
+detection, and warm-start projection (issue tentpole)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Routine, RoutineSet
+from repro.insights import (
+    MeasureTask,
+    Phase1Evaluator,
+    Phase1Observation,
+    ProfiledMeasurer,
+    SensitivityAnalysis,
+    TargetMeasurer,
+    project_observations,
+)
+from repro.space import Real, SearchSpace
+from repro.synthetic import SyntheticFunction
+
+
+def space2d():
+    return SearchSpace([Real("x", 0.1, 10.0), Real("y", 0.1, 10.0)], name="s")
+
+
+def _fa(c):
+    return 2.0 * c["x"] + c["y"]
+
+
+def _fb(c):
+    return c["y"] ** 2 + 0.5 * c["x"]
+
+
+class CountingCalls:
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+
+    def __call__(self, cfg):
+        self.calls += 1
+        return self.fn(cfg)
+
+
+def routines(fa=_fa, fb=_fb, profiler=None):
+    return RoutineSet(
+        [Routine("A", ("x",), fa), Routine("B", ("y",), fb)],
+        profiler=profiler,
+    )
+
+
+class TestProfiledMeasurement:
+    def test_one_run_per_configuration_bit_identical_scores(self):
+        """Profiled phase 1 spends exactly ``1 + V x d`` application runs
+        where the unprofiled path spends ``t x`` that — with identical
+        scores."""
+        V = 6
+        prof = CountingCalls(lambda c: {"A": _fa(c), "B": _fb(c)})
+        profiled = SensitivityAnalysis.from_routines(
+            space2d(), routines(profiler=prof),
+            n_variations=V, random_state=7,
+        )
+        res_p = profiled.run()
+
+        fa, fb = CountingCalls(_fa), CountingCalls(_fb)
+        unprofiled = SensitivityAnalysis.from_routines(
+            space2d(), routines(fa, fb), n_variations=V, random_state=7
+        )
+        res_u = unprofiled.run()
+
+        assert prof.calls == 1 + V * 2
+        assert fa.calls == fb.calls == 1 + V * 2  # t x as many total calls
+        assert res_p.scores == res_u.scores
+        assert res_p.baseline_values == res_u.baseline_values
+        assert res_p.n_evaluations == res_u.n_evaluations == 1 + V * 2
+
+    def test_profiled_opt_out(self):
+        prof = CountingCalls(lambda c: {"A": _fa(c), "B": _fb(c)})
+        sa = SensitivityAnalysis.from_routines(
+            space2d(), routines(profiler=prof),
+            profiled=False, n_variations=3, random_state=0,
+        )
+        sa.run()
+        assert prof.calls == 0  # legacy per-target path
+
+    def test_retries_paid_per_run_not_per_target(self):
+        """A flaky node costs one re-profile for *all* targets, vs one
+        re-measure per target on the unprofiled path."""
+        V = 4
+
+        class FlakyProfiler:
+            def __init__(self):
+                self.seen = set()
+
+            def __call__(self, c):
+                key = (round(c["x"], 12), round(c["y"], 12))
+                if key not in self.seen:
+                    self.seen.add(key)
+                    raise OSError("simulated node flake")
+                return {"A": _fa(c), "B": _fb(c)}
+
+        base = {"x": 1.0, "y": 1.0}  # away from bounds: no clipped dupes
+        sa = SensitivityAnalysis.from_routines(
+            space2d(), routines(profiler=FlakyProfiler()),
+            n_variations=V, random_state=1,
+        )
+        res = sa.run(base)
+        clean = SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=V, random_state=1
+        ).run(base)
+        assert res.scores == clean.scores
+        assert res.n_evaluations == 2 * (1 + V * 2)  # +1 run per config
+
+        class FlakyTarget(CountingCalls):
+            def __init__(self, fn):
+                super().__init__(fn)
+                self.seen = set()
+
+            def __call__(self, cfg):
+                key = (round(cfg["x"], 12), round(cfg["y"], 12))
+                if key not in self.seen:
+                    self.seen.add(key)
+                    raise OSError("simulated node flake")
+                return super().__call__(cfg)
+
+        unprof = SensitivityAnalysis.from_routines(
+            space2d(), routines(FlakyTarget(_fa), FlakyTarget(_fb)),
+            n_variations=V, random_state=1,
+        ).run(base)
+        assert unprof.n_evaluations == 3 * (1 + V * 2)  # +1 run per target
+
+    def test_partial_profile_failure_keeps_per_target_semantics(self):
+        """A profile whose one target goes non-finite twice leaves only
+        that target imputed; the finite target is unaffected."""
+        def bad_profiler(c):
+            return {
+                "A": _fa(c),
+                "B": float("nan") if c["x"] > 5.0 else _fb(c),
+            }
+
+        sa = SensitivityAnalysis.from_routines(
+            space2d(), routines(profiler=bad_profiler),
+            n_variations=5, random_state=0,
+        )
+        base = {"x": 1.0, "y": 1.0}
+        res = sa.run(base)
+        assert all("B/" in w or "B]" in w for w in res.warnings)
+        assert res.scores["A"]["x"] > 0.0  # A never degraded
+
+
+class TestParallelAnalysis:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bit_identical_to_sequential(self, seed):
+        f = SyntheticFunction(3, noise_scale=0.0, random_state=seed)
+        seq = SensitivityAnalysis.from_routines(
+            f.search_space(), f.routines(), n_variations=4, random_state=seed
+        ).run()
+        f2 = SyntheticFunction(3, noise_scale=0.0, random_state=seed)
+        par = SensitivityAnalysis.from_routines(
+            f2.search_space(), f2.routines(), n_variations=4, random_state=seed
+        ).run(evaluator=Phase1Evaluator(parallel=True, n_workers=2))
+        assert par.scores == seq.scores
+        assert par.warnings == seq.warnings
+        assert par.n_evaluations == seq.n_evaluations
+        assert par.baseline == seq.baseline
+        assert par.baseline_values == seq.baseline_values
+
+    def test_unpicklable_measurer_falls_back_in_process(self):
+        calls = CountingCalls(_fa)  # closure-free but local lambdas below
+        sa = SensitivityAnalysis(
+            space2d(),
+            {"f": lambda c: calls(c)},  # lambda: cannot cross processes
+            n_variations=3,
+            random_state=2,
+        )
+        res = sa.run(evaluator=Phase1Evaluator(parallel=True, n_workers=2))
+        ref = SensitivityAnalysis(
+            space2d(), {"f": _fa}, n_variations=3, random_state=2
+        ).run()
+        assert res.scores == ref.scores
+
+
+class TestResume:
+    def test_kill_and_resume_measures_only_remaining(self, tmp_path):
+        V = 5
+        n_tasks = 1 + 2 * V
+        fa, fb = CountingCalls(_fa), CountingCalls(_fb)
+        full = SensitivityAnalysis.from_routines(
+            space2d(), routines(fa, fb), n_variations=V, random_state=3
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)),
+              label="sens")
+        assert fa.calls == n_tasks
+
+        # Simulate a crash after 4 observations: truncate the log to the
+        # header + 4 records + one torn line.
+        log = tmp_path / "sens.jsonl"
+        lines = log.read_text().splitlines(True)
+        log.write_text("".join(lines[:5]) + '{"index": 5, "ki')
+
+        fa2, fb2 = CountingCalls(_fa), CountingCalls(_fb)
+        resumed = SensitivityAnalysis.from_routines(
+            space2d(), routines(fa2, fb2), n_variations=V, random_state=3
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)),
+              label="sens")
+        assert fa2.calls == n_tasks - 4  # only the unlogged tasks re-ran
+        assert resumed.scores == full.scores
+        assert resumed.n_evaluations == full.n_evaluations
+        assert resumed.warnings == full.warnings
+
+    def test_second_resume_after_torn_line_replays_everything(self, tmp_path):
+        """Appending after a torn tail must not bury the fragment inside
+        the file: the resumed run truncates it before appending, so a
+        later run still sees a valid, complete log and replays it all."""
+        V = 5
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=V, random_state=3
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)),
+              label="sens")
+        log = tmp_path / "sens.jsonl"
+        lines = log.read_text().splitlines(True)
+        log.write_text("".join(lines[:5]) + '{"index": 5, "ki')
+
+        # First resume appends the re-measured tail after the torn line.
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=V, random_state=3
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)),
+              label="sens")
+        for line in log.read_text().splitlines():
+            json.loads(line)  # the fragment was truncated, not buried
+
+        # Second resume: the log is complete and valid -> full replay.
+        fa = CountingCalls(_fa)
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(fa), n_variations=V, random_state=3
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)),
+              label="sens")
+        assert fa.calls == 0
+
+    def test_torn_header_line_removes_file_and_restarts(self, tmp_path):
+        """A crash during the very first append leaves only a header
+        fragment; the log is dropped and rebuilt with a fresh header."""
+        log = tmp_path / "sens.jsonl"
+        log.write_text('{"format": "repro-phase1-log", "lab')
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=3, random_state=0
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)),
+              label="sens")
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert lines[0]["format"] == "repro-phase1-log"
+        assert len(lines) == 1 + (1 + 2 * 3)
+
+    def test_completed_log_replays_everything(self, tmp_path):
+        ev = Phase1Evaluator(checkpoint_dir=str(tmp_path))
+        first = SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=4, random_state=0
+        ).run(evaluator=ev)
+        fa = CountingCalls(_fa)
+        again = SensitivityAnalysis.from_routines(
+            space2d(), routines(fa), n_variations=4, random_state=0
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)))
+        assert fa.calls == 0
+        assert again.scores == first.scores
+
+    def test_stale_log_discarded_and_remeasured(self, tmp_path):
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=5, random_state=0
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)))
+
+        # Different plan (V changed): the log header no longer matches.
+        fa = CountingCalls(_fa)
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(fa), n_variations=4, random_state=0
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)))
+        assert fa.calls == 1 + 2 * 4  # full fresh measurement
+
+    def test_diverging_record_discards_log(self, tmp_path):
+        ev = Phase1Evaluator(checkpoint_dir=str(tmp_path))
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=4, random_state=0
+        ).run(evaluator=ev)
+        # Same plan shape, different baseline -> same header, diverging
+        # configuration fingerprints.
+        fa = CountingCalls(_fa)
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(fa), n_variations=4, random_state=1
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)))
+        assert fa.calls == 1 + 2 * 4
+
+
+class TestBaselineFailure:
+    def test_aborts_before_fanout(self):
+        calls = CountingCalls(lambda c: float("nan"))
+        sa = SensitivityAnalysis(
+            space2d(), {"f": calls}, n_variations=5, random_state=0
+        )
+        with pytest.raises(RuntimeError, match="baseline"):
+            sa.run()
+        assert calls.calls == 2  # two baseline attempts, zero variations
+
+    def test_failed_baseline_not_persisted(self, tmp_path):
+        sa = SensitivityAnalysis(
+            space2d(), {"f": lambda c: float("nan")},
+            n_variations=3, random_state=0,
+        )
+        with pytest.raises(RuntimeError):
+            sa.run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)))
+        # The outage was transient: a re-run re-measures the baseline
+        # instead of replaying the dead one from the log.
+        res = SensitivityAnalysis(
+            space2d(), {"f": _fa}, n_variations=3, random_state=0
+        ).run(evaluator=Phase1Evaluator(checkpoint_dir=str(tmp_path)))
+        assert res.warnings == []
+        assert res.n_evaluations == 1 + 3 * 2
+
+
+class TestObservationAccumulation:
+    def test_evaluator_accumulates_in_plan_order(self):
+        ev = Phase1Evaluator()
+        SensitivityAnalysis.from_routines(
+            space2d(), routines(), n_variations=3, random_state=0
+        ).run(evaluator=ev)
+        assert len(ev.observations) == 1 + 3 * 2
+        assert ev.observations[0].kind == "baseline"
+        assert [o.index for o in ev.observations] == list(range(7))
+
+
+class TestProjection:
+    def members(self):
+        return [Routine("A", ("x",), _fa, weight=2.0),
+                Routine("B", ("y",), _fb, weight=1.0)]
+
+    def obs(self, index, config, values):
+        return Phase1Observation(
+            index=index, kind="variation", param="x",
+            config=config, values=values,
+        )
+
+    def test_exact_pin_match_reconstructs_objective(self):
+        sub = space2d().subspace(["x"], pinned={"y": 2.0}, name="m")
+        records = project_observations(
+            [self.obs(0, {"x": 1.0, "y": 2.0}, {"A": 4.0, "B": 4.5})],
+            self.members(), sub,
+        )
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.objective == 2.0 * 4.0 + 1.0 * 4.5
+        assert rec.cost == 0.0
+        assert rec.meta["warm_start"] is True
+        assert "warm_inexact" not in rec.meta
+        assert rec.config == {"x": 1.0, "y": 2.0}
+
+    def test_pin_mismatch_skipped_and_tolerance_tagged(self):
+        sub = space2d().subspace(["x"], pinned={"y": 2.0}, name="m")
+        near = self.obs(0, {"x": 1.0, "y": 2.05}, {"A": 4.1, "B": 4.7})
+        assert project_observations([near], self.members(), sub) == []
+        recs = project_observations(
+            [near], self.members(), sub, tolerance=0.05
+        )
+        assert len(recs) == 1
+        assert recs[0].meta["warm_inexact"] is True
+
+    def test_dedup_cap_and_ordering(self):
+        sub = space2d().subspace(["x"], pinned={"y": 2.0}, name="m")
+        obs = [
+            self.obs(0, {"x": 3.0, "y": 2.0}, {"A": 9.0, "B": 1.0}),
+            self.obs(1, {"x": 1.0, "y": 2.0}, {"A": 1.0, "B": 1.0}),
+            self.obs(2, {"x": 1.0, "y": 2.0}, {"A": 5.0, "B": 5.0}),  # dup
+            self.obs(3, {"x": 2.0, "y": 2.0}, {"A": 4.0, "B": 1.0}),
+        ]
+        recs = project_observations(obs, self.members(), sub, max_records=2)
+        assert len(recs) == 2
+        assert [r.config["x"] for r in recs] == [1.0, 2.0]  # best first
+        assert recs[0].objective <= recs[1].objective
+
+    def test_failed_and_nonfinite_values_skipped(self):
+        sub = space2d().subspace(["x"], pinned={"y": 2.0}, name="m")
+        obs = [
+            self.obs(0, {"x": 1.0, "y": 2.0}, {"A": None, "B": 4.0}),
+            self.obs(1, {"x": 2.0, "y": 2.0}, {"A": float("inf"), "B": 4.0}),
+        ]
+        assert project_observations(obs, self.members(), sub) == []
+
+    def test_observation_missing_tuned_parameter_skipped(self):
+        sub = space2d().subspace(["x"], pinned={"y": 2.0}, name="m")
+        partial = Phase1Observation(
+            index=0, kind="insight", param=None,
+            config={"y": 2.0}, values={"A": 1.0, "B": 1.0},
+        )
+        assert project_observations([partial], self.members(), sub) == []
+
+
+class TestObservationRoundTrip:
+    def test_to_from_dict(self):
+        obs = Phase1Observation(
+            index=3, kind="variation", param="x",
+            config={"x": 1.5, "y": 2.0},
+            values={"A": 1.0, "B": None},
+            errors={"B": "OSError('flake')"},
+            extra_runs=1,
+        )
+        d = json.loads(json.dumps(obs.to_dict()))
+        again = Phase1Observation.from_dict(d)
+        assert again == obs
+        assert not obs.ok

@@ -62,3 +62,50 @@ class TestRunAveraged:
             sa.run_averaged(0)
         with pytest.raises(ValueError):
             sa.run_averaged(2, baselines=[{"x": 1.0, "y": 1.0}])
+
+
+class TestAveragedDegradation:
+    """A target failing on exactly one baseline degrades only that
+    baseline's contribution (issue satellite)."""
+
+    BASES = [{"x": 1.0, "y": 1.0}, {"x": 1.0, "y": 9.0}]
+
+    @staticmethod
+    def target(c):
+        # Every x-variation of baseline 1 (y pinned at 9.0) fails twice;
+        # baseline 0 and all y-variations are clean.
+        if c["y"] == 9.0 and c["x"] != 1.0:
+            return float("nan")
+        return 100.0 * c["x"] + c["y"]
+
+    def run(self, V=4):
+        sa = SensitivityAnalysis(
+            space(), {"f": self.target}, n_variations=V, random_state=0
+        )
+        return sa.run_averaged(2, baselines=self.BASES)
+
+    def test_warnings_prefixed_with_baseline_index(self):
+        res = self.run()
+        assert res.warnings  # baseline 1's x-variations all failed
+        assert all(w.startswith("baseline 1: ") for w in res.warnings)
+        assert any("score set to 0" in w for w in res.warnings)
+
+    def test_n_evaluations_sums_baselines_and_retries(self):
+        V = 4
+        res = self.run(V)
+        # Baseline 0: 1 + 2V clean runs.  Baseline 1: same configs, but
+        # the V failed x-variations are each re-measured once.
+        assert res.n_evaluations == (1 + 2 * V) + (1 + 2 * V + V)
+
+    def test_scores_average_with_zeroed_baseline(self):
+        V = 4
+        res = self.run(V)
+        solo = SensitivityAnalysis(
+            space(), {"f": self.target}, n_variations=V, random_state=0
+        ).run(self.BASES[0])
+        # Baseline 1 contributes 0 for x (all variations failed), so the
+        # average halves baseline 0's x-score.
+        assert res.scores["f"]["x"] == pytest.approx(
+            solo.scores["f"]["x"] / 2.0
+        )
+        assert res.scores["f"]["y"] > 0.0

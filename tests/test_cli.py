@@ -34,6 +34,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report"])
 
+    def test_phase1_engine_flags(self):
+        args = build_parser().parse_args([
+            "synthetic", "--parallel-analysis",
+            "--analysis-checkpoint-dir", "/tmp/p1",
+            "--warm-start", "--warm-start-tolerance", "0.05",
+            "--warm-start-max", "3",
+        ])
+        assert args.parallel_analysis is True
+        assert args.analysis_checkpoint_dir == "/tmp/p1"
+        assert args.warm_start is True
+        assert args.warm_start_tolerance == 0.05
+        assert args.warm_start_max == 3
+
+    def test_phase1_engine_defaults_off(self):
+        args = build_parser().parse_args(["tddft", "--no-warm-start"])
+        assert args.parallel_analysis is False
+        assert args.analysis_checkpoint_dir is None
+        assert args.warm_start is False
+        assert args.warm_start_tolerance == 0.0
+        assert args.warm_start_max is None
+
+    def test_phase1_flags_reach_methodology_kwargs(self):
+        from repro.cli import _robustness_kwargs
+
+        args = build_parser().parse_args(
+            ["synthetic", "--warm-start", "--parallel-analysis"]
+        )
+        kw = _robustness_kwargs(args)
+        assert kw["warm_start"] is True
+        assert kw["parallel_analysis"] is True
+        assert kw["warm_start_tolerance"] == 0.0
+        assert kw["warm_start_max"] is None
+        assert kw["analysis_checkpoint_dir"] is None
+
 
 class TestCommands:
     def test_info(self, capsys):
