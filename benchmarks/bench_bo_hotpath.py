@@ -1,0 +1,192 @@
+"""Batched BO hot path — acquisition throughput at thousand-observation scale.
+
+Campaigns that run to N ~ 1000 observations spend their modeling time
+scoring candidate pools, and the pre-vectorization loop paid one
+``predict`` (an O(N^2) back-substitution plus Python dispatch) *per
+candidate*.  The batched path — one ``model.predict`` over the whole
+encoded ``(m, d)`` pool followed by a pure-ufunc ``score`` on the
+``(mu, std)`` arrays — turns that into three BLAS calls.  This benchmark
+measures the ratio and ties it to correctness:
+
+* **acquisition throughput**: wall-clock to score a C-candidate pool,
+  per-candidate reference loop vs. one batched call, at N = 500 and
+  N = 1000 observations.  Acceptance bounds: **>= 5x at N = 500** (the
+  CI smoke guard) and **>= 10x at N = 1000**,
+* **proposal identity**: batched and loop argmax must pick the same
+  candidate (tolerance-free comparison of the winning index),
+* **differential guard**: harness seeds must produce identical proposal
+  sequences with the incremental fast path on vs. off for every
+  acquisition the batched path ships (ei, pi, lcb, ts).
+
+Sizes are fixed (not ``REPRO_BENCH_SCALE``-scaled): the bounds *are* the
+acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bo.acquisition import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+    score_candidates,
+)
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import kernel_by_name
+
+from _helpers import format_table, once, reps, write_result
+from tests.bo.harness.differential import run_differential
+
+SIZES = (500, 1000)
+BOUNDS = {500: 5.0, 1000: 10.0}
+POOL = 1024        # candidates scored per acquisition call
+DIM = 6
+HARNESS_SEEDS = (0, 1, 2)
+HARNESS_ACQS = ("ei", "pi", "lcb", "ts")
+
+_ACQS = {
+    "ei": ExpectedImprovement(),
+    "pi": ProbabilityOfImprovement(),
+    "lcb": LowerConfidenceBound(),
+}
+
+
+def _fit_gp(n, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, DIM))
+    y = np.sin(X.sum(axis=1)) + 0.1 * rng.standard_normal(n)
+    gp = GaussianProcess(kernel=kernel_by_name("matern52", DIM), random_state=0)
+    gp.fit(X, y, optimize=False)
+    return gp, float(np.min(y))
+
+
+def _pool(seed=1):
+    return np.random.default_rng(seed).random((POOL, DIM))
+
+
+def time_loop(gp, incumbent, acq, pool):
+    """Per-candidate reference: one predict + scalar score per row.
+
+    Each row is handed to ``predict`` as a fresh 1-row array (a distinct
+    object, so the cross-column cache cannot help) — exactly the work the
+    pre-vectorization maximizer did per candidate.
+    """
+    t0 = time.perf_counter()
+    scores = np.empty(pool.shape[0])
+    for i in range(pool.shape[0]):
+        row = pool[i : i + 1].copy()
+        mu, std = gp.predict(row)
+        scores[i] = acq.score(mu, std, incumbent)[0]
+    return time.perf_counter() - t0, scores
+
+
+def time_batched(gp, incumbent, acq, pool):
+    """One batched predict over the pool + pure-ufunc score.
+
+    The pool is copied per call so the timing is cache-cold — the real
+    loop re-scores the *same* pool object and rides the cross-column
+    cache, making this a conservative measurement.
+    """
+    fresh = pool.copy()
+    t0 = time.perf_counter()
+    scores = score_candidates(acq, gp, fresh, incumbent)
+    return time.perf_counter() - t0, scores
+
+
+def test_bo_hotpath_throughput(benchmark):
+    def body():
+        measurements = {}
+        for n in SIZES:
+            gp, incumbent = _fit_gp(n)
+            pool = _pool()
+            gp.predict(pool.copy())  # warm BLAS / allocator
+            n_reps = max(3, reps())
+            per_acq = {}
+            for name, acq in _ACQS.items():
+                loop_t, loop_s = min(
+                    (time_loop(gp, incumbent, acq, pool)
+                     for _ in range(1 if n >= 1000 else n_reps)),
+                    key=lambda r: r[0],
+                )
+                batch_t, batch_s = min(
+                    (time_batched(gp, incumbent, acq, pool)
+                     for _ in range(n_reps)),
+                    key=lambda r: r[0],
+                )
+                # Both paths must propose the same candidate.
+                assert int(np.argmax(batch_s)) == int(np.argmax(loop_s)), (
+                    f"{name} N={n}: batched argmax "
+                    f"{int(np.argmax(batch_s))} != loop {int(np.argmax(loop_s))}"
+                )
+                np.testing.assert_allclose(
+                    batch_s, loop_s, rtol=1e-9, atol=1e-12
+                )
+                per_acq[name] = (loop_t, batch_t)
+            measurements[n] = per_acq
+        return measurements
+
+    measurements = once(benchmark, body)
+
+    rows = []
+    for n, per_acq in measurements.items():
+        for name, (loop_t, batch_t) in per_acq.items():
+            rows.append(
+                (
+                    n,
+                    name,
+                    f"{loop_t * 1e3:.2f}",
+                    f"{batch_t * 1e3:.2f}",
+                    f"{loop_t / batch_t:.1f}x",
+                    f"{POOL / batch_t:,.0f}",
+                )
+            )
+    table = format_table(
+        [
+            "N",
+            "acq",
+            "loop [ms]",
+            "batched [ms]",
+            "speedup",
+            "candidates/s (batched)",
+        ],
+        rows,
+    )
+
+    reports = {
+        acq: [run_differential(seed, acquisition=acq)
+              for seed in HARNESS_SEEDS]
+        for acq in HARNESS_ACQS
+    }
+    guard_lines = [
+        f"[{acq:>3}] {r.line()}"
+        for acq in HARNESS_ACQS
+        for r in reports[acq]
+    ]
+    bound_lines = [
+        f"bound: EI speedup >= {BOUNDS[n]:.0f}x at N={n} "
+        f"(C={POOL} candidates, cache-cold batched call)"
+        for n in SIZES
+    ]
+    write_result(
+        "bo_hotpath",
+        table
+        + "\n\n"
+        + "\n".join(bound_lines)
+        + "\ndifferential guard (incremental on vs. off, per acquisition):\n  "
+        + "\n  ".join(guard_lines),
+    )
+
+    for n in SIZES:
+        loop_t, batch_t = measurements[n]["ei"]
+        speedup = loop_t / batch_t
+        assert speedup >= BOUNDS[n], (
+            f"batched acquisition speedup {speedup:.1f}x at N={n} below "
+            f"{BOUNDS[n]:.0f}x bound"
+        )
+    for acq, acq_reports in reports.items():
+        for report in acq_reports:
+            assert report.identical, f"[{acq}] {report.line()}"
+            assert report.n_incremental_fits > 0

@@ -14,8 +14,10 @@ from .acquisition import (
     ThompsonSampling,
     acquisition_by_name,
     maximize_acquisition,
+    score_candidates,
 )
 from .batch import BatchBayesianOptimizer
+from .pool import EncodedPool, SharedMatrix
 from .gp import GaussianProcess, GPFitError
 from .highdim import AdditiveBO, DropoutBO, RandomEmbeddingBO
 from .history import Evaluation, EvaluationDatabase, EvaluationStatus
@@ -38,6 +40,9 @@ __all__ = [
     "ThompsonSampling",
     "acquisition_by_name",
     "maximize_acquisition",
+    "score_candidates",
+    "EncodedPool",
+    "SharedMatrix",
     "Evaluation",
     "EvaluationDatabase",
     "EvaluationStatus",

@@ -13,7 +13,7 @@ strategy GPTune uses for constrained HPC spaces.
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -21,6 +21,7 @@ from scipy.stats import norm
 
 from ..space import SearchSpace
 from .gp import GaussianProcess
+from .pool import EncodedPool
 
 __all__ = [
     "AcquisitionFunction",
@@ -30,18 +31,46 @@ __all__ = [
     "ThompsonSampling",
     "acquisition_by_name",
     "assemble_candidates",
+    "score_candidates",
     "maximize_acquisition",
 ]
 
 
 class AcquisitionFunction(ABC):
-    """Scores candidate points; higher is more promising."""
+    """Scores candidate points; higher is more promising.
 
-    @abstractmethod
-    def __call__(
-        self, model: GaussianProcess, X: np.ndarray, incumbent: float
+    The scoring path is split in two so the hot loop stays in BLAS/ufunc
+    land: :meth:`__call__` runs *one* batched ``model.predict`` over the
+    whole encoded pool, then hands the ``(mu, std)`` arrays to
+    :meth:`score`, which must be a pure ufunc composition (no Python
+    per-candidate work, no model access).  Acquisitions that need more
+    than the marginal posterior (Thompson sampling's joint draw) override
+    :meth:`__call__` directly.
+    """
+
+    def score(
+        self, mu: np.ndarray, std: np.ndarray, incumbent: float
     ) -> np.ndarray:
-        """Vectorized score for encoded candidates ``X`` -> ``(m,)``."""
+        """Pure-ufunc score from posterior marginals -> ``(m,)``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not score from posterior marginals"
+        )
+
+    def __call__(
+        self,
+        model: GaussianProcess,
+        X: np.ndarray,
+        incumbent: float,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Vectorized score for encoded candidates ``X`` -> ``(m,)``.
+
+        ``rng`` is consumed only by stochastic acquisitions (Thompson
+        sampling); deterministic ones ignore it, so the caller can always
+        pass its per-iteration stream without perturbing results.
+        """
+        mu, std = model.predict(X)
+        return self.score(mu, std, incumbent)
 
     def update(self, iteration: int, total: int) -> None:
         """Hook for schedule-dependent acquisitions (e.g. LCB beta decay)."""
@@ -57,11 +86,15 @@ class ExpectedImprovement(AcquisitionFunction):
     def __init__(self, xi: float = 0.01):
         self.xi = float(xi)
 
-    def __call__(self, model, X, incumbent):
-        mu, std = model.predict(X)
+    def score(self, mu, std, incumbent):
         std = np.maximum(std, 1e-12)
-        z = (incumbent - mu - self.xi) / std
-        return (incumbent - mu - self.xi) * norm.cdf(z) + std * norm.pdf(z)
+        imp = incumbent - mu - self.xi
+        z = imp / std
+        ei = imp * norm.cdf(z) + std * norm.pdf(z)
+        # EI is mathematically >= 0; catastrophic cancellation near a
+        # degenerate posterior (std at the clamp, imp < 0) can produce
+        # tiny negatives, which would outrank genuine zeros.
+        return np.maximum(ei, 0.0, out=ei)
 
 
 class ProbabilityOfImprovement(AcquisitionFunction):
@@ -70,8 +103,7 @@ class ProbabilityOfImprovement(AcquisitionFunction):
     def __init__(self, xi: float = 0.01):
         self.xi = float(xi)
 
-    def __call__(self, model, X, incumbent):
-        mu, std = model.predict(X)
+    def score(self, mu, std, incumbent):
         std = np.maximum(std, 1e-12)
         return norm.cdf((incumbent - mu - self.xi) / std)
 
@@ -80,7 +112,9 @@ class LowerConfidenceBound(AcquisitionFunction):
     """LCB for minimization: score = ``-(mu - beta * std)``.
 
     ``beta`` optionally decays from ``beta`` to ``beta_final`` across the
-    run (exploration early, exploitation late).
+    run (exploration early, exploitation late).  ``beta`` is a pure
+    function of the latest :meth:`update` call, so a resumed search that
+    replays the schedule reaches the identical value.
     """
 
     def __init__(self, beta: float = 2.0, beta_final: float | None = None):
@@ -95,8 +129,7 @@ class LowerConfidenceBound(AcquisitionFunction):
             frac = min(1.0, iteration / (total - 1))
             self.beta = self.beta0 + frac * (self.beta_final - self.beta0)
 
-    def __call__(self, model, X, incumbent):
-        mu, std = model.predict(X)
+    def score(self, mu, std, incumbent):
         return -(mu - self.beta * std)
 
 
@@ -105,6 +138,12 @@ class ThompsonSampling(AcquisitionFunction):
 
     Naturally batch-friendly and parameter-free; included for the
     acquisition ablation benchmark.
+
+    Determinism: when the caller passes ``rng`` (the BO loop passes its
+    per-iteration SeedSequence stream), the draw is keyed to the search's
+    progress index and kill-and-resume replays it bit-identically.  The
+    private ``random_state`` generator is only a fallback for direct
+    standalone calls.
     """
 
     def __init__(self, random_state: int | np.random.Generator | None = None):
@@ -114,8 +153,10 @@ class ThompsonSampling(AcquisitionFunction):
             else np.random.default_rng(random_state)
         )
 
-    def __call__(self, model, X, incumbent):
-        sample = model.sample_posterior(X, n_samples=1, rng=self.rng)[0]
+    def __call__(self, model, X, incumbent, rng=None):
+        sample = model.sample_posterior(
+            X, n_samples=1, rng=rng if rng is not None else self.rng
+        )[0]
         return -sample
 
 
@@ -145,14 +186,18 @@ def assemble_candidates(
     n_candidates: int = 512,
     incumbent_config: Mapping[str, Any] | None = None,
     exclude: Sequence[Mapping[str, Any]] = (),
+    exclude_keys: set[tuple] | None = None,
 ) -> list[dict[str, Any]]:
     """Build the feasible candidate pool the acquisition scores.
 
     Candidate pool = constrained random samples + the feasible neighbors of
     the incumbent configuration (local refinement).  Already-evaluated
-    configurations in ``exclude`` are skipped so discrete searches do not
-    stall re-suggesting the same point (unless the space is exhausted, in
-    which case repeats are allowed rather than returning nothing).
+    configurations — given either as ``exclude`` dicts or as precomputed
+    identity ``exclude_keys`` (``tuple(c[name] for name in space.names)``,
+    the O(1)-per-iteration form the BO loop maintains incrementally) — are
+    skipped so discrete searches do not stall re-suggesting the same point
+    (unless the space is exhausted, in which case repeats are allowed
+    rather than returning nothing).
 
     Shared by the sequential maximizer and the batch (constant-liar)
     proposer: batch BO builds the pool *once*, encodes it once, and scores
@@ -170,11 +215,31 @@ def assemble_candidates(
         raise RuntimeError(f"no feasible candidates available in {space.name!r}")
 
     names = space.names
-    seen = {tuple(c[k] for k in names) for c in exclude}
+    seen = set(exclude_keys) if exclude_keys is not None else set()
+    seen.update(tuple(c[k] for k in names) for c in exclude)
     fresh = [c for c in candidates if tuple(c[k] for k in names) not in seen]
     if fresh:
         candidates = fresh  # only fall back to repeats when space is exhausted
     return candidates
+
+
+def score_candidates(
+    acquisition: AcquisitionFunction,
+    model: GaussianProcess,
+    X: np.ndarray,
+    incumbent: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Score an encoded ``(m, d)`` pool in one batched call -> ``(m,)``.
+
+    One ``model.predict`` over the whole matrix, acquisitions pure-ufunc
+    on the ``(mu, std)`` arrays (see :meth:`AcquisitionFunction.score`);
+    non-finite scores are masked to ``-inf`` so they can never win the
+    argmax.
+    """
+    scores = np.asarray(acquisition(model, X, incumbent, rng), dtype=float)
+    scores[~np.isfinite(scores)] = -np.inf
+    return scores
 
 
 def maximize_acquisition(
@@ -187,19 +252,49 @@ def maximize_acquisition(
     n_candidates: int = 512,
     incumbent_config: Mapping[str, Any] | None = None,
     exclude: Sequence[Mapping[str, Any]] = (),
+    exclude_keys: set[tuple] | None = None,
+    pool: EncodedPool | None = None,
+    acquisition_rng: np.random.Generator | None = None,
 ) -> dict[str, Any]:
     """Pick the feasible configuration with the best acquisition score.
 
-    See :func:`assemble_candidates` for how the pool is built.
+    With ``pool`` given (a fixed :class:`~repro.bo.pool.EncodedPool`),
+    the pre-encoded matrix is scored directly — no sampling, no
+    re-encoding — and evaluated candidates are masked by key; when every
+    pool entry is masked the maximizer falls back to freshly sampled
+    candidates so the search keeps making progress.  Otherwise the pool
+    is assembled per call (see :func:`assemble_candidates`).
+
+    ``acquisition_rng`` feeds stochastic acquisitions (Thompson
+    sampling); the BO loop passes its per-iteration stream so proposals
+    stay deterministic and kill-and-resume bit-identical.
     """
+    if pool is not None and len(pool) > 0:
+        scores = score_candidates(
+            acquisition, model, pool.X, incumbent, acquisition_rng
+        )
+        names = space.names
+        masked = set(exclude_keys) if exclude_keys is not None else set()
+        masked.update(tuple(c[k] for k in names) for c in exclude)
+        if masked:
+            keys = pool.keys or [
+                tuple(c[k] for k in names) for c in pool.configs
+            ]
+            hit = np.fromiter(
+                (k in masked for k in keys), dtype=bool, count=len(keys)
+            )
+            scores[hit] = -np.inf
+        if np.isfinite(scores.max()):
+            return dict(pool.configs[int(np.argmax(scores))])
+        # Fixed pool exhausted: fall through to fresh sampling below.
     candidates = assemble_candidates(
         space,
         rng,
         n_candidates=n_candidates,
         incumbent_config=incumbent_config,
         exclude=exclude,
+        exclude_keys=exclude_keys,
     )
     X = space.encode_batch(candidates)
-    scores = np.asarray(acquisition(model, X, incumbent), dtype=float)
-    scores[~np.isfinite(scores)] = -np.inf
+    scores = score_candidates(acquisition, model, X, incumbent, acquisition_rng)
     return candidates[int(np.argmax(scores))]

@@ -19,10 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..space import SearchSpace
-from .acquisition import assemble_candidates
+from .acquisition import assemble_candidates, score_candidates
 from .gp import GaussianProcess, GPFitError
 from .kernels import kernel_by_name
 from .optimizer import BayesianOptimizer, BOResult, Objective
+from .pool import EncodedPool
 
 __all__ = ["BatchBayesianOptimizer"]
 
@@ -97,31 +98,39 @@ class BatchBayesianOptimizer(BayesianOptimizer):
         except GPFitError:
             return [self.space.sample(self.rng) for _ in range(self.batch_size)]
 
-        pool = assemble_candidates(
-            self.space,
-            self.rng,
-            n_candidates=self.n_candidates,
-            incumbent_config=incumbent_cfg,
-            exclude=configs,
+        if self.candidate_pool is not None and len(self.candidate_pool) > 0:
+            pool = self.candidate_pool
+        else:
+            pool = EncodedPool.from_configs(
+                self.space,
+                assemble_candidates(
+                    self.space,
+                    self.rng,
+                    n_candidates=self.n_candidates,
+                    incumbent_config=incumbent_cfg,
+                    exclude=configs,
+                ),
+            )
+        Xp = pool.X
+        keys = pool.keys
+        evaluated = {tuple(c[k] for k in self.space.names) for c in configs}
+        taken = np.fromiter(
+            (k in evaluated for k in keys), dtype=bool, count=len(keys)
         )
-        Xp = self.space.encode_batch(pool)
-        keys = [tuple(c[k] for k in self.space.names) for c in pool]
-        taken: set[tuple] = set()
 
         batch: list[dict] = []
         for _ in range(self.batch_size):
-            scores = np.asarray(self.acquisition(gp, Xp, incumbent), dtype=float)
-            scores[~np.isfinite(scores)] = -np.inf
-            for j, key in enumerate(keys):
-                if key in taken:
-                    scores[j] = -np.inf
+            scores = score_candidates(
+                self.acquisition, gp, Xp, incumbent, self.rng
+            )
+            scores[taken] = -np.inf
             j = int(np.argmax(scores))
             if not np.isfinite(scores[j]):
                 # Pool exhausted: pad the round with fresh random samples.
                 batch.append(self.space.sample(self.rng))
                 continue
-            batch.append(pool[j])
-            taken.add(keys[j])
+            batch.append(dict(pool.configs[j]))
+            taken[j] = True
             if len(batch) < self.batch_size:
                 try:
                     # The lie: pretend the point already returned `lie`.

@@ -206,21 +206,24 @@ class GaussianProcess:
         self._y = (resid - self._y_mean) / self._y_std
 
     def update(self, X_new: np.ndarray, y_new: np.ndarray) -> "GaussianProcess":
-        """Append observations via rank-1 Cholesky extension — O(N^2) each.
+        """Append observations via a block Cholesky extension — O(N^2 q).
 
         The existing factor ``L`` of ``K + (noise + jitter) I`` is extended
-        with one row per new observation::
+        with all ``q`` new rows in three BLAS calls (one kernel
+        cross-block, one triangular solve, one q x q Schur Cholesky)::
 
-            L_ext = [[L,     0  ],        l12 = L^{-1} k(X, x_new)
-                     [l12^T, l22]],       l22 = sqrt(k(x,x) + noise + jitter
-                                                     - l12.l12)
+            L_ext = [[L,     0  ],        L12 = L^{-1} K(X, X_new)
+                     [L12^T, L22]],       L22 = chol(K(X_new, X_new)
+                                                     + (noise + jitter) I
+                                                     - L12^T L12)
 
         Target normalization and ``alpha`` are recomputed from the full
         target vector (two O(N^2) triangular solves), so predictions match
         a same-hyperparameter full refit to floating-point rounding.
-        Hyperparameters are *not* re-optimized.  If the extension breaks
-        down numerically (non-positive pivot), the model transparently
-        falls back to a full factorization; check :attr:`last_fit_mode`.
+        Hyperparameters are *not* re-optimized.  If the Schur complement is
+        not positive definite (numerical breakdown), the model
+        transparently falls back to a full factorization; check
+        :attr:`last_fit_mode`.
         """
         if not self.is_fit:
             raise GPFitError("update() called before fit()")
@@ -240,46 +243,47 @@ class GaussianProcess:
         if not np.all(np.isfinite(X_new)) or not np.all(np.isfinite(y_new)):
             raise GPFitError("non-finite values in update data")
 
-        fallback = False
-        for i, (x, yv) in enumerate(zip(X_new, y_new)):
-            row = x[None, :]
-            n = self._X.shape[0]
-            k = self.kernel(self._X, row)[:, 0]  # (n,) cross-column
-            k_ss = float(self.kernel.diag(row)[0])
-            # Extend the cached noise-free covariance in O(N d).
-            if self._K is not None and self._K.shape[0] == n:
-                K_ext = np.empty((n + 1, n + 1))
-                K_ext[:n, :n] = self._K
-                K_ext[n, :n] = K_ext[:n, n] = k
-                K_ext[n, n] = k_ss
-                self._K = K_ext
-            self._X = np.vstack([self._X, row])
-            self._y_raw = np.append(self._y_raw, yv)
+        n, q = self._X.shape[0], X_new.shape[0]
+        K12 = self.kernel(self._X, X_new)  # (n, q) cross-block
+        K22 = self.kernel(X_new)  # (q, q)
+        L12 = solve_triangular(self._L, K12, lower=True)  # (n, q)
+        S = K22 - L12.T @ L12
+        S[np.diag_indices_from(S)] += self.noise + self._jitter
+        try:
+            if not np.all(np.isfinite(S)):
+                raise np.linalg.LinAlgError("non-finite Schur complement")
+            L22 = cholesky(S, lower=True)
+        except np.linalg.LinAlgError:
+            # Numerical breakdown: absorb the rows as plain data and
+            # refactorize from scratch (all-or-nothing — no partially
+            # extended factor is ever left behind).
+            self._X = np.vstack([self._X, X_new])
+            self._y_raw = np.append(self._y_raw, y_new)
+            self._K = None
+            self._refresh_targets()
+            self._factorize()  # resets caches, mode, and chain length
+            return self
 
-            l12 = solve_triangular(self._L, k, lower=True)
-            d2 = k_ss + self.noise + self._jitter - float(l12 @ l12)
-            if not np.isfinite(d2) or d2 <= 0.0:
-                # Numerical breakdown: absorb the remaining rows as plain
-                # data and refactorize from scratch below.
-                if i + 1 < X_new.shape[0]:
-                    self._X = np.vstack([self._X, X_new[i + 1:]])
-                    self._y_raw = np.append(self._y_raw, y_new[i + 1:])
-                    self._K = None
-                fallback = True
-                break
-            L_ext = np.zeros((n + 1, n + 1))
-            L_ext[:n, :n] = self._L
-            L_ext[n, :n] = l12
-            L_ext[n, n] = np.sqrt(d2)
-            self._L = L_ext
+        # Extend the cached noise-free covariance in O(N q d).
+        if self._K is not None and self._K.shape[0] == n:
+            K_ext = np.empty((n + q, n + q))
+            K_ext[:n, :n] = self._K
+            K_ext[:n, n:] = K12
+            K_ext[n:, :n] = K12.T
+            K_ext[n:, n:] = K22
+            self._K = K_ext
+        L_ext = np.zeros((n + q, n + q))
+        L_ext[:n, :n] = self._L
+        L_ext[n:, :n] = L12.T
+        L_ext[n:, n:] = L22
+        self._L = L_ext
+        self._X = np.vstack([self._X, X_new])
+        self._y_raw = np.append(self._y_raw, y_new)
 
         self._refresh_targets()
-        if fallback:
-            self._factorize()  # resets caches, mode, and chain length
-        else:
-            self._alpha = cho_solve((self._L, True), self._y)
-            self.last_fit_mode = "incremental"
-            self.n_incremental += X_new.shape[0]
+        self._alpha = cho_solve((self._L, True), self._y)
+        self.last_fit_mode = "incremental"
+        self.n_incremental += q
         return self
 
     # ------------------------------------------------------------------

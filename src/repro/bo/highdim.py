@@ -42,14 +42,231 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from scipy.linalg import cholesky, solve_triangular
+
 from ..space import SearchSpace
 from .acquisition import ExpectedImprovement
 from .gp import GaussianProcess, GPFitError
 from .history import Evaluation, EvaluationDatabase, EvaluationStatus
-from .kernels import kernel_by_name
+from .kernels import Kernel, kernel_by_name
 from .optimizer import BOResult, Objective
 
-__all__ = ["RandomEmbeddingBO", "DropoutBO", "AdditiveBO"]
+__all__ = [
+    "RandomEmbeddingBO",
+    "DropoutBO",
+    "AdditiveBO",
+    "InducingPointGP",
+    "farthest_point_subset",
+]
+
+
+def farthest_point_subset(X: np.ndarray, y: np.ndarray, m: int) -> np.ndarray:
+    """Deterministic farthest-point selection of ``m`` row indices.
+
+    Seeds at the incumbent (``argmin y``) so the approximate surrogate
+    always keeps the best-observed region, then greedily adds the point
+    with the largest squared Euclidean distance to the chosen set —
+    O(N m), no randomness, so a resumed search re-derives the identical
+    subset from the identical history.  Returned indices are sorted
+    ascending (training order stays history order).
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    n = X.shape[0]
+    m = int(m)
+    if m <= 0:
+        raise ValueError("subset size must be >= 1")
+    if m >= n:
+        return np.arange(n)
+    chosen = np.empty(m, dtype=int)
+    chosen[0] = int(np.argmin(np.asarray(y, dtype=float)))
+    d2 = np.sum((X - X[chosen[0]]) ** 2, axis=1)
+    for i in range(1, m):
+        j = int(np.argmax(d2))
+        chosen[i] = j
+        np.minimum(d2, np.sum((X - X[j]) ** 2, axis=1), out=d2)
+    return np.sort(chosen)
+
+
+class InducingPointGP:
+    """Sparse (DTC) GP surrogate for bounded-time fits on long histories.
+
+    Exact GP training is O(N^3); at service-scale histories (N ~ 5000)
+    that dominates the tuning loop.  This surrogate caps the cost at
+    O(N k^2) for ``k`` inducing points: hyperparameters are MLE-fit on an
+    exact GP over the inducing subset alone (O(k^3)), and the *full*
+    history then enters through the deterministic-training-conditional
+    (DTC) posterior
+
+    .. math::
+
+        \\Sigma = K_{uu} + \\sigma^{-2} K_{uf} K_{fu}, \\qquad
+        \\mu_* = \\sigma^{-2} K_{*u} \\Sigma^{-1} K_{uf} y, \\qquad
+        \\mathrm{cov}_* = K_{**} - Q_{**} + K_{*u} \\Sigma^{-1} K_{u*}
+
+    with :math:`Q_{**} = K_{*u} K_{uu}^{-1} K_{u*}` (the Nyström term),
+    so the variance never collapses below the exact-GP variance far from
+    the inducing set.  The interface mirrors
+    :class:`~repro.bo.gp.GaussianProcess` where the acquisition layer
+    needs it (``predict``, ``sample_posterior``, ``is_fit`` ...), so
+    acquisitions — including Thompson sampling's joint draw — work
+    unchanged.  This is a *tolerance-bounded* approximation: proposals
+    are not bit-identical to the exact surrogate, which is why
+    ``BayesianOptimizer(approx=...)`` is an explicit opt-in.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        noise: float = 1e-4,
+        normalize_y: bool = True,
+        n_restarts: int = 3,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.kernel = kernel
+        self.noise = float(noise)
+        self.normalize_y = bool(normalize_y)
+        self.n_restarts = int(n_restarts)
+        self.rng = (
+            random_state
+            if isinstance(random_state, np.random.Generator)
+            else np.random.default_rng(random_state)
+        )
+        self._jitter = 1e-10
+        self._Z: np.ndarray | None = None
+        self._Lu: np.ndarray | None = None
+        self._LB: np.ndarray | None = None
+        self._c: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._n_train = 0
+        #: Mirrors :attr:`GaussianProcess.last_fit_mode` for span attrs.
+        self.last_fit_mode = "inducing"
+        self.n_incremental = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fit(self) -> bool:
+        return self._c is not None
+
+    @property
+    def n_train(self) -> int:
+        return self._n_train
+
+    @property
+    def n_inducing(self) -> int:
+        return 0 if self._Z is None else self._Z.shape[0]
+
+    @property
+    def jitter(self) -> float:
+        return self._jitter
+
+    @jitter.setter
+    def jitter(self, value: float) -> None:
+        value = float(value)
+        if value <= 0:
+            raise ValueError("jitter must be > 0")
+        self._jitter = value
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        inducing_idx: np.ndarray | None = None,
+        *,
+        optimize: bool = True,
+        n_inducing: int = 256,
+    ) -> "InducingPointGP":
+        """Fit on the full history with an inducing subset.
+
+        ``inducing_idx`` defaults to :func:`farthest_point_subset` of size
+        ``n_inducing``.  Hyperparameters (and escalated jitter) come from
+        an exact GP fit on the subset; ``optimize=False`` reuses the
+        current kernel hyperparameters, matching the BO fit schedule.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} entries")
+        if X.shape[0] == 0:
+            raise GPFitError("cannot fit to zero observations")
+        if inducing_idx is None:
+            inducing_idx = farthest_point_subset(X, y, min(int(n_inducing), X.shape[0]))
+        inducing_idx = np.asarray(inducing_idx, dtype=int)
+
+        sub = GaussianProcess(
+            kernel=self.kernel,
+            noise=self.noise,
+            normalize_y=self.normalize_y,
+            n_restarts=self.n_restarts,
+            random_state=self.rng,
+        )
+        sub.jitter = self._jitter
+        sub.fit(X[inducing_idx], y[inducing_idx], optimize=optimize)
+        self.kernel = sub.kernel
+        self.noise = sub.noise
+        self._jitter = sub.jitter
+
+        if self.normalize_y:
+            self._y_mean = float(np.mean(y))
+            std = float(np.std(y))
+            self._y_std = std if std > 1e-12 else 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        y_n = (y - self._y_mean) / self._y_std
+
+        Z = X[inducing_idx]
+        k = Z.shape[0]
+        sigma2 = self.noise + self._jitter
+        Kuu = self.kernel(Z)
+        Kuu[np.diag_indices_from(Kuu)] += self._jitter
+        try:
+            Lu = cholesky(Kuu, lower=True)
+            A = solve_triangular(Lu, self.kernel(Z, X), lower=True)  # (k, n)
+            B = np.eye(k) + (A @ A.T) / sigma2
+            LB = cholesky(B, lower=True)
+        except np.linalg.LinAlgError as exc:
+            raise GPFitError(f"inducing-point factorization failed: {exc!r}") from exc
+        self._Z, self._Lu, self._LB = Z, Lu, LB
+        self._c = solve_triangular(LB, A @ y_n, lower=True) / sigma2
+        self._n_train = X.shape[0]
+        return self
+
+    # ------------------------------------------------------------------
+    def _posterior_factors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Whitened cross terms ``As = Lu^{-1} K_uz*`` and ``LB^{-1} As``."""
+        As = solve_triangular(self._Lu, self.kernel(self._Z, X), lower=True)
+        return As, solve_triangular(self._LB, As, lower=True)
+
+    def predict(
+        self, X: np.ndarray, *, return_std: bool = True
+    ) -> tuple[np.ndarray, np.ndarray] | np.ndarray:
+        """DTC posterior mean (and epistemic std) at encoded points."""
+        if not self.is_fit:
+            raise GPFitError("predict() called before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        As, W = self._posterior_factors(X)
+        mu = W.T @ self._c * self._y_std + self._y_mean
+        if not return_std:
+            return mu
+        var = self.kernel.diag(X) - np.sum(As * As, axis=0) + np.sum(W * W, axis=0)
+        np.maximum(var, 1e-12, out=var)
+        return mu, np.sqrt(var) * self._y_std
+
+    def sample_posterior(
+        self, X: np.ndarray, n_samples: int = 1, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Joint DTC posterior draws at ``X`` -> ``(n_samples, m)``."""
+        rng = rng or self.rng
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        As, W = self._posterior_factors(X)
+        mu = W.T @ self._c * self._y_std + self._y_mean
+        cov = self.kernel(X) - As.T @ As + W.T @ W
+        cov = (cov + cov.T) / 2.0 + 1e-10 * np.eye(X.shape[0])
+        Lc = cholesky(cov, lower=True)
+        z = rng.standard_normal((n_samples, X.shape[0]))
+        return mu[None, :] + (z @ Lc.T) * self._y_std
 
 
 class _HighDimBase:

@@ -1,0 +1,200 @@
+"""Encoded candidate pools: build once, score in bulk, share across processes.
+
+The BO hot path scores the same candidate matrix against a growing
+surrogate every iteration; campaigns with a fixed candidate pool
+additionally ship that pool to every pool worker.  This module gives both
+a home:
+
+:class:`EncodedPool`
+    A candidate pool encoded exactly once — the decoded configuration
+    dicts, the ``(m, d)`` unit-cube matrix the batched acquisition path
+    scores in a single ``predict`` call, and the identity keys used to
+    mask already-evaluated candidates in O(1) per candidate.
+
+:class:`SharedMatrix`
+    A 2-D float64 array backed by :mod:`multiprocessing.shared_memory`.
+    It pickles as its ``(name, shape)`` handle — O(1) bytes — so a
+    process-pool payload carrying a pool matrix ships a reference to the
+    same physical pages instead of a copy per member task.  Attached
+    views are read-only; content is bit-identical either way, so results
+    do not depend on whether the pool crossed a process boundary.
+
+Shared segments are an *explicit* lifecycle: whoever calls
+:meth:`EncodedPool.ensure_shared` (the campaign executor, before pickling
+member payloads) calls :meth:`EncodedPool.release` afterwards, which
+copies the matrix back into private memory and unlinks the segment.
+Everything degrades gracefully — when shared memory is unavailable the
+pool simply keeps its in-process ndarray and payloads fall back to
+pickling the data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["EncodedPool", "SharedMatrix"]
+
+
+class SharedMatrix:
+    """2-D float64 array in POSIX shared memory, pickled by handle.
+
+    Creating one copies ``array`` into a fresh segment (the creator owns
+    it and is responsible for :meth:`close`); unpickling attaches to the
+    existing segment by name without copying.  Attached processes get
+    read-only views and never unlink.
+    """
+
+    def __init__(self, array: np.ndarray):
+        from multiprocessing import shared_memory
+
+        arr = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+        if arr.ndim != 2:
+            raise ValueError(f"SharedMatrix requires a 2-D array, got {arr.ndim}-D")
+        self.shape = arr.shape
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        self._owner = True
+        view = np.ndarray(self.shape, dtype=np.float64, buffer=self._shm.buf)
+        view[...] = arr
+
+    @classmethod
+    def _attach(cls, name: str, shape: tuple[int, int]) -> "SharedMatrix":
+        from multiprocessing import shared_memory
+
+        self = object.__new__(cls)
+        self.shape = tuple(shape)
+        # The resource tracker registers segments on attach as well as on
+        # create (bpo-39959), so a borrowing worker's exit would unlink
+        # the owner's segment.  Suppress registration for the attach call
+        # (rather than unregistering afterwards, which under the *fork*
+        # start method would clobber the owner's own registration in the
+        # shared tracker daemon).
+        try:
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+            try:
+                self._shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        except ImportError:
+            self._shm = shared_memory.SharedMemory(name=name)
+        self._owner = False
+        return self
+
+    def __reduce__(self):
+        return (SharedMatrix._attach, (self._shm.name, tuple(self.shape)))
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def array(self) -> np.ndarray:
+        """Read-only ndarray view over the shared pages (zero-copy)."""
+        out = np.ndarray(self.shape, dtype=np.float64, buffer=self._shm.buf)
+        out.flags.writeable = False
+        return out
+
+    def close(self) -> None:
+        """Detach; the owner additionally unlinks the segment."""
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:
+                pass
+
+
+class EncodedPool:
+    """An immutable candidate pool, encoded once.
+
+    Parameters
+    ----------
+    configs:
+        Decoded configuration dicts (pool order defines candidate order).
+    X:
+        The ``(m, d)`` encoded matrix, ``space.encode_batch(configs)``.
+    keys:
+        Identity keys (``tuple(config[name] for name in space.names)``)
+        aligned with ``configs`` — used to mask evaluated candidates.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[Mapping[str, Any]],
+        X: np.ndarray | SharedMatrix,
+        keys: Sequence[tuple] | None = None,
+    ):
+        self.configs = [dict(c) for c in configs]
+        self._X = X
+        m = X.shape[0]
+        if m != len(self.configs):
+            raise ValueError(
+                f"matrix has {m} rows but pool holds {len(self.configs)} configs"
+            )
+        self.keys = list(keys) if keys is not None else None
+
+    @classmethod
+    def from_configs(
+        cls, space, configs: Sequence[Mapping[str, Any]]
+    ) -> "EncodedPool":
+        """Encode ``configs`` for ``space`` (one column op per parameter)."""
+        configs = [dict(c) for c in configs]
+        names = space.names
+        return cls(
+            configs,
+            space.encode_batch(configs),
+            keys=[tuple(c[k] for k in names) for c in configs],
+        )
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    @property
+    def X(self) -> np.ndarray:
+        """The encoded ``(m, d)`` matrix (a zero-copy view when shared)."""
+        return self._X.array if isinstance(self._X, SharedMatrix) else self._X
+
+    @property
+    def is_shared(self) -> bool:
+        return isinstance(self._X, SharedMatrix)
+
+    @property
+    def backend(self) -> str:
+        """``"shared"`` or ``"local"`` — the acquisition span attribute."""
+        return "shared" if self.is_shared else "local"
+
+    def ensure_shared(self) -> bool:
+        """Move the matrix into shared memory; ``True`` on success.
+
+        Idempotent.  Returns ``False`` (keeping the private ndarray) when
+        shared memory is unavailable on this platform.
+        """
+        if self.is_shared:
+            return True
+        try:
+            self._X = SharedMatrix(self._X)
+        except Exception:
+            return False
+        return True
+
+    def release(self) -> None:
+        """Copy the matrix back to private memory and unlink the segment.
+
+        Only meaningful in the owning process; a no-op for local pools.
+        """
+        if not self.is_shared:
+            return
+        shm = self._X
+        self._X = np.array(shm.array)  # private copy before the pages go
+        shm.close()

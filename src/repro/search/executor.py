@@ -289,6 +289,8 @@ def _dispatch(
 ) -> SearchResult:
     db_kwargs = {"database": database} if database is not None else {}
     trace_kwargs = {"tracer": tracer} if tracer is not None else {}
+    pool = getattr(spec, "candidate_pool", None)
+    pool_kwargs = {"candidate_pool": pool} if pool is not None else {}
     breaker_kwargs = (
         {
             "quarantine_threshold": spec.quarantine_threshold,
@@ -306,6 +308,7 @@ def _dispatch(
             **db_kwargs,
             **breaker_kwargs,
             **trace_kwargs,
+            **pool_kwargs,
             **spec.engine_options,
         )
         r = opt.run()
@@ -356,6 +359,7 @@ def _dispatch(
             **db_kwargs,
             **breaker_kwargs,
             **trace_kwargs,
+            **pool_kwargs,
             **spec.engine_options,
         )
         r = opt.run()
@@ -554,6 +558,22 @@ class CampaignExecutor:
         if n_workers is None:
             n_workers = min(len(specs), os.cpu_count() or 1)
         use_pool = parallel and n_workers > 1 and len(specs) > 1
+        # Promote fixed candidate pools into shared memory before the
+        # member tasks are pickled: each payload then carries an O(1)
+        # (name, shape) handle instead of a copy of the (m, d) matrix,
+        # and every worker attaches to the same physical pages.  The
+        # executor owns the segments it created and releases them (copy
+        # back + unlink) once all members have finished.
+        promoted = []
+        if use_pool:
+            for spec in specs:
+                cpool = getattr(spec, "candidate_pool", None)
+                if (
+                    cpool is not None
+                    and not cpool.is_shared
+                    and cpool.ensure_shared()
+                ):
+                    promoted.append(cpool)
         payloads = (
             self._picklable_tasks(
                 [task + (clock,) for task in tasks]
@@ -569,15 +589,21 @@ class CampaignExecutor:
             )
 
         t0 = time.perf_counter()
-        if payloads is not None:
-            result.searches.extend(self._run_pool(tasks, payloads, n_workers))
-            result.measured_campaign_seconds = time.perf_counter() - t0
-            result.executed_parallel = True
-        else:
-            for spec, seed, checkpoint, scope in tasks:
-                result.searches.append(
-                    self._run_inline(spec, seed, checkpoint, scope)
+        try:
+            if payloads is not None:
+                result.searches.extend(
+                    self._run_pool(tasks, payloads, n_workers)
                 )
+                result.measured_campaign_seconds = time.perf_counter() - t0
+                result.executed_parallel = True
+            else:
+                for spec, seed, checkpoint, scope in tasks:
+                    result.searches.append(
+                        self._run_inline(spec, seed, checkpoint, scope)
+                    )
+        finally:
+            for cpool in promoted:
+                cpool.release()
         return result
 
     def _run_inline(self, spec, seed, checkpoint, scope) -> SearchResult:

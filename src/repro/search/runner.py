@@ -23,6 +23,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..bo.optimizer import Objective
+from ..bo.pool import EncodedPool
 from ..faults.injection import FaultPlan
 from ..space import SearchSpace
 from .executor import CampaignExecutor, spec_seed_sequences
@@ -86,6 +87,15 @@ class SearchSpec:
         search pays for strictly fewer fresh objective calls.  Records
         are injected only when the database starts empty (a resumed
         checkpoint already persisted them).
+    candidate_pool:
+        Optional fixed :class:`~repro.bo.EncodedPool` for the ``bo`` and
+        ``batch-bo`` engines: proposals are scored against this
+        pre-encoded candidate matrix instead of freshly sampled pools.
+        When the campaign runs members in a process pool, the executor
+        promotes the matrix into :mod:`multiprocessing.shared_memory`
+        before pickling member payloads (workers attach to the same
+        physical pages instead of receiving a copy each) and releases
+        the segment afterwards; results are bit-identical either way.
     """
 
     space: SearchSpace
@@ -101,6 +111,7 @@ class SearchSpec:
     quarantine_threshold: int | None = None
     quarantine_resolution: int = 4
     warm_start: list | None = None
+    candidate_pool: EncodedPool | None = None
 
     def budget(self) -> int:
         return (

@@ -83,6 +83,20 @@ class Parameter(ABC):
     def from_unit(self, u: float) -> Any:
         """Decode a unit-interval coordinate back into the domain."""
 
+    def to_unit_batch(self, values: Sequence[Any]) -> np.ndarray:
+        """Vectorized :meth:`to_unit` over ``values`` -> ``(n,)``.
+
+        The numeric subclasses override this with one column operation;
+        results are *bitwise* equal to the scalar path (both sides use the
+        same numpy ufuncs elementwise), which is what lets the BO hot path
+        encode candidate pools in bulk without perturbing proposals.
+        """
+        return np.array([self.to_unit(v) for v in values], dtype=float)
+
+    def from_unit_batch(self, u: np.ndarray) -> list[Any]:
+        """Vectorized :meth:`from_unit` over a unit-interval column."""
+        return [self.from_unit(float(v)) for v in np.asarray(u, dtype=float)]
+
     @abstractmethod
     def contains(self, value: Any) -> bool:
         """Return ``True`` when ``value`` lies inside the domain."""
@@ -185,15 +199,17 @@ class Real(Parameter):
     def sample_batch(self, n: int, rng: np.random.Generator) -> list[float]:
         u = rng.random(n)
         if self.log:
-            lo, hi = math.log(self.low), math.log(self.high)
+            lo, hi = np.log(self.low), np.log(self.high)
             return np.exp(lo + u * (hi - lo)).tolist()
         return (self.low + u * (self.high - self.low)).tolist()
 
     def to_unit(self, value: Any) -> float:
+        # np.log (not math.log): the numpy scalar and array ufuncs agree
+        # bitwise, so to_unit_batch is exactly a stacked to_unit.
         v = float(value)
         if self.log:
-            return (math.log(v) - math.log(self.low)) / (
-                math.log(self.high) - math.log(self.low)
+            return float(
+                (np.log(v) - np.log(self.low)) / (np.log(self.high) - np.log(self.low))
             )
         return (v - self.low) / (self.high - self.low)
 
@@ -201,9 +217,25 @@ class Real(Parameter):
         u = min(1.0, max(0.0, float(u)))
         if self.log:
             return float(
-                math.exp(math.log(self.low) + u * (math.log(self.high) - math.log(self.low)))
+                np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
             )
         return float(self.low + u * (self.high - self.low))
+
+    def to_unit_batch(self, values: Sequence[Any]) -> np.ndarray:
+        v = np.asarray(values, dtype=float)
+        if self.log:
+            return (np.log(v) - np.log(self.low)) / (
+                np.log(self.high) - np.log(self.low)
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit_batch(self, u: np.ndarray) -> list[float]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.log:
+            out = np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+        else:
+            out = self.low + u * (self.high - self.low)
+        return out.tolist()
 
     def contains(self, value: Any) -> bool:
         try:
@@ -260,7 +292,7 @@ class Integer(Parameter):
 
     def sample_batch(self, n: int, rng: np.random.Generator) -> list[int]:
         if self.log:
-            lo, hi = math.log(self.low), math.log(self.high)
+            lo, hi = np.log(self.low), np.log(self.high)
             raw = np.exp(lo + rng.random(n) * (hi - lo))
             return np.clip(np.rint(raw), self.low, self.high).astype(int).tolist()
         return rng.integers(self.low, self.high + 1, size=n).tolist()
@@ -268,20 +300,39 @@ class Integer(Parameter):
     def to_unit(self, value: Any) -> float:
         v = float(value)
         if self.log:
-            return (math.log(v) - math.log(self.low)) / (
-                math.log(self.high) - math.log(self.low)
+            return float(
+                (np.log(v) - np.log(self.low)) / (np.log(self.high) - np.log(self.low))
             )
         return (v - self.low) / (self.high - self.low)
 
     def from_unit(self, u: float) -> int:
         u = min(1.0, max(0.0, float(u)))
         if self.log:
-            raw = math.exp(
-                math.log(self.low) + u * (math.log(self.high) - math.log(self.low))
+            raw = np.exp(
+                np.log(self.low) + u * (np.log(self.high) - np.log(self.low))
             )
         else:
             raw = self.low + u * (self.high - self.low)
         return int(min(self.high, max(self.low, round(raw))))
+
+    def to_unit_batch(self, values: Sequence[Any]) -> np.ndarray:
+        v = np.asarray(values, dtype=float)
+        if self.log:
+            return (np.log(v) - np.log(self.low)) / (
+                np.log(self.high) - np.log(self.low)
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit_batch(self, u: np.ndarray) -> list[int]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.log:
+            raw = np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+        else:
+            raw = self.low + u * (self.high - self.low)
+        # np.rint rounds half-to-even, matching the scalar round() path.
+        return [
+            int(v) for v in np.clip(np.rint(raw), self.low, self.high).astype(int)
+        ]
 
     def contains(self, value: Any) -> bool:
         try:
@@ -345,6 +396,15 @@ class Ordinal(Parameter):
         u = min(1.0, max(0.0, float(u)))
         return self.values[int(round(u * (len(self.values) - 1)))]
 
+    def to_unit_batch(self, values: Sequence[Any]) -> np.ndarray:
+        idx = np.array([self._index[v] for v in values], dtype=float)
+        return idx / (len(self.values) - 1)
+
+    def from_unit_batch(self, u: np.ndarray) -> list[Any]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        idx = np.rint(u * (len(self.values) - 1)).astype(int)
+        return [self.values[i] for i in idx]
+
     def contains(self, value: Any) -> bool:
         return value in self._index
 
@@ -402,6 +462,15 @@ class Categorical(Parameter):
         u = min(1.0, max(0.0, float(u)))
         return self.choices[int(round(u * (len(self.choices) - 1)))]
 
+    def to_unit_batch(self, values: Sequence[Any]) -> np.ndarray:
+        idx = np.array([self._index[repr(v)] for v in values], dtype=float)
+        return idx / (len(self.choices) - 1)
+
+    def from_unit_batch(self, u: np.ndarray) -> list[Any]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        idx = np.rint(u * (len(self.choices) - 1)).astype(int)
+        return [self.choices[i] for i in idx]
+
     def contains(self, value: Any) -> bool:
         return repr(value) in self._index
 
@@ -451,6 +520,15 @@ class Constant(Parameter):
 
     def from_unit(self, u: float) -> Any:
         return self.value
+
+    def to_unit_batch(self, values: Sequence[Any]) -> np.ndarray:
+        for v in values:
+            if v != self.value:
+                raise ValueError(f"constant {self.name!r} only takes {self.value!r}")
+        return np.zeros(len(values))
+
+    def from_unit_batch(self, u: np.ndarray) -> list[Any]:
+        return [self.value] * len(np.asarray(u))
 
     def contains(self, value: Any) -> bool:
         return value == self.value

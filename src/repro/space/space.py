@@ -284,10 +284,34 @@ class SearchSpace:
         return {p.name: p.from_unit(float(u)) for p, u in zip(self.parameters, arr)}
 
     def encode_batch(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
-        """Vectorized :meth:`encode` over many configurations -> ``(n, d)``."""
+        """Vectorized :meth:`encode` over many configurations -> ``(n, d)``.
+
+        One column operation per parameter (``Parameter.to_unit_batch``)
+        instead of a per-configuration Python loop; the result is bitwise
+        equal to ``np.stack([self.encode(c) for c in configs])`` because
+        the scalar and batch codecs share the same numpy ufuncs.  This is
+        the encoding path the BO candidate pool rides every iteration.
+        """
+        configs = list(configs)
         if not configs:
             return np.empty((0, self.dimension))
-        return np.stack([self.encode(c) for c in configs])
+        out = np.empty((len(configs), self.dimension))
+        for j, p in enumerate(self.parameters):
+            out[:, j] = p.to_unit_batch([c[p.name] for c in configs])
+        return out
+
+    def decode_batch(self, X: np.ndarray) -> list[dict[str, Any]]:
+        """Vectorized :meth:`decode` over ``(n, d)`` encoded rows."""
+        arr = np.atleast_2d(np.asarray(X, dtype=float))
+        if arr.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected shape (n, {self.dimension}), got {arr.shape}"
+            )
+        columns = [
+            p.from_unit_batch(arr[:, j]) for j, p in enumerate(self.parameters)
+        ]
+        names = self.names
+        return [dict(zip(names, row)) for row in zip(*columns)]
 
     # ------------------------------------------------------------------
     # Structure operations used by the planner

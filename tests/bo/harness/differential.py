@@ -116,6 +116,7 @@ def run_campaign(
     max_evaluations: int = 30,
     n_initial: int = 5,
     full_refit_every: int = 4,
+    acquisition: str = "ei",
     database=None,
 ) -> CampaignRun:
     """One seeded BO campaign; gp_fit modes/drifts come from telemetry."""
@@ -129,6 +130,7 @@ def run_campaign(
         max_evaluations=max_evaluations,
         incremental=incremental,
         full_refit_every=full_refit_every,
+        acquisition=acquisition,
         random_state=seed,
         database=database,
         tracer=telemetry.tracer(f"diff-{seed}"),
@@ -145,16 +147,23 @@ def run_campaign(
 
 
 def run_differential(
-    seed: int, *, max_evaluations: int = 30, full_refit_every: int = 4
+    seed: int, *, max_evaluations: int = 30, full_refit_every: int = 4,
+    acquisition: str = "ei",
 ) -> DifferentialReport:
-    """Compare fast-path-on vs. fast-path-off campaigns for one seed."""
+    """Compare fast-path-on vs. fast-path-off campaigns for one seed.
+
+    ``acquisition`` selects which acquisition drives both arms, so the
+    proposal-identity guarantee is checked per acquisition path — the
+    batched EI/PI/LCB ufunc scoring and the stream-keyed Thompson draw
+    all go through the same comparison.
+    """
     on = run_campaign(
         seed, incremental=True, max_evaluations=max_evaluations,
-        full_refit_every=full_refit_every,
+        full_refit_every=full_refit_every, acquisition=acquisition,
     )
     off = run_campaign(
         seed, incremental=False, max_evaluations=max_evaluations,
-        full_refit_every=full_refit_every,
+        full_refit_every=full_refit_every, acquisition=acquisition,
     )
     identical = on.proposals == off.proposals
     first = None
@@ -191,25 +200,36 @@ def main(argv: list[str] | None = None) -> int:
         "--full-refit-every", type=int, default=4,
         help="K-refit knob under test (default: 4)",
     )
+    parser.add_argument(
+        "--acquisitions", default="ei",
+        help="comma-separated acquisition names to differential-test "
+             "(default: ei; e.g. ei,pi,lcb,ts)",
+    )
     args = parser.parse_args(argv)
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    acquisitions = [a.strip() for a in args.acquisitions.split(",") if a.strip()]
     failures = 0
-    for seed in seeds:
-        report = run_differential(
-            seed,
-            max_evaluations=args.max_evaluations,
-            full_refit_every=args.full_refit_every,
-        )
-        print(report.line())
-        if not report.identical:
-            failures += 1
-        if report.n_incremental_fits == 0:
-            print(f"seed {seed:>3}: WARNING — no incremental fits exercised")
-            failures += 1
+    n_runs = 0
+    for acq in acquisitions:
+        for seed in seeds:
+            n_runs += 1
+            report = run_differential(
+                seed,
+                max_evaluations=args.max_evaluations,
+                full_refit_every=args.full_refit_every,
+                acquisition=acq,
+            )
+            print(f"[{acq:>3}] {report.line()}")
+            if not report.identical:
+                failures += 1
+            if report.n_incremental_fits == 0:
+                print(f"[{acq:>3}] seed {seed:>3}: WARNING — "
+                      "no incremental fits exercised")
+                failures += 1
     if failures:
-        print(f"{failures} of {len(seeds)} seeds FAILED")
+        print(f"{failures} of {n_runs} runs FAILED")
         return 1
-    print(f"all {len(seeds)} seeds passed")
+    print(f"all {n_runs} runs passed")
     return 0
 
 

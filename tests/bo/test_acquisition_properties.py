@@ -1,0 +1,127 @@
+"""Property suite: every acquisition, random GPs, random pools.
+
+Seeded :class:`SplitMix64` cases (no new dependencies — see
+``tests/bo/harness/generators``) assert the acquisition-layer contract
+the batched hot path relies on:
+
+* every acquisition in ``_ACQUISITIONS`` returns finite,
+  correctly-signed scores over arbitrary posteriors and pools;
+* the batched path (one ``predict`` over the ``(m, d)`` matrix, then a
+  pure-ufunc ``score``) matches a per-candidate reference loop;
+* ``score_candidates`` masks non-finite scores so they can never win
+  the argmax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo import GaussianProcess, score_candidates
+from repro.bo.acquisition import _ACQUISITIONS, ThompsonSampling
+
+from .harness.generators import (
+    SplitMix64,
+    objective_values,
+    random_kernel,
+    training_matrix,
+)
+
+N_CASES = 25
+_SEED = 0xACC
+
+
+def _case(i: int):
+    """Deterministic case *i*: a fit GP plus a random candidate pool."""
+    rng = SplitMix64(_SEED).spawn(i)
+    dim = rng.int_between(1, 4)
+    n = rng.int_between(4, 15)
+    m = rng.int_between(1, 60)
+    X = training_matrix(rng, n, dim)
+    y = objective_values(rng, X)
+    model = GaussianProcess(
+        kernel=random_kernel(rng, dim), random_state=0
+    ).fit(X, y, optimize=False)
+    pool = training_matrix(rng, m, dim)
+    incumbent = float(np.min(y)) - rng.uniform(-0.5, 0.5)
+    return model, pool, incumbent
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+@pytest.mark.parametrize("name", sorted(_ACQUISITIONS))
+def test_scores_finite_and_correctly_signed(name, case):
+    model, pool, incumbent = _case(case)
+    acq = _ACQUISITIONS[name]()
+    rng = np.random.default_rng(case)
+    scores = np.asarray(acq(model, pool, incumbent, rng))
+    assert scores.shape == (pool.shape[0],)
+    assert np.all(np.isfinite(scores)), f"{name} case {case}: non-finite"
+    if name == "ei":
+        assert np.all(scores >= 0.0), f"EI case {case}: negative"
+    elif name == "pi":
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+    elif name == "ts":
+        # TS scores are negated posterior draws: bounded by the
+        # posterior scale, not astronomically large.
+        assert np.all(np.abs(scores) < 1e6)
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+@pytest.mark.parametrize("name", ["ei", "pi", "lcb"])
+def test_batched_matches_per_candidate_loop(name, case):
+    """One batched call == scoring each candidate row separately.
+
+    The per-row loop is the pre-vectorization reference semantics; the
+    marginal posterior of candidate *i* does not depend on its pool
+    neighbours, so batching may only change BLAS kernel choice (gemv vs
+    gemm), never the math.
+    """
+    model, pool, incumbent = _case(case)
+    acq = _ACQUISITIONS[name]()
+    batched = np.asarray(acq(model, pool, incumbent))
+    loop = np.concatenate(
+        [np.asarray(acq(model, pool[i : i + 1], incumbent))
+         for i in range(pool.shape[0])]
+    )
+    np.testing.assert_allclose(batched, loop, rtol=1e-9, atol=1e-12)
+    # and the proposal each path would make is the same candidate
+    assert int(np.argmax(batched)) == int(np.argmax(loop))
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_score_via_ufunc_split_matches_call(case):
+    """`score(mu, std, incumbent)` composed with one predict == __call__."""
+    model, pool, incumbent = _case(case)
+    mu, std = model.predict(pool)
+    for name in ("ei", "pi", "lcb"):
+        acq = _ACQUISITIONS[name]()
+        np.testing.assert_array_equal(
+            acq.score(mu, std, incumbent), acq(model, pool, incumbent)
+        )
+
+
+@pytest.mark.parametrize("case", range(10))
+def test_thompson_batched_draw_deterministic_per_stream(case):
+    model, pool, incumbent = _case(case)
+    a = ThompsonSampling()(model, pool, incumbent, np.random.default_rng(case))
+    b = ThompsonSampling()(model, pool, incumbent, np.random.default_rng(case))
+    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("name", sorted(_ACQUISITIONS))
+def test_score_candidates_masks_nonfinite(name):
+    """A candidate whose score overflows is masked, never argmax'd."""
+    model, pool, incumbent = _case(3)
+    acq = _ACQUISITIONS[name]()
+
+    class _Bad:
+        def __call__(self, model, X, incumbent, rng=None):
+            s = np.asarray(acq(model, X, incumbent, rng), dtype=float)
+            s[0] = np.nan
+            s[-1] = np.inf if len(s) > 1 else s[-1]
+            return s
+
+    scores = score_candidates(_Bad(), model, pool, incumbent,
+                              np.random.default_rng(0))
+    assert scores[0] == -np.inf
+    assert np.all(scores[np.isfinite(scores)] > -np.inf)

@@ -1,0 +1,187 @@
+"""Tests for the opt-in approximate surrogates (``approx=`` in the BO loop).
+
+Covers the subset-of-data and inducing-point paths:
+
+* :func:`farthest_point_subset` — deterministic, incumbent-seeded,
+  sorted, correct size;
+* :class:`InducingPointGP` — DTC posterior close to the exact GP,
+  fit time bounded by the inducing count, posterior sampling shaped
+  correctly;
+* the optimizer knobs — ``approx=`` engages only past
+  ``approx_threshold``, the default stays exact, invalid names are
+  rejected, and proposals remain deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo import BayesianOptimizer, GaussianProcess
+from repro.bo.highdim import InducingPointGP, farthest_point_subset
+from repro.bo.kernels import kernel_by_name
+from repro.space import Real, SearchSpace
+
+
+def _data(n, dim=2, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, dim))
+    y = ((X - 0.4) ** 2).sum(axis=1) + 0.01 * rng.standard_normal(n)
+    return X, y
+
+
+class TestFarthestPointSubset:
+    def test_size_and_sorted(self):
+        X, y = _data(50)
+        idx = farthest_point_subset(X, y, 12)
+        assert idx.shape == (12,)
+        assert np.all(np.diff(idx) > 0)  # sorted, unique
+
+    def test_contains_incumbent(self):
+        X, y = _data(50)
+        idx = farthest_point_subset(X, y, 12)
+        assert int(np.argmin(y)) in idx
+
+    def test_deterministic(self):
+        X, y = _data(80, seed=3)
+        a = farthest_point_subset(X, y, 20)
+        b = farthest_point_subset(X.copy(), y.copy(), 20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_m_at_least_n_returns_all(self):
+        X, y = _data(10)
+        np.testing.assert_array_equal(
+            farthest_point_subset(X, y, 10), np.arange(10)
+        )
+        np.testing.assert_array_equal(
+            farthest_point_subset(X, y, 99), np.arange(10)
+        )
+
+    def test_spreads_over_clusters(self):
+        # Two tight clusters: a max-min design must pick from both.
+        rng = np.random.default_rng(0)
+        a = 0.05 * rng.random((30, 2))
+        b = 0.05 * rng.random((30, 2)) + 0.9
+        X = np.vstack([a, b])
+        y = np.arange(60, dtype=float)
+        idx = farthest_point_subset(X, y, 6)
+        assert np.any(idx < 30) and np.any(idx >= 30)
+
+
+class TestInducingPointGP:
+    def test_close_to_exact_gp(self):
+        X, y = _data(300, seed=1)
+        exact = GaussianProcess(dim=2, random_state=0).fit(X, y)
+        sparse = InducingPointGP(
+            kernel_by_name("matern52", 2), random_state=0
+        ).fit(X, y, n_inducing=120)
+        Xq = np.random.default_rng(9).random((64, 2))
+        mu_e, std_e = exact.predict(Xq)
+        mu_s, std_s = sparse.predict(Xq)
+        # DTC is an approximation: demand tight agreement in mean and
+        # rank correlation, not bit-identity.
+        assert np.max(np.abs(mu_e - mu_s)) < 0.05
+        assert np.corrcoef(mu_e, mu_s)[0, 1] > 0.999
+        assert np.all(std_s >= 0.0)
+
+    def test_all_points_inducing_matches_exact_closely(self):
+        X, y = _data(60, seed=2)
+        exact = GaussianProcess(dim=2, random_state=0).fit(X, y, optimize=False)
+        sparse = InducingPointGP(
+            kernel_by_name("matern52", 2), random_state=0
+        ).fit(X, y, optimize=False, n_inducing=60)
+        Xq = np.random.default_rng(4).random((32, 2))
+        mu_e, _ = exact.predict(Xq)
+        mu_s, _ = sparse.predict(Xq)
+        np.testing.assert_allclose(mu_s, mu_e, atol=1e-6)
+
+    def test_posterior_samples_shape_and_determinism(self):
+        X, y = _data(100, seed=5)
+        sparse = InducingPointGP(
+            kernel_by_name("matern52", 2), random_state=0
+        ).fit(X, y, n_inducing=40)
+        Xq = np.random.default_rng(1).random((16, 2))
+        s1 = sparse.sample_posterior(Xq, n_samples=3,
+                                     rng=np.random.default_rng(7))
+        s2 = sparse.sample_posterior(Xq, n_samples=3,
+                                     rng=np.random.default_rng(7))
+        assert s1.shape == (3, 16)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_fit_mode_attrs(self):
+        X, y = _data(50)
+        sparse = InducingPointGP(
+            kernel_by_name("matern52", 2), random_state=0
+        ).fit(X, y, n_inducing=20)
+        assert sparse.last_fit_mode == "inducing"
+        assert sparse.n_inducing == 20
+        assert sparse.n_train == 50
+        assert sparse.is_fit
+
+
+def _quadratic_space():
+    return SearchSpace([Real("a", 0.0, 1.0), Real("b", 0.0, 1.0)], name="q")
+
+
+def _quadratic(cfg):
+    return (cfg["a"] - 0.3) ** 2 + (cfg["b"] - 0.7) ** 2 + 0.01
+
+
+class TestOptimizerApproxKnob:
+    def test_invalid_approx_rejected(self):
+        with pytest.raises(ValueError, match="approx"):
+            BayesianOptimizer(
+                _quadratic_space(), _quadratic, approx="vecchia"
+            )
+
+    def test_default_stays_exact(self):
+        opt = BayesianOptimizer(
+            _quadratic_space(), _quadratic, max_evaluations=10, random_state=0
+        )
+        opt.run()
+        assert opt.approx is None
+        assert opt.last_surrogate == "exact"
+
+    @pytest.mark.parametrize("mode", ["sod", "inducing"])
+    def test_engages_past_threshold_only(self, mode):
+        opt = BayesianOptimizer(
+            _quadratic_space(), _quadratic, max_evaluations=20,
+            random_state=0, approx=mode, approx_size=10, approx_threshold=12,
+        )
+        result = opt.run()
+        assert len(result.database) == 20
+        # Past the threshold the last fit ran the approximate surrogate.
+        assert opt.last_surrogate == mode
+        assert opt.last_fit_mode == mode
+
+    @pytest.mark.parametrize("mode", ["sod", "inducing"])
+    def test_below_threshold_identical_to_exact(self, mode):
+        base = BayesianOptimizer(
+            _quadratic_space(), _quadratic, max_evaluations=12, random_state=4
+        ).run()
+        approx = BayesianOptimizer(
+            _quadratic_space(), _quadratic, max_evaluations=12,
+            random_state=4, approx=mode, approx_threshold=500,
+        ).run()
+        assert [r.config for r in base.database] == [
+            r.config for r in approx.database
+        ]
+
+    @pytest.mark.parametrize("mode", ["sod", "inducing"])
+    def test_deterministic_given_seed(self, mode):
+        def run():
+            return BayesianOptimizer(
+                _quadratic_space(), _quadratic, max_evaluations=18,
+                random_state=11, approx=mode, approx_size=8,
+                approx_threshold=10,
+            ).run()
+
+        a, b = run(), run()
+        assert [r.config for r in a.database] == [r.config for r in b.database]
+
+    def test_approx_still_converges(self):
+        result = BayesianOptimizer(
+            _quadratic_space(), _quadratic, max_evaluations=25,
+            random_state=0, approx="sod", approx_size=12, approx_threshold=10,
+        ).run()
+        assert result.best_objective < 0.08

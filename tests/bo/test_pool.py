@@ -1,0 +1,202 @@
+"""Tests for EncodedPool / SharedMatrix and the executor's shared-memory
+pool lifecycle."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.bo import BayesianOptimizer, EncodedPool, SharedMatrix
+from repro.bo.pool import SharedMatrix as _SM
+from repro.search.runner import SearchCampaign, SearchSpec
+from repro.space import Integer, Real, SearchSpace
+
+
+def small_space(name="pool-space"):
+    return SearchSpace(
+        [Integer("bs", 1, 64), Real("f", 0.1, 10.0, log=True)], name=name
+    )
+
+
+def _objective(cfg):
+    return cfg["bs"] * 0.01 + abs(np.log(cfg["f"]))
+
+
+@pytest.fixture
+def pool():
+    sp = small_space()
+    cfgs = sp.sample_batch(100, np.random.default_rng(0), unique=True)
+    return sp, EncodedPool.from_configs(sp, cfgs)
+
+
+class TestEncodedPool:
+    def test_from_configs_encodes_once_bitwise(self, pool):
+        sp, p = pool
+        np.testing.assert_array_equal(p.X, sp.encode_batch(p.configs))
+        assert len(p) == 100
+        assert p.keys == [
+            tuple(c[k] for k in sp.names) for c in p.configs
+        ]
+
+    def test_row_count_mismatch_rejected(self, pool):
+        sp, p = pool
+        with pytest.raises(ValueError):
+            EncodedPool(p.configs[:-1], p.X)
+
+    def test_local_backend_by_default(self, pool):
+        _, p = pool
+        assert not p.is_shared
+        assert p.backend == "local"
+
+    def test_ensure_shared_and_release_roundtrip(self, pool):
+        _, p = pool
+        before = p.X.copy()
+        assert p.ensure_shared()
+        assert p.is_shared and p.backend == "shared"
+        np.testing.assert_array_equal(p.X, before)
+        assert p.ensure_shared()  # idempotent
+        p.release()
+        assert not p.is_shared
+        np.testing.assert_array_equal(p.X, before)
+        p.release()  # no-op on a local pool
+
+    def test_shared_view_is_read_only(self, pool):
+        _, p = pool
+        assert p.ensure_shared()
+        try:
+            with pytest.raises(ValueError):
+                p.X[0, 0] = 123.0
+        finally:
+            p.release()
+
+
+class TestSharedMatrix:
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            SharedMatrix(np.zeros(4))
+
+    def test_pickle_roundtrip_is_a_handle_not_a_copy(self):
+        arr = np.random.default_rng(1).random((500, 8))
+        sm = SharedMatrix(arr)
+        try:
+            payload = pickle.dumps(sm)
+            # handle-sized, not data-sized (500*8*8 = 32000 bytes)
+            assert len(payload) < 1000
+            attached = pickle.loads(payload)
+            assert not attached.owner
+            np.testing.assert_array_equal(attached.array, arr)
+            attached.close()  # non-owner close never unlinks
+            np.testing.assert_array_equal(sm.array, arr)
+        finally:
+            sm.close()
+
+    def test_owner_flag(self):
+        sm = SharedMatrix(np.zeros((2, 2)))
+        try:
+            assert sm.owner
+        finally:
+            sm.close()
+
+
+class TestOptimizerWithPool:
+    def test_fixed_pool_proposals_come_from_pool(self, pool):
+        sp, p = pool
+        result = BayesianOptimizer(
+            sp, _objective, max_evaluations=12, random_state=0,
+            candidate_pool=p,
+        ).run()
+        pool_keys = set(p.keys)
+        # Proposed (non-initial-design) configs come from the pool.
+        for rec in result.database.records[5:]:
+            key = tuple(rec.config[k] for k in sp.names)
+            assert key in pool_keys
+
+    def test_shared_and_local_pool_runs_bit_identical(self, pool):
+        sp, p = pool
+        r_local = BayesianOptimizer(
+            sp, _objective, max_evaluations=12, random_state=0,
+            candidate_pool=p,
+        ).run()
+        assert p.ensure_shared()
+        try:
+            r_shared = BayesianOptimizer(
+                sp, _objective, max_evaluations=12, random_state=0,
+                candidate_pool=p,
+            ).run()
+        finally:
+            p.release()
+        assert [r.config for r in r_local.database] == [
+            r.config for r in r_shared.database
+        ]
+        assert r_local.best_objective == r_shared.best_objective
+
+
+class TestCampaignSharedPoolLifecycle:
+    def _specs(self, pool_cfgs):
+        sp1, sp2 = small_space("g1"), small_space("g2")
+        return [
+            SearchSpec(sp1, _objective, max_evaluations=10,
+                       candidate_pool=EncodedPool.from_configs(sp1, pool_cfgs)),
+            SearchSpec(sp2, _objective, max_evaluations=10,
+                       candidate_pool=EncodedPool.from_configs(sp2, pool_cfgs)),
+        ]
+
+    @pytest.fixture
+    def pool_cfgs(self):
+        return small_space("gen").sample_batch(
+            200, np.random.default_rng(0), unique=True
+        )
+
+    def test_parallel_equals_sequential_with_shared_pool(self, pool_cfgs):
+        specs_par = self._specs(pool_cfgs)
+        res_par = SearchCampaign(
+            specs_par, random_state=7, parallel=True, n_workers=2
+        ).run()
+        res_seq = SearchCampaign(
+            self._specs(pool_cfgs), random_state=7, parallel=False
+        ).run()
+        for a, b in zip(res_par.searches, res_seq.searches):
+            assert [r.config for r in a.database] == [
+                r.config for r in b.database
+            ]
+            assert a.best_objective == b.best_objective
+        # The executor released every segment it promoted.
+        for spec in specs_par:
+            assert not spec.candidate_pool.is_shared
+
+    def test_executor_releases_pools_even_on_member_failure(self, pool_cfgs):
+        def boom(cfg):
+            raise RuntimeError("objective exploded")
+
+        sp = small_space("g1")
+        spec = SearchSpec(
+            sp, boom, max_evaluations=6,
+            candidate_pool=EncodedPool.from_configs(sp, pool_cfgs),
+        )
+        # All-failed searches raise inside the engine; the executor's
+        # finally block must still release the promoted segment.
+        with pytest.raises(Exception):
+            SearchCampaign(
+                [spec, spec], random_state=1, parallel=False
+            ).run()
+        assert not spec.candidate_pool.is_shared
+
+    def test_shared_payload_smaller_than_local(self, pool_cfgs):
+        sp = small_space("g1")
+        big = EncodedPool.from_configs(
+            sp,
+            small_space("gen").sample_batch(
+                1500, np.random.default_rng(1), unique=True
+            ),
+        )
+        spec = SearchSpec(sp, _objective, candidate_pool=big)
+        local_bytes = len(pickle.dumps(spec))
+        assert big.ensure_shared()
+        try:
+            shared_bytes = len(pickle.dumps(spec))
+        finally:
+            big.release()
+        # The (m, d) matrix (1500*2*8 = 24k) collapses to a handle.
+        assert shared_bytes < local_bytes - 20_000

@@ -1,0 +1,127 @@
+"""Kill-and-resume bit-identity for every acquisition function.
+
+The optimizer's crash-recovery contract — replayed evaluations plus
+deterministic per-iteration streams give a continuation identical to an
+uninterrupted run — must hold for *all* acquisitions, including the two
+stateful ones this file exists for:
+
+* ``ts`` (Thompson sampling) draws from a private generator whose state
+  was lost on resume; the fix keys the draw to the optimizer's replayed
+  per-iteration stream.
+* ``lcb`` with beta decay depends on the update schedule; the fix
+  replays ``update()`` for completed iterations so beta matches the
+  uninterrupted run at the resume point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo import BayesianOptimizer, EvaluationDatabase
+from repro.bo.acquisition import LowerConfidenceBound
+from repro.space import Real, SearchSpace
+
+ACQS = ["ei", "pi", "lcb", "ts"]
+
+
+def quadratic_space():
+    return SearchSpace([Real("a", 0.0, 1.0), Real("b", 0.0, 1.0)], name="quad")
+
+
+def quadratic(cfg):
+    return (cfg["a"] - 0.3) ** 2 + (cfg["b"] - 0.7) ** 2 + 0.01
+
+
+def _acq_arg(name):
+    # Force the decaying-beta branch for lcb: constant beta would pass
+    # trivially without the schedule replay.
+    if name == "lcb":
+        return LowerConfidenceBound(beta=3.0, beta_final=0.5)
+    return name
+
+
+def _run(acq, *, seed=3, budget=20, database=None, objective=quadratic):
+    kwargs = {"database": database} if database is not None else {}
+    return BayesianOptimizer(
+        quadratic_space(),
+        objective,
+        max_evaluations=budget,
+        acquisition=_acq_arg(acq),
+        random_state=seed,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("kill_after", [7, 12])
+@pytest.mark.parametrize("acq", ACQS)
+def test_kill_and_resume_bit_identical(acq, kill_after, tmp_path):
+    uninterrupted = _run(acq).run()
+
+    calls = {"n": 0}
+
+    def killer(cfg):
+        calls["n"] += 1
+        if calls["n"] > kill_after:
+            raise KeyboardInterrupt  # hard kill, not a FAILED record
+        return quadratic(cfg)
+
+    path = tmp_path / "ck.jsonl"
+    with pytest.raises(KeyboardInterrupt):
+        _run(acq, database=EvaluationDatabase(path), objective=killer).run()
+    assert len(EvaluationDatabase(path)) == kill_after
+
+    resumed = _run(acq, database=EvaluationDatabase(path)).run()
+    assert resumed.n_evaluations == 20 - kill_after
+    assert len(resumed.database) == 20
+    assert resumed.best_config == uninterrupted.best_config
+    assert resumed.best_objective == uninterrupted.best_objective
+    for a, b in zip(resumed.database, uninterrupted.database):
+        assert a.config == b.config, f"{acq}: divergent config after resume"
+        assert a.objective == b.objective
+
+
+@pytest.mark.parametrize("acq", ACQS)
+def test_same_seed_same_run(acq):
+    a = _run(acq).run()
+    b = _run(acq).run()
+    assert [r.config for r in a.database] == [r.config for r in b.database]
+
+
+def test_lcb_beta_matches_uninterrupted_after_resume(tmp_path):
+    """Replay must land beta exactly where the uninterrupted run had it."""
+    budget, kill_after = 20, 12
+
+    opt_full = _run("lcb", budget=budget)
+    opt_full.run()
+    beta_full = opt_full.acquisition.beta
+
+    calls = {"n": 0}
+
+    def killer(cfg):
+        calls["n"] += 1
+        if calls["n"] > kill_after:
+            raise KeyboardInterrupt
+        return quadratic(cfg)
+
+    path = tmp_path / "ck.jsonl"
+    with pytest.raises(KeyboardInterrupt):
+        _run("lcb", budget=budget, database=EvaluationDatabase(path),
+             objective=killer).run()
+
+    opt_resumed = _run("lcb", budget=budget, database=EvaluationDatabase(path))
+    opt_resumed.run()
+    assert opt_resumed.acquisition.beta == beta_full
+
+    # And the replay alone (before any new iterations) reproduces the
+    # beta an uninterrupted run had at the kill point.
+    opt_replay = _run("lcb", budget=budget, database=EvaluationDatabase(path))
+    opt_replay._replay_acquisition_schedule()
+    ref = LowerConfidenceBound(beta=3.0, beta_final=0.5)
+    n_ok = sum(1 for r in opt_replay.database.records[:5] if r.ok)
+    for rec in opt_replay.database.records[5:]:
+        ref.update(n_ok, budget)
+        if rec.ok:
+            n_ok += 1
+    assert opt_replay.acquisition.beta == ref.beta
+    assert opt_replay.acquisition.beta != 3.0  # decay actually engaged

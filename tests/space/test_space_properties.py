@@ -97,3 +97,31 @@ def test_neighbors_are_valid(seed):
     cfg = space.sample(np.random.default_rng(seed))
     for neighbor in space.neighbors(cfg):
         assert space.is_valid(neighbor), f"invalid neighbor: {neighbor}"
+
+
+@pytest.mark.parametrize("seed", ALL_SEEDS)
+def test_encode_batch_bitwise_equals_stacked_scalar_encode(seed):
+    """The vectorized codec is *bitwise* the scalar one, per element.
+
+    The batched acquisition path scores ``space.encode_batch(configs)``;
+    proposal identity with the per-candidate reference loop requires the
+    two encoders to agree exactly, not just to tolerance (both use the
+    same numpy ufunc graph — see ``Parameter.to_unit_batch``).
+    """
+    space = random_space(SplitMix64(seed))
+    rng = np.random.default_rng(seed)
+    configs = space.sample_batch(16, rng)
+    batched = space.encode_batch(configs)
+    stacked = np.stack([space.encode(c) for c in configs])
+    np.testing.assert_array_equal(batched, stacked)
+
+
+@pytest.mark.parametrize("seed", ALL_SEEDS)
+def test_decode_batch_equals_scalar_decode(seed):
+    space = random_space(SplitMix64(seed))
+    rng = np.random.default_rng(seed)
+    configs = space.sample_batch(16, rng)
+    X = space.encode_batch(configs)
+    batched = space.decode_batch(X)
+    scalar = [space.decode(x) for x in X]
+    assert batched == scalar
