@@ -36,13 +36,14 @@ continues *bit-identically* to an uninterrupted run.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..faults.breaker import CircuitBreaker
+from ..faults.breaker import CircuitBreaker, persist_breaker, restore_breaker
 from ..faults.taxonomy import (
     FAILURE_KIND_KEY,
     FailureKind,
@@ -776,11 +777,29 @@ class BayesianOptimizer:
             if records[idx].ok:
                 n_ok += 1
 
-    def _record_failure(self, rec: Evaluation) -> None:
+    def _persist_breaker(self) -> None:
+        """Atomically snapshot breaker state into the checkpoint scope
+        (``<checkpoint>.breaker.json``); no-op for in-memory databases."""
+        if self.breaker is not None:
+            persist_breaker(self.breaker, self.database.path)
+
+    def _restore_breaker_state(self) -> bool:
+        """Load the persisted breaker sidecar, if any.  Returns True when
+        state was restored (the record replay must then be skipped —
+        re-recording the same failures would double the counts)."""
+        if self.breaker is None:
+            return False
+        return restore_breaker(self.breaker, self.database.path)
+
+    def _record_failure(self, rec: Evaluation, *, persist: bool = True) -> None:
         """Feed a completed evaluation's classified failure (if any) to
-        the circuit breaker."""
+        the circuit breaker, persisting changed state to the checkpoint
+        scope so a resumed campaign keeps its quarantine."""
         if self.breaker is not None and not rec.ok:
+            before = self.breaker.total_counted
             self.breaker.record(rec.config, failure_kind_of(rec))
+            if persist and self.breaker.total_counted != before:
+                self._persist_breaker()
 
     def _dequarantine(
         self, config: dict[str, Any], rng: np.random.Generator
@@ -843,10 +862,17 @@ class BayesianOptimizer:
         if self.resume and len(self.database) > 0:
             self._replay_model_state()
             self._replay_acquisition_schedule()
-            # Rebuild the circuit-breaker state from the checkpointed
-            # failure kinds so a resumed campaign keeps its quarantine.
-            for rec in self.database:
-                self._record_failure(rec)
+            # Restore the circuit breaker from its checkpoint-scope
+            # sidecar when one exists (exact pre-crash state, including
+            # partial cell counts); otherwise rebuild it from the
+            # checkpointed failure kinds.  Either way a resumed campaign
+            # keeps its quarantine instead of re-paying failures in
+            # already-quarantined cells.
+            if not self._restore_breaker_state():
+                for rec in self.database:
+                    self._record_failure(rec, persist=False)
+                if self.breaker is not None and self.breaker.total_counted:
+                    self._persist_breaker()
 
         # --- initial design (partially replayed under crash recovery) ---
         # The full design is derived from a dedicated stream so a resumed

@@ -12,6 +12,14 @@ Commands
     attribution and best-value-vs-evaluations progression.
 ``info``
     Print the package inventory and the per-experiment benchmark map.
+``serve``
+    Run the crash-safe tuning job service (WAL-backed registry,
+    lease-supervised workers, REST API; see ``docs/service.md``).
+``submit``
+    Submit a job to a running service (or enqueue it offline straight
+    into a registry directory for the next ``serve``).
+``jobs``
+    List jobs or show one job's status on a running service.
 """
 
 from __future__ import annotations
@@ -144,6 +152,112 @@ def _cmd_info(args: argparse.Namespace) -> int:
     ]
     for exp, bench in experiments:
         print(f"  {exp:<28} benchmarks/{bench}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AdmissionController, JobRegistry, ServiceServer, Supervisor
+
+    telemetry = _make_telemetry(args, "serve")
+    registry = JobRegistry(
+        os.path.join(args.registry_dir, "registry"), fsync=args.fsync
+    )
+    admission = AdmissionController(
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        tenant_fail_threshold=args.tenant_fail_threshold,
+    )
+    supervisor = Supervisor(
+        registry,
+        jobs_dir=os.path.join(args.registry_dir, "jobs"),
+        admission=admission,
+        workers=args.workers,
+        heartbeat_interval=args.heartbeat_interval,
+        max_missed=args.max_missed,
+        max_attempts=args.max_attempts,
+        inline=args.inline,
+        telemetry=telemetry,
+    )
+    supervisor.install_signal_handlers()
+    orphans = supervisor.recover()
+    if orphans:
+        print(f"requeued {len(orphans)} orphaned job(s)")
+    server = None
+    if not args.no_http:
+        server = ServiceServer(supervisor, host=args.host, port=args.port)
+        server.start()
+        print(f"listening on {server.url}", flush=True)
+    try:
+        clean = supervisor.run(
+            drain_when_idle=args.drain_when_idle,
+            max_seconds=args.max_seconds,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+        registry.compact()
+        registry.close()
+        if telemetry is not None:
+            telemetry.close()
+    return 0 if clean else 1
+
+
+def _parse_job_params(args: argparse.Namespace) -> dict:
+    import json
+
+    params = dict(json.loads(args.params)) if args.params else {}
+    for key in ("case", "seed", "budget"):
+        value = getattr(args, key, None)
+        if value is not None:
+            params[key] = value
+    return params
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    params = _parse_job_params(args)
+    if args.registry_dir is not None:
+        # Offline enqueue: write straight into the registry; the next
+        # `repro serve` on this directory leases it.
+        from .service import JobRegistry, JobSpec
+
+        with JobRegistry(os.path.join(args.registry_dir, "registry")) as reg:
+            rec = reg.submit(
+                JobSpec(kind=args.kind, tenant=args.tenant, params=params)
+            )
+        print(json.dumps({"job_id": rec.job_id, "state": rec.state}))
+        return 0
+    from .service import ServiceClientError, submit_job, wait_for_job
+
+    try:
+        rec = submit_job(
+            args.server, args.kind, tenant=args.tenant, params=params
+        )
+    except ServiceClientError as exc:
+        print(json.dumps(exc.payload), file=sys.stderr)
+        return 1
+    if args.wait:
+        rec = wait_for_job(args.server, rec["job_id"], timeout=args.timeout)
+    print(json.dumps(rec, sort_keys=True))
+    return 0 if rec["state"] not in ("failed", "rejected") else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import cancel_job, job_status, list_jobs
+
+    if args.job is None:
+        for rec in list_jobs(args.server):
+            print(json.dumps(rec, sort_keys=True))
+        return 0
+    rec = (
+        cancel_job(args.server, args.job)
+        if args.cancel
+        else job_status(args.server, args.job)
+    )
+    print(json.dumps(rec, sort_keys=True))
     return 0
 
 
@@ -286,6 +400,85 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("info", help="package inventory and experiment map")
     _add_verbosity(p)
     p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser(
+        "serve", help="run the crash-safe tuning job service"
+    )
+    p.add_argument("--registry-dir", required=True, metavar="DIR",
+                   help="service state root (WAL registry + job workdirs); "
+                        "restarting on the same DIR resumes every "
+                        "interrupted job from its checkpoints")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="HTTP port (default: 0 = ephemeral, printed on start)")
+    p.add_argument("--no-http", action="store_true",
+                   help="supervise queued jobs without the REST front-end "
+                        "(batch/offline mode)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent worker-process slots (default: 2)")
+    p.add_argument("--inline", action="store_true",
+                   help="run jobs in-process instead of worker processes "
+                        "(no kill-based supervision; benchmark mode)")
+    p.add_argument("--heartbeat-interval", type=float, default=0.25,
+                   metavar="SEC")
+    p.add_argument("--max-missed", type=int, default=8, metavar="K",
+                   help="heartbeats missed before a lease expires and the "
+                        "worker is killed + fenced (default: 8)")
+    p.add_argument("--max-attempts", type=int, default=5, metavar="K",
+                   help="lease attempts before a job fails permanently")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="queued-job bound; beyond it submissions are shed "
+                        "with an explicit queue_full rejection")
+    p.add_argument("--tenant-quota", type=int, default=None, metavar="N",
+                   help="max active jobs per tenant (default: unlimited)")
+    p.add_argument("--tenant-fail-threshold", type=int, default=None,
+                   metavar="K",
+                   help="permanently-failed jobs before a tenant is "
+                        "quarantined (circuit breaker; default: off)")
+    p.add_argument("--fsync", default="always",
+                   choices=("always", "rotate", "close"),
+                   help="registry WAL durability policy (default: always)")
+    p.add_argument("--drain-when-idle", action="store_true",
+                   help="exit cleanly once the queue is empty and no "
+                        "leases are active (batch mode)")
+    p.add_argument("--max-seconds", type=float, default=None, metavar="SEC",
+                   help="hard cap on the supervision loop (exit 1 if hit)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write a JSONL service trace (job lifecycle "
+                        "events) to DIR")
+    p.add_argument("--no-progress", "--quiet", dest="no_progress",
+                   action="store_true", help=argparse.SUPPRESS)
+    _add_verbosity(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a tuning job")
+    p.add_argument("--server", default="http://127.0.0.1:8642",
+                   metavar="URL", help="service base URL")
+    p.add_argument("--registry-dir", default=None, metavar="DIR",
+                   help="enqueue offline into this registry instead of "
+                        "talking to a server")
+    p.add_argument("--kind", default="campaign",
+                   choices=("campaign", "methodology"))
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--case", type=int, default=None, choices=range(1, 6))
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--budget", type=int, default=None,
+                   help="campaign-kind evaluation budget")
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="extra job params as a JSON object")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="SEC")
+    _add_verbosity(p)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("jobs", help="list/inspect jobs on a running service")
+    p.add_argument("--server", default="http://127.0.0.1:8642", metavar="URL")
+    p.add_argument("--job", default=None, metavar="ID")
+    p.add_argument("--cancel", action="store_true",
+                   help="cancel the job given by --job")
+    _add_verbosity(p)
+    p.set_defaults(func=_cmd_jobs)
     return parser
 
 

@@ -20,6 +20,9 @@ healthy region.  Tripped cells are reported in
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from typing import Any, Iterable, Mapping
 
 import numpy as np
@@ -27,9 +30,69 @@ import numpy as np
 from ..log import get_logger
 from .taxonomy import FailureKind
 
-__all__ = ["CircuitBreaker"]
+__all__ = [
+    "CircuitBreaker",
+    "breaker_sidecar_path",
+    "persist_breaker",
+    "restore_breaker",
+]
 
 logger = get_logger("faults")
+
+
+def breaker_sidecar_path(checkpoint_path: str | os.PathLike) -> str:
+    """Breaker-state sidecar for an evaluation checkpoint file.
+
+    Lives in the same checkpoint scope (``<checkpoint>.breaker.json``) so
+    whatever moves, copies, or fences the checkpoint carries the breaker
+    state with it.
+    """
+    return os.fspath(checkpoint_path) + ".breaker.json"
+
+
+def persist_breaker(
+    breaker: "CircuitBreaker", checkpoint_path: str | os.PathLike | None
+) -> None:
+    """Atomically snapshot ``breaker`` next to its checkpoint file."""
+    if checkpoint_path is None:
+        return
+    path = breaker_sidecar_path(checkpoint_path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(breaker.state_dict(), f)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def restore_breaker(
+    breaker: "CircuitBreaker", checkpoint_path: str | os.PathLike | None
+) -> bool:
+    """Load a persisted sidecar into ``breaker``.
+
+    Returns ``True`` when non-empty state was restored — callers must
+    then *skip* rebuilding the breaker from evaluation records, which
+    would double-count every failure.  A missing, corrupt, or
+    geometry-mismatched sidecar returns ``False`` (rebuild as before).
+    """
+    if checkpoint_path is None:
+        return False
+    path = breaker_sidecar_path(checkpoint_path)
+    if not os.path.exists(path):
+        return False
+    try:
+        with open(path) as f:
+            state = json.load(f)
+    except (OSError, ValueError):
+        logger.warning("corrupt breaker sidecar %s; rebuilding from records", path)
+        return False
+    breaker.load_state(state)
+    return breaker.total_counted > 0 or breaker.n_tripped > 0
 
 
 class CircuitBreaker:
@@ -118,6 +181,57 @@ class CircuitBreaker:
     @property
     def n_tripped(self) -> int:
         return len(self._tripped)
+
+    @property
+    def total_counted(self) -> int:
+        """Total failures counted so far (all cells)."""
+        return int(sum(self._counts.values()))
+
+    # -- persistence ----------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the mutable breaker state.
+
+        Persisted next to the evaluation checkpoint so a resumed campaign
+        restores its quarantine — including partial per-cell counts that
+        had not yet tripped — instead of re-paying failures to rediscover
+        it.  Cells are keyed by comma-joined indices (JSON objects cannot
+        key on tuples).
+        """
+        return {
+            "threshold": self.threshold,
+            "resolution": self.resolution,
+            "counts": {
+                ",".join(str(i) for i in cell): n
+                for cell, n in sorted(self._counts.items())
+            },
+            "tripped": [list(c) for c in self.tripped_cells],
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, replacing current state.
+
+        Snapshots taken under a different grid geometry are ignored (the
+        cell keys would be meaningless): the breaker then rebuilds from
+        the evaluation records as before.
+        """
+        if (
+            int(state.get("threshold", self.threshold)) != self.threshold
+            or int(state.get("resolution", self.resolution)) != self.resolution
+        ):
+            logger.warning(
+                "ignoring persisted breaker state with mismatched geometry "
+                "(threshold/resolution %s/%s vs ours %d/%d)",
+                state.get("threshold"), state.get("resolution"),
+                self.threshold, self.resolution,
+            )
+            return
+        self._counts = {
+            tuple(int(i) for i in key.split(",")): int(n)
+            for key, n in state.get("counts", {}).items()
+        }
+        self._tripped = {
+            tuple(int(i) for i in cell) for cell in state.get("tripped", ())
+        }
 
     def summary(self) -> dict[str, Any]:
         """JSONL-safe description for ``SearchResult.meta["quarantined"]``."""

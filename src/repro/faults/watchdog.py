@@ -17,6 +17,14 @@ termination needs a process boundary, which the campaign executor
 provides at member granularity (future timeouts + worker resubmission).
 The watchdog guarantees the *search* makes progress within
 ``timeout`` per evaluation regardless of objective behavior.
+
+Abandoned threads are *fenced* with a generation token: every call
+advances the watchdog's generation, and a timed-out call advances it
+again before raising, so a zombie thread that eventually completes finds
+its token stale and discards its result instead of publishing it.
+Without the fence, a slow evaluation that finishes *after* the timeout
+verdict was recorded could race a later evaluation of the same wrapper
+and leak its (already-reported-as-timeout) value into shared state.
 """
 
 from __future__ import annotations
@@ -55,32 +63,67 @@ class WatchdogObjective:
         self.objective = objective
         self.timeout = float(timeout)
         self.timeouts = 0
+        #: Late completions of abandoned (timed-out) worker threads whose
+        #: results were fenced off and discarded.
+        self.stale_completions = 0
+        self._generation = 0
+        self._gen_lock = threading.Lock()
 
     def __getstate__(self):
         return {
             "objective": self.objective,
             "timeout": self.timeout,
             "timeouts": self.timeouts,
+            "stale_completions": self.stale_completions,
         }
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        self._generation = 0
+        self._gen_lock = threading.Lock()
 
     def __call__(self, config: Mapping[str, Any]) -> Any:
         box: dict[str, Any] = {}
+        with self._gen_lock:
+            self._generation += 1
+            gen = self._generation
 
         def target() -> None:
             try:
-                box["result"] = self.objective(config)
+                result = self.objective(config)
+                err = None
             except BaseException as exc:  # re-raised in the caller
-                box["error"] = exc
+                result, err = None, exc
+            # Fence: publish only if this call is still the live
+            # generation.  A zombie thread finishing after its timeout
+            # verdict (and possibly after later evaluations started) must
+            # not leak its result into shared state.
+            with self._gen_lock:
+                if gen != self._generation:
+                    self.stale_completions += 1
+                    logger.warning(
+                        "discarding stale result of abandoned evaluation "
+                        "(generation %d, now %d)", gen, self._generation,
+                    )
+                    return
+                if err is not None:
+                    box["error"] = err
+                else:
+                    box["result"] = result
 
         worker = threading.Thread(
             target=target, name="repro-watchdog-eval", daemon=True
         )
         worker.start()
         worker.join(self.timeout)
-        if worker.is_alive():
+        with self._gen_lock:
+            done = "result" in box or "error" in box
+            if not done:
+                # Advance the generation *under the lock* so the worker
+                # thread either published before this point or will see a
+                # stale token and discard.
+                self._generation += 1
+        if not done:
             self.timeouts += 1
             logger.warning(
                 "watchdog fired: evaluation exceeded %gs wall-clock "

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..bo.history import Evaluation, EvaluationDatabase, EvaluationStatus
 from ..bo.optimizer import Objective
-from ..faults.breaker import CircuitBreaker
+from ..faults.breaker import CircuitBreaker, persist_breaker, restore_breaker
 from ..faults.taxonomy import (
     FAILURE_KIND_KEY,
     FailureKind,
@@ -201,11 +201,14 @@ class RandomSearch:
             for i, rec in enumerate(self.database):
                 best_seen = emit_eval(self.tracer, i, rec, best_seen)
         if self.breaker is not None:
-            # Resume support: replay checkpointed failure kinds so the
-            # quarantine state survives a crash.
-            for rec in self.database:
-                if not rec.ok:
-                    self.breaker.record(rec.config, failure_kind_of(rec))
+            # Resume support: restore the persisted sidecar when one
+            # exists (exact pre-crash state, partial counts included);
+            # otherwise replay checkpointed failure kinds so the
+            # quarantine state survives a crash either way.
+            if not restore_breaker(self.breaker, self.database.path):
+                for rec in self.database:
+                    if not rec.ok:
+                        self.breaker.record(rec.config, failure_kind_of(rec))
         n_have = len(self.database)
         for _ in range(max(0, self.max_evaluations - n_have)):
             cfg = self._next_config()
@@ -218,7 +221,10 @@ class RandomSearch:
                     rec = self._evaluate(cfg)
                     sp.attrs.update(status=rec.status, cost=rec.cost)
             if self.breaker is not None and not rec.ok:
+                before = self.breaker.total_counted
                 self.breaker.record(rec.config, failure_kind_of(rec))
+                if self.breaker.total_counted != before:
+                    persist_breaker(self.breaker, self.database.path)
             self.database.append(rec)
             if self.tracer is not None:
                 best_seen = emit_eval(

@@ -1,0 +1,68 @@
+"""Crash-safe tuning job service (see ``docs/service.md``).
+
+Layers, bottom to top:
+
+* :mod:`repro.service.jobs` — job specs, the fence/drain guard, and the
+  deterministic job runner (checkpoints scoped per job workdir).
+* :mod:`repro.service.registry` — WAL-backed job registry: every state
+  transition appended (and fsynced) before it is acknowledged, snapshot
+  compaction, torn-tail recovery.
+* :mod:`repro.service.admission` — bounded queue, per-tenant quotas and
+  quarantine (circuit-breaker cells), explicit shedding.
+* :mod:`repro.service.supervisor` — leases with heartbeat supervision,
+  epoch fencing against zombie workers, graceful drain on SIGTERM.
+* :mod:`repro.service.server` — stdlib REST front-end + client helpers
+  (``repro serve`` / ``repro submit`` in the CLI).
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .jobs import (
+    DrainRequested,
+    GuardedCallable,
+    JobGuard,
+    JobSpec,
+    LeaseFencedError,
+    read_fence,
+    run_job,
+    write_fence,
+)
+from .registry import IllegalTransition, JobRecord, JobRegistry, JobState, RegistryError
+from .server import (
+    ServiceClientError,
+    ServiceServer,
+    cancel_job,
+    health,
+    job_status,
+    list_jobs,
+    submit_job,
+    wait_for_job,
+)
+from .supervisor import Lease, Supervisor
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DrainRequested",
+    "GuardedCallable",
+    "IllegalTransition",
+    "JobGuard",
+    "JobRecord",
+    "JobRegistry",
+    "JobSpec",
+    "JobState",
+    "Lease",
+    "LeaseFencedError",
+    "RegistryError",
+    "ServiceClientError",
+    "ServiceServer",
+    "Supervisor",
+    "cancel_job",
+    "health",
+    "job_status",
+    "list_jobs",
+    "read_fence",
+    "run_job",
+    "submit_job",
+    "wait_for_job",
+    "write_fence",
+]

@@ -1,0 +1,173 @@
+"""Admission control: bounded queue, tenant quotas, explicit shedding.
+
+Overload handling is *explicit by construction*: every submission gets
+either a queued job or an :class:`AdmissionDecision` with a machine-
+readable reason (``queue_full``, ``tenant_quota``,
+``tenant_quarantined``, ``draining``) that the registry records as a
+``rejected`` job — the service never silently drops work.
+
+Tenant quarantine reuses the :class:`repro.faults.CircuitBreaker` cell
+machinery rather than reimplementing threshold bookkeeping: tenants are
+hashed onto the unit interval by a one-dimensional shim "space" whose
+``encode`` places each tenant at the center of its own cell, so the
+breaker's per-cell failure counting, trip threshold, and persistence
+format all carry over unchanged.  A tenant whose jobs keep failing
+permanently trips its cell and further submissions are shed (protecting
+shared capacity) until the breaker is reset.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..faults.breaker import CircuitBreaker
+from ..faults.taxonomy import FailureKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .jobs import JobSpec
+    from .registry import JobRegistry
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+#: Decision reasons (the vocabulary of ``rejected`` records and HTTP maps).
+REASON_ADMITTED = "admitted"
+REASON_QUEUE_FULL = "queue_full"
+REASON_TENANT_QUOTA = "tenant_quota"
+REASON_TENANT_QUARANTINED = "tenant_quarantined"
+REASON_DRAINING = "draining"
+
+
+class _TenantCells:
+    """Shim space mapping tenants onto distinct breaker cells.
+
+    ``encode`` hashes the tenant name (CRC-32, stable across processes —
+    never ``hash()``, which is salted per interpreter) onto the center of
+    one of ``resolution`` cells in the unit interval, so
+    :meth:`CircuitBreaker.cell` assigns each tenant its own counter.
+    """
+
+    def __init__(self, resolution: int):
+        self.resolution = int(resolution)
+        self.dimension = 1
+        self.name = "tenants"
+
+    def encode(self, config: Mapping[str, Any]) -> list[float]:
+        cell = zlib.crc32(str(config["tenant"]).encode()) % self.resolution
+        return [(cell + 0.5) / self.resolution]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = REASON_ADMITTED
+    detail: str = ""
+
+
+class AdmissionController:
+    """Decide whether a submission may enter the queue.
+
+    Parameters
+    ----------
+    max_queue:
+        Maximum queued (not yet leased) jobs before submissions shed
+        with ``queue_full``.
+    tenant_quota:
+        Maximum *active* (queued/leased/running) jobs per tenant;
+        ``None`` disables.
+    tenant_fail_threshold:
+        Permanently-failed jobs per tenant before the tenant's breaker
+        cell trips and submissions shed with ``tenant_quarantined``;
+        ``None`` disables the breaker.
+    tenant_resolution:
+        Breaker cells available for tenant hashing (distinct tenants may
+        collide at very small values, exactly like space cells).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue: int = 64,
+        tenant_quota: int | None = None,
+        tenant_fail_threshold: int | None = None,
+        tenant_resolution: int = 256,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+        self.max_queue = int(max_queue)
+        self.tenant_quota = tenant_quota
+        self.breaker = (
+            CircuitBreaker(
+                _TenantCells(tenant_resolution),
+                threshold=tenant_fail_threshold,
+                resolution=tenant_resolution,
+            )
+            if tenant_fail_threshold is not None
+            else None
+        )
+        self._lock = threading.Lock()
+        self.rejections: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        spec: "JobSpec",
+        registry: "JobRegistry",
+        *,
+        draining: bool = False,
+    ) -> AdmissionDecision:
+        """Admit or shed ``spec``; shed decisions carry the reason."""
+        if draining:
+            return self._reject(
+                REASON_DRAINING, "service is draining; not accepting jobs"
+            )
+        if self.breaker is not None and not self.breaker.allows(
+            {"tenant": spec.tenant}
+        ):
+            return self._reject(
+                REASON_TENANT_QUARANTINED,
+                f"tenant {spec.tenant!r} quarantined after repeated "
+                f"permanent job failures",
+            )
+        if registry.queue_depth() >= self.max_queue:
+            return self._reject(
+                REASON_QUEUE_FULL, f"queue at capacity ({self.max_queue})"
+            )
+        if (
+            self.tenant_quota is not None
+            and registry.active_count(spec.tenant) >= self.tenant_quota
+        ):
+            return self._reject(
+                REASON_TENANT_QUOTA,
+                f"tenant {spec.tenant!r} at quota ({self.tenant_quota} "
+                f"active jobs)",
+            )
+        return AdmissionDecision(admitted=True)
+
+    def _reject(self, reason: str, detail: str) -> AdmissionDecision:
+        with self._lock:
+            self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        return AdmissionDecision(admitted=False, reason=reason, detail=detail)
+
+    # ------------------------------------------------------------------
+    def record_failure(
+        self, tenant: str, kind: FailureKind | str = FailureKind.PERMANENT
+    ) -> bool:
+        """Count one terminal job failure against ``tenant``; returns
+        ``True`` when this trips the tenant's breaker cell."""
+        if self.breaker is None:
+            return False
+        return self.breaker.record({"tenant": tenant}, kind)
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot (breaker state + shed counters)."""
+        return {
+            "rejections": dict(sorted(self.rejections.items())),
+            "breaker": self.breaker.state_dict() if self.breaker else None,
+        }

@@ -1,0 +1,312 @@
+"""Minimal REST front-end for the tuning job service (stdlib only).
+
+Routes::
+
+    POST /jobs               {"kind", "tenant", "params"} -> 201 + record
+    GET  /jobs               -> {"jobs": [summaries...]}
+    GET  /jobs/<id>          -> full record (incl. result when done)
+    POST /jobs/<id>/cancel   -> updated record
+    GET  /health             -> {"status", "queue_depth", "running", ...}
+
+Shed submissions map to honest HTTP status codes — ``queue_full`` and
+``tenant_quota`` are 429, ``tenant_quarantined`` 403, ``draining`` 503 —
+and every rejection body carries the machine-readable ``reason`` the
+registry recorded.  The handler threads only touch the supervisor's
+thread-safe surface (``submit``/``cancel``/registry reads); all lease
+mechanics stay on the supervision loop thread.
+
+The client half (:func:`submit_job` and friends) wraps :mod:`urllib` so
+the CLI and tests need no third-party HTTP stack.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from ..log import get_logger
+from .admission import (
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    REASON_TENANT_QUARANTINED,
+    REASON_TENANT_QUOTA,
+)
+from .jobs import JobSpec
+from .registry import JobRecord, JobState
+from .supervisor import Supervisor
+
+__all__ = [
+    "ServiceServer",
+    "ServiceClientError",
+    "submit_job",
+    "job_status",
+    "list_jobs",
+    "cancel_job",
+    "health",
+]
+
+logger = get_logger("service")
+
+#: Admission reason -> HTTP status for shed submissions.
+_REJECT_STATUS = {
+    REASON_QUEUE_FULL: 429,
+    REASON_TENANT_QUOTA: 429,
+    REASON_TENANT_QUARANTINED: 403,
+    REASON_DRAINING: 503,
+}
+
+
+def _record_payload(rec: JobRecord, *, full: bool = True) -> dict[str, Any]:
+    payload = {
+        "job_id": rec.job_id,
+        "kind": rec.spec.kind,
+        "tenant": rec.spec.tenant,
+        "state": rec.state,
+        "epoch": rec.epoch,
+        "attempt": rec.attempt,
+        "reason": rec.reason,
+    }
+    if full:
+        payload["params"] = dict(rec.spec.params)
+        payload["result"] = rec.result
+        payload["error"] = rec.error
+    return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def supervisor(self) -> Supervisor:
+        return self.server.supervisor  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("http: " + format, *args)
+
+    def _send(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any] | None:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            data = json.loads(raw or b"{}")
+        except json.JSONDecodeError:
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["health"]:
+            sup = self.supervisor
+            self._send(
+                200,
+                {
+                    "status": "draining" if sup.draining else "ok",
+                    "queue_depth": sup.registry.queue_depth(),
+                    "running": len(sup.active_leases()),
+                    "workers": sup.workers,
+                },
+            )
+            return
+        if parts == ["jobs"]:
+            self._send(
+                200,
+                {
+                    "jobs": [
+                        _record_payload(rec, full=False)
+                        for rec in self.supervisor.registry.jobs()
+                    ]
+                },
+            )
+            return
+        if len(parts) == 2 and parts[0] == "jobs":
+            try:
+                rec = self.supervisor.registry.get(parts[1])
+            except KeyError:
+                self._send(404, {"error": f"unknown job {parts[1]!r}"})
+                return
+            self._send(200, _record_payload(rec))
+            return
+        self._send(404, {"error": f"no route for GET {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["jobs"]:
+            data = self._read_json()
+            if data is None or "kind" not in data:
+                self._send(400, {"error": "body must be JSON with a 'kind'"})
+                return
+            try:
+                spec = JobSpec(
+                    kind=data["kind"],
+                    tenant=data.get("tenant", "default"),
+                    params=dict(data.get("params", {})),
+                )
+            except ValueError as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            rec, decision = self.supervisor.submit(spec)
+            if decision.admitted:
+                self._send(201, _record_payload(rec))
+            else:
+                self._send(
+                    _REJECT_STATUS.get(decision.reason, 429),
+                    {
+                        **_record_payload(rec),
+                        "error": decision.detail,
+                        "reason": decision.reason,
+                    },
+                )
+            return
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            try:
+                rec = self.supervisor.cancel(parts[1])
+            except KeyError:
+                self._send(404, {"error": f"unknown job {parts[1]!r}"})
+                return
+            self._send(200, _record_payload(rec))
+            return
+        self._send(404, {"error": f"no route for POST {self.path}"})
+
+
+class ServiceServer:
+    """Threaded HTTP front-end bound to one supervisor."""
+
+    def __init__(
+        self, supervisor: Supervisor, *, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.supervisor = supervisor
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.supervisor = supervisor  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("service listening on %s", self.url)
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# Client
+
+
+class ServiceClientError(RuntimeError):
+    """Non-2xx response from the service (carries status + payload)."""
+
+    def __init__(self, status: int, payload: Mapping[str, Any]):
+        super().__init__(
+            f"HTTP {status}: {payload.get('error') or payload.get('reason')}"
+        )
+        self.status = status
+        self.payload = dict(payload)
+
+
+def _request(
+    url: str, *, method: str = "GET", payload: Mapping[str, Any] | None = None,
+    timeout: float = 10.0,
+) -> dict[str, Any]:
+    body = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        try:
+            data = json.loads(exc.read() or b"{}")
+        except json.JSONDecodeError:
+            data = {"error": str(exc)}
+        raise ServiceClientError(exc.code, data) from None
+
+
+def submit_job(
+    base_url: str,
+    kind: str,
+    *,
+    tenant: str = "default",
+    params: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    return _request(
+        f"{base_url}/jobs",
+        method="POST",
+        payload={"kind": kind, "tenant": tenant, "params": dict(params or {})},
+    )
+
+
+def job_status(base_url: str, job_id: str) -> dict[str, Any]:
+    return _request(f"{base_url}/jobs/{job_id}")
+
+
+def list_jobs(base_url: str) -> list[dict[str, Any]]:
+    return _request(f"{base_url}/jobs")["jobs"]
+
+
+def cancel_job(base_url: str, job_id: str) -> dict[str, Any]:
+    return _request(f"{base_url}/jobs/{job_id}/cancel", method="POST")
+
+
+def health(base_url: str) -> dict[str, Any]:
+    return _request(f"{base_url}/health")
+
+
+def wait_for_job(
+    base_url: str, job_id: str, *, timeout: float = 60.0, interval: float = 0.1
+) -> dict[str, Any]:
+    """Poll until the job reaches a terminal state (or raise TimeoutError)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        rec = job_status(base_url, job_id)
+        if rec["state"] in JobState.TERMINAL:
+            return rec
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"job {job_id} still {rec['state']} after {timeout:g}s"
+            )
+        time.sleep(interval)

@@ -1,0 +1,574 @@
+"""Lease-supervised job execution with heartbeats, fencing, and drain.
+
+The supervisor is the single writer of the :class:`JobRegistry` and the
+parent of every worker.  One job at a time per worker slot:
+
+1. **Lease** — ``queued -> leased`` bumps the job's epoch; the epoch is
+   written to the job workdir's fence file *before* the worker starts,
+   so the worker's guard (checked before every objective evaluation and
+   before publishing) proves it still owns the lease.
+2. **Run** — the worker process executes :func:`repro.service.jobs.run_job`
+   with every checkpoint scoped under the workdir, heartbeating a
+   counter file from a daemon thread.
+3. **Supervise** — the supervisor polls worker liveness and heartbeats.
+   A worker that misses ``max_missed`` heartbeat intervals is SIGKILLed
+   *first*, then the job is requeued with a bumped epoch and the fence
+   rewritten — kill-then-fence, so even an unkillable zombie (SIGKILL
+   lost to an unreachable node in a real deployment) is fenced out of
+   the checkpoint scope before a successor leases the job.
+4. **Collect** — exit code 0 plus a result carrying the lease's epoch is
+   ``done``; a drained worker requeues; a fenced worker is dropped (its
+   successor owns the job); anything else is ``worker_lost`` and
+   requeues until the attempt cap, then fails.
+
+**Drain** (SIGTERM): stop leasing, touch the drain flag that every
+worker guard polls, let in-flight evaluations finish and checkpoint,
+requeue the drained jobs, exit cleanly.  Restarting the service resumes
+them bit-identically from their checkpoints.
+
+Recovery at startup requeues orphaned leases (a supervisor that died
+hard) — the WAL knows exactly which jobs were in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..log import get_logger
+from ..telemetry import NULL_TRACER
+from .admission import AdmissionController, AdmissionDecision
+from .jobs import (
+    ERROR_NAME,
+    RESULT_NAME,
+    DrainRequested,
+    JobGuard,
+    JobSpec,
+    LeaseFencedError,
+    atomic_write_json,
+    run_job,
+    write_fence,
+)
+from .registry import JobRecord, JobRegistry, JobState
+
+__all__ = ["Supervisor", "Lease", "DRAIN_NAME"]
+
+logger = get_logger("service")
+
+DRAIN_NAME = "drain"
+HEARTBEAT_NAME = "heartbeat"
+
+#: Worker exit codes (the supervisor's collection protocol).
+EXIT_DONE = 0
+EXIT_ERROR = 1
+EXIT_FENCED = 3
+EXIT_DRAINED = 4
+
+
+def _read_heartbeat(path: str) -> int:
+    try:
+        with open(path) as f:
+            return int(f.read().strip() or 0)
+    except (OSError, ValueError):
+        return 0
+
+
+def _worker_main(
+    spec_dict: dict[str, Any],
+    workdir: str,
+    epoch: int,
+    heartbeat_interval: float,
+    drain_path: str,
+) -> None:
+    """Worker process entry: heartbeat thread + guarded job run."""
+    spec = JobSpec.from_dict(spec_dict)
+    guard = JobGuard(workdir=workdir, epoch=epoch, drain_path=drain_path)
+    stop = threading.Event()
+    hb_path = os.path.join(workdir, HEARTBEAT_NAME)
+
+    def beat() -> None:
+        n = 0
+        while not stop.is_set():
+            n += 1
+            try:
+                with open(hb_path, "w") as f:
+                    f.write(f"{n}\n")
+            except OSError:  # pragma: no cover - workdir vanished
+                return
+            stop.wait(heartbeat_interval)
+
+    threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
+    try:
+        result = run_job(spec, workdir, guard=guard)
+        result["epoch"] = epoch
+        # Final fence check *before* publishing: a worker whose lease
+        # expired mid-run must not overwrite its successor's result.
+        guard.check()
+        atomic_write_json(os.path.join(workdir, RESULT_NAME), result)
+        code = EXIT_DONE
+    except DrainRequested:
+        code = EXIT_DRAINED
+    except LeaseFencedError:
+        code = EXIT_FENCED
+    except BaseException as exc:  # noqa: BLE001 - report, then exit nonzero
+        try:
+            atomic_write_json(
+                os.path.join(workdir, ERROR_NAME),
+                {"error": repr(exc), "epoch": epoch},
+            )
+        except OSError:  # pragma: no cover - workdir vanished
+            pass
+        code = EXIT_ERROR
+    finally:
+        stop.set()
+    sys.exit(code)
+
+
+@dataclass
+class Lease:
+    """One in-flight (job, worker process) binding."""
+
+    job_id: str
+    epoch: int
+    workdir: str
+    process: Any = None
+    started: float = 0.0
+    last_beat: int = 0
+    last_beat_at: float = 0.0
+    cancel_requested: bool = False
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+
+class Supervisor:
+    """Run registry jobs on worker processes under supervised leases.
+
+    Parameters
+    ----------
+    registry:
+        The (single-writer) job registry this supervisor owns.
+    jobs_dir:
+        Root for per-job workdirs (``<jobs_dir>/<job_id>/``) and the
+        drain flag file.
+    admission:
+        Optional :class:`AdmissionController`; ``None`` admits
+        everything (still bounded by registry/queue mechanics).
+    workers:
+        Concurrent worker-process slots.
+    heartbeat_interval / max_missed:
+        Workers heartbeat every ``heartbeat_interval`` seconds; a lease
+        whose heartbeat has not advanced for ``max_missed`` consecutive
+        intervals is expired (kill -> fence -> requeue).
+    max_attempts:
+        Lease attempts per job before it is failed permanently
+        (counts the first attempt, so ``max_attempts=1`` disables
+        requeueing).
+    inline:
+        Run jobs synchronously in-process instead of spawning workers —
+        no heartbeats, no kill-based supervision.  This is the overhead
+        baseline mode (``benchmarks/bench_service_overhead.py``) and is
+        also what makes the full service pipeline measurable without
+        process noise.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; job lifecycle
+        events are emitted on its ``service`` scope and queue/lease
+        metrics on its registry.
+    """
+
+    def __init__(
+        self,
+        registry: JobRegistry,
+        *,
+        jobs_dir: str | os.PathLike,
+        admission: AdmissionController | None = None,
+        workers: int = 2,
+        heartbeat_interval: float = 0.25,
+        max_missed: int = 8,
+        max_attempts: int = 5,
+        inline: bool = False,
+        telemetry=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.registry = registry
+        self.jobs_dir = os.fspath(jobs_dir)
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.admission = admission
+        self.workers = int(workers)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.max_missed = int(max_missed)
+        self.max_attempts = int(max_attempts)
+        self.inline = bool(inline)
+        self.telemetry = telemetry
+        self.tracer = telemetry.tracer("service") if telemetry else NULL_TRACER
+        self.drain_path = os.path.join(self.jobs_dir, DRAIN_NAME)
+        self._drain = threading.Event()
+        if os.path.exists(self.drain_path):
+            # A previous drain flag must not leak into this incarnation.
+            os.unlink(self.drain_path)
+        self._lock = threading.RLock()
+        self._leases: dict[str, Lease] = {}
+        self._mp = multiprocessing.get_context("fork")
+
+    # -- submission (called from server threads too) -------------------
+    def submit(self, spec: JobSpec) -> tuple[JobRecord, AdmissionDecision]:
+        """Admission-check and register one job.  Rejections are recorded
+        in the registry (state ``rejected``) — explicit, never silent."""
+        with self._lock:
+            if self.admission is not None:
+                decision = self.admission.decide(
+                    spec, self.registry, draining=self.draining
+                )
+            elif self.draining:
+                decision = AdmissionDecision(
+                    admitted=False, reason="draining",
+                    detail="service is draining; not accepting jobs",
+                )
+            else:
+                decision = AdmissionDecision(admitted=True)
+            if decision.admitted:
+                rec = self.registry.submit(spec)
+                self.tracer.event(
+                    "job_submitted", job=rec.job_id, tenant=rec.spec.tenant,
+                    kind=rec.spec.kind,
+                )
+            else:
+                rec = self.registry.submit(spec, reject_reason=decision.reason)
+                self.tracer.event(
+                    "job_rejected", job=rec.job_id, tenant=rec.spec.tenant,
+                    reason=decision.reason,
+                )
+                if self.telemetry is not None:
+                    self.telemetry.metrics.counter(
+                        "service_rejections", reason=decision.reason
+                    ).inc()
+            self._gauge_queue_depth()
+            return rec, decision
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: queued jobs immediately, running jobs at the
+        next supervision tick (fence, kill, record ``cancelled``)."""
+        with self._lock:
+            rec = self.registry.get(job_id)
+            if rec.state == JobState.QUEUED:
+                rec = self.registry.transition(
+                    job_id, JobState.CANCELLED, reason="cancelled"
+                )
+                self.tracer.event("job_cancelled", job=job_id)
+                return rec
+            lease = self._leases.get(job_id)
+            if lease is not None:
+                lease.cancel_requested = True
+            return rec
+
+    # -- drain ---------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def request_drain(self) -> None:
+        """Stop leasing and signal every worker guard to stop cleanly."""
+        if self._drain.is_set():
+            return
+        self._drain.set()
+        with open(self.drain_path, "w") as f:
+            f.write("drain\n")
+        self.tracer.event("drain_started")
+        logger.info("drain requested: no new leases; waiting for workers")
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM -> graceful drain (main thread only)."""
+        signal.signal(signal.SIGTERM, lambda signum, frame: self.request_drain())
+
+    # -- supervision loop ----------------------------------------------
+    def active_leases(self) -> list[Lease]:
+        with self._lock:
+            return list(self._leases.values())
+
+    def tick(self) -> bool:
+        """One supervision step: collect/expire leases, lease new jobs.
+
+        Returns whether any work remains (leases active or jobs queued).
+        """
+        with self._lock:
+            self._poll_leases()
+            if not self.draining:
+                while len(self._leases) < self.workers:
+                    if not self._lease_next():
+                        break
+            self._gauge_queue_depth()
+            return bool(self._leases) or self.registry.queue_depth() > 0
+
+    def run(
+        self,
+        *,
+        drain_when_idle: bool = False,
+        poll_interval: float = 0.05,
+        max_seconds: float | None = None,
+    ) -> bool:
+        """Supervise until drained (or idle, with ``drain_when_idle``).
+
+        Returns ``True`` on a clean exit, ``False`` on ``max_seconds``
+        expiry (leases may still be active).
+        """
+        started = time.monotonic()
+        while True:
+            busy = self.tick()
+            if self.draining and not self._leases:
+                self.tracer.event("drained")
+                logger.info("drained: all workers stopped, queue persisted")
+                return True
+            if drain_when_idle and not busy and not self.draining:
+                return True
+            if (
+                max_seconds is not None
+                and time.monotonic() - started > max_seconds
+            ):
+                return False
+            time.sleep(poll_interval)
+
+    # -- leasing -------------------------------------------------------
+    def _workdir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def recover(self) -> list[JobRecord]:
+        """Requeue orphaned leases and re-fence their workdirs."""
+        orphans = self.registry.recover_orphans()
+        for rec in orphans:
+            workdir = self._workdir(rec.job_id)
+            if os.path.isdir(workdir):
+                write_fence(workdir, rec.epoch)
+            self.tracer.event(
+                "job_requeued", job=rec.job_id, reason="orphaned",
+                epoch=rec.epoch,
+            )
+            logger.info("requeued orphaned job %s (epoch %d)", rec.job_id, rec.epoch)
+        return orphans
+
+    def _lease_next(self) -> bool:
+        queued = self.registry.queued()
+        if not queued:
+            return False
+        rec = self.registry.lease(queued[0].job_id, owner=f"pid-{os.getpid()}")
+        workdir = self._workdir(rec.job_id)
+        os.makedirs(workdir, exist_ok=True)
+        resumed = os.path.isdir(os.path.join(workdir, "checkpoints")) or (
+            os.path.isdir(os.path.join(workdir, "analysis"))
+        )
+        # Fence *before* the worker starts: the worker's first guard
+        # check must already see its own epoch.
+        write_fence(workdir, rec.epoch)
+        hb_path = os.path.join(workdir, HEARTBEAT_NAME)
+        if os.path.exists(hb_path):
+            os.unlink(hb_path)
+        self.tracer.event(
+            "job_leased", job=rec.job_id, epoch=rec.epoch, attempt=rec.attempt,
+        )
+        if resumed:
+            self.tracer.event("job_resumed", job=rec.job_id, epoch=rec.epoch)
+        if self.inline:
+            self._run_inline(rec, workdir)
+            return True
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(
+                rec.spec.to_dict(), workdir, rec.epoch,
+                self.heartbeat_interval, self.drain_path,
+            ),
+            name=f"repro-job-{rec.job_id}",
+        )
+        proc.start()
+        self.registry.transition(rec.job_id, JobState.RUNNING, owner=rec.owner)
+        now = time.monotonic()
+        self._leases[rec.job_id] = Lease(
+            job_id=rec.job_id, epoch=rec.epoch, workdir=workdir,
+            process=proc, started=now, last_beat_at=now,
+        )
+        return True
+
+    def _run_inline(self, rec: JobRecord, workdir: str) -> None:
+        self.registry.transition(rec.job_id, JobState.RUNNING, owner=rec.owner)
+        guard = JobGuard(
+            workdir=workdir, epoch=rec.epoch, drain_path=self.drain_path
+        )
+        try:
+            result = run_job(rec.spec, workdir, guard=guard)
+            result["epoch"] = rec.epoch
+        except DrainRequested:
+            requeued = self.registry.requeue(rec.job_id, "drained")
+            write_fence(workdir, requeued.epoch)
+            self.tracer.event(
+                "job_requeued", job=rec.job_id, reason="drained",
+                epoch=requeued.epoch,
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - terminal job failure
+            self.registry.transition(
+                rec.job_id, JobState.FAILED, error=repr(exc)
+            )
+            self.tracer.event(
+                "job_failed", job=rec.job_id, reason="error", error=repr(exc)
+            )
+            if self.admission is not None:
+                self.admission.record_failure(rec.spec.tenant)
+            return
+        self.registry.transition(rec.job_id, JobState.DONE, result=result)
+        self.tracer.event("job_done", job=rec.job_id, epoch=rec.epoch)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("service_jobs_done").inc()
+
+    # -- collection ----------------------------------------------------
+    def _poll_leases(self) -> None:
+        for lease in list(self._leases.values()):
+            proc = lease.process
+            if proc.is_alive():
+                if lease.cancel_requested:
+                    self._expire(lease, cancel=True)
+                    continue
+                self._check_heartbeat(lease)
+                continue
+            proc.join()
+            del self._leases[lease.job_id]
+            self._collect(lease, proc.exitcode)
+
+    def _check_heartbeat(self, lease: Lease) -> None:
+        beat = _read_heartbeat(os.path.join(lease.workdir, HEARTBEAT_NAME))
+        now = time.monotonic()
+        if beat != lease.last_beat:
+            lease.last_beat = beat
+            lease.last_beat_at = now
+            return
+        if now - lease.last_beat_at > self.max_missed * self.heartbeat_interval:
+            logger.warning(
+                "lease expired: job %s missed %d heartbeats (pid %s)",
+                lease.job_id, self.max_missed, lease.pid,
+            )
+            self.tracer.event(
+                "lease_expired", job=lease.job_id, epoch=lease.epoch,
+                missed=self.max_missed,
+            )
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter("service_leases_expired").inc()
+            self._expire(lease)
+
+    def _expire(self, lease: Lease, *, cancel: bool = False) -> None:
+        """Kill-then-fence: SIGKILL the worker, then bump the epoch (in
+        the registry *and* the fence file) so any straggler that somehow
+        survives is rejected at its next guard check or publish."""
+        proc = lease.process
+        if proc.is_alive():
+            proc.kill()
+        proc.join()
+        del self._leases[lease.job_id]
+        if cancel:
+            self.registry.transition(
+                lease.job_id, JobState.CANCELLED, reason="cancelled"
+            )
+            write_fence(lease.workdir, lease.epoch + 1)
+            self.tracer.event("job_cancelled", job=lease.job_id)
+            return
+        self._requeue_or_fail(lease, "lease_expired")
+
+    def _requeue_or_fail(self, lease: Lease, reason: str) -> None:
+        rec = self.registry.get(lease.job_id)
+        if reason != "drained" and rec.attempt >= self.max_attempts:
+            self.registry.transition(
+                lease.job_id, JobState.FAILED,
+                error=f"{reason} after {rec.attempt} attempts",
+            )
+            write_fence(lease.workdir, lease.epoch + 1)
+            self.tracer.event(
+                "job_failed", job=lease.job_id, reason=reason,
+                attempts=rec.attempt,
+            )
+            if self.admission is not None:
+                self.admission.record_failure(rec.spec.tenant)
+            return
+        requeued = self.registry.requeue(lease.job_id, reason)
+        write_fence(lease.workdir, requeued.epoch)
+        self.tracer.event(
+            "job_requeued", job=lease.job_id, reason=reason,
+            epoch=requeued.epoch,
+        )
+
+    def _collect(self, lease: Lease, exitcode: int | None) -> None:
+        rec = self.registry.get(lease.job_id)
+        if rec.epoch != lease.epoch or rec.state != JobState.RUNNING:
+            # Superseded while exiting (expiry raced completion); the
+            # current epoch's owner is responsible for the job now.
+            return
+        if exitcode == EXIT_DONE:
+            result = self._read_result(lease)
+            if result is not None and int(result.get("epoch", -1)) == lease.epoch:
+                self.registry.transition(
+                    lease.job_id, JobState.DONE, result=result
+                )
+                self.tracer.event(
+                    "job_done", job=lease.job_id, epoch=lease.epoch,
+                )
+                if self.telemetry is not None:
+                    self.telemetry.metrics.counter("service_jobs_done").inc()
+                return
+            # Exit 0 without a fresh result: treat as a lost worker.
+            self._requeue_or_fail(lease, "worker_lost")
+            return
+        if exitcode == EXIT_DRAINED:
+            self._requeue_or_fail(lease, "drained")
+            return
+        if exitcode == EXIT_FENCED:
+            # The worker observed it lost its lease; with the registry
+            # still naming this epoch RUNNING (checked above) the job
+            # must go back to the queue rather than hang.
+            self._requeue_or_fail(lease, "fenced")
+            return
+        error = self._read_error(lease)
+        if exitcode == EXIT_ERROR and error is not None:
+            rec = self.registry.get(lease.job_id)
+            self.registry.transition(
+                lease.job_id, JobState.FAILED, error=error["error"]
+            )
+            write_fence(lease.workdir, lease.epoch + 1)
+            self.tracer.event(
+                "job_failed", job=lease.job_id, reason="error",
+                error=error["error"],
+            )
+            if self.admission is not None:
+                self.admission.record_failure(rec.spec.tenant)
+            return
+        # SIGKILLed / crashed without a report: worker lost.
+        self._requeue_or_fail(lease, "worker_lost")
+
+    def _read_result(self, lease: Lease) -> dict[str, Any] | None:
+        path = os.path.join(lease.workdir, RESULT_NAME)
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return None
+
+    def _read_error(self, lease: Lease) -> dict[str, Any] | None:
+        path = os.path.join(lease.workdir, ERROR_NAME)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            return None
+        return data if int(data.get("epoch", -1)) == lease.epoch else None
+
+    # ------------------------------------------------------------------
+    def _gauge_queue_depth(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.gauge("service_queue_depth").set(
+                self.registry.queue_depth()
+            )

@@ -31,12 +31,23 @@ from typing import Any, Mapping
 
 from ..log import get_logger
 
-__all__ = ["MemorySink", "JsonlSink", "encode_event"]
+__all__ = ["MemorySink", "JsonlSink", "encode_event", "FSYNC_POLICIES"]
 
 logger = get_logger("telemetry")
 
 TRACE_HEADER = "repro-trace"
 TRACE_VERSION = 1
+
+#: Durability knobs shared by every append-only JSONL writer in the
+#: package (trace sinks here, the job registry WAL in
+#: :mod:`repro.service.registry`):
+#:
+#: * ``"always"`` — fsync after every line.  A crash loses at most the
+#:   line being written (the torn tail the loaders repair).
+#: * ``"rotate"`` — fsync at file-boundary events (rotation, compaction)
+#:   and on close; between them a crash may lose OS-buffered lines.
+#: * ``"close"`` — fsync only on close: fastest, weakest.
+FSYNC_POLICIES = ("always", "rotate", "close")
 
 
 def _json_safe(value: Any) -> Any:
@@ -100,6 +111,13 @@ class JsonlSink:
         The dedup high-water marks persist across rotations.
     max_files:
         Rotated files kept before the oldest is dropped.
+    fsync:
+        Durability policy, one of :data:`FSYNC_POLICIES`.  The default
+        ``"close"`` keeps the historical behavior: every ``eval`` event
+        is *flushed* on write (crash-safe up to OS buffering) but the
+        file is fsynced only when the sink closes.  ``"rotate"`` adds an
+        fsync at each rotation boundary; ``"always"`` fsyncs every
+        emitted line (the policy the job registry uses for its WAL).
     """
 
     def __init__(
@@ -108,12 +126,16 @@ class JsonlSink:
         *,
         max_bytes: int | None = None,
         max_files: int = 8,
+        fsync: str = "close",
     ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be > 0")
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
         self.path = os.fspath(path)
         self.max_bytes = max_bytes
         self.max_files = int(max_files)
+        self.fsync = fsync
         self._eval_seen: dict[str, int] = {}
         self._file = None
         directory = os.path.dirname(os.path.abspath(self.path))
@@ -171,11 +193,16 @@ class JsonlSink:
     def _write_line(self, line: str, *, flush: bool = True) -> None:
         assert self._file is not None
         self._file.write(line + "\n")
-        if flush:
+        if flush or self.fsync == "always":
             self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
 
     def _rotate(self) -> None:
         assert self._file is not None
+        if self.fsync in ("always", "rotate"):
+            self._file.flush()
+            os.fsync(self._file.fileno())
         self._file.close()
         oldest = f"{self.path}.{self.max_files}"
         if os.path.exists(oldest):
@@ -215,11 +242,17 @@ class JsonlSink:
         self._write_line(encode_event(event), flush=is_eval)
 
     def close(self) -> None:
-        if self._file is not None:
+        """Flush, fsync, and close the sink.  Idempotent: closing an
+        already-closed sink — or one whose handle a failed rotation left
+        closed — is a no-op rather than a ``ValueError`` on a closed
+        file."""
+        if self._file is None:
+            return
+        if not self._file.closed:
             self._file.flush()
             os.fsync(self._file.fileno())
             self._file.close()
-            self._file = None
+        self._file = None
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -154,3 +154,148 @@ class TestQuarantineEndToEnd:
         assert fresh  # the resume actually extended the search
         for rec in fresh:
             assert rec.config["x"] >= 0.25
+
+
+class TestBreakerPersistence:
+    """Breaker state rides in the checkpoint scope (sidecar file) and is
+    restored exactly on resume — partial counts included."""
+
+    def test_state_dict_roundtrip(self):
+        br = CircuitBreaker(space_1d(), threshold=3, resolution=4)
+        br.record({"x": 0.1}, FailureKind.PERMANENT)
+        br.record({"x": 0.1}, FailureKind.PERMANENT)
+        br.record({"x": 0.9}, FailureKind.NUMERIC)
+        clone = CircuitBreaker(space_1d(), threshold=3, resolution=4)
+        clone.load_state(br.state_dict())
+        assert clone.state_dict() == br.state_dict()
+        assert clone.total_counted == 3
+        # One more failure in the partially-counted cell trips it — the
+        # pre-crash partial count was preserved, not re-derived.
+        assert clone.record({"x": 0.2}, FailureKind.PERMANENT) is True
+
+    def test_tripped_cells_restored(self):
+        br = CircuitBreaker(space_1d(), threshold=1, resolution=4)
+        br.record({"x": 0.1}, FailureKind.PERMANENT)
+        clone = CircuitBreaker(space_1d(), threshold=1, resolution=4)
+        clone.load_state(br.state_dict())
+        assert not clone.allows({"x": 0.2})
+        assert clone.allows({"x": 0.3})
+
+    def test_geometry_mismatch_ignored(self):
+        br = CircuitBreaker(space_1d(), threshold=1, resolution=4)
+        br.record({"x": 0.1}, FailureKind.PERMANENT)
+        other = CircuitBreaker(space_1d(), threshold=1, resolution=8)
+        other.load_state(br.state_dict())
+        assert other.total_counted == 0  # snapshot rejected, state clean
+        assert other.allows({"x": 0.1})
+
+    def test_persist_and_restore_sidecar(self, tmp_path):
+        from repro.faults.breaker import (
+            breaker_sidecar_path,
+            persist_breaker,
+            restore_breaker,
+        )
+
+        ckpt = tmp_path / "S-0.jsonl"
+        br = CircuitBreaker(space_1d(), threshold=2, resolution=4)
+        br.record({"x": 0.1}, FailureKind.PERMANENT)
+        persist_breaker(br, ckpt)
+        assert (tmp_path / "S-0.jsonl.breaker.json").exists()
+        assert breaker_sidecar_path(ckpt).endswith(".breaker.json")
+
+        fresh = CircuitBreaker(space_1d(), threshold=2, resolution=4)
+        assert restore_breaker(fresh, ckpt) is True
+        assert fresh.total_counted == 1
+
+    def test_restore_missing_or_corrupt_returns_false(self, tmp_path):
+        from repro.faults.breaker import persist_breaker, restore_breaker
+
+        br = CircuitBreaker(space_1d(), threshold=2, resolution=4)
+        assert restore_breaker(br, tmp_path / "absent.jsonl") is False
+        assert restore_breaker(br, None) is False
+        bad = tmp_path / "bad.jsonl"
+        (tmp_path / "bad.jsonl.breaker.json").write_text("{not json")
+        assert restore_breaker(br, bad) is False
+        # Empty (no counts) sidecar also reports False: nothing restored.
+        empty = CircuitBreaker(space_1d(), threshold=2, resolution=4)
+        persist_breaker(empty, tmp_path / "empty.jsonl")
+        assert restore_breaker(br, tmp_path / "empty.jsonl") is False
+
+
+class TestBreakerKillAndResume:
+    def test_sidecar_restored_without_double_counting(self, tmp_path):
+        import os
+
+        from repro.bo import EvaluationDatabase
+        from repro.faults.breaker import breaker_sidecar_path
+        from repro.faults.injection import FaultyObjective
+        from repro.search.random_search import RandomSearch
+
+        plan = FaultPlan(poison=(PoisonRegion({"x": [0.0, 0.2499]}),))
+        ckpt = tmp_path / "KR.jsonl"
+
+        def search():
+            # Threshold high enough never to trip: the state at stake is
+            # the *partial* per-cell counts only the sidecar preserves
+            # exactly.
+            return RandomSearch(
+                space_1d("KR"),
+                FaultyObjective(PoisonAware(), plan),
+                max_evaluations=20,
+                quarantine_threshold=50,
+                quarantine_resolution=4,
+                database=EvaluationDatabase(path=ckpt),
+                random_state=7,
+            )
+
+        first = search()
+        first.run()
+        c1 = first.breaker.total_counted
+        assert c1 > 0  # the poison region was actually hit
+        assert os.path.exists(breaker_sidecar_path(ckpt))
+
+        # "Crash" + resume: a fresh search on the same checkpoint restores
+        # the sidecar and must NOT also replay the checkpointed failures
+        # (which would double every count).
+        second = search()
+        second.run()
+        assert second.breaker.total_counted == c1
+        assert second.breaker.state_dict() == first.breaker.state_dict()
+
+        # Fallback path: without the sidecar the breaker is rebuilt from
+        # the records and (with no partial retry state) agrees exactly.
+        os.unlink(breaker_sidecar_path(ckpt))
+        third = search()
+        third.run()
+        assert third.breaker.state_dict() == first.breaker.state_dict()
+
+    def test_bo_restore_prefers_sidecar_over_replay(self, tmp_path):
+        from repro.bo import BayesianOptimizer, EvaluationDatabase
+        from repro.faults.breaker import persist_breaker
+
+        ckpt = tmp_path / "BO.jsonl"
+
+        def optimizer():
+            return BayesianOptimizer(
+                space_1d("BO"),
+                PoisonAware(),
+                max_evaluations=8,
+                quarantine_threshold=5,
+                quarantine_resolution=4,
+                database=EvaluationDatabase(path=ckpt),
+                resume=True,
+                random_state=7,
+            )
+
+        first = optimizer()
+        # Simulate pre-crash breaker state with *partial* counts that no
+        # record replay could reconstruct (e.g. counts from evaluations
+        # whose records were lost with an unsynced trace).
+        first.breaker.record({"x": 0.1}, FailureKind.PERMANENT)
+        first.breaker.record({"x": 0.1}, FailureKind.PERMANENT)
+        persist_breaker(first.breaker, ckpt)
+
+        second = optimizer()
+        assert second._restore_breaker_state() is True
+        assert second.breaker.total_counted == 2
+        assert second.breaker.state_dict() == first.breaker.state_dict()

@@ -114,3 +114,62 @@ class TestWatchdogInCampaign:
             assert rec.meta["timeout_kind"] == "simulated"
             assert rec.meta["failure_kind"] == FailureKind.TIMEOUT.value
             assert rec.cost == 5.0  # charged the cap, not the value
+
+
+class SlowThenFast:
+    """First configuration overruns the deadline but then *succeeds*;
+    the zombie-writer hazard is its late result leaking into state."""
+
+    def __call__(self, cfg):
+        if cfg["a"] == 1.0:
+            time.sleep(0.5)
+            return 111.0
+        return 222.0
+
+
+class TestZombieWriterFence:
+    def test_late_result_of_abandoned_thread_discarded(self):
+        # Regression: before the generation fence, the abandoned thread's
+        # eventual 111.0 could be published into the shared result box
+        # and race a later evaluation of the same wrapper.
+        wd = WatchdogObjective(SlowThenFast(), timeout=0.1)
+        with pytest.raises(EvaluationTimeoutError):
+            wd({"a": 1.0})
+        # A later evaluation runs while the zombie still sleeps...
+        assert wd({"a": 2.0}) == 222.0
+        # ...and when the zombie finally completes, its result is fenced
+        # off and counted, not published.
+        deadline = time.perf_counter() + 5.0
+        while wd.stale_completions == 0 and time.perf_counter() < deadline:
+            time.sleep(0.02)
+        assert wd.stale_completions == 1
+        assert wd.timeouts == 1
+        assert wd({"a": 3.0}) == 222.0  # wrapper state still clean
+
+    def test_zombie_exception_also_fenced(self):
+        def bad_late(cfg):
+            time.sleep(0.3)
+            raise ValueError("late failure from abandoned thread")
+
+        wd = WatchdogObjective(bad_late, timeout=0.1)
+        with pytest.raises(EvaluationTimeoutError):
+            wd({"a": 1.0})
+        deadline = time.perf_counter() + 5.0
+        while wd.stale_completions == 0 and time.perf_counter() < deadline:
+            time.sleep(0.02)
+        # The stale ValueError was discarded, not raised anywhere.
+        assert wd.stale_completions == 1
+
+    def test_fence_state_survives_pickling(self):
+        import pickle
+
+        wd = WatchdogObjective(SlowThenFast(), timeout=0.1)
+        with pytest.raises(EvaluationTimeoutError):
+            wd({"a": 1.0})
+        deadline = time.perf_counter() + 5.0
+        while wd.stale_completions == 0 and time.perf_counter() < deadline:
+            time.sleep(0.02)
+        clone = pickle.loads(pickle.dumps(wd))
+        assert clone.stale_completions == 1
+        assert clone.timeouts == 1
+        assert clone({"a": 2.0}) == 222.0  # fresh lock/generation work

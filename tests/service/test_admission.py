@@ -1,0 +1,93 @@
+"""Admission control: bounded queue, tenant quotas, quarantine, drain."""
+
+import pytest
+
+from repro.service import AdmissionController, JobRegistry, JobSpec, JobState
+from repro.service.admission import (
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    REASON_TENANT_QUARANTINED,
+    REASON_TENANT_QUOTA,
+)
+
+
+def spec(tenant="default"):
+    return JobSpec(kind="campaign", tenant=tenant)
+
+
+class TestDecisions:
+    def test_admits_when_capacity_available(self, tmp_path):
+        ctrl = AdmissionController(max_queue=4)
+        with JobRegistry(tmp_path) as reg:
+            decision = ctrl.decide(spec(), reg)
+            assert decision.admitted
+            assert decision.reason == "admitted"
+
+    def test_queue_full_sheds(self, tmp_path):
+        ctrl = AdmissionController(max_queue=2)
+        with JobRegistry(tmp_path) as reg:
+            reg.submit(spec())
+            reg.submit(spec())
+            decision = ctrl.decide(spec(), reg)
+            assert not decision.admitted
+            assert decision.reason == REASON_QUEUE_FULL
+            # Leasing a job frees queue capacity.
+            reg.lease(reg.queued()[0].job_id, owner="w0")
+            assert ctrl.decide(spec(), reg).admitted
+
+    def test_tenant_quota_counts_active_not_queued(self, tmp_path):
+        ctrl = AdmissionController(max_queue=16, tenant_quota=2)
+        with JobRegistry(tmp_path) as reg:
+            reg.submit(spec("t1"))
+            leased = reg.submit(spec("t1"))
+            reg.lease(leased.job_id, owner="w0")  # leased still counts
+            decision = ctrl.decide(spec("t1"), reg)
+            assert decision.reason == REASON_TENANT_QUOTA
+            # Other tenants are unaffected.
+            assert ctrl.decide(spec("t2"), reg).admitted
+            # Terminal jobs release quota.
+            reg.transition(leased.job_id, JobState.CANCELLED)
+            assert ctrl.decide(spec("t1"), reg).admitted
+
+    def test_quarantine_trips_per_tenant(self, tmp_path):
+        ctrl = AdmissionController(max_queue=16, tenant_fail_threshold=3)
+        with JobRegistry(tmp_path) as reg:
+            for _ in range(2):
+                assert not ctrl.record_failure("bad")
+            assert ctrl.decide(spec("bad"), reg).admitted
+            assert ctrl.record_failure("bad")  # third failure trips
+            decision = ctrl.decide(spec("bad"), reg)
+            assert decision.reason == REASON_TENANT_QUARANTINED
+            # The breaker cell is per tenant; "good" is unaffected.
+            assert ctrl.decide(spec("good"), reg).admitted
+
+    def test_draining_sheds_everything(self, tmp_path):
+        ctrl = AdmissionController(max_queue=16)
+        with JobRegistry(tmp_path) as reg:
+            decision = ctrl.decide(spec(), reg, draining=True)
+            assert decision.reason == REASON_DRAINING
+
+    def test_rejections_counted_and_snapshotted(self, tmp_path):
+        ctrl = AdmissionController(max_queue=1, tenant_fail_threshold=1)
+        with JobRegistry(tmp_path) as reg:
+            reg.submit(spec())
+            ctrl.decide(spec(), reg)
+            ctrl.decide(spec(), reg)
+            ctrl.decide(spec(), reg, draining=True)
+            state = ctrl.state_dict()
+            assert state["rejections"] == {
+                REASON_QUEUE_FULL: 2,
+                REASON_DRAINING: 1,
+            }
+            assert state["breaker"] is not None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ValueError, match="tenant_quota"):
+            AdmissionController(tenant_quota=0)
+
+    def test_failure_recording_without_breaker_is_noop(self):
+        ctrl = AdmissionController()
+        assert ctrl.record_failure("anyone") is False
+        assert ctrl.state_dict()["breaker"] is None

@@ -1,0 +1,332 @@
+"""Chaos suite: SIGKILL the service and its workers at seed-randomized
+points and prove the exactly-once, bit-identical contract.
+
+Kill points are drawn from the splitmix64 mix (the same idiom as
+:mod:`repro.faults.injection`) seeded by ``REPRO_CHAOS_SEED`` (default
+0), so a CI matrix re-runs the suite at genuinely different kill points
+while any single seed stays reproducible.
+
+The proof obligations (ISSUE acceptance criteria):
+
+* every submitted job completes **exactly once** — terminal ``done``
+  state in the WAL registry, no duplicated evaluations in any job's
+  checkpoint database;
+* results are **bit-identical** to an uninterrupted run of the same
+  job (same ``fingerprint``);
+* a torn registry WAL tail (power loss mid-append) is dropped on
+  recovery without losing any acknowledged transition.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.bo.history import EvaluationDatabase
+from repro.faults.injection import _mix64
+from repro.service import (
+    JobGuard,
+    JobRegistry,
+    JobSpec,
+    JobState,
+    LeaseFencedError,
+    Supervisor,
+    run_job,
+    write_fence,
+)
+from repro.service.registry import WAL_NAME
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+#: The chaos workload: three distinct deterministic BO campaign jobs.
+JOB_PARAMS = [
+    {"engine": "bo", "budget": 24, "seed": 0, "case": 1},
+    {"engine": "bo", "budget": 24, "seed": 1, "case": 2},
+    {"engine": "bo", "budget": 24, "seed": 2, "case": 3},
+]
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def chaos_uniform(i, lo, hi):
+    """Deterministic kill-point draw #``i`` in ``[lo, hi)``."""
+    u = _mix64((CHAOS_SEED << 8) ^ (i + 1)) / 2.0**64
+    return lo + (hi - lo) * u
+
+
+def baselines(tmp_path):
+    """Uninterrupted reference results for every chaos job."""
+    out = []
+    for i, params in enumerate(JOB_PARAMS):
+        spec = JobSpec(kind="campaign", params=dict(params))
+        out.append(run_job(spec, tmp_path / f"baseline-{i}")["fingerprint"])
+    return out
+
+
+def checkpoint_records(jobs_dir, job_id):
+    paths = sorted(
+        glob.glob(os.path.join(jobs_dir, job_id, "checkpoints", "*.jsonl"))
+    )
+    records = []
+    for path in paths:
+        records.extend(EvaluationDatabase(path=path))
+    return records
+
+
+def assert_exactly_once(registry_root, jobs_dir, reference):
+    """Every job done once, bit-identical, zero duplicated evaluations."""
+    with JobRegistry(registry_root) as registry:
+        records = registry.jobs()
+        assert len(records) == len(reference)
+        for rec, fingerprint in zip(records, reference):
+            assert rec.state == JobState.DONE, (rec.job_id, rec.state, rec.error)
+            assert rec.result["fingerprint"] == fingerprint
+            evals = checkpoint_records(jobs_dir, rec.job_id)
+            assert len(evals) == rec.spec.params["budget"]
+            configs = [tuple(sorted(r.config.items())) for r in evals]
+            assert len(set(configs)) == len(configs), (
+                f"{rec.job_id}: duplicated evaluations"
+            )
+
+
+class TestServerKill:
+    """SIGKILL the whole ``repro serve`` process mid-flight; restarts on
+    the same registry directory must finish every job exactly once."""
+
+    def serve(self, registry_dir):
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--registry-dir", str(registry_dir),
+                "--no-http", "--drain-when-idle", "--workers", "2",
+                "--quiet",
+            ],
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+            cwd=REPO,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+
+    def wait_for_progress(self, proc, jobs_dir, timeout=60.0):
+        """Block until some worker checkpointed something (or exit)."""
+        deadline = time.monotonic() + timeout
+        pattern = os.path.join(jobs_dir, "*", "checkpoints", "*.jsonl")
+        while time.monotonic() < deadline:
+            if proc.poll() is not None or glob.glob(pattern):
+                return
+            time.sleep(0.02)
+        raise AssertionError("service made no progress")
+
+    def test_server_sigkill_exactly_once_bit_identical(self, tmp_path):
+        reference = baselines(tmp_path)
+        registry_dir = tmp_path / "service"
+        registry_root = registry_dir / "registry"
+        jobs_dir = registry_dir / "jobs"
+        with JobRegistry(registry_root) as registry:
+            for params in JOB_PARAMS:
+                registry.submit(JobSpec(kind="campaign", params=dict(params)))
+
+        kills = 0
+        for round_no in range(12):
+            proc = self.serve(registry_dir)
+            try:
+                if round_no < 2:  # chaos rounds: kill mid-flight
+                    self.wait_for_progress(proc, str(jobs_dir))
+                    time.sleep(chaos_uniform(round_no, 0.05, 0.5))
+                    if proc.poll() is None:
+                        proc.kill()
+                        proc.wait()
+                        kills += 1
+                        continue
+                if proc.wait(timeout=120) == 0:
+                    break
+            finally:
+                if proc.poll() is None:  # pragma: no cover - safety net
+                    proc.kill()
+                proc.stdout.close()
+        else:  # pragma: no cover - diagnostic path
+            raise AssertionError("service never reached a clean exit")
+
+        assert kills >= 1, "chaos never actually killed the service"
+        assert_exactly_once(registry_root, str(jobs_dir), reference)
+
+
+class TestWorkerKill:
+    """SIGKILL individual worker processes; the supervisor requeues and
+    the resumed attempts reproduce the uninterrupted results exactly."""
+
+    def test_worker_sigkill_exactly_once_bit_identical(self, tmp_path):
+        reference = baselines(tmp_path)
+        registry = JobRegistry(tmp_path / "registry")
+        jobs_dir = str(tmp_path / "jobs")
+        sup = Supervisor(registry, jobs_dir=jobs_dir, workers=2)
+        for params in JOB_PARAMS:
+            sup.submit(JobSpec(kind="campaign", params=dict(params)))
+
+        killed: set[str] = set()
+        deadline = time.monotonic() + 120
+        chaos_round = 0
+        while time.monotonic() < deadline:
+            busy = sup.tick()
+            for lease in sup.active_leases():
+                if lease.job_id in killed:
+                    continue
+                if checkpoint_records(jobs_dir, lease.job_id):
+                    # Seed-randomized beat: kill mid-checkpoint-stream.
+                    time.sleep(chaos_uniform(100 + chaos_round, 0.0, 0.15))
+                    chaos_round += 1
+                    if lease.process.is_alive():
+                        os.kill(lease.pid, signal.SIGKILL)
+                    killed.add(lease.job_id)
+            if not busy:
+                break
+            time.sleep(0.01)
+
+        assert killed, "chaos never killed a worker"
+        registry.close()
+        assert_exactly_once(tmp_path / "registry", jobs_dir, reference)
+
+
+class TestHeartbeatExpiryFencesZombie:
+    """A stalled (SIGSTOP) worker loses its lease; kill-then-fence means
+    the zombie can never publish into its successor's epoch."""
+
+    def test_stalled_zombie_cannot_publish(self, tmp_path):
+        registry = JobRegistry(tmp_path / "registry")
+        jobs_dir = str(tmp_path / "jobs")
+        sup = Supervisor(
+            registry, jobs_dir=jobs_dir, workers=1,
+            heartbeat_interval=0.05, max_missed=4,
+        )
+        params = JOB_PARAMS[0]
+        rec, _ = sup.submit(JobSpec(kind="campaign", params=dict(params)))
+        deadline = time.monotonic() + 120
+        stalled_pid = None
+        while time.monotonic() < deadline:
+            sup.tick()
+            leases = sup.active_leases()
+            if stalled_pid is None and leases and checkpoint_records(
+                jobs_dir, leases[0].job_id
+            ):
+                stalled_pid = leases[0].pid
+                os.kill(stalled_pid, signal.SIGSTOP)
+            if registry.get(rec.job_id).state == JobState.DONE:
+                break
+            time.sleep(0.01)
+
+        done = registry.get(rec.job_id)
+        assert done.state == JobState.DONE
+        assert stalled_pid is not None
+        assert done.epoch >= 3  # expiry bumped the fence past the zombie
+        # The zombie was SIGKILLed while stopped — it never wakes.
+        with pytest.raises(OSError):
+            os.kill(stalled_pid, 0)
+        reference = run_job(
+            JobSpec(kind="campaign", params=dict(params)), tmp_path / "ref"
+        )
+        assert done.result["fingerprint"] == reference["fingerprint"]
+        registry.close()
+
+
+class TestTornRegistryTail:
+    """Cut the WAL mid-line at seed-randomized points: recovery drops
+    exactly the torn line, keeps every acknowledged prefix event."""
+
+    @pytest.mark.parametrize("round_no", [0, 1, 2])
+    def test_torn_tail_recovery(self, tmp_path, round_no):
+        root = tmp_path / f"reg-{round_no}"
+        with JobRegistry(root) as registry:
+            a = registry.submit(JobSpec(kind="campaign", job_id="a")).job_id
+            registry.submit(JobSpec(kind="campaign", job_id="b"))
+            registry.lease(a, owner="w0")
+            registry.transition(a, JobState.RUNNING, owner="w0")
+
+        wal = root / WAL_NAME
+        data = wal.read_bytes()
+        lines = data.splitlines(keepends=True)
+        # Tear somewhere strictly inside the final line.
+        cut = 1 + int(chaos_uniform(200 + round_no, 0, len(lines[-1]) - 2))
+        wal.write_bytes(data[: len(data) - len(lines[-1]) + cut])
+
+        with JobRegistry(root) as registry:
+            assert registry.recovered_torn_tail
+            # The torn event (a -> running) is gone; everything before
+            # it — including the acknowledged lease — survived.
+            assert registry.get("a").state == JobState.LEASED
+            assert registry.get("a").epoch == 1
+            assert registry.get("b").state == JobState.QUEUED
+            # The registry keeps working after the repair.
+            registry.recover_orphans()
+            assert registry.get("a").state == JobState.QUEUED
+
+
+class TestGuardFencesMidRun:
+    """The per-evaluation guard aborts a job the moment its epoch is
+    superseded — without poisoning the checkpoint database."""
+
+    def test_fence_bump_aborts_without_failed_records(self, tmp_path):
+        workdir = str(tmp_path / "job")
+        os.makedirs(workdir)
+        write_fence(workdir, 1)
+        guard = JobGuard(workdir=workdir, epoch=1, drain_path=None)
+        spec = JobSpec(kind="campaign", params={**JOB_PARAMS[0], "budget": 60})
+        outcome = {}
+
+        def run():
+            try:
+                outcome["result"] = run_job(spec, workdir, guard=guard)
+            except BaseException as exc:  # noqa: BLE001 - capture for assert
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        pattern = os.path.join(workdir, "checkpoints", "*.jsonl")
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not glob.glob(pattern):
+            time.sleep(0.01)
+        write_fence(workdir, 2)  # supersede the lease mid-run
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+        assert isinstance(outcome.get("error"), LeaseFencedError)
+        # The fence trip is an abort, not a FAILED evaluation: the
+        # checkpoint database the successor resumes from stays clean.
+        for path in glob.glob(pattern):
+            for rec in EvaluationDatabase(path=path):
+                assert "fail" not in str(rec.status).lower()
+        assert not os.path.exists(os.path.join(workdir, "result.json"))
+
+
+class TestDrainUnderLoad:
+    """SIGTERM-style drain with jobs queued and running exits cleanly
+    and loses nothing — the restart finishes the backlog."""
+
+    def test_drain_then_restart_finishes_backlog(self, tmp_path):
+        reference = baselines(tmp_path)
+        registry = JobRegistry(tmp_path / "registry")
+        jobs_dir = str(tmp_path / "jobs")
+        sup = Supervisor(registry, jobs_dir=jobs_dir, workers=1)
+        for params in JOB_PARAMS:
+            sup.submit(JobSpec(kind="campaign", params=dict(params)))
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not sup.active_leases():
+            sup.tick()
+            time.sleep(0.01)
+        time.sleep(chaos_uniform(300, 0.0, 0.2))
+        sup.request_drain()
+        assert sup.run(poll_interval=0.01) is True
+        assert registry.queue_depth() == 3  # nothing lost, nothing leased
+        registry.close()
+
+        registry = JobRegistry(tmp_path / "registry")
+        sup = Supervisor(registry, jobs_dir=jobs_dir, workers=2)
+        sup.recover()
+        assert sup.run(drain_when_idle=True, poll_interval=0.01) is True
+        registry.close()
+        assert_exactly_once(tmp_path / "registry", jobs_dir, reference)

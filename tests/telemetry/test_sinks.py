@@ -115,3 +115,58 @@ class TestLoadTrace:
         path.write_text('{"kind": "header", "format": "not-ours"}\n')
         with pytest.raises(ValueError, match="not a repro trace"):
             load_trace(path)
+
+
+class TestFsyncPolicy:
+    def test_policies_exported_and_validated(self):
+        from repro.telemetry.sinks import FSYNC_POLICIES
+
+        assert FSYNC_POLICIES == ("always", "rotate", "close")
+        with pytest.raises(ValueError, match="fsync"):
+            JsonlSink("/tmp/never-created.jsonl", fsync="sometimes")
+
+    @pytest.mark.parametrize("policy", ["always", "rotate", "close"])
+    def test_all_policies_produce_identical_traces(self, tmp_path, policy):
+        path = tmp_path / f"{policy}.jsonl"
+        with JsonlSink(path, fsync=policy) as sink:
+            for i in range(5):
+                sink.emit({"kind": "eval", "scope": "m", "seq": i})
+        events = load_trace(path)
+        assert [e["seq"] for e in events] == list(range(5))
+
+    def test_always_policy_durable_per_line_without_close(self, tmp_path):
+        # With fsync="always" every line is on disk the moment emit
+        # returns — readable by another process even if this one is
+        # SIGKILLed before close().
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, fsync="always")
+        sink.emit({"kind": "eval", "scope": "m", "seq": 0})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # header + the eval, no buffering
+        sink.close()
+
+    def test_rotation_respects_policy(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path, max_bytes=120, max_files=4, fsync="rotate") as sink:
+            for i in range(20):
+                sink.emit({"kind": "eval", "scope": "m", "seq": i})
+        assert (tmp_path / "t.jsonl.1").exists()
+        assert [e["seq"] for e in load_trace(path)][-1] == 19
+
+
+class TestIdempotentClose:
+    def test_double_close_is_noop(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit({"kind": "event", "scope": "s", "seq": 0, "name": "a"})
+        sink.close()
+        sink.close()  # must not raise on the already-released handle
+        assert len(load_trace(tmp_path / "t.jsonl")) == 1
+
+    def test_close_after_external_handle_close(self, tmp_path):
+        # A failed rotation can leave the handle closed but not None;
+        # close() must tolerate that half-state instead of raising
+        # ValueError on flushing a closed file.
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink._file.close()
+        sink.close()
+        assert sink._file is None
