@@ -94,6 +94,9 @@ def run_service(workdir):
         admission=AdmissionController(max_queue=4),
         workers=1,
         inline=True,
+        # This benchmark isolates the crash-safety machinery; the
+        # observability plane has its own bound in bench_stream_overhead.
+        job_traces=False,
     )
     rec, decision = supervisor.submit(JobSpec(kind="campaign", params=job_params()))
     assert decision.admitted

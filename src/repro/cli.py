@@ -9,7 +9,9 @@ Commands
     Run the staged methodology on a simulated RT-TDDFT case study.
 ``report``
     Analyze a campaign trace (``--trace-dir`` output): stage wall-time
-    attribution and best-value-vs-evaluations progression.
+    attribution and best-value-vs-evaluations progression.  With
+    ``--service DIR`` it instead aggregates every job trace in a
+    service directory into one cross-job table.
 ``info``
     Print the package inventory and the per-experiment benchmark map.
 ``serve``
@@ -20,6 +22,9 @@ Commands
     into a registry directory for the next ``serve``).
 ``jobs``
     List jobs or show one job's status on a running service.
+``watch``
+    Follow a running service's SSE event stream (all jobs, or one job
+    until it completes; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -118,6 +123,19 @@ def _cmd_tddft(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.service is not None:
+        from .service import ServiceReport
+
+        report = ServiceReport.from_service_dir(args.service)
+        if not report.jobs:
+            print(f"{args.service}: no jobs recorded")
+            return 1
+        print(report.format())
+        return 0
+    if args.trace is None:
+        print("repro report: provide TRACE.jsonl or --service DIR",
+              file=sys.stderr)
+        return 2
     from .telemetry import TraceReport
 
     report = TraceReport.from_file(args.trace)
@@ -177,6 +195,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         inline=args.inline,
         telemetry=telemetry,
+        job_traces=args.job_traces,
     )
     supervisor.install_signal_handlers()
     orphans = supervisor.recover()
@@ -241,6 +260,87 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         rec = wait_for_job(args.server, rec["job_id"], timeout=args.timeout)
     print(json.dumps(rec, sort_keys=True))
     return 0 if rec["state"] not in ("failed", "rejected") else 1
+
+
+def _format_watch_event(cursor: int, event: dict) -> str:
+    """One human-readable line per service event."""
+    name = event.get("event", "?")
+    job = event.get("job", "?")
+    if name == "job_state":
+        extra = f" reason={event['reason']}" if event.get("reason") else ""
+        snap = " (snapshot)" if event.get("snapshot") else ""
+        return f"[{cursor}] {job} state={event.get('state')}{extra}{snap}"
+    if name == "tune_start":
+        return (
+            f"[{cursor}] {job} tune_start scope={event.get('scope')} "
+            f"engine={event.get('engine')} budget={event.get('budget')}"
+            + (" resumed" if event.get("resumed") else "")
+        )
+    if name == "combo_result":
+        obj = event.get("objective")
+        best = event.get("best")
+        line = (
+            f"[{cursor}] {job} eval #{event.get('seq')} "
+            f"objective={obj if obj is not None else 'failed'}"
+        )
+        if isinstance(best, (int, float)):
+            line += f" best={best:.6g}"
+        return line
+    if name == "job_progress":
+        eta = event.get("eta_seconds")
+        thr = event.get("throughput")
+        bits = [f"{event.get('done')}/{event.get('budget') or '?'} evals"]
+        if event.get("best") is not None:
+            bits.append(f"best={event['best']:.6g}")
+        if thr is not None:
+            bits.append(f"{thr:.1f} eval/s")
+        if eta is not None:
+            bits.append(f"eta={eta:.0f}s")
+        return f"[{cursor}] {job} progress " + " ".join(bits)
+    if name == "job_done":
+        bits = [f"[{cursor}] {job} {event.get('state')}"]
+        if event.get("best_objective") is not None:
+            bits.append(f"best={event['best_objective']:.6g}")
+        if event.get("fingerprint"):
+            bits.append(f"fingerprint={event['fingerprint'][:12]}")
+        if event.get("error"):
+            bits.append(f"error={event['error']}")
+        return " ".join(bits)
+    import json
+
+    return f"[{cursor}] {json.dumps(event, sort_keys=True)}"
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClientError, stream_events
+
+    exit_state = None
+    try:
+        for cursor, event in stream_events(
+            args.server,
+            args.job,
+            last_event_id=args.last_event_id,
+            timeout=args.timeout,
+            max_events=args.max_events,
+            keepalive=args.keepalive,
+        ):
+            if args.raw:
+                print(json.dumps({"cursor": cursor, **event}, sort_keys=True),
+                      flush=True)
+            else:
+                print(_format_watch_event(cursor, event), flush=True)
+            if event.get("event") == "job_done" and event.get("job") == args.job:
+                exit_state = event.get("state")
+    except ServiceClientError as exc:
+        print(json.dumps(exc.payload), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    if args.job is not None:
+        return 0 if exit_state == "done" else 1
+    return 0
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
@@ -392,8 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "report", help="analyze a campaign trace written by --trace-dir"
     )
-    p.add_argument("trace", metavar="TRACE.jsonl",
+    p.add_argument("trace", metavar="TRACE.jsonl", nargs="?", default=None,
                    help="trace file produced by --trace-dir")
+    p.add_argument("--service", default=None, metavar="DIR",
+                   help="aggregate every job trace in a service directory "
+                        "(the --registry-dir of `repro serve`) into one "
+                        "cross-job stage-attribution table")
     _add_verbosity(p)
     p.set_defaults(func=_cmd_report)
 
@@ -438,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fsync", default="always",
                    choices=("always", "rotate", "close"),
                    help="registry WAL durability policy (default: always)")
+    p.add_argument("--job-traces", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="write per-job JSONL traces (the substrate of "
+                        "`repro watch` and GET /events; default: on). "
+                        "--no-job-traces runs jobs unobserved.")
     p.add_argument("--drain-when-idle", action="store_true",
                    help="exit cleanly once the queue is empty and no "
                         "leases are active (batch mode)")
@@ -479,6 +588,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cancel the job given by --job")
     _add_verbosity(p)
     p.set_defaults(func=_cmd_jobs)
+
+    p = sub.add_parser(
+        "watch", help="follow a service's live SSE event stream"
+    )
+    p.add_argument("job", nargs="?", default=None, metavar="JOB_ID",
+                   help="watch one job (stream ends at its job_done; exit "
+                        "0 iff it completed); omit to watch every job")
+    p.add_argument("--server", default="http://127.0.0.1:8642", metavar="URL")
+    p.add_argument("--raw", action="store_true",
+                   help="print raw event JSON (one object per line, with "
+                        "the cursor) instead of formatted lines")
+    p.add_argument("--last-event-id", type=int, default=None, metavar="N",
+                   help="resume after a previously seen cursor (sent as "
+                        "the Last-Event-ID header)")
+    p.add_argument("--max-events", type=int, default=None, metavar="N",
+                   help="stop after N events (default: until the stream "
+                        "ends)")
+    p.add_argument("--keepalive", type=float, default=None, metavar="SEC",
+                   help="server keep-alive ping cadence (default: 15s)")
+    p.add_argument("--timeout", type=float, default=3600.0, metavar="SEC",
+                   help="socket read timeout; must exceed the keep-alive "
+                        "cadence (default: 3600)")
+    _add_verbosity(p)
+    p.set_defaults(func=_cmd_watch)
     return parser
 
 

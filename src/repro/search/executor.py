@@ -607,16 +607,18 @@ class CampaignExecutor:
         return result
 
     def _run_inline(self, spec, seed, checkpoint, scope) -> SearchResult:
-        """One member in-process, with live progress and buffered trace."""
+        """One member in-process, with live progress and live trace."""
         if self.telemetry is None:
             return run_search_spec(spec, seed, checkpoint=checkpoint)
-        child, buffer = self.telemetry.member(live=True)
+        # The member shares the parent's sinks live (instead of the
+        # buffer-then-forward protocol pool members need), so external
+        # tailers see evaluations as they happen.  Sequential members
+        # emit in exactly the order forward() would replay, keeping the
+        # trace bytes identical to the pooled path.
+        child = self.telemetry.inline_member()
         res = run_search_spec(
             spec, seed, checkpoint=checkpoint, telemetry=child, scope=scope
         )
-        # The progress reporter already saw these events live via the
-        # member telemetry; forward to the persistent sinks only.
-        self.telemetry.forward(buffer.events, live=False)
         self.telemetry.metrics.merge(child.metrics)
         return res
 

@@ -13,9 +13,19 @@ Layers, bottom to top:
   epoch fencing against zombie workers, graceful drain on SIGTERM.
 * :mod:`repro.service.server` — stdlib REST front-end + client helpers
   (``repro serve`` / ``repro submit`` in the CLI).
+* :mod:`repro.service.events` — the observability plane: SSE event bus
+  (``GET /events``), per-job trace tailing, and cross-job aggregation
+  (``repro report --service``).
 """
 
 from .admission import AdmissionController, AdmissionDecision
+from .events import (
+    ServiceEventBus,
+    ServiceReport,
+    job_metrics_path,
+    job_trace_path,
+    load_registry_records,
+)
 from .jobs import (
     DrainRequested,
     GuardedCallable,
@@ -34,6 +44,8 @@ from .server import (
     health,
     job_status,
     list_jobs,
+    metrics_text,
+    stream_events,
     submit_job,
     wait_for_job,
 )
@@ -54,14 +66,21 @@ __all__ = [
     "LeaseFencedError",
     "RegistryError",
     "ServiceClientError",
+    "ServiceEventBus",
+    "ServiceReport",
     "ServiceServer",
     "Supervisor",
     "cancel_job",
     "health",
+    "job_metrics_path",
     "job_status",
+    "job_trace_path",
     "list_jobs",
+    "load_registry_records",
+    "metrics_text",
     "read_fence",
     "run_job",
+    "stream_events",
     "submit_job",
     "wait_for_job",
     "write_fence",

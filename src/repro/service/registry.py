@@ -48,6 +48,7 @@ __all__ = [
     "JobRegistry",
     "RegistryError",
     "IllegalTransition",
+    "replay_wal_event",
 ]
 
 logger = get_logger("service")
@@ -81,6 +82,46 @@ class JobState:
     ALL = (SUBMITTED, QUEUED, LEASED, RUNNING, DONE, FAILED, CANCELLED, REJECTED)
     TERMINAL = frozenset({DONE, FAILED, CANCELLED, REJECTED})
     ACTIVE = frozenset({QUEUED, LEASED, RUNNING})
+
+
+def replay_wal_event(
+    jobs: dict[str, "JobRecord"], event: Mapping[str, Any]
+) -> None:
+    """Replay one WAL event onto a job table (pure assignment —
+    epoch/attempt arithmetic happened when the event was written).
+
+    Shared by :class:`JobRegistry` recovery and the read-only registry
+    views in :mod:`repro.service.events` (the event bus and the
+    cross-job report never open the WAL for writing).
+    """
+    kind = event["event"]
+    if kind == "submit":
+        spec = JobSpec.from_dict(event["spec"])
+        jobs[spec.job_id] = JobRecord(
+            spec=spec,
+            state=event["state"],
+            submitted_seq=int(event["seq"]),
+            seq=int(event["seq"]),
+        )
+        return
+    if kind == "transition":
+        rec = jobs.get(event["job"])
+        if rec is None:
+            raise RegistryError(
+                f"WAL transition for unknown job {event['job']!r}"
+            )
+        rec.state = event["state"]
+        rec.epoch = int(event["epoch"])
+        rec.attempt = int(event["attempt"])
+        rec.owner = event.get("owner")
+        rec.reason = event.get("reason")
+        if event.get("result") is not None:
+            rec.result = event["result"]
+        if event.get("error") is not None:
+            rec.error = event["error"]
+        rec.seq = int(event["seq"])
+        return
+    raise RegistryError(f"unknown WAL event kind {kind!r}")
 
 
 _LEGAL: dict[str, frozenset[str]] = {
@@ -230,36 +271,7 @@ class JobRegistry:
                 self._seq = max(self._seq, seq)
 
     def _apply(self, event: Mapping[str, Any]) -> None:
-        """Replay one WAL event onto the in-memory table (pure assignment
-        — epoch/attempt arithmetic happened when the event was written)."""
-        kind = event["event"]
-        if kind == "submit":
-            spec = JobSpec.from_dict(event["spec"])
-            self._jobs[spec.job_id] = JobRecord(
-                spec=spec,
-                state=event["state"],
-                submitted_seq=int(event["seq"]),
-                seq=int(event["seq"]),
-            )
-            return
-        if kind == "transition":
-            rec = self._jobs.get(event["job"])
-            if rec is None:
-                raise RegistryError(
-                    f"WAL transition for unknown job {event['job']!r}"
-                )
-            rec.state = event["state"]
-            rec.epoch = int(event["epoch"])
-            rec.attempt = int(event["attempt"])
-            rec.owner = event.get("owner")
-            rec.reason = event.get("reason")
-            if event.get("result") is not None:
-                rec.result = event["result"]
-            if event.get("error") is not None:
-                rec.error = event["error"]
-            rec.seq = int(event["seq"])
-            return
-        raise RegistryError(f"unknown WAL event kind {kind!r}")
+        replay_wal_event(self._jobs, event)
 
     @property
     def recovered_torn_tail(self) -> bool:

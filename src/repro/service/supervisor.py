@@ -43,8 +43,10 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..log import get_logger
-from ..telemetry import NULL_TRACER
+from ..telemetry import NULL_TRACER, JsonlSink, MetricsRegistry, Telemetry
+from ..telemetry.stream import SpanLatencySink
 from .admission import AdmissionController, AdmissionDecision
+from .events import ServiceEventBus, job_metrics_path, job_trace_path
 from .jobs import (
     ERROR_NAME,
     RESULT_NAME,
@@ -80,18 +82,51 @@ def _read_heartbeat(path: str) -> int:
         return 0
 
 
+def _job_telemetry(
+    workdir: str, max_bytes: int | None = None
+) -> Telemetry:
+    """Per-job telemetry: a resumable trace sink plus span-latency
+    histograms on the job's own metrics registry (published live for
+    ``GET /metrics`` and tailed by the service event bus)."""
+    metrics = MetricsRegistry()
+    return Telemetry(
+        [
+            JsonlSink(job_trace_path(workdir), max_bytes=max_bytes),
+            SpanLatencySink(metrics),
+        ],
+        metrics=metrics,
+    )
+
+
+def _publish_job_metrics(workdir: str, telemetry: Telemetry | None) -> None:
+    """Atomically publish the worker's metrics snapshot (best-effort)."""
+    if telemetry is None:
+        return
+    try:
+        snap = telemetry.metrics.snapshot()
+    except RuntimeError:  # registry resized under the beat thread
+        return
+    try:
+        atomic_write_json(job_metrics_path(workdir), snap)
+    except OSError:  # pragma: no cover - workdir vanished
+        pass
+
+
 def _worker_main(
     spec_dict: dict[str, Any],
     workdir: str,
     epoch: int,
     heartbeat_interval: float,
     drain_path: str,
+    job_traces: bool = True,
+    trace_max_bytes: int | None = None,
 ) -> None:
     """Worker process entry: heartbeat thread + guarded job run."""
     spec = JobSpec.from_dict(spec_dict)
     guard = JobGuard(workdir=workdir, epoch=epoch, drain_path=drain_path)
     stop = threading.Event()
     hb_path = os.path.join(workdir, HEARTBEAT_NAME)
+    telemetry = _job_telemetry(workdir, trace_max_bytes) if job_traces else None
 
     def beat() -> None:
         n = 0
@@ -102,12 +137,18 @@ def _worker_main(
                     f.write(f"{n}\n")
             except OSError:  # pragma: no cover - workdir vanished
                 return
+            _publish_job_metrics(workdir, telemetry)
             stop.wait(heartbeat_interval)
 
     threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
     try:
-        result = run_job(spec, workdir, guard=guard)
+        result = run_job(spec, workdir, guard=guard, telemetry=telemetry)
         result["epoch"] = epoch
+        if telemetry is not None:
+            # Close the trace *before* the result publishes: the WAL's
+            # terminal transition (which follows the result) must never
+            # precede the final trace lines a live tailer would stream.
+            telemetry.close()
         # Final fence check *before* publishing: a worker whose lease
         # expired mid-run must not overwrite its successor's result.
         guard.check()
@@ -128,6 +169,9 @@ def _worker_main(
         code = EXIT_ERROR
     finally:
         stop.set()
+        if telemetry is not None:
+            telemetry.close()  # idempotent
+            _publish_job_metrics(workdir, telemetry)
     sys.exit(code)
 
 
@@ -182,6 +226,13 @@ class Supervisor:
         Optional :class:`repro.telemetry.Telemetry`; job lifecycle
         events are emitted on its ``service`` scope and queue/lease
         metrics on its registry.
+    job_traces:
+        Write a per-job JSONL trace (``<workdir>/trace/job.trace.jsonl``)
+        plus span-latency histograms for every worker.  This is what the
+        SSE event stream and ``GET /metrics`` observe; disable it to get
+        the trace-free baseline the overhead benchmarks compare against.
+    job_trace_max_bytes:
+        Optional rotation threshold for per-job trace files.
     """
 
     def __init__(
@@ -196,6 +247,8 @@ class Supervisor:
         max_attempts: int = 5,
         inline: bool = False,
         telemetry=None,
+        job_traces: bool = True,
+        job_trace_max_bytes: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -211,7 +264,12 @@ class Supervisor:
         self.max_attempts = int(max_attempts)
         self.inline = bool(inline)
         self.telemetry = telemetry
+        self.job_traces = bool(job_traces)
+        self.job_trace_max_bytes = job_trace_max_bytes
         self.tracer = telemetry.tracer("service") if telemetry else NULL_TRACER
+        # Service-level counters exist regardless of tracing: GET /metrics
+        # must report queue depth / outcomes even on an untraced service.
+        self.metrics = telemetry.metrics if telemetry else MetricsRegistry()
         self.drain_path = os.path.join(self.jobs_dir, DRAIN_NAME)
         self._drain = threading.Event()
         if os.path.exists(self.drain_path):
@@ -220,6 +278,10 @@ class Supervisor:
         self._lock = threading.RLock()
         self._leases: dict[str, Lease] = {}
         self._mp = multiprocessing.get_context("fork")
+        # Metrics folded in from finished jobs (workers publish
+        # snapshots; inline jobs merge their registries directly).
+        self._job_metrics = MetricsRegistry()
+        self._event_bus: ServiceEventBus | None = None
 
     # -- submission (called from server threads too) -------------------
     def submit(self, spec: JobSpec) -> tuple[JobRecord, AdmissionDecision]:
@@ -249,10 +311,9 @@ class Supervisor:
                     "job_rejected", job=rec.job_id, tenant=rec.spec.tenant,
                     reason=decision.reason,
                 )
-                if self.telemetry is not None:
-                    self.telemetry.metrics.counter(
-                        "service_rejections", reason=decision.reason
-                    ).inc()
+                self.metrics.counter(
+                    "service_rejections", reason=decision.reason
+                ).inc()
             self._gauge_queue_depth()
             return rec, decision
 
@@ -385,6 +446,7 @@ class Supervisor:
             args=(
                 rec.spec.to_dict(), workdir, rec.epoch,
                 self.heartbeat_interval, self.drain_path,
+                self.job_traces, self.job_trace_max_bytes,
             ),
             name=f"repro-job-{rec.job_id}",
         )
@@ -402,12 +464,28 @@ class Supervisor:
         guard = JobGuard(
             workdir=workdir, epoch=rec.epoch, drain_path=self.drain_path
         )
+        job_telemetry = (
+            _job_telemetry(workdir, self.job_trace_max_bytes)
+            if self.job_traces else None
+        )
         try:
-            result = run_job(rec.spec, workdir, guard=guard)
-            result["epoch"] = rec.epoch
+            # Trace close + metrics fold-in happen in the inner finally,
+            # i.e. *before* any terminal registry transition below: a
+            # live tailer keyed on the WAL's terminal event must find
+            # the trace complete when it performs its final drain.
+            try:
+                result = run_job(
+                    rec.spec, workdir, guard=guard, telemetry=job_telemetry
+                )
+                result["epoch"] = rec.epoch
+            finally:
+                if job_telemetry is not None:
+                    job_telemetry.close()
+                    self._job_metrics.merge(job_telemetry.metrics)
         except DrainRequested:
             requeued = self.registry.requeue(rec.job_id, "drained")
             write_fence(workdir, requeued.epoch)
+            self.metrics.counter("service_requeues", reason="drained").inc()
             self.tracer.event(
                 "job_requeued", job=rec.job_id, reason="drained",
                 epoch=requeued.epoch,
@@ -420,13 +498,13 @@ class Supervisor:
             self.tracer.event(
                 "job_failed", job=rec.job_id, reason="error", error=repr(exc)
             )
+            self.metrics.counter("service_jobs_failed", reason="error").inc()
             if self.admission is not None:
                 self.admission.record_failure(rec.spec.tenant)
             return
         self.registry.transition(rec.job_id, JobState.DONE, result=result)
         self.tracer.event("job_done", job=rec.job_id, epoch=rec.epoch)
-        if self.telemetry is not None:
-            self.telemetry.metrics.counter("service_jobs_done").inc()
+        self.metrics.counter("service_jobs_done").inc()
 
     # -- collection ----------------------------------------------------
     def _poll_leases(self) -> None:
@@ -458,8 +536,7 @@ class Supervisor:
                 "lease_expired", job=lease.job_id, epoch=lease.epoch,
                 missed=self.max_missed,
             )
-            if self.telemetry is not None:
-                self.telemetry.metrics.counter("service_leases_expired").inc()
+            self.metrics.counter("service_leases_expired").inc()
             self._expire(lease)
 
     def _expire(self, lease: Lease, *, cancel: bool = False) -> None:
@@ -492,11 +569,13 @@ class Supervisor:
                 "job_failed", job=lease.job_id, reason=reason,
                 attempts=rec.attempt,
             )
+            self.metrics.counter("service_jobs_failed", reason=reason).inc()
             if self.admission is not None:
                 self.admission.record_failure(rec.spec.tenant)
             return
         requeued = self.registry.requeue(lease.job_id, reason)
         write_fence(lease.workdir, requeued.epoch)
+        self.metrics.counter("service_requeues", reason=reason).inc()
         self.tracer.event(
             "job_requeued", job=lease.job_id, reason=reason,
             epoch=requeued.epoch,
@@ -511,14 +590,14 @@ class Supervisor:
         if exitcode == EXIT_DONE:
             result = self._read_result(lease)
             if result is not None and int(result.get("epoch", -1)) == lease.epoch:
+                self._merge_workdir_metrics(lease.workdir)
                 self.registry.transition(
                     lease.job_id, JobState.DONE, result=result
                 )
                 self.tracer.event(
                     "job_done", job=lease.job_id, epoch=lease.epoch,
                 )
-                if self.telemetry is not None:
-                    self.telemetry.metrics.counter("service_jobs_done").inc()
+                self.metrics.counter("service_jobs_done").inc()
                 return
             # Exit 0 without a fresh result: treat as a lost worker.
             self._requeue_or_fail(lease, "worker_lost")
@@ -534,6 +613,7 @@ class Supervisor:
             return
         error = self._read_error(lease)
         if exitcode == EXIT_ERROR and error is not None:
+            self._merge_workdir_metrics(lease.workdir)
             rec = self.registry.get(lease.job_id)
             self.registry.transition(
                 lease.job_id, JobState.FAILED, error=error["error"]
@@ -543,6 +623,7 @@ class Supervisor:
                 "job_failed", job=lease.job_id, reason="error",
                 error=error["error"],
             )
+            self.metrics.counter("service_jobs_failed", reason="error").inc()
             if self.admission is not None:
                 self.admission.record_failure(rec.spec.tenant)
             return
@@ -566,9 +647,65 @@ class Supervisor:
             return None
         return data if int(data.get("epoch", -1)) == lease.epoch else None
 
+    # -- observability ---------------------------------------------------
+    def _merge_workdir_metrics(self, workdir: str) -> None:
+        """Fold a worker's published metrics snapshot into the service's
+        job-metrics registry.  Only called on terminal outcomes (done or
+        permanently failed) so requeued attempts are not double-counted
+        — the worker's final snapshot already covers the whole attempt."""
+        try:
+            with open(job_metrics_path(workdir)) as f:
+                snap = json.load(f)
+        except (OSError, ValueError):
+            return
+        try:
+            self._job_metrics.merge_snapshot(snap)
+        except (ValueError, KeyError, TypeError):  # malformed snapshot
+            logger.warning("discarding malformed metrics snapshot in %s", workdir)
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Merged service-wide metrics: the supervisor's own registry
+        (queue depth, jobs done/failed/rejected, lease expiries, retry
+        counts), metrics folded in from finished jobs, and the latest
+        published snapshot from every live worker.  Safe to call from
+        server threads."""
+        merged = MetricsRegistry()
+        with self._lock:
+            merged.merge(self.metrics)
+            merged.merge(self._job_metrics)
+            live = [lease.workdir for lease in self._leases.values()]
+        for workdir in live:
+            try:
+                with open(job_metrics_path(workdir)) as f:
+                    snap = json.load(f)
+            except (OSError, ValueError):
+                continue
+            try:
+                merged.merge_snapshot(snap)
+            except (ValueError, KeyError, TypeError):
+                continue
+        return merged.snapshot()
+
+    def event_bus(self) -> ServiceEventBus:
+        """The service-wide event bus, created on first use.  Until this
+        is called no bus, tailer, or poller thread exists — the
+        zero-overhead guarantee for unobserved services."""
+        with self._lock:
+            if self._event_bus is None:
+                self._event_bus = ServiceEventBus(
+                    self.registry, self.jobs_dir
+                )
+            return self._event_bus
+
+    def close_event_bus(self) -> None:
+        """Close the bus (if one was created), waking every subscriber."""
+        with self._lock:
+            bus, self._event_bus = self._event_bus, None
+        if bus is not None:
+            bus.close()
+
     # ------------------------------------------------------------------
     def _gauge_queue_depth(self) -> None:
-        if self.telemetry is not None:
-            self.telemetry.metrics.gauge("service_queue_depth").set(
-                self.registry.queue_depth()
-            )
+        self.metrics.gauge("service_queue_depth").set(
+            self.registry.queue_depth()
+        )

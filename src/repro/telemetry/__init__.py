@@ -33,10 +33,11 @@ from .core import (
     Tracer,
     config_hash,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, render_prometheus
 from .progress import EWMA, ProgressReporter
 from .report import TraceReport, load_trace
 from .sinks import JsonlSink, MemorySink, encode_event
+from .stream import EventBus, JsonlTailer, SpanLatencySink, Subscription
 
 __all__ = [
     "Telemetry",
@@ -53,6 +54,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "render_prometheus",
     "EWMA",
     "ProgressReporter",
     "TraceReport",
@@ -60,4 +62,8 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "encode_event",
+    "EventBus",
+    "JsonlTailer",
+    "SpanLatencySink",
+    "Subscription",
 ]

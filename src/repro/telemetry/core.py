@@ -317,6 +317,24 @@ class Telemetry:
         )
         return child, buffer
 
+    def inline_member(self) -> "Telemetry":
+        """A member-scoped telemetry that shares this one's sinks *live*.
+
+        The sequential executor path uses this instead of
+        :meth:`member` + ``forward``: each event reaches the persistent
+        sinks the moment it happens, so live tailers (the service event
+        bus) see evaluations as they complete rather than in one burst
+        at member end.  Traces stay byte-identical with the buffered
+        path because a sequential member's events arrive in exactly the
+        order ``forward`` would have replayed them — the child only
+        carries its own metrics registry (merged back by the caller,
+        like a pool member's) and its own per-scope counters.
+        """
+        return Telemetry(
+            self.sinks, clock=self.clock, metrics=MetricsRegistry(),
+            progress=self.progress,
+        )
+
     def close(self) -> None:
         """Flush and close all sinks (and the progress line, if any)."""
         if self.progress is not None:

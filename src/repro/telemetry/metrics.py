@@ -20,10 +20,17 @@ Design constraints:
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Any, Iterable, Mapping
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+]
 
 #: Default histogram upper bounds (seconds-ish scale, log-spaced).
 DEFAULT_BUCKETS = (
@@ -230,3 +237,104 @@ class MetricsRegistry:
                 k, _, v = part.partition("=")
                 labels[k] = v
         return name, labels
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4) from snapshot dicts.
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    name = _NAME_SANITIZE.sub("_", prefix + name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_LABEL_SANITIZE.sub("_", str(k))}="{_prom_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_number(value: float) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], *, prefix: str = "repro_"
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Works on any snapshot — including ones merged across workers with
+    :meth:`MetricsRegistry.merge_snapshot` — so the service can expose
+    one ``GET /metrics`` view of supervisor plus live-worker registries.
+    Counters get the conventional ``_total`` suffix; histograms are
+    converted from the registry's per-bin counts to Prometheus's
+    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+    """
+    by_name: dict[str, list[str]] = {}
+    types: dict[str, str] = {}
+
+    def _sample(name: str, kind: str, line: str) -> None:
+        types[name] = kind
+        by_name.setdefault(name, []).append(line)
+
+    for fmt_key, value in snapshot.get("counters", {}).items():
+        raw, labels = MetricsRegistry._parse_key(fmt_key)
+        name = _prom_name(raw, prefix) + "_total"
+        _sample(
+            name, "counter",
+            f"{name}{_prom_labels(labels)} {_prom_number(value)}",
+        )
+    for fmt_key, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        raw, labels = MetricsRegistry._parse_key(fmt_key)
+        name = _prom_name(raw, prefix)
+        _sample(
+            name, "gauge",
+            f"{name}{_prom_labels(labels)} {_prom_number(value)}",
+        )
+    for fmt_key, hist in snapshot.get("histograms", {}).items():
+        raw, labels = MetricsRegistry._parse_key(fmt_key)
+        name = _prom_name(raw, prefix)
+        types[name] = "histogram"
+        lines = by_name.setdefault(name, [])
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += int(count)
+            le = _prom_labels(labels, extra=f'le="{_prom_number(bound)}"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        le = _prom_labels(labels, extra='le="+Inf"')
+        lines.append(f"{name}_bucket{le} {int(hist['count'])}")
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} {_prom_number(hist['total'])}"
+        )
+        lines.append(f"{name}_count{_prom_labels(labels)} {int(hist['count'])}")
+
+    out: list[str] = []
+    for name in sorted(by_name):
+        out.append(f"# TYPE {name} {types[name]}")
+        out.extend(by_name[name])
+    return "\n".join(out) + ("\n" if out else "")

@@ -75,6 +75,11 @@ class ProgressReporter:
         Real-time source, injectable for tests (callable -> seconds).
     ewma_alpha:
         Smoothing factor of the per-evaluation rate estimate.
+    render:
+        ``False`` keeps the full progress model (done/budget/best/ETA,
+        queryable via :meth:`snapshot`) but never writes to the stream —
+        the headless mode the service event bus uses to compute
+        ``job_progress`` payloads.
     """
 
     def __init__(
@@ -84,12 +89,14 @@ class ProgressReporter:
         interval: float = 0.5,
         clock=time.monotonic,
         ewma_alpha: float = 0.3,
+        render: bool = True,
     ):
         if interval < 0:
             raise ValueError("interval must be >= 0")
         self._stream = stream
         self.interval = float(interval)
         self.clock = clock
+        self.render = bool(render)
         self._rate = EWMA(ewma_alpha)
         self._searches: dict[str, _SearchState] = {}
         self._stage: str = ""
@@ -115,18 +122,34 @@ class ProgressReporter:
         if kind == "event" and event.get("name") == "search_start":
             attrs = event.get("attrs", {})
             state = self._state(scope)
+            if state.done:
+                # A search_start on a scope that already has evaluations
+                # is a resume (kill/restart): the wall-clock gap across
+                # the outage is not an evaluation cost, and neither are
+                # the stale pre-kill gaps — reset the rate estimate.
+                self._rate = EWMA(self._rate.alpha)
             state.budget = int(attrs.get("budget", 0)) or None
+            state.finished = False
             self._stage = str(attrs.get("strategy", self._stage))
+            # First-event guard: the gap from "now" to the first eval is
+            # startup latency (engine init), not an inter-eval gap.
+            self._last_eval_t = None
         elif kind == "eval":
             state = self._state(scope)
-            state.done = max(state.done, int(event.get("seq", -1)) + 1)
+            advanced = int(event.get("seq", -1)) + 1 > state.done
+            if advanced:
+                state.done = int(event.get("seq", -1)) + 1
             best = event.get("best")
             if best is not None:
                 state.best = float(best)
-            now = self.clock()
-            if self._last_eval_t is not None:
-                self._rate.update(max(0.0, now - self._last_eval_t))
-            self._last_eval_t = now
+            if advanced:
+                # Replayed (duplicate-seq) evals arrive in a burst on
+                # resume; their ~0 gaps would drive the EWMA — and the
+                # ETA — to zero, so only fresh evaluations update it.
+                now = self.clock()
+                if self._last_eval_t is not None:
+                    self._rate.update(max(0.0, now - self._last_eval_t))
+                self._last_eval_t = now
         elif kind == "span" and event.get("name") == "search":
             self._state(scope).finished = True
         else:
@@ -143,6 +166,31 @@ class ProgressReporter:
             if s.budget is not None and not s.finished:
                 remaining += max(0, s.budget - s.done)
         return remaining * self._rate.value
+
+    def throughput(self) -> float | None:
+        """Evaluations per second (EWMA), ``None`` before the first
+        measured gap or when the gap is zero (sub-resolution clock)."""
+        gap = self._rate.value
+        if gap is None or gap <= 0.0:
+            return None
+        return 1.0 / gap
+
+    def snapshot(self) -> dict[str, Any]:
+        """Machine-readable progress (the ``job_progress`` payload)."""
+        searches = self._searches
+        done = sum(s.done for s in searches.values())
+        budget = sum(s.budget or 0 for s in searches.values())
+        bests = [s.best for s in searches.values() if s.best is not None]
+        return {
+            "searches_done": sum(1 for s in searches.values() if s.finished),
+            "searches_total": len(searches),
+            "done": done,
+            "budget": budget or None,
+            "best": min(bests) if bests else None,
+            "eta_seconds": self.eta_seconds(),
+            "throughput": self.throughput(),
+            "stage": self._stage or None,
+        }
 
     @staticmethod
     def _fmt_eta(seconds: float) -> str:
@@ -176,6 +224,8 @@ class ProgressReporter:
         return " · ".join(parts)
 
     def _maybe_render(self, *, force: bool = False) -> None:
+        if not self.render:
+            return
         now = self.clock()
         if (
             not force

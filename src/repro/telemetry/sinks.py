@@ -140,6 +140,14 @@ class JsonlSink:
         self._file = None
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self.path):
+            # A crash mid-append leaves a torn final line; appending
+            # after it would glue the next event onto the fragment and
+            # turn a recoverable torn *tail* into a corrupt *interior*
+            # line (same contract as the checkpoint loaders).
+            from ..bo.history import repair_torn_tail
+
+            repair_torn_tail(self.path)
         existing = self._scan_existing()
         self._file = open(self.path, "a")
         if not existing:
@@ -235,11 +243,14 @@ class JsonlSink:
             and self._file.tell() > self.max_bytes
         ):
             self._rotate()
-        # Flush (a syscall) only on evaluation events: they are the
-        # resumable channel, and they amortize against a real objective
-        # evaluation.  A crash can lose buffered span lines, but evals
-        # lost with them are re-emitted from the checkpoint on resume.
-        self._write_line(encode_event(event), flush=is_eval)
+        # Flush (a syscall) on evaluation events — the resumable channel,
+        # amortized against a real objective evaluation — and on the rare
+        # lifecycle `event` lines (search_start, job markers) so live
+        # tailers see a search open before its evaluations arrive.  A
+        # crash can still lose buffered span lines, but evals lost with
+        # them are re-emitted from the checkpoint on resume.
+        flush = is_eval or event.get("kind") == "event"
+        self._write_line(encode_event(event), flush=flush)
 
     def close(self) -> None:
         """Flush, fsync, and close the sink.  Idempotent: closing an

@@ -1,0 +1,329 @@
+"""ServiceEventBus semantics (driven deterministically via poll_once)
+plus the offline half: read-only registry loading and ServiceReport.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service import (
+    JobRegistry,
+    JobSpec,
+    JobState,
+    ServiceEventBus,
+    ServiceReport,
+    Supervisor,
+    job_trace_path,
+    load_registry_records,
+)
+from repro.service.registry import RegistryError
+from repro.telemetry import JsonlSink
+
+FAST = {"engine": "bo", "budget": 6, "seed": 0}
+
+
+def run_one_job(tmp_path, params=FAST, *, job_traces=True):
+    """Registry + inline supervisor, one finished job.  Returns
+    (registry, supervisor, record)."""
+    registry = JobRegistry(tmp_path / "registry")
+    sup = Supervisor(
+        registry, jobs_dir=str(tmp_path / "jobs"), workers=1, inline=True,
+        job_traces=job_traces,
+    )
+    rec, decision = sup.submit(JobSpec(kind="campaign", params=dict(params)))
+    assert decision.admitted
+    sup.run(drain_when_idle=True, poll_interval=0.0)
+    return registry, sup, registry.get(rec.job_id)
+
+
+def drain_sub(sub):
+    out = []
+    while True:
+        item = sub.get(timeout=0)
+        if item is None:
+            return out
+        out.append(item)
+
+
+class TestBusEventMapping:
+    def test_full_lifecycle_event_order(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        # Bus created before the WAL is read: replay from an empty seq
+        # horizon is exercised by the snapshot path instead.
+        bus = sup.event_bus()
+        sub = bus.subscribe(job_id=rec.job_id)
+        bus.poll_once()
+        events = [e for _, e in drain_sub(sub)]
+        names = [e["event"] for e in events]
+        # Catch-up snapshot first, then the trace, then completion.
+        assert names[0] == "job_state"
+        assert events[0]["snapshot"] is True
+        assert "tune_start" in names
+        assert names.count("combo_result") == FAST["budget"]
+        assert "job_progress" in names
+        assert names[-1] == "job_done"
+        # job_done strictly after every combo_result.
+        assert max(i for i, n in enumerate(names) if n == "combo_result") \
+            < names.index("job_done")
+        done = events[-1]
+        assert done["state"] == JobState.DONE
+        assert done["fingerprint"] == rec.result["fingerprint"]
+        assert done["best_objective"] == rec.result["best_objective"]
+        sub.close()
+        bus.close()
+        registry.close()
+
+    def test_combo_result_payload(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        bus = sup.event_bus()
+        sub = bus.subscribe(job_id=rec.job_id)
+        bus.poll_once()
+        combos = [
+            e for _, e in drain_sub(sub) if e["event"] == "combo_result"
+        ]
+        assert [c["seq"] for c in combos] == list(range(FAST["budget"]))
+        for c in combos:
+            assert c["job"] == rec.job_id
+            assert c["status"] == "ok"
+            assert isinstance(c["objective"], float)
+            assert isinstance(c["best"], float)
+            assert "config_hash" in c
+        # best is monotonically non-increasing (minimization).
+        bests = [c["best"] for c in combos]
+        assert bests == sorted(bests, reverse=True)
+        bus.close()
+        registry.close()
+
+    def test_progress_payload(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        bus = sup.event_bus()
+        sub = bus.subscribe(job_id=rec.job_id)
+        bus.poll_once()
+        progress = [
+            e for _, e in drain_sub(sub) if e["event"] == "job_progress"
+        ]
+        assert progress
+        last = progress[-1]
+        assert last["done"] == FAST["budget"]
+        assert last["budget"] == FAST["budget"]
+        assert last["best"] is not None
+        assert "eta_seconds" in last and "throughput" in last
+        bus.close()
+        registry.close()
+
+    def test_live_polling_interleaves_wal_and_trace(self, tmp_path):
+        """Events submitted after the bus exists arrive via WAL tailing
+        (not the snapshot), carrying kind/tenant."""
+        registry = JobRegistry(tmp_path / "registry")
+        sup = Supervisor(
+            registry, jobs_dir=str(tmp_path / "jobs"), workers=1, inline=True
+        )
+        bus = sup.event_bus()
+        sub = bus.subscribe()
+        rec, _ = sup.submit(JobSpec(kind="campaign", tenant="t9", params=FAST))
+        bus.poll_once()
+        submitted = [e for _, e in drain_sub(sub) if e["event"] == "job_state"]
+        assert submitted[0]["tenant"] == "t9"
+        assert submitted[0]["kind"] == "campaign"
+        assert "snapshot" not in submitted[0]
+        sup.run(drain_when_idle=True, poll_interval=0.0)
+        bus.poll_once()
+        names = [e["event"] for _, e in drain_sub(sub)]
+        assert names[-1] == "job_done"
+        bus.close()
+        registry.close()
+
+    def test_all_terminal_states_emit_job_done(self, tmp_path):
+        """Failed jobs terminate their streams too — a watcher never
+        hangs on a job that errored."""
+        registry = JobRegistry(tmp_path / "registry")
+        sup = Supervisor(
+            registry, jobs_dir=str(tmp_path / "jobs"), workers=1,
+            inline=True, max_attempts=1,
+        )
+        rec, _ = sup.submit(
+            JobSpec(kind="campaign", params={**FAST, "engine": "nonsense"})
+        )
+        sup.run(drain_when_idle=True, poll_interval=0.0)
+        assert registry.get(rec.job_id).state == JobState.FAILED
+        bus = sup.event_bus()
+        sub = bus.subscribe(job_id=rec.job_id)
+        bus.poll_once()
+        events = [e for _, e in drain_sub(sub)]
+        assert events[-1]["event"] == "job_done"
+        assert events[-1]["state"] == JobState.FAILED
+        assert events[-1]["error"]
+        bus.close()
+        registry.close()
+
+
+class TestCursorResume:
+    def test_resume_after_cursor_is_exact(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        bus = sup.event_bus()
+        first = bus.subscribe(job_id=rec.job_id)
+        bus.poll_once()
+        all_items = drain_sub(first)
+        first.close()
+        mid = all_items[len(all_items) // 2][0]
+        resumed = bus.subscribe(job_id=rec.job_id, after=mid)
+        got = drain_sub(resumed)
+        assert got == all_items[len(all_items) // 2 + 1:]
+        resumed.close()
+        bus.close()
+        registry.close()
+
+    def test_no_duplicates_across_many_resume_points(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        bus = sup.event_bus()
+        base = bus.subscribe(job_id=rec.job_id)
+        bus.poll_once()
+        items = drain_sub(base)
+        cursors = [c for c, _ in items]
+        for cut in cursors:
+            sub = bus.subscribe(job_id=rec.job_id, after=cut)
+            tail = [c for c, _ in drain_sub(sub)]
+            assert tail == [c for c in cursors if c > cut]
+            sub.close()
+        bus.close()
+        registry.close()
+
+
+class TestPollerLifecycle:
+    def test_no_poller_until_first_subscriber(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        bus = sup.event_bus()
+        assert not bus.poller_running
+        sub = bus.subscribe()
+        assert bus.poller_running
+        sub.close()
+        deadline = __import__("time").monotonic() + 5.0
+        while bus.poller_running:
+            if __import__("time").monotonic() > deadline:
+                pytest.fail("poller did not stop after last unsubscribe")
+            __import__("time").sleep(0.01)
+        bus.close()
+        registry.close()
+
+    def test_poller_restarts_for_new_subscriber(self, tmp_path):
+        import time
+
+        registry, sup, rec = run_one_job(tmp_path)
+        bus = sup.event_bus()
+        sub1 = bus.subscribe()
+        sub1.close()
+        deadline = time.monotonic() + 5.0
+        while bus.poller_running and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sub2 = bus.subscribe(job_id=rec.job_id)
+        assert bus.poller_running
+        # And it actually delivers.
+        deadline = time.monotonic() + 10.0
+        names = []
+        while time.monotonic() < deadline:
+            item = sub2.get(timeout=0.5)
+            if item is None:
+                continue
+            names.append(item[1]["event"])
+            if names[-1] == "job_done":
+                break
+        assert names[-1] == "job_done"
+        sub2.close()
+        bus.close()
+        registry.close()
+
+    def test_supervisor_event_bus_is_lazy_singleton(self, tmp_path):
+        registry = JobRegistry(tmp_path / "registry")
+        sup = Supervisor(registry, jobs_dir=str(tmp_path / "jobs"), inline=True)
+        assert sup._event_bus is None  # nothing exists unobserved
+        bus = sup.event_bus()
+        assert sup.event_bus() is bus
+        sup.close_event_bus()
+        assert sup._event_bus is None
+        registry.close()
+
+
+class TestOfflineRegistryReader:
+    def test_reads_live_registry_without_writing(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        wal = registry.wal_path
+        before = open(wal, "rb").read()
+        records = load_registry_records(tmp_path / "registry")
+        assert open(wal, "rb").read() == before  # strictly read-only
+        assert [r.job_id for r in records] == [rec.job_id]
+        assert records[0].state == JobState.DONE
+        assert records[0].result["fingerprint"] == rec.result["fingerprint"]
+        registry.close()
+
+    def test_survives_compaction(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        registry.compact()
+        records = load_registry_records(tmp_path / "registry")
+        assert records[0].state == JobState.DONE
+        registry.close()
+
+    def test_tolerates_torn_tail_only_at_end(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        registry.close()
+        wal = os.path.join(tmp_path, "registry", "registry.wal.jsonl")
+        with open(wal, "a") as f:
+            f.write('{"event": "transition", "seq": 99')  # torn final line
+        records = load_registry_records(tmp_path / "registry")
+        assert records[0].state == JobState.DONE
+
+    def test_rejects_mid_file_corruption(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path)
+        registry.close()
+        wal = os.path.join(tmp_path, "registry", "registry.wal.jsonl")
+        lines = open(wal).read().splitlines()
+        lines[1] = "garbage"
+        with open(wal, "w") as f:
+            f.write("\n".join(lines) + "\n")
+        with pytest.raises(RegistryError):
+            load_registry_records(tmp_path / "registry")
+
+
+class TestServiceReport:
+    def test_cross_job_aggregation(self, tmp_path):
+        registry = JobRegistry(tmp_path / "registry")
+        sup = Supervisor(
+            registry, jobs_dir=str(tmp_path / "jobs"), workers=1, inline=True
+        )
+        recs = []
+        for seed in (0, 1):
+            rec, _ = sup.submit(
+                JobSpec(kind="campaign", params={**FAST, "seed": seed})
+            )
+            recs.append(rec)
+        sup.run(drain_when_idle=True, poll_interval=0.0)
+        report = ServiceReport.from_service_dir(tmp_path)
+        assert len(report.jobs) == 2
+        for summary in report.jobs:
+            assert summary.state == JobState.DONE
+            assert summary.evaluations == FAST["budget"]
+            assert summary.best_objective is not None
+            assert summary.fingerprint
+        merged = report.merged_timing()
+        # Merged totals = sum of per-job totals for every stage.
+        for region, (total, count) in merged.entries.items():
+            per_job = [
+                j.timing.entries.get(region, (0.0, 0)) for j in report.jobs
+            ]
+            assert total == pytest.approx(sum(t for t, _ in per_job))
+            assert count == sum(c for _, c in per_job)
+        text = report.format()
+        for rec in recs:
+            assert rec.job_id in text
+        assert "cross-job stage wall-time attribution" in text
+        registry.close()
+
+    def test_jobs_without_traces_still_reported(self, tmp_path):
+        registry, sup, rec = run_one_job(tmp_path, job_traces=False)
+        assert not os.path.exists(
+            job_trace_path(os.path.join(tmp_path, "jobs", rec.job_id))
+        )
+        report = ServiceReport.from_service_dir(tmp_path)
+        assert report.jobs[0].evaluations == 0  # no trace: honest zero
+        assert report.jobs[0].state == JobState.DONE
+        registry.close()

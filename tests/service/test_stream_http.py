@@ -1,0 +1,321 @@
+"""HTTP observability surface: SSE endpoints, /metrics, query filters.
+
+Includes the acceptance-criteria tests: a client killed mid-stream that
+reconnects with ``Last-Event-ID`` receives exactly the missed events,
+while the job fingerprint stays identical to an unobserved run; and
+``GET /metrics`` parses under a strict text-format 0.0.4 mini-parser.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.service import (
+    JobRegistry,
+    JobState,
+    ServiceClientError,
+    ServiceServer,
+    Supervisor,
+    health,
+    metrics_text,
+    stream_events,
+    submit_job,
+    wait_for_job,
+)
+
+FAST = {"engine": "bo", "budget": 6, "seed": 0}
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    registry = JobRegistry(tmp_path / "registry")
+    supervisor = Supervisor(
+        registry, jobs_dir=str(tmp_path / "jobs"), workers=1, inline=True
+    )
+    thread = threading.Thread(
+        target=supervisor.run, kwargs={"poll_interval": 0.01}, daemon=True
+    )
+    thread.start()
+    with ServiceServer(supervisor) as server:
+        yield server
+    supervisor.request_drain()
+    thread.join(timeout=30)
+    registry.close()
+
+
+class TestSSE:
+    def test_per_job_stream_end_to_end(self, live_service):
+        rec = submit_job(live_service.url, "campaign", params=FAST)
+        events = list(
+            stream_events(
+                live_service.url, rec["job_id"], timeout=60, keepalive=0.5
+            )
+        )
+        cursors = [c for c, _ in events]
+        names = [e["event"] for _, e in events]
+        assert all(b > a for a, b in zip(cursors, cursors[1:]))
+        assert names[-1] == "job_done"
+        assert names.count("combo_result") == FAST["budget"]
+        assert "tune_start" in names
+        done = events[-1][1]
+        assert done["state"] == JobState.DONE
+        assert done["fingerprint"]
+
+    def test_service_wide_stream_sees_multiple_jobs(self, live_service):
+        r1 = submit_job(live_service.url, "campaign", params=FAST)
+        r2 = submit_job(
+            live_service.url, "campaign", params={**FAST, "seed": 1}
+        )
+        wait_for_job(live_service.url, r2["job_id"], timeout=60)
+        seen_jobs = set()
+        done = 0
+        for cursor, ev in stream_events(
+            live_service.url, timeout=60, keepalive=0.5, max_events=200
+        ):
+            seen_jobs.add(ev.get("job"))
+            if ev["event"] == "job_done":
+                done += 1
+                if done == 2:
+                    break
+        assert {r1["job_id"], r2["job_id"]} <= seen_jobs
+
+    def test_reconnect_with_last_event_id_no_gap_no_dup(self, live_service):
+        """Kill the client mid-stream; the resumed stream must carry on
+        from exactly the next cursor."""
+        rec = submit_job(live_service.url, "campaign", params=FAST)
+        first_half = []
+        stream = stream_events(
+            live_service.url, rec["job_id"], timeout=60, keepalive=0.5
+        )
+        for item in stream:
+            first_half.append(item)
+            if len(first_half) == 4:
+                stream.close()  # drop the connection mid-job
+                break
+        assert first_half[-1][1]["event"] != "job_done"
+        second_half = list(
+            stream_events(
+                live_service.url,
+                rec["job_id"],
+                last_event_id=first_half[-1][0],
+                timeout=60,
+                keepalive=0.5,
+            )
+        )
+        cursors = [c for c, _ in first_half + second_half]
+        assert len(set(cursors)) == len(cursors)  # no duplicates
+        assert all(b > a for a, b in zip(cursors, cursors[1:]))  # ordered
+        # No gap at the seam: the full per-job cursor set is recoverable
+        # by a third subscription replaying from the start.
+        replay = [
+            c for c, _ in stream_events(
+                live_service.url, rec["job_id"], timeout=60, keepalive=0.5
+            )
+        ]
+        assert cursors == replay
+        assert second_half[-1][1]["event"] == "job_done"
+
+    def test_resume_via_query_param(self, live_service):
+        rec = submit_job(live_service.url, "campaign", params=FAST)
+        all_events = list(
+            stream_events(
+                live_service.url, rec["job_id"], timeout=60, keepalive=0.5
+            )
+        )
+        import json as _json
+        import urllib.request
+
+        mid = all_events[2][0]
+        url = (
+            f"{live_service.url}/jobs/{rec['job_id']}/events"
+            f"?last_event_id={mid}"
+        )
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            body = resp.read().decode()
+        ids = [int(m) for m in re.findall(r"^id: (\d+)$", body, re.M)]
+        assert ids == [c for c, _ in all_events if c > mid]
+
+    def test_unknown_job_404(self, live_service):
+        with pytest.raises(ServiceClientError) as exc:
+            list(stream_events(live_service.url, "nope", timeout=10))
+        assert exc.value.status == 404
+
+    def test_bad_cursor_400(self, live_service):
+        rec = submit_job(live_service.url, "campaign", params=FAST)
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            f"{live_service.url}/jobs/{rec['job_id']}/events",
+            headers={"Last-Event-ID": "not-a-number"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+
+
+class TestFingerprintUnperturbed:
+    def test_observed_equals_unobserved(self, tmp_path):
+        """Streaming must not perturb results: same spec, one service
+        fully observed over SSE, one with tracing off entirely —
+        identical fingerprints."""
+        fingerprints = {}
+        for label, job_traces in (("observed", True), ("unobserved", False)):
+            root = tmp_path / label
+            registry = JobRegistry(root / "registry")
+            sup = Supervisor(
+                registry, jobs_dir=str(root / "jobs"), workers=1,
+                inline=True, job_traces=job_traces,
+            )
+            thread = threading.Thread(
+                target=sup.run, kwargs={"poll_interval": 0.01}, daemon=True
+            )
+            thread.start()
+            with ServiceServer(sup) as server:
+                rec = submit_job(server.url, "campaign", params=FAST)
+                if job_traces:
+                    events = list(
+                        stream_events(
+                            server.url, rec["job_id"], timeout=60,
+                            keepalive=0.5,
+                        )
+                    )
+                    assert events[-1][1]["event"] == "job_done"
+                final = wait_for_job(server.url, rec["job_id"], timeout=60)
+                fingerprints[label] = final["result"]["fingerprint"]
+                sup.request_drain()
+                thread.join(timeout=30)
+            registry.close()
+        assert fingerprints["observed"] == fingerprints["unobserved"]
+
+
+# -- strict-enough Prometheus text-format 0.0.4 mini-parser ---------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_prometheus(text):
+    """Validate the exposition grammar; returns {name: [(labels, value)]}."""
+    samples = {}
+    types = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                         r"(counter|gauge|histogram|summary|untyped)$", line)
+            assert m, f"bad comment line: {line!r}"
+            assert m.group(1) not in types, f"duplicate TYPE for {m.group(1)}"
+            types[m.group(1)] = m.group(2)
+            continue
+        m = _SAMPLE_RE.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                assert _LABEL_RE.match(pair), f"bad label pair: {pair!r}"
+        value = float(m.group("value"))  # must parse (inf/nan allowed)
+        samples.setdefault(m.group("name"), []).append(
+            (m.group("labels") or "", value)
+        )
+    return samples, types
+
+
+class TestMetricsEndpoint:
+    def test_exposition_parses_and_is_typed(self, live_service):
+        rec = submit_job(live_service.url, "campaign", params=FAST)
+        wait_for_job(live_service.url, rec["job_id"], timeout=60)
+        text = metrics_text(live_service.url)
+        samples, types = parse_prometheus(text)
+        assert any(v == 1 for _, v in samples["repro_service_jobs_done_total"])
+        assert types["repro_service_jobs_done_total"] == "counter"
+        assert types["repro_service_queue_depth"] == "gauge"
+        assert types["repro_span_seconds"] == "histogram"
+
+    def test_histograms_are_cumulative_and_consistent(self, live_service):
+        rec = submit_job(live_service.url, "campaign", params=FAST)
+        wait_for_job(live_service.url, rec["job_id"], timeout=60)
+        samples, _ = parse_prometheus(metrics_text(live_service.url))
+        buckets = samples["repro_span_seconds_bucket"]
+        counts = dict(samples["repro_span_seconds_count"])
+        by_span = {}
+        for labels, value in buckets:
+            span = re.search(r'span="([^"]*)"', labels).group(1)
+            le = re.search(r'le="([^"]*)"', labels).group(1)
+            by_span.setdefault(span, []).append((le, value))
+        for span, rows in by_span.items():
+            values = [v for _, v in rows]
+            assert values == sorted(values)  # cumulative: non-decreasing
+            assert rows[-1][0] == "+Inf"
+            assert rows[-1][1] == counts[f'span="{span}"']
+        # The hot-path spans the issue names are actually present.
+        assert {"gp_fit", "acquisition", "evaluation"} <= set(by_span)
+
+    def test_content_type_is_prometheus_text(self, live_service):
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"{live_service.url}/metrics", timeout=10
+        ) as resp:
+            ct = resp.headers["Content-Type"]
+        assert ct == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestJobsFilters:
+    def _submit_matrix(self, url):
+        a = submit_job(url, "campaign", tenant="alice", params=FAST)
+        b = submit_job(
+            url, "campaign", tenant="bob", params={**FAST, "seed": 1}
+        )
+        wait_for_job(url, a["job_id"], timeout=60)
+        wait_for_job(url, b["job_id"], timeout=60)
+        return a, b
+
+    def _get_jobs(self, url, query):
+        import json as _json
+        import urllib.request
+
+        with urllib.request.urlopen(f"{url}/jobs?{query}", timeout=10) as r:
+            return _json.loads(r.read())["jobs"]
+
+    def test_tenant_filter(self, live_service):
+        a, b = self._submit_matrix(live_service.url)
+        jobs = self._get_jobs(live_service.url, "tenant=alice")
+        assert [j["job_id"] for j in jobs] == [a["job_id"]]
+
+    def test_state_filter(self, live_service):
+        a, b = self._submit_matrix(live_service.url)
+        done = self._get_jobs(live_service.url, "state=done")
+        assert {j["job_id"] for j in done} == {a["job_id"], b["job_id"]}
+        assert self._get_jobs(live_service.url, "state=queued") == []
+
+    def test_combined_filters(self, live_service):
+        a, b = self._submit_matrix(live_service.url)
+        jobs = self._get_jobs(live_service.url, "tenant=bob&state=done")
+        assert [j["job_id"] for j in jobs] == [b["job_id"]]
+
+    def test_invalid_state_400(self, live_service):
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(
+                f"{live_service.url}/jobs?state=bogus", timeout=10
+            )
+        assert exc.value.code == 400
+
+
+class TestHealthMetricsBlock:
+    def test_health_carries_metrics_snapshot(self, live_service):
+        rec = submit_job(live_service.url, "campaign", params=FAST)
+        wait_for_job(live_service.url, rec["job_id"], timeout=60)
+        status = health(live_service.url)
+        metrics = status["metrics"]
+        assert set(metrics) == {"counters", "gauges", "histograms"}
+        assert metrics["counters"]["service_jobs_done"] == 1
+        assert "service_queue_depth" in metrics["gauges"]

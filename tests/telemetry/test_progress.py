@@ -139,3 +139,124 @@ class TestRendering:
     def test_interval_validated(self):
         with pytest.raises(ValueError):
             ProgressReporter(io.StringIO(), interval=-1.0)
+
+
+class TestEtaEdgeCases:
+    """Regression tests for division guards and resume resets."""
+
+    def make(self, **kw):
+        clock = FakeClock()
+        rep = ProgressReporter(
+            io.StringIO(), interval=0.0, clock=clock, ewma_alpha=1.0, **kw
+        )
+        return rep, clock
+
+    def test_throughput_none_before_first_gap(self):
+        rep, clock = self.make()
+        rep.emit(search_start("m", budget=10))
+        assert rep.throughput() is None
+        rep.emit(eval_event("m", 0))
+        # One eval = zero measured gaps: still no throughput, no crash.
+        assert rep.throughput() is None
+
+    def test_throughput_none_on_zero_gap(self):
+        rep, clock = self.make()
+        rep.emit(search_start("m", budget=10))
+        rep.emit(eval_event("m", 0))
+        rep.emit(eval_event("m", 1))  # same clock tick: gap == 0
+        assert rep._rate.value == 0.0
+        assert rep.throughput() is None  # never divides by zero
+
+    def test_throughput_inverse_of_gap(self):
+        rep, clock = self.make()
+        rep.emit(search_start("m", budget=10))
+        rep.emit(eval_event("m", 0))
+        clock.t = 0.5
+        rep.emit(eval_event("m", 1))
+        assert rep.throughput() == pytest.approx(2.0)
+
+    def test_startup_latency_not_counted_as_gap(self):
+        rep, clock = self.make()
+        clock.t = 100.0  # search starts late
+        rep.emit(search_start("m", budget=10))
+        clock.t = 200.0  # 100s engine warm-up before the first eval
+        rep.emit(eval_event("m", 0))
+        # The 100s to the first eval is startup, not an inter-eval gap.
+        assert rep._rate.value is None
+        clock.t = 201.0
+        rep.emit(eval_event("m", 1))
+        assert rep._rate.value == pytest.approx(1.0)
+
+    def test_resume_resets_rate_estimate(self):
+        rep, clock = self.make()
+        rep.emit(search_start("m", budget=10))
+        rep.emit(eval_event("m", 0))
+        clock.t = 5.0
+        rep.emit(eval_event("m", 1))
+        assert rep._rate.value == pytest.approx(5.0)
+        # Kill/restart: a second search_start on a scope with progress.
+        clock.t = 1000.0  # outage gap must not poison the estimate
+        rep.emit(search_start("m", budget=10))
+        assert rep._rate.value is None
+        clock.t = 1001.0
+        rep.emit(eval_event("m", 2))
+        assert rep._rate.value is None  # first post-resume eval: no gap yet
+        clock.t = 1003.0
+        rep.emit(eval_event("m", 3))
+        assert rep._rate.value == pytest.approx(2.0)
+
+    def test_replayed_evals_do_not_drive_rate_to_zero(self):
+        rep, clock = self.make()
+        rep.emit(search_start("m", budget=10))
+        for i in range(4):
+            clock.t += 1.0
+            rep.emit(eval_event("m", i))
+        rep.emit(search_start("m", budget=10))  # resume
+        # Replay burst: duplicate seqs arrive back-to-back at one tick.
+        clock.t += 0.001
+        for i in range(4):
+            rep.emit(eval_event("m", i))
+        assert rep._rate.value is None  # ignored: nothing advanced
+        assert rep._state("m").done == 4  # and progress did not regress
+
+    def test_snapshot_shape(self):
+        rep, clock = self.make()
+        rep.emit(search_start("m", budget=10))
+        rep.emit(eval_event("m", 0, best=3.0))
+        clock.t = 1.0
+        rep.emit(eval_event("m", 1, best=2.0))
+        snap = rep.snapshot()
+        assert snap["done"] == 2
+        assert snap["budget"] == 10
+        assert snap["best"] == 2.0
+        assert snap["searches_total"] == 1
+        assert snap["searches_done"] == 0
+        assert snap["throughput"] == pytest.approx(1.0)
+        assert snap["eta_seconds"] == pytest.approx(8.0)
+        assert snap["stage"] == "stage-0"
+
+    def test_snapshot_empty(self):
+        rep, _ = self.make()
+        snap = rep.snapshot()
+        assert snap["done"] == 0
+        assert snap["budget"] is None
+        assert snap["best"] is None
+        assert snap["eta_seconds"] is None
+        assert snap["throughput"] is None
+
+    def test_headless_mode_never_writes(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(
+            stream, interval=0.0, clock=clock, render=False
+        )
+        rep.emit(search_start("m", budget=10))
+        for i in range(10):
+            clock.t += 1.0
+            rep.emit(eval_event("m", i, best=1.0))
+        rep.emit(search_close("m"))
+        rep.close()
+        assert stream.getvalue() == ""
+        # ... while the model still tracks everything.
+        assert rep.snapshot()["done"] == 10
+        assert rep.snapshot()["searches_done"] == 1
