@@ -67,7 +67,11 @@ class BatchBayesianOptimizer(BayesianOptimizer):
             return float(np.max(y))
         return float(np.mean(y))
 
-    def suggest_batch(self) -> list[dict]:
+    def suggest_batch(
+        self,
+        rng: np.random.Generator | None = None,
+        history: list | None = None,
+    ) -> list[dict]:
         """One constant-liar round: ``batch_size`` diverse suggestions.
 
         The surrogate is fit (with MLE) exactly once per round; each liar
@@ -76,10 +80,20 @@ class BatchBayesianOptimizer(BayesianOptimizer):
         members score the *same* encoded candidate matrix, so the GP's
         kernel cross-column cache turns each re-scoring into one extra
         back-substitution row rather than a fresh (N x C) kernel product.
+
+        ``rng`` defaults to the optimizer's stream-0 generator; the run
+        loop passes a per-round generator keyed on the round's database
+        position so a killed-and-resumed run replays the identical round
+        sequence.  ``history`` (default: the full database) is the
+        record prefix the round is conditioned on — the run loop passes
+        ``records[:round_start]`` so a round interrupted mid-batch is
+        re-suggested from exactly the model state it originally saw.
         """
-        ok = self.database.ok_records()
+        rng = rng if rng is not None else self.rng
+        history = history if history is not None else self.database.records
+        ok = [r for r in history if r.ok]
         if len(ok) < 2:
-            return self.space.sample_batch(self.batch_size, self.rng, unique=True)
+            return self.space.sample_batch(self.batch_size, rng, unique=True)
 
         configs = [{k: r.config[k] for k in self.space.names} for r in ok]
         X = self.space.encode_batch(configs)
@@ -90,13 +104,13 @@ class BatchBayesianOptimizer(BayesianOptimizer):
 
         gp = GaussianProcess(
             kernel=kernel_by_name(self.kernel_name, self.space.dimension),
-            random_state=self.rng,
+            random_state=rng,
             n_restarts=1,
         )
         try:
             gp.fit(X, y, optimize=True)
         except GPFitError:
-            return [self.space.sample(self.rng) for _ in range(self.batch_size)]
+            return [self.space.sample(rng) for _ in range(self.batch_size)]
 
         if self.candidate_pool is not None and len(self.candidate_pool) > 0:
             pool = self.candidate_pool
@@ -105,7 +119,7 @@ class BatchBayesianOptimizer(BayesianOptimizer):
                 self.space,
                 assemble_candidates(
                     self.space,
-                    self.rng,
+                    rng,
                     n_candidates=self.n_candidates,
                     incumbent_config=incumbent_cfg,
                     exclude=configs,
@@ -121,13 +135,13 @@ class BatchBayesianOptimizer(BayesianOptimizer):
         batch: list[dict] = []
         for _ in range(self.batch_size):
             scores = score_candidates(
-                self.acquisition, gp, Xp, incumbent, self.rng
+                self.acquisition, gp, Xp, incumbent, rng
             )
             scores[taken] = -np.inf
             j = int(np.argmax(scores))
             if not np.isfinite(scores[j]):
                 # Pool exhausted: pad the round with fresh random samples.
-                batch.append(self.space.sample(self.rng))
+                batch.append(self.space.sample(rng))
                 continue
             batch.append(dict(pool.configs[j]))
             taken[j] = True
@@ -151,10 +165,26 @@ class BatchBayesianOptimizer(BayesianOptimizer):
             for i, rec in enumerate(self.database):
                 self._emit_eval(i, rec)
 
-        n_have = len(self.database.ok_records())
-        n_seed = max(0, self.n_initial - n_have)
-        if n_seed > 0:
-            for config in self.space.latin_hypercube(n_seed, self.rng):
+        if self.resume and len(self.database) > 0:
+            # Restore quarantine state exactly as the sequential loop
+            # does: sidecar first, checkpointed failure kinds otherwise.
+            if not self._restore_breaker_state():
+                for rec in self.database:
+                    self._record_failure(rec, persist=False)
+                if self.breaker is not None and self.breaker.total_counted:
+                    self._persist_breaker()
+
+        # --- initial design (partially replayed under crash recovery) ---
+        # Derived from the dedicated init stream, so a resumed run
+        # regenerates the identical design and evaluates only the tail —
+        # the same discipline as the sequential optimizer.
+        if len(self.database) < self.n_initial:
+            design = self.space.latin_hypercube(
+                self.n_initial,
+                np.random.default_rng(self._stream(self._INIT_STREAM)),
+            )
+            seed_costs = []
+            for config in design[len(self.database):]:
                 if self.breaker is not None and not self.breaker.allows(config):
                     self.quarantine_skips += 1
                     continue
@@ -162,15 +192,36 @@ class BatchBayesianOptimizer(BayesianOptimizer):
                 self._record_failure(rec)
                 self.database.append(rec)
                 self._emit_eval(len(self.database) - 1, rec)
+                seed_costs.append(rec.cost)
                 n_new += 1
-            eval_cost += max(
-                (r.cost for r in self.database.records[-n_seed:]), default=0.0
-            )
+            # Seed round is embarrassingly parallel: charge the max.
+            eval_cost += max(seed_costs, default=0.0)
 
-        while len(self.database.ok_records()) < self.max_evaluations:
-            room = self.max_evaluations - len(self.database.ok_records())
-            batch = self.suggest_batch()[: max(1, min(self.batch_size, room))]
-            n = len(self.database.ok_records())
+        # --- batched rounds (replayed deterministically under resume) ---
+        # Rounds are a pure function of the record prefix they started
+        # from: each round draws its generator from the round-start
+        # position and conditions its surrogate on ``records[:cursor]``.
+        # A resumed run therefore re-derives the same round boundaries,
+        # skips members the checkpoint already holds, and evaluates only
+        # the missing tail — bit-identical to an uninterrupted run even
+        # when the kill landed mid-round.
+        records = self.database.records
+        cursor = min(len(records), self.n_initial)
+        exhausted = False
+        while not exhausted:
+            prefix = records[:cursor]
+            n_ok = sum(1 for r in prefix if r.ok)
+            if n_ok >= self.max_evaluations:
+                break
+            room = self.max_evaluations - n_ok
+            round_len = max(1, min(self.batch_size, room))
+            if cursor + round_len <= len(records):
+                # Fully checkpointed round: advance without refitting.
+                cursor += round_len
+                continue
+            rng = self._iter_rng(cursor)
+            batch = self.suggest_batch(rng, history=prefix)[:round_len]
+            n = n_ok
             d = self.space.dimension
             # Simulated ledger: charged as one O(N^3) refit per batch
             # member, matching the paper's full-refit baseline accounting
@@ -179,21 +230,26 @@ class BatchBayesianOptimizer(BayesianOptimizer):
                 n**3 + n * n * d + self.n_candidates * n * d
             )
             round_costs = []
-            exhausted = False
             for cfg in batch:
-                cfg = self._dequarantine(cfg, self.rng)
+                if cursor < len(records):
+                    # Member already evaluated before the crash.
+                    cursor += 1
+                    continue
+                cfg = self._dequarantine(cfg, rng)
                 if cfg is None:
                     exhausted = True
                     break
                 rec = self._traced_evaluate(cfg)
                 self._record_failure(rec)
                 self.database.append(rec)
+                records.append(rec)
+                cursor += 1
                 self._emit_eval(len(self.database) - 1, rec)
                 round_costs.append(rec.cost)
                 n_new += 1
             # Parallel round: wall-clock is the slowest member.
             eval_cost += max(round_costs, default=0.0)
-            if exhausted or n_new > 4 * self.max_evaluations:
+            if n_new > 4 * self.max_evaluations:
                 break
 
         best = self.database.best()

@@ -370,6 +370,18 @@ def _add_verbosity(p: argparse.ArgumentParser) -> None:
 def _add_executor_options(p: argparse.ArgumentParser) -> None:
     """Campaign-executor flags shared by the tuning commands."""
     _add_verbosity(p)
+    p.add_argument("--sampler", "--engine", dest="sampler", default="bo",
+                   metavar="NAME",
+                   help="search engine for the planned searches: any "
+                        "registered sampler name (gp-bo/bo, batch-bo, "
+                        "random, grid, tpe, cma-es-lite, qmc, hillclimb, "
+                        "anneal; default: bo)")
+    p.add_argument("--sampler-for", action="append", default=[],
+                   metavar="REGION=NAME",
+                   help="override the sampler for one planned search / "
+                        "DAG region by name (e.g. --sampler-for "
+                        "'G3+G4=tpe'); repeatable, other searches keep "
+                        "--sampler")
     p.add_argument("--parallel", action="store_true",
                    help="run each stage's member searches concurrently "
                         "(process pool; falls back in-process for "
@@ -435,11 +447,26 @@ def _add_executor_options(p: argparse.ArgumentParser) -> None:
                    help="suppress the live progress/ETA line on stderr")
 
 
+def _sampler_overrides(args: argparse.Namespace) -> dict[str, str]:
+    """Parse repeated ``--sampler-for REGION=NAME`` flags."""
+    overrides: dict[str, str] = {}
+    for term in getattr(args, "sampler_for", None) or []:
+        region, sep, name = term.partition("=")
+        if not sep or not region or not name:
+            raise SystemExit(
+                f"repro: bad --sampler-for {term!r}; expected REGION=NAME"
+            )
+        overrides[region.strip()] = name.strip()
+    return overrides
+
+
 def _robustness_kwargs(args: argparse.Namespace) -> dict:
     """Translate executor flags into TuningMethodology keyword arguments."""
     from .faults import FaultPlan
 
     return {
+        "engine": getattr(args, "sampler", "bo"),
+        "engine_overrides": _sampler_overrides(args),
         "parallel": args.parallel,
         "n_workers": args.workers,
         "checkpoint_dir": args.checkpoint_dir,

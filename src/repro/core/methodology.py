@@ -43,6 +43,7 @@ from ..insights.sensitivity import SensitivityAnalysis, SensitivityResult
 from ..log import get_logger
 from ..search.result import CampaignResult
 from ..search.runner import SearchCampaign, SearchSpec
+from ..search.samplers.base import canonical_engine_name
 from ..space import SearchSpace
 from ..telemetry.core import NULL_TRACER
 from .dag import InterdependenceDAG
@@ -189,6 +190,15 @@ class TuningMethodology:
         (defaults to the weighted sum of routine objectives).
     engine / engine_options:
         Search engine for the planned searches.
+    engine_overrides:
+        Optional mapping of planned-search name (a DAG region label like
+        ``"G1"`` or a merged-group name like ``"G3+G4"``) to an engine
+        name from the sampler registry — so each region can run the
+        engine that fits its space (e.g. ``cma-es-lite`` on an
+        all-numeric region, ``tpe`` on a conditional one) while every
+        other search keeps the default ``engine``.  Names are validated
+        against the registry up front; warm-start seeding is applied per
+        member according to its *resolved* engine.
     hierarchy:
         Optional region nesting forwarded to the planner (see
         :class:`~repro.core.SearchPlanner`); enables staged plans like the
@@ -271,6 +281,7 @@ class TuningMethodology:
         total_objective: Callable[[Mapping[str, Any]], float] | None = None,
         engine: str = "bo",
         engine_options: dict[str, Any] | None = None,
+        engine_overrides: Mapping[str, str] | None = None,
         hierarchy: Mapping[str, Sequence[str]] | None = None,
         parallel: bool = False,
         n_workers: int | None = None,
@@ -303,6 +314,11 @@ class TuningMethodology:
         self.total_objective = total_objective
         self.engine = engine
         self.engine_options = dict(engine_options or {})
+        self.engine_overrides = dict(engine_overrides or {})
+        for region, eng in self.engine_overrides.items():
+            canonical_engine_name(eng)  # fail fast on unknown engines
+            if not region:
+                raise ValueError("engine_overrides keys must be non-empty")
         self.parallel = bool(parallel)
         self.n_workers = n_workers
         self.parallel_analysis = bool(parallel_analysis)
@@ -560,9 +576,14 @@ class TuningMethodology:
                 )
         return result
 
-    def _warm_records(self, observations, planner, search, subspace):
+    def _engine_for(self, search_name: str) -> str:
+        """Resolve one planned search's engine (override or default)."""
+        return self.engine_overrides.get(search_name, self.engine)
+
+    def _warm_records(self, observations, planner, search, subspace, engine=None):
         """Project Phase-1 observations onto one member's subspace."""
-        if not observations or self.engine not in ("bo", "batch-bo"):
+        engine = engine if engine is not None else self.engine
+        if not observations or engine not in ("bo", "batch-bo", "gp-bo"):
             return None
         cap = self.warm_start_max
         if cap is None:
@@ -612,7 +633,7 @@ class TuningMethodology:
                 SearchSpec(
                     space=sub,
                     objective=obj,
-                    engine=self.engine,
+                    engine=self._engine_for(s.name),
                     max_evaluations=s.budget,
                     engine_options=dict(self.engine_options),
                     max_retries=self.max_retries,
@@ -622,7 +643,10 @@ class TuningMethodology:
                     fault_plan=self.fault_plan,
                     quarantine_threshold=self.quarantine_threshold,
                     quarantine_resolution=self.quarantine_resolution,
-                    warm_start=self._warm_records(observations, planner, s, sub),
+                    warm_start=self._warm_records(
+                        observations, planner, s, sub,
+                        engine=self._engine_for(s.name),
+                    ),
                 )
                 for s, sub, obj in planner.materialize(
                     result.plan, defaults=carried, stage=stage

@@ -2,16 +2,33 @@
 
 Baseline engines (random, grid) plus the :class:`SearchCampaign` runner
 that executes a *set* of searches as a strategy with the paper's
-parallel-wall-clock cost accounting.
+parallel-wall-clock cost accounting.  Every engine — including the
+suggest-based samplers in :mod:`repro.search.samplers` (TPE,
+CMA-ES-lite, QMC) — is published through the :class:`BaseSampler`
+registry and selected by ``SearchSpec.engine`` name.
 """
 
 from .cache import MemoizingObjective, RetryingObjective, canonical_key
+from .evaluate import evaluate_config, schedule_makespan
 from .executor import CampaignExecutor, run_search_spec, spec_seed_sequences
 from .grid_search import GridSearch
 from .local_search import HillClimbing, SimulatedAnnealing
 from .random_search import RandomSearch
 from .result import CampaignResult, SearchResult
 from .runner import SearchCampaign, SearchSpec
+from .samplers import (
+    BaseSampler,
+    CmaEsLiteSampler,
+    QMCSampler,
+    SamplerCapabilities,
+    SamplerSearch,
+    TPESampler,
+    canonical_engine_name,
+    register_sampler,
+    registered_samplers,
+    sampler_by_name,
+)
+from .scalarize import Scalarization, ScalarizedObjective
 
 __all__ = [
     "RandomSearch",
@@ -28,4 +45,18 @@ __all__ = [
     "MemoizingObjective",
     "RetryingObjective",
     "canonical_key",
+    "evaluate_config",
+    "schedule_makespan",
+    "BaseSampler",
+    "SamplerCapabilities",
+    "SamplerSearch",
+    "TPESampler",
+    "CmaEsLiteSampler",
+    "QMCSampler",
+    "register_sampler",
+    "registered_samplers",
+    "sampler_by_name",
+    "canonical_engine_name",
+    "Scalarization",
+    "ScalarizedObjective",
 ]

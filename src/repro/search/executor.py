@@ -46,7 +46,6 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..bo.history import EvaluationDatabase
-from ..bo.optimizer import BayesianOptimizer
 from ..faults.injection import FaultyObjective
 from ..faults.taxonomy import FailureKind
 from ..faults.watchdog import WatchdogObjective
@@ -55,9 +54,9 @@ from ..telemetry.core import Telemetry
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.sinks import MemorySink
 from .cache import MemoizingObjective, RetryingObjective
-from .grid_search import GridSearch
-from .random_search import RandomSearch
 from .result import CampaignResult, SearchResult
+from .samplers.base import sampler_by_name
+from .scalarize import ScalarizedObjective
 
 if TYPE_CHECKING:  # avoid a circular import with runner.py
     from .runner import SearchSpec
@@ -146,13 +145,19 @@ def member_scope(
 def _wrap_objective(spec: "SearchSpec", database: EvaluationDatabase | None):
     """Apply the spec's robustness policies to its objective.
 
-    Wrapper order (inside out): fault injection sits closest to the
-    objective so every other layer is exercised by injected faults; the
-    watchdog turns hangs into classified timeouts; retries absorb
-    transient failures (and short-circuit on permanent ones); the
-    memoization cache sits outermost so cache hits skip everything.
+    Wrapper order (inside out): scalarization transforms the raw
+    objective's output before anything else sees it (cache keys, failure
+    classification, and the ledger all operate on the scalarized
+    value); fault injection sits next so every other layer is exercised
+    by injected faults; the watchdog turns hangs into classified
+    timeouts; retries absorb transient failures (and short-circuit on
+    permanent ones); the memoization cache sits outermost so cache hits
+    skip everything.
     """
     objective = spec.objective
+    scalarize = getattr(spec, "scalarize", None)
+    if scalarize is not None:
+        objective = ScalarizedObjective(objective, scalarize)
     if spec.fault_plan is not None and spec.fault_plan.active:
         objective = FaultyObjective(objective, spec.fault_plan)
     if spec.wall_timeout is not None:
@@ -287,106 +292,17 @@ def _dispatch(
     database: EvaluationDatabase | None,
     tracer=None,
 ) -> SearchResult:
-    db_kwargs = {"database": database} if database is not None else {}
-    trace_kwargs = {"tracer": tracer} if tracer is not None else {}
-    pool = getattr(spec, "candidate_pool", None)
-    pool_kwargs = {"candidate_pool": pool} if pool is not None else {}
-    breaker_kwargs = (
-        {
-            "quarantine_threshold": spec.quarantine_threshold,
-            "quarantine_resolution": spec.quarantine_resolution,
-        }
-        if spec.quarantine_threshold is not None
-        else {}
-    )
-    if spec.engine == "bo":
-        opt = BayesianOptimizer(
-            spec.space,
-            objective,
-            max_evaluations=spec.budget(),
-            random_state=seed,
-            **db_kwargs,
-            **breaker_kwargs,
-            **trace_kwargs,
-            **pool_kwargs,
-            **spec.engine_options,
-        )
-        r = opt.run()
-        return SearchResult(
-            name=spec.space.name,
-            engine="bo",
-            best_config=r.best_config,
-            best_objective=r.best_objective,
-            search_time=r.search_time,
-            n_evaluations=r.n_evaluations,
-            database=r.database,
-            tuned_names=tuple(spec.space.names),
-            meta=dict(r.meta),
-        )
-    if spec.engine == "random":
-        rs = RandomSearch(
-            spec.space,
-            objective,
-            max_evaluations=spec.budget(),
-            random_state=np.random.default_rng(seed),
-            **db_kwargs,
-            **breaker_kwargs,
-            **trace_kwargs,
-            **spec.engine_options,
-        )
-        result = rs.run()
-        result.tuned_names = tuple(spec.space.names)
-        return result
-    if spec.engine == "grid":
-        gs = GridSearch(
-            spec.space,
-            objective,
-            max_evaluations=spec.budget(),
-            **trace_kwargs,
-            **spec.engine_options,
-        )
-        result = gs.run()
-        result.tuned_names = tuple(spec.space.names)
-        return result
-    if spec.engine == "batch-bo":
-        from ..bo.batch import BatchBayesianOptimizer
+    """Resolve ``spec.engine`` through the sampler registry and run it.
 
-        opt = BatchBayesianOptimizer(
-            spec.space,
-            objective,
-            max_evaluations=spec.budget(),
-            random_state=seed,
-            **db_kwargs,
-            **breaker_kwargs,
-            **trace_kwargs,
-            **pool_kwargs,
-            **spec.engine_options,
-        )
-        r = opt.run()
-        return SearchResult(
-            name=spec.space.name,
-            engine="batch-bo",
-            best_config=r.best_config,
-            best_objective=r.best_objective,
-            search_time=r.search_time,
-            n_evaluations=r.n_evaluations,
-            database=r.database,
-            tuned_names=tuple(spec.space.names),
-            meta=dict(r.meta),
-        )
-    if spec.engine in ("hillclimb", "anneal"):
-        from .local_search import HillClimbing, SimulatedAnnealing
-
-        cls = HillClimbing if spec.engine == "hillclimb" else SimulatedAnnealing
-        ls = cls(
-            spec.space,
-            objective,
-            max_evaluations=spec.budget(),
-            random_state=np.random.default_rng(seed),
-            **spec.engine_options,
-        )
-        return ls.run()
-    raise ValueError(f"unknown engine {spec.engine!r}")
+    Every engine — the legacy loops (published via adapters that
+    construct them exactly as this function historically did, keeping
+    fingerprints byte-identical) and the suggest-based samplers (TPE,
+    CMA-ES-lite, QMC, driven by the generic
+    :class:`~repro.search.samplers.SamplerSearch` loop) — arrives here
+    by name.  Unknown names raise ``ValueError``, as always.
+    """
+    sampler_cls = sampler_by_name(spec.engine)
+    return sampler_cls.run_search(spec, seed, objective, database, tracer)
 
 
 def _run_member(payload: bytes):

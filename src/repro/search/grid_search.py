@@ -17,11 +17,12 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-from ..bo.history import Evaluation, EvaluationDatabase, EvaluationStatus
+from ..bo.history import Evaluation, EvaluationDatabase
 from ..bo.optimizer import Objective
-from ..faults.taxonomy import FAILURE_KIND_KEY, FailureKind, classify_exception
 from ..space import Real, SearchSpace
+from .evaluate import evaluate_config, schedule_makespan
 from .result import SearchResult
+from .samplers.base import BaseSampler
 from .tracing import emit_eval
 
 __all__ = ["GridSearch"]
@@ -45,10 +46,17 @@ class GridSearch:
     hard_limit:
         Absolute safety cap on enumerations to protect against accidentally
         exhaustive runs on huge spaces.
+    database:
+        Optional (checkpointed) :class:`~repro.bo.EvaluationDatabase`.
+        Records already present are treated as the first feasible grid
+        points *replayed*: the enumeration (deterministic and seedless,
+        so stable across a crash) skips that many feasible points and
+        continues — kill-and-resume is bit-identical to an uninterrupted
+        run.  ``None`` (default) starts a fresh in-memory database.
     tracer:
         Optional :class:`repro.telemetry.Tracer` (pure observer —
-        ``evaluation`` spans plus one ``eval`` event per record).
-        ``None`` (default) disables.
+        ``evaluation`` spans plus one ``eval`` event per record,
+        replayed records included).  ``None`` (default) disables.
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class GridSearch:
         max_evaluations: int | None = None,
         parallelism: int | None = None,
         hard_limit: int = 1_000_000,
+        database: EvaluationDatabase | None = None,
         tracer=None,
     ):
         if points_per_axis < 2:
@@ -75,7 +84,7 @@ class GridSearch:
         self.parallelism = parallelism
         self.hard_limit = int(hard_limit)
         self.tracer = tracer
-        self.database = EvaluationDatabase()
+        self.database = database if database is not None else EvaluationDatabase()
 
     # ------------------------------------------------------------------
     def _axes(self) -> list[list[Any]]:
@@ -107,36 +116,7 @@ class GridSearch:
 
     def _evaluate_one(self, full: dict[str, Any]) -> Evaluation:
         """Evaluate one completed configuration with failure capture."""
-        try:
-            out = self.objective(full)
-            value = float(out[0] if isinstance(out, tuple) else out)
-            meta = dict(out[1]) if isinstance(out, tuple) else {}
-        except Exception as exc:
-            kind = classify_exception(exc)
-            return Evaluation(
-                config=full, objective=float("nan"), cost=0.0,
-                status=EvaluationStatus.TIMEOUT
-                if kind is FailureKind.TIMEOUT
-                else EvaluationStatus.FAILED,
-                meta={
-                    "error": repr(exc),
-                    FAILURE_KIND_KEY: kind.value,
-                    **(
-                        {"timeout_kind": "wallclock"}
-                        if kind is FailureKind.TIMEOUT
-                        else {}
-                    ),
-                },
-            )
-        if np.isfinite(value):
-            return Evaluation(
-                config=full, objective=value, cost=max(value, 0.0), meta=meta
-            )
-        return Evaluation(
-            config=full, objective=float("nan"), cost=0.0,
-            status=EvaluationStatus.FAILED,
-            meta={**meta, FAILURE_KIND_KEY: FailureKind.NUMERIC.value},
-        )
+        return evaluate_config(self.objective, full)
 
     def run(self) -> SearchResult:
         """Evaluate the (strided) grid, skipping infeasible points."""
@@ -145,13 +125,24 @@ class GridSearch:
                 f"grid of {self.grid_size()} points exceeds hard_limit="
                 f"{self.hard_limit}; set max_evaluations"
             )
-        n_done = 0
         best_seen: float | None = None
+        # Resume support: records already in a checkpointed database are
+        # the first feasible enumeration points (the enumeration order is
+        # deterministic and seedless, hence stable across a crash) — skip
+        # that many and re-emit their eval events for trace byte equality.
+        n_replayed = len(self.database)
+        if self.tracer is not None:
+            for i, rec in enumerate(self.database):
+                best_seen = emit_eval(self.tracer, i, rec, best_seen)
+        n_seen = 0
         budget = self.max_evaluations or self.hard_limit
         for cfg in self._iter_grid():
-            if n_done >= budget:
+            if len(self.database) >= budget:
                 break
-            if not self.space.is_valid(cfg):
+            if not BaseSampler.candidate_is_valid(self.space, cfg):
+                continue
+            n_seen += 1
+            if n_seen <= n_replayed:
                 continue
             full = self._complete(cfg)
             if self.tracer is None:
@@ -165,21 +156,17 @@ class GridSearch:
                 best_seen = emit_eval(
                     self.tracer, len(self.database) - 1, rec, best_seen
                 )
-            n_done += 1
         if not self.database.ok_records():
             raise RuntimeError(f"grid search found no feasible point in {self.space.name!r}")
         costs = np.array([r.cost for r in self.database], dtype=float)
         slots = self.parallelism if self.parallelism is not None else max(1, costs.size)
-        finish = np.zeros(slots)
-        for c in costs:
-            finish[int(np.argmin(finish))] += c
         best = self.database.best()
         return SearchResult(
             name=self.space.name,
             engine="grid",
             best_config=dict(best.config),
             best_objective=best.objective,
-            search_time=float(np.max(finish)),
+            search_time=schedule_makespan(costs, slots),
             n_evaluations=len(self.database),
             database=self.database,
         )

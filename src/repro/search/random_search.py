@@ -13,17 +13,14 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..bo.history import Evaluation, EvaluationDatabase, EvaluationStatus
+from ..bo.history import Evaluation, EvaluationDatabase
 from ..bo.optimizer import Objective
 from ..faults.breaker import CircuitBreaker, persist_breaker, restore_breaker
-from ..faults.taxonomy import (
-    FAILURE_KIND_KEY,
-    FailureKind,
-    classify_exception,
-    failure_kind_of,
-)
+from ..faults.taxonomy import failure_kind_of
 from ..space import SearchSpace
+from .evaluate import evaluate_config, schedule_makespan
 from .result import SearchResult
+from .samplers.base import BaseSampler
 from .tracing import emit_eval
 
 __all__ = ["RandomSearch"]
@@ -112,81 +109,26 @@ class RandomSearch:
         return complete(config) if complete is not None else dict(config)
 
     def _evaluate(self, config: Mapping[str, Any]) -> Evaluation:
-        full = self._complete(config)
-        try:
-            out = self.objective(full)
-        except Exception as exc:
-            kind = classify_exception(exc)
-            meta: dict[str, Any] = {
-                "error": repr(exc),
-                FAILURE_KIND_KEY: kind.value,
-            }
-            if kind is FailureKind.TIMEOUT:
-                # Real wall-clock deadline (watchdog) — distinct from the
-                # simulated value cap below; see search/result.py.
-                meta["timeout_kind"] = "wallclock"
-            return Evaluation(
-                config=full,
-                objective=float("nan"),
-                cost=self.evaluation_timeout or 0.0
-                if kind is FailureKind.TIMEOUT
-                else 0.0,
-                status=EvaluationStatus.TIMEOUT
-                if kind is FailureKind.TIMEOUT
-                else EvaluationStatus.FAILED,
-                meta=meta,
-            )
-        if isinstance(out, tuple):
-            value, meta = float(out[0]), dict(out[1])
-        else:
-            value, meta = float(out), {}
-        if not np.isfinite(value):
-            return Evaluation(
-                config=full, objective=float("nan"), cost=0.0,
-                status=EvaluationStatus.FAILED,
-                meta={**meta, FAILURE_KIND_KEY: FailureKind.NUMERIC.value},
-            )
-        if self.evaluation_timeout is not None and value > self.evaluation_timeout:
-            # SIMULATED timeout: the *returned* runtime exceeds the budget
-            # (the objective itself completed normally).
-            return Evaluation(
-                config=full,
-                objective=float("nan"),
-                cost=self.evaluation_timeout,
-                status=EvaluationStatus.TIMEOUT,
-                meta={
-                    **meta,
-                    FAILURE_KIND_KEY: FailureKind.TIMEOUT.value,
-                    "timeout_kind": "simulated",
-                },
-            )
-        return Evaluation(config=full, objective=value, cost=max(value, 0.0), meta=meta)
-
-    @staticmethod
-    def _schedule_makespan(costs: np.ndarray, slots: int) -> float:
-        """Greedy list-scheduling makespan of ``costs`` over ``slots``."""
-        if costs.size == 0:
-            return 0.0
-        finish = np.zeros(slots)
-        for c in costs:
-            i = int(np.argmin(finish))
-            finish[i] += c
-        return float(np.max(finish))
+        return evaluate_config(
+            self.objective,
+            self._complete(config),
+            evaluation_timeout=self.evaluation_timeout,
+        )
 
     def _next_config(self) -> dict[str, Any] | None:
         """Draw the next sample, discarding quarantined ones.
 
-        Consumes exactly one RNG draw while no cell has tripped, so a
-        breaker that never fires leaves the sample stream untouched.
-        ``None`` once the reachable space appears fully quarantined.
+        Validity goes through the engines' shared
+        :meth:`~repro.search.samplers.base.BaseSampler.candidate_is_valid`
+        filter (``space.sample`` already guarantees the constraint half,
+        so rejections here are quarantine hits).  Consumes exactly one
+        RNG draw while no cell has tripped, so a breaker that never fires
+        leaves the sample stream untouched.  ``None`` once the reachable
+        space appears fully quarantined.
         """
-        cfg = self.space.sample(self.rng)
-        if self.breaker is None or self.breaker.allows(cfg):
-            return cfg
-        self.quarantine_skips += 1
-        for _ in range(64):
+        for _ in range(1 + 64):
             cfg = self.space.sample(self.rng)
-            if self.breaker.allows(cfg):
+            if BaseSampler.candidate_is_valid(self.space, cfg, self.breaker):
                 return cfg
             self.quarantine_skips += 1
         return None
@@ -210,6 +152,14 @@ class RandomSearch:
                     if not rec.ok:
                         self.breaker.record(rec.config, failure_kind_of(rec))
         n_have = len(self.database)
+        # Resume support: each checkpointed record consumed exactly one
+        # sample draw (see ``_next_config``), so burning ``n_have`` draws
+        # realigns the stream and the tail comes out bit-identical to an
+        # uninterrupted run.  (If the breaker tripped *before* the crash,
+        # its extra redraws are not replayed — quarantine resume keeps
+        # the best-effort semantics it always had.)
+        for _ in range(n_have):
+            self.space.sample(self.rng)
         for _ in range(max(0, self.max_evaluations - n_have)):
             cfg = self._next_config()
             if cfg is None:
@@ -243,7 +193,7 @@ class RandomSearch:
             engine="random",
             best_config=dict(best.config),
             best_objective=best.objective,
-            search_time=self._schedule_makespan(costs, slots),
+            search_time=schedule_makespan(costs, slots),
             n_evaluations=len(self.database),
             database=self.database,
             meta=meta,

@@ -28,6 +28,7 @@ from ..faults.injection import FaultPlan
 from ..space import SearchSpace
 from .executor import CampaignExecutor, spec_seed_sequences
 from .result import CampaignResult
+from .scalarize import Scalarization
 
 __all__ = ["SearchSpec", "SearchCampaign"]
 
@@ -96,6 +97,14 @@ class SearchSpec:
         before pickling member payloads (workers attach to the same
         physical pages instead of receiving a copy each) and releases
         the segment afterwards; results are bit-identical either way.
+    scalarize:
+        Optional :class:`~repro.search.scalarize.Scalarization`: the
+        engine minimizes ``objective_weight * runtime + sum(w_k *
+        meta[k])`` instead of the raw returned value, with the secondary
+        metrics (energy, cloud cost, ...) read from the objective's meta
+        dict.  Applied as the innermost objective adapter; the raw value
+        is preserved in each record's ``meta["raw_objective"]``.
+        ``None`` (default) leaves the objective untouched.
     """
 
     space: SearchSpace
@@ -112,6 +121,7 @@ class SearchSpec:
     quarantine_resolution: int = 4
     warm_start: list | None = None
     candidate_pool: EncodedPool | None = None
+    scalarize: Scalarization | None = None
 
     def budget(self) -> int:
         return (

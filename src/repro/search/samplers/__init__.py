@@ -1,0 +1,54 @@
+"""Pluggable sampler architecture.
+
+Every search engine — the paper's GP-BO, the Table-III baselines, and
+the newer TPE / CMA-ES-lite / QMC samplers — is published through one
+:class:`BaseSampler` interface with a declared capability matrix, and
+the campaign executor dispatches ``SearchSpec.engine`` names purely
+through this registry.  See ``docs/samplers.md`` for the add-a-sampler
+quick start and ``tests/samplers/`` for the conformance gauntlet every
+registered sampler must pass.
+"""
+
+from .adapters import (
+    AnnealSamplerAdapter,
+    BatchBOSamplerAdapter,
+    GPBOSamplerAdapter,
+    GridSamplerAdapter,
+    HillClimbSamplerAdapter,
+    RandomSamplerAdapter,
+)
+from .base import (
+    BaseSampler,
+    SamplerCapabilities,
+    canonical_engine_name,
+    register_sampler,
+    registered_samplers,
+    sampler_by_name,
+    space_features,
+    unsupported_features,
+)
+from .cmaes import CmaEsLiteSampler
+from .driver import SamplerSearch
+from .qmc import QMCSampler
+from .tpe import TPESampler
+
+__all__ = [
+    "BaseSampler",
+    "SamplerCapabilities",
+    "SamplerSearch",
+    "register_sampler",
+    "registered_samplers",
+    "sampler_by_name",
+    "canonical_engine_name",
+    "space_features",
+    "unsupported_features",
+    "TPESampler",
+    "CmaEsLiteSampler",
+    "QMCSampler",
+    "GPBOSamplerAdapter",
+    "BatchBOSamplerAdapter",
+    "RandomSamplerAdapter",
+    "GridSamplerAdapter",
+    "HillClimbSamplerAdapter",
+    "AnnealSamplerAdapter",
+]

@@ -1,0 +1,137 @@
+"""Multi-objective scalarization hook for the objective adapter chain.
+
+The paper's ledger optimizes a single simulated runtime, but real tuning
+campaigns routinely trade runtime against energy or cloud cost (the
+"cost-effective" in the title cuts both ways).  This module keeps the
+engines single-objective — every sampler still minimizes one scalar —
+while letting a :class:`SearchSpec` declare a weighted combination:
+
+``scalar = objective_weight * runtime + sum(w_k * meta[k])``
+
+where the secondary metrics ride in the objective's meta dict (the
+``(value, meta)`` return convention every engine already understands).
+:class:`ScalarizedObjective` is the *innermost* wrapper in the
+executor's adapter chain, so fault injection, the watchdog, retries, and
+memoization all operate on the scalarized objective — a cache hit
+returns the scalarized value, and determinism invariants are untouched
+because scalarization is a pure function of the objective's output.
+
+The raw runtime is preserved in ``meta["raw_objective"]`` so reports and
+ledgers can still show the un-scalarized value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Scalarization", "ScalarizedObjective"]
+
+
+@dataclass(frozen=True)
+class Scalarization:
+    """Weighted-sum scalarization spec.
+
+    Attributes
+    ----------
+    weights:
+        Mapping of secondary-metric name (a key the objective reports in
+        its meta dict, e.g. ``"energy"`` or ``"cost"``) to its weight.
+    objective_weight:
+        Weight on the primary returned value (the simulated runtime).
+    on_missing:
+        ``"error"`` (default) raises ``KeyError`` when the objective's
+        meta lacks a weighted metric — silent zeros would corrupt a
+        campaign undetectably; ``"zero"`` treats missing metrics as 0.0
+        for objectives that only sometimes report them.
+    """
+
+    weights: dict[str, float] = field(default_factory=dict)
+    objective_weight: float = 1.0
+    on_missing: str = "error"
+
+    def __post_init__(self):
+        if self.on_missing not in ("error", "zero"):
+            raise ValueError("on_missing must be 'error' or 'zero'")
+        for name, w in self.weights.items():
+            float(w)  # fail fast on non-numeric weights
+            if not name:
+                raise ValueError("metric names must be non-empty")
+
+    # -- serialization (CLI / campaign manifests) ----------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "weights": {k: float(v) for k, v in self.weights.items()},
+            "objective_weight": float(self.objective_weight),
+            "on_missing": self.on_missing,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Scalarization":
+        return cls(
+            weights=dict(d.get("weights", {})),
+            objective_weight=float(d.get("objective_weight", 1.0)),
+            on_missing=d.get("on_missing", "error"),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "Scalarization":
+        """Parse a CLI-style spec: ``"energy=0.2,cost=0.1"``.
+
+        A bare ``runtime=<w>`` term sets the primary weight; every other
+        ``name=<w>`` term weights that meta metric.
+        """
+        weights: dict[str, float] = {}
+        objective_weight = 1.0
+        for term in text.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            name, sep, w = term.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad scalarization term {term!r}; expected name=weight"
+                )
+            if name.strip() == "runtime":
+                objective_weight = float(w)
+            else:
+                weights[name.strip()] = float(w)
+        return cls(weights=weights, objective_weight=objective_weight)
+
+    def scalarize(self, value: float, meta: Mapping[str, Any]) -> float:
+        total = self.objective_weight * float(value)
+        for name, w in self.weights.items():
+            if name in meta:
+                total += float(w) * float(meta[name])
+            elif self.on_missing == "error":
+                raise KeyError(
+                    f"scalarization metric {name!r} missing from objective "
+                    f"meta (have {sorted(meta)}); set on_missing='zero' to "
+                    "tolerate"
+                )
+        return total
+
+
+class ScalarizedObjective:
+    """Objective adapter applying a :class:`Scalarization` to each call.
+
+    Preserves the wrapped objective's meta (cache layers and failure
+    classification see it unchanged) and adds ``meta["raw_objective"]``
+    with the un-scalarized primary value.  Picklable whenever the inner
+    objective is, so pooled campaign members carry it across the process
+    boundary like any other adapter.
+    """
+
+    def __init__(self, objective, scalarization: Scalarization):
+        self.objective = objective
+        self.scalarization = scalarization
+
+    def __call__(self, config: Mapping[str, Any]):
+        out = self.objective(config)
+        if isinstance(out, tuple):
+            value, meta = float(out[0]), dict(out[1])
+        else:
+            value, meta = float(out), {}
+        scalar = self.scalarization.scalarize(value, meta)
+        meta["raw_objective"] = value
+        return scalar, meta

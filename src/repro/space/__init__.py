@@ -5,6 +5,7 @@ that every engine in :mod:`repro` (Bayesian optimization, random/grid
 search, sensitivity analysis) operates on.
 """
 
+from .conditional import Condition, ConditionalSpace
 from .constraints import (
     Constraint,
     ConstraintViolation,
@@ -44,6 +45,8 @@ __all__ = [
     "SearchSpace",
     "PinnedSubspace",
     "InfeasibleSpaceError",
+    "Condition",
+    "ConditionalSpace",
     "space_to_dict",
     "space_from_dict",
     "save_space",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from .conditional import Condition, ConditionalSpace
 from .constraints import Constraint, ExpressionConstraint
 from .parameters import Categorical, Constant, Integer, Ordinal, Parameter, Real
 from .space import SearchSpace
@@ -83,11 +84,16 @@ def space_to_dict(
                 f"constraint {c.name!r} is an opaque callable; use "
                 f"ExpressionConstraint or skip_opaque_constraints=True"
             )
-    return {
+    out = {
         "name": space.name,
         "parameters": [_parameter_to_dict(p) for p in space.parameters],
         "constraints": constraints,
     }
+    if isinstance(space, ConditionalSpace) and space.conditions:
+        out["conditions"] = {
+            child: cond.to_dict() for child, cond in space.conditions.items()
+        }
+    return out
 
 
 def space_from_dict(d: dict[str, Any]) -> SearchSpace:
@@ -97,6 +103,14 @@ def space_from_dict(d: dict[str, Any]) -> SearchSpace:
         ExpressionConstraint(cd["expression"], cd.get("name", ""))
         for cd in d.get("constraints", [])
     ]
+    if d.get("conditions"):
+        conditions = {
+            child: Condition.from_dict(cd)
+            for child, cd in d["conditions"].items()
+        }
+        return ConditionalSpace(
+            params, constraints, conditions, name=d.get("name", "space")
+        )
     return SearchSpace(params, constraints, name=d.get("name", "space"))
 
 

@@ -1,0 +1,196 @@
+"""Property-based conditional-space invariants (seeded splitmix64).
+
+Randomly composed conditional spaces — a categorical switch per case,
+children of every parameter type, chained grandchild conditions in some
+draws, optional expression constraints — built deterministically per
+case id in the same style as ``tests/space/test_space_properties.py``.
+Seeds 0-29 run everywhere; the long tail is marked ``slow``.
+
+Invariants:
+
+* sampled configurations are valid and fully masked: every inactive
+  child sits exactly at its ``inactive_value``,
+* ``decode(encode(c))`` recovers every sampled configuration *including*
+  the masking — the unit-cube codec can never resurrect a dead branch,
+* repair sampling (constraint-rejected redraws) never activates a dead
+  branch: even adversarial raw configs come out of ``mask`` pinned,
+* ``space_from_dict(space_to_dict(s))`` preserves conditions: the clone
+  masks, activates, and samples identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.space import (
+    Categorical,
+    Condition,
+    ConditionalSpace,
+    ExpressionConstraint,
+    Integer,
+    Ordinal,
+    Real,
+    check_all,
+    space_from_dict,
+    space_to_dict,
+)
+
+from ..bo.harness.generators import SplitMix64
+
+FAST_SEEDS = range(30)
+SLOW_SEEDS = range(30, 150)
+
+ALL_SEEDS = [pytest.param(s, id=f"case{s}") for s in FAST_SEEDS] + [
+    pytest.param(s, id=f"case{s}", marks=pytest.mark.slow) for s in SLOW_SEEDS
+]
+
+
+def random_conditional_space(rng: SplitMix64) -> ConditionalSpace:
+    """A random conditional space: switch, children, sometimes chains.
+
+    The first parameter is always a categorical switch with 2-4 modes;
+    each subsequent child activates under a random strict subset of the
+    modes.  About a third of the draws add a *grandchild* conditioned on
+    an Integer child's low values (chained activity), and a quarter add
+    an always-satisfiable constraint so repair sampling runs too.
+    """
+    n_modes = rng.int_between(2, 4)
+    modes = [f"m{j}" for j in range(n_modes)]
+    params = [Categorical("switch", modes)]
+    conditions: dict[str, Condition] = {}
+    n_children = rng.int_between(1, 4)
+    numeric: list[tuple[str, float, float]] = []
+    int_child: str | None = None
+    for i in range(n_children):
+        name = f"c{i}"
+        # A strict subset of modes keeps every child genuinely
+        # conditional (active under some configs, dead under others).
+        n_on = rng.int_between(1, n_modes - 1)
+        on = tuple(modes[j] for j in range(n_on))
+        kind = rng.int_between(0, 3)
+        if kind == 0:
+            low = rng.uniform(-4.0, 0.0)
+            high = low + rng.uniform(0.5, 8.0)
+            params.append(Real(name, low, high))
+            numeric.append((name, low, high))
+        elif kind == 1:
+            low = rng.int_between(1, 4)
+            high = low + rng.int_between(2, 30)
+            params.append(Integer(name, low, high))
+            numeric.append((name, float(low), float(high)))
+            int_child = name
+        elif kind == 2:
+            params.append(Ordinal(name, [2**j for j in range(rng.int_between(2, 5))]))
+        else:
+            params.append(
+                Categorical(name, [f"v{j}" for j in range(rng.int_between(2, 4))])
+            )
+        conditions[name] = Condition("switch", on)
+    if int_child is not None and rng.uniform() < 0.35:
+        # Chained condition: a grandchild active only when its Integer
+        # parent (itself conditional) sits in the lower half of its range.
+        parent = next(p for p in params if p.name == int_child)
+        mid = (parent.low + parent.high) // 2
+        params.append(Real("gc", 0.0, 1.0))
+        conditions["gc"] = Condition(
+            int_child, tuple(range(parent.low, mid + 1))
+        )
+    constraints = []
+    if numeric and rng.uniform() < 0.25:
+        name, low, high = numeric[0]
+        threshold = low + 0.7 * (high - low)
+        constraints.append(ExpressionConstraint(f"{name} <= {threshold!r}", name="cap"))
+    return ConditionalSpace(
+        params,
+        constraints,
+        conditions=conditions,
+        name=f"cond-{rng.next_u64() % 10**6}",
+    )
+
+
+def assert_masked(space: ConditionalSpace, cfg: dict) -> None:
+    for name in space.names:
+        if not space.is_active(name, cfg):
+            assert cfg[name] == space.inactive_value(name), (
+                f"inactive {name!r} holds {cfg[name]!r}, expected "
+                f"{space.inactive_value(name)!r} in {cfg}"
+            )
+
+
+@pytest.mark.parametrize("seed", ALL_SEEDS)
+def test_samples_are_valid_and_masked(seed):
+    space = random_conditional_space(SplitMix64(seed))
+    rng = np.random.default_rng(seed)
+    configs = space.sample_batch(16, rng)
+    assert configs, "sample_batch returned nothing from a feasible space"
+    for cfg in configs:
+        assert space.is_valid(cfg), f"sampled config invalid: {cfg}"
+        assert set(cfg) == set(space.names)
+        assert_masked(space, cfg)
+
+
+@pytest.mark.parametrize("seed", ALL_SEEDS)
+def test_encode_decode_roundtrip_preserves_masking(seed):
+    space = random_conditional_space(SplitMix64(seed))
+    rng = np.random.default_rng(seed)
+    for cfg in space.sample_batch(12, rng):
+        back = space.decode(space.encode(cfg))
+        assert_masked(space, back)
+        assert space.is_valid(back)
+        for name in space.names:
+            a, b = cfg[name], back[name]
+            if isinstance(a, float):
+                assert math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12), (
+                    f"{name}: {a!r} -> {b!r}"
+                )
+            else:
+                assert a == b, f"{name}: {a!r} -> {b!r}"
+
+
+@pytest.mark.parametrize("seed", ALL_SEEDS)
+def test_repair_and_mask_never_activate_dead_branch(seed):
+    """Adversarial raw configs come out of ``mask`` with dead branches
+    pinned — the property repair sampling (which re-masks every redraw)
+    rests on."""
+    stream = SplitMix64(seed)
+    space = random_conditional_space(stream)
+    rng = np.random.default_rng(seed)
+    for cfg in space.sample_batch(8, rng):
+        # Corrupt every conditional child with a live in-domain value,
+        # then flip nothing else: mask must re-pin exactly the dead ones.
+        raw = dict(cfg)
+        for name, cond in space.conditions.items():
+            p = space._by_name[name]
+            raw[name] = p.from_unit(stream.uniform())
+        masked = space.mask(raw)
+        assert_masked(space, masked)
+        # Masking restores conditional validity; a corrupted *active*
+        # child may still violate an expression constraint, which is
+        # repair's job, not mask's — so only that failure is tolerated.
+        assert space.is_valid(masked) or not check_all(
+            space.constraints, masked
+        )
+        # Active children keep their (possibly corrupted) raw value:
+        # masking pins dead branches only, it never touches live ones.
+        for name in space.conditions:
+            if space.is_active(name, masked):
+                assert masked[name] == raw[name]
+
+
+@pytest.mark.parametrize("seed", ALL_SEEDS)
+def test_serialize_roundtrip_preserves_conditions(seed):
+    space = random_conditional_space(SplitMix64(seed))
+    d = space_to_dict(space)
+    clone = space_from_dict(d)
+    assert isinstance(clone, ConditionalSpace)
+    assert clone.conditions == space.conditions
+    assert space_to_dict(clone) == d
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    for a, b in zip(space.sample_batch(8, rng_a), clone.sample_batch(8, rng_b)):
+        assert a == b
+        for name in space.names:
+            assert clone.is_active(name, a) == space.is_active(name, a)
