@@ -196,6 +196,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         inline=args.inline,
         telemetry=telemetry,
         job_traces=args.job_traces,
+        pool_size=args.pool_size,
+        eval_store=args.eval_store,
     )
     supervisor.install_signal_handlers()
     orphans = supervisor.recover()
@@ -547,6 +549,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(batch/offline mode)")
     p.add_argument("--workers", type=int, default=2, metavar="N",
                    help="concurrent worker-process slots (default: 2)")
+    p.add_argument("--pool-size", type=int, default=None, metavar="N",
+                   help="run jobs on a shared pool of N long-lived worker "
+                        "processes instead of forking one process per job "
+                        "(amortizes process startup; implies --workers N)")
+    p.add_argument("--eval-store", default=None, metavar="PATH",
+                   help="append-only JSONL evaluation store shared across "
+                        "jobs: configurations another job on the same "
+                        "space already measured are served from the store "
+                        "instead of re-evaluated")
     p.add_argument("--inline", action="store_true",
                    help="run jobs in-process instead of worker processes "
                         "(no kill-based supervision; benchmark mode)")

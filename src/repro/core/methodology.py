@@ -44,6 +44,7 @@ from ..log import get_logger
 from ..search.result import CampaignResult
 from ..search.runner import SearchCampaign, SearchSpec
 from ..search.samplers.base import canonical_engine_name
+from ..search.store import space_fingerprint
 from ..space import SearchSpace
 from ..telemetry.core import NULL_TRACER
 from .dag import InterdependenceDAG
@@ -256,6 +257,17 @@ class TuningMethodology:
     quarantine_threshold / quarantine_resolution:
         Circuit-breaker configuration forwarded to every search (see
         :class:`~repro.faults.CircuitBreaker`).
+    eval_store / eval_store_extra / eval_provenance:
+        Optional cross-job :class:`~repro.search.EvaluationStore`: every
+        search-stage member is given the store with a
+        :func:`~repro.search.space_fingerprint` derived from its own
+        subspace (pinned assignments included) plus the
+        ``eval_store_extra`` context dict, and the ``eval_provenance``
+        gate — so successive jobs on the same application never
+        re-evaluate a configuration another job already measured.
+        Phase-1 analysis measurements are not stored: they observe
+        per-routine timings under the profiler, not the search
+        objectives.
     telemetry:
         Optional :class:`repro.telemetry.Telemetry`.  The pipeline emits
         ``campaign`` / ``insights`` / ``sensitivity`` / ``dag_partition``
@@ -298,6 +310,9 @@ class TuningMethodology:
         fault_plan: FaultPlan | None = None,
         quarantine_threshold: int | None = None,
         quarantine_resolution: int = 4,
+        eval_store=None,
+        eval_store_extra: Mapping[str, Any] | None = None,
+        eval_provenance: Mapping[str, Any] | None = None,
         telemetry=None,
         random_state: int | np.random.Generator | None = None,
     ):
@@ -334,6 +349,9 @@ class TuningMethodology:
         self.fault_plan = fault_plan
         self.quarantine_threshold = quarantine_threshold
         self.quarantine_resolution = int(quarantine_resolution)
+        self.eval_store = eval_store
+        self.eval_store_extra = dict(eval_store_extra or {})
+        self.eval_provenance = dict(eval_provenance or {})
         self.telemetry = telemetry
         self.rng = (
             random_state
@@ -646,6 +664,17 @@ class TuningMethodology:
                     warm_start=self._warm_records(
                         observations, planner, s, sub,
                         engine=self._engine_for(s.name),
+                    ),
+                    eval_store=self.eval_store,
+                    eval_store_key=(
+                        space_fingerprint(sub, extra=self.eval_store_extra)
+                        if self.eval_store is not None
+                        else None
+                    ),
+                    eval_provenance=(
+                        dict(self.eval_provenance)
+                        if self.eval_store is not None
+                        else None
                     ),
                 )
                 for s, sub, obj in planner.materialize(

@@ -29,6 +29,7 @@ from .samplers import (
     sampler_by_name,
 )
 from .scalarize import Scalarization, ScalarizedObjective
+from .store import EvaluationStore, StoredEvaluation, space_fingerprint
 
 __all__ = [
     "RandomSearch",
@@ -45,6 +46,9 @@ __all__ = [
     "MemoizingObjective",
     "RetryingObjective",
     "canonical_key",
+    "EvaluationStore",
+    "StoredEvaluation",
+    "space_fingerprint",
     "evaluate_config",
     "schedule_makespan",
     "BaseSampler",

@@ -45,16 +45,37 @@ __all__ = ["canonical_key", "MemoizingObjective", "RetryingObjective"]
 logger = get_logger("search")
 
 
+def _coerce_float(value: Any) -> float:
+    """Canonical Python float for any float-ish config value.
+
+    Two equal-looking values must produce one key:
+
+    * ``-0.0`` and ``0.0`` compare equal but serialize differently under
+      ``json.dumps`` — normalize the signed zero away.
+    * Narrow numpy floats widen with representation garbage
+      (``float(np.float32(0.1))`` is ``0.10000000149011612``), so a
+      float32-producing sampler and a Python-float caller would miss each
+      other's cache entries.  The shortest decimal that round-trips the
+      narrow value (``np.format_float_positional(..., unique=True)``)
+      recovers the intended ``0.1``.
+    """
+    if isinstance(value, np.floating) and value.dtype.itemsize < 8:
+        out = float(np.format_float_positional(value, unique=True))
+    else:
+        out = float(value)
+    return 0.0 if out == 0.0 else out
+
+
 def _coerce(value: Any) -> Any:
     """Make a config value JSON-stable (numpy scalars -> Python)."""
     if isinstance(value, (np.integer,)):
         return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
+    if isinstance(value, (np.floating, float)):
+        return _coerce_float(value)
     if isinstance(value, (np.bool_,)):
         return bool(value)
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return [_coerce(v) for v in value]
     return value
 
 
@@ -78,17 +99,41 @@ class MemoizingObjective:
     objective:
         The wrapped callable (``config -> value`` or ``config ->
         (value, meta)``).
+    store / store_scope / provenance:
+        Optional cross-job persistence: a
+        :class:`~repro.search.store.EvaluationStore` (any object with its
+        ``lookup``/``record``/``refresh`` protocol), the space
+        fingerprint scoping this search's entries, and the provenance
+        dict gating which stored records may be served.  Local misses
+        consult the store (re-polling it once for lines a concurrent job
+        appended since the last read); fresh measurements are written
+        back through it.  Store hits count in ``cross_hits`` — not
+        ``hits`` — and are tagged ``meta["cache_scope"] = "cross_job"``
+        so the ledger can attribute them separately from same-job
+        replays.
+
     Cache hits return the stored result with ``meta["cache_hit"] = True``
     added (the original stored meta is not mutated), so accounting code
     can distinguish replayed results from fresh measurements.
     """
 
-    def __init__(self, objective: Objective):
+    def __init__(
+        self,
+        objective: Objective,
+        *,
+        store: Any = None,
+        store_scope: str | None = None,
+        provenance: Mapping[str, Any] | None = None,
+    ):
         self.objective = objective
+        self.store = store
+        self.store_scope = store_scope
+        self.provenance = dict(provenance or {})
         self._cache: dict[str, tuple[float, dict[str, Any]]] = {}
         self._permanent: dict[str, str] = {}
         self.hits = 0
         self.misses = 0
+        self.cross_hits = 0
         self.permanent_hits = 0
 
     def seed_from_database(self, database) -> int:
@@ -127,6 +172,21 @@ class MemoizingObjective:
     def __len__(self) -> int:
         return len(self._cache)
 
+    def _store_lookup(self, key: str):
+        if self.store is None or self.store_scope is None:
+            return None
+        entry = self.store.lookup(
+            self.store_scope, key, provenance=self.provenance
+        )
+        if entry is None:
+            # A concurrent job may have measured this configuration since
+            # our last read — poll the tail once before paying for it.
+            self.store.refresh()
+            entry = self.store.lookup(
+                self.store_scope, key, provenance=self.provenance
+            )
+        return entry
+
     def __call__(self, config: Mapping[str, Any]) -> tuple[float, dict[str, Any]]:
         key = canonical_key(config)
         if key in self._cache:
@@ -138,6 +198,12 @@ class MemoizingObjective:
             raise PermanentFault(
                 f"memoized permanent failure: {self._permanent[key]}"
             )
+        entry = self._store_lookup(key)
+        if entry is not None:
+            self.cross_hits += 1
+            value, meta = float(entry.value), dict(entry.meta)
+            self._cache[key] = (value, meta)
+            return value, {**meta, "cache_hit": True, "cache_scope": "cross_job"}
         out = self.objective(config)
         if isinstance(out, tuple):
             value, meta = float(out[0]), dict(out[1])
@@ -145,6 +211,10 @@ class MemoizingObjective:
             value, meta = float(out), {}
         self.misses += 1
         self._cache[key] = (value, meta)
+        if self.store is not None and self.store_scope is not None:
+            self.store.record(
+                self.store_scope, key, value, meta, provenance=self.provenance
+            )
         return value, dict(meta)
 
 

@@ -166,8 +166,22 @@ def _wrap_objective(spec: "SearchSpec", database: EvaluationDatabase | None):
         objective = RetryingObjective(
             objective, max_retries=spec.max_retries, backoff=spec.retry_backoff
         )
-    if spec.memoize:
-        objective = MemoizingObjective(objective)
+    store = getattr(spec, "eval_store", None)
+    if spec.memoize or store is not None:
+        if store is not None:
+            scope = getattr(spec, "eval_store_key", None)
+            if scope is None:
+                from .store import space_fingerprint
+
+                scope = space_fingerprint(spec.space)
+            objective = MemoizingObjective(
+                objective,
+                store=store,
+                store_scope=scope,
+                provenance=getattr(spec, "eval_provenance", None),
+            )
+        else:
+            objective = MemoizingObjective(objective)
         if database is not None:
             objective.seed_from_database(database)
     return objective
@@ -240,6 +254,18 @@ def run_search_spec(
         _member_metrics(telemetry, tracer, spec, objective, result)
     if n_warm:
         result.meta["warm_seeded"] = n_warm
+    if (
+        isinstance(objective, MemoizingObjective)
+        and getattr(spec, "eval_store", None) is not None
+    ):
+        # Memo accounting only for store-backed members: plain memoized
+        # searches keep their historical (meta-free) results untouched.
+        result.meta["memo"] = {
+            "hits": objective.hits,
+            "cross_job_hits": objective.cross_hits,
+            "misses": objective.misses,
+            "permanent_hits": objective.permanent_hits,
+        }
     result.measured_time = time.perf_counter() - t0
     return result
 
@@ -267,8 +293,20 @@ def _member_metrics(
                 m.counter("cache_hits").inc(obj.hits)
             if obj.misses:
                 m.counter("cache_misses").inc(obj.misses)
+            if obj.cross_hits:
+                m.counter("cache_cross_hits").inc(obj.cross_hits)
             if obj.permanent_hits:
                 m.counter("cache_permanent_hits").inc(obj.permanent_hits)
+            # Service-facing memoization counters, labelled by scope so
+            # Prometheus exposes repro_service_memo_hits_total{scope=...}.
+            if obj.hits:
+                m.counter("service_memo_hits", scope="job").inc(obj.hits)
+            if obj.cross_hits:
+                m.counter("service_memo_hits", scope="cross_job").inc(
+                    obj.cross_hits
+                )
+            if obj.misses:
+                m.counter("service_memo_misses").inc(obj.misses)
         elif isinstance(obj, RetryingObjective):
             if obj.retries:
                 m.counter("retries").inc(obj.retries)

@@ -105,6 +105,17 @@ class SearchSpec:
         dict.  Applied as the innermost objective adapter; the raw value
         is preserved in each record's ``meta["raw_objective"]``.
         ``None`` (default) leaves the objective untouched.
+    eval_store / eval_store_key / eval_provenance:
+        Optional cross-job persistence: an
+        :class:`~repro.search.store.EvaluationStore` shared with other
+        jobs, the space fingerprint scoping this member's entries
+        (computed via :func:`~repro.search.store.space_fingerprint` when
+        omitted), and the provenance dict gating which stored records may
+        be served (see the store module).  Setting a store implies
+        memoization: the member's cache is backed by the store, misses
+        poll it for concurrently appended measurements, and fresh
+        measurements are written back — so a second job on the same
+        space never re-evaluates a configuration.
     """
 
     space: SearchSpace
@@ -122,6 +133,9 @@ class SearchSpec:
     warm_start: list | None = None
     candidate_pool: EncodedPool | None = None
     scalarize: Scalarization | None = None
+    eval_store: Any = None
+    eval_store_key: str | None = None
+    eval_provenance: dict[str, Any] | None = None
 
     def budget(self) -> int:
         return (

@@ -9,8 +9,11 @@ Layers, bottom to top:
   compaction, torn-tail recovery.
 * :mod:`repro.service.admission` — bounded queue, per-tenant quotas and
   quarantine (circuit-breaker cells), explicit shedding.
+* :mod:`repro.service.pool` — the shared worker pool: long-lived forked
+  workers leased per slot, amortizing process startup across jobs.
 * :mod:`repro.service.supervisor` — leases with heartbeat supervision,
-  epoch fencing against zombie workers, graceful drain on SIGTERM.
+  epoch fencing against zombie workers, graceful drain on SIGTERM;
+  drives either per-job workers or the shared pool.
 * :mod:`repro.service.server` — stdlib REST front-end + client helpers
   (``repro serve`` / ``repro submit`` in the CLI).
 * :mod:`repro.service.events` — the observability plane: SSE event bus
@@ -36,6 +39,7 @@ from .jobs import (
     run_job,
     write_fence,
 )
+from .pool import PoolSlot, SharedWorkerPool, execute_job
 from .registry import IllegalTransition, JobRecord, JobRegistry, JobState, RegistryError
 from .server import (
     ServiceClientError,
@@ -64,7 +68,10 @@ __all__ = [
     "JobState",
     "Lease",
     "LeaseFencedError",
+    "PoolSlot",
     "RegistryError",
+    "SharedWorkerPool",
+    "execute_job",
     "ServiceClientError",
     "ServiceEventBus",
     "ServiceReport",

@@ -151,6 +151,10 @@ class JobSpec:
         must opt in to noise explicitly.
     ``engine`` / ``budget``
         Search engine (default ``"bo"``) and per-member evaluation budget.
+    ``eval_cost``
+        Seconds of simulated measurement cost per application run
+        (default 0) — used by service benchmarks to reproduce the
+        expensive-evaluation regime the paper targets.
     ``cutoff`` / ``variations``
         Methodology-kind analysis knobs.
     """
@@ -225,6 +229,7 @@ def _build_app(params: Mapping[str, Any]):
         case=int(params.get("case", 1)),
         noise_scale=float(params.get("noise", 0.0)),
         random_state=int(params.get("seed", 0)),
+        eval_cost=float(params.get("eval_cost", 0.0)),
     )
 
 
@@ -248,17 +253,82 @@ def _final_result(spec: JobSpec, best_config, searches, extra) -> dict[str, Any]
     return result
 
 
-def _run_campaign_job(spec: JobSpec, workdir: str, guard: JobGuard | None, telemetry):
+def _store_binding(spec: JobSpec, eval_store):
+    """``(store, extra, provenance)`` for cross-job reuse, or ``(None,)*3``.
+
+    The store serves a value *instead of* evaluating the objective, so it
+    is only sound when the objective is a pure function of the
+    configuration.  Noisy jobs draw fresh samples per evaluation — a
+    served draw would change the job's sample sequence — so they bypass
+    the store entirely (the provenance gate in the store would block
+    cross-seed serving anyway; bypassing also keeps same-job semantics
+    identical to a store-free run).
+
+    ``extra`` identifies the measured function beyond the space shape:
+    the application family and its case number.  It is folded into every
+    space fingerprint derived for this job, so two cases sharing a space
+    layout can never serve each other's values.
+    """
+    if eval_store is None:
+        return None, None, None
+    noise = float(spec.params.get("noise", 0.0))
+    if noise != 0.0:
+        return None, None, None
+    from ..search.store import EvaluationStore
+
+    store = EvaluationStore(eval_store)
+    extra = {
+        "app": "synthetic",
+        "case": int(spec.params.get("case", 1)),
+        "noise": noise,
+    }
+    provenance = {"noise": noise, "seed": int(spec.params.get("seed", 0))}
+    return store, extra, provenance
+
+
+def _attach_memo_stats(result: dict[str, Any], searches) -> dict[str, Any]:
+    """Fold per-search memoization accounting into the job result.
+
+    Added *after* the fingerprint is computed (like ``epoch``): hit
+    counts legitimately differ between a warm-store and a cold-store run
+    of the same job, and must not perturb the resume-invariant
+    fingerprint the chaos suite asserts on.
+    """
+    totals = {"hits": 0, "cross_job_hits": 0, "misses": 0, "permanent_hits": 0}
+    seen = False
+    for s in searches:
+        memo = s.meta.get("memo")
+        if memo:
+            seen = True
+            for k in totals:
+                totals[k] += int(memo.get(k, 0))
+    if seen:
+        result["memo"] = totals
+    return result
+
+
+def _run_campaign_job(
+    spec: JobSpec, workdir: str, guard: JobGuard | None, telemetry,
+    eval_store=None,
+):
     from ..search import SearchCampaign, SearchSpec
+    from ..search.store import space_fingerprint
 
     app = _build_app(spec.params)
     objective = GuardedCallable(app, guard) if guard is not None else app
+    store, extra, provenance = _store_binding(spec, eval_store)
+    space = app.search_space()
     search = SearchSpec(
-        space=app.search_space(),
+        space=space,
         objective=objective,
         engine=spec.params.get("engine", "bo"),
         max_evaluations=int(spec.params.get("budget", 16)),
         max_retries=int(spec.params.get("max_retries", 0)),
+        eval_store=store,
+        eval_store_key=(
+            space_fingerprint(space, extra=extra) if store is not None else None
+        ),
+        eval_provenance=provenance,
     )
     campaign = SearchCampaign(
         [search],
@@ -269,7 +339,8 @@ def _run_campaign_job(spec: JobSpec, workdir: str, guard: JobGuard | None, telem
         telemetry=telemetry,
     )
     result = campaign.run()
-    return _final_result(spec, result.combined_config, result.searches, {})
+    out = _final_result(spec, result.combined_config, result.searches, {})
+    return _attach_memo_stats(out, result.searches)
 
 
 def _guarded_routines(routines, guard: JobGuard):
@@ -290,13 +361,17 @@ def _guarded_routines(routines, guard: JobGuard):
     return RoutineSet(guarded, profiler=profiler)
 
 
-def _run_methodology_job(spec: JobSpec, workdir: str, guard: JobGuard | None, telemetry):
+def _run_methodology_job(
+    spec: JobSpec, workdir: str, guard: JobGuard | None, telemetry,
+    eval_store=None,
+):
     from ..core import TuningMethodology
 
     app = _build_app(spec.params)
     routines = app.routines()
     if guard is not None:
         routines = _guarded_routines(routines, guard)
+    store, extra, provenance = _store_binding(spec, eval_store)
     tm = TuningMethodology(
         app.search_space(),
         routines,
@@ -306,16 +381,20 @@ def _run_methodology_job(spec: JobSpec, workdir: str, guard: JobGuard | None, te
         parallel=False,
         checkpoint_dir=os.path.join(workdir, "checkpoints"),
         analysis_checkpoint_dir=os.path.join(workdir, "analysis"),
+        eval_store=store,
+        eval_store_extra=extra,
+        eval_provenance=provenance,
         telemetry=telemetry,
         random_state=int(spec.params.get("seed", 0)),
     )
     result = tm.run()
-    return _final_result(
+    out = _final_result(
         spec,
         result.best_config,
         result.campaign.searches,
         {"analysis_evaluations": int(result.analysis_evaluations)},
     )
+    return _attach_memo_stats(out, result.campaign.searches)
 
 
 def run_job(
@@ -324,6 +403,7 @@ def run_job(
     *,
     guard: JobGuard | None = None,
     telemetry=None,
+    eval_store: str | os.PathLike | None = None,
 ) -> dict[str, Any]:
     """Execute ``spec`` with every checkpoint scoped under ``workdir``.
 
@@ -331,13 +411,23 @@ def run_job(
     resumes from the workdir's checkpoints and returns a byte-identical
     result (same ``fingerprint``) — the exactly-once guarantee the chaos
     suite asserts.
+
+    ``eval_store`` names a service-wide
+    :class:`~repro.search.EvaluationStore` JSONL file shared across
+    jobs: configurations another job on the same space already measured
+    are served from the store instead of re-evaluated, and fresh
+    measurements are written back.  Store hits are attributed in
+    ``result["memo"]`` (added post-fingerprint — the fingerprint stays
+    byte-identical to a cold-store run of the same job).  Noisy jobs
+    (``params["noise"] != 0``) bypass the store entirely.
     """
     workdir = os.fspath(workdir)
     os.makedirs(workdir, exist_ok=True)
+    eval_store = os.fspath(eval_store) if eval_store is not None else None
     if guard is not None:
         guard.check()
     if spec.kind == "campaign":
-        return _run_campaign_job(spec, workdir, guard, telemetry)
+        return _run_campaign_job(spec, workdir, guard, telemetry, eval_store)
     if spec.kind == "methodology":
-        return _run_methodology_job(spec, workdir, guard, telemetry)
+        return _run_methodology_job(spec, workdir, guard, telemetry, eval_store)
     raise ValueError(f"unknown job kind {spec.kind!r}")

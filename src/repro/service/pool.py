@@ -1,0 +1,447 @@
+"""Shared worker pool: a fixed set of long-lived forked workers.
+
+PR 7's supervisor forks one process per job — correct, but the fork,
+interpreter warm-up, and teardown are pure overhead paid again for every
+job.  The :class:`SharedWorkerPool` amortizes them: ``size`` workers are
+forked once and live for the service's lifetime, and the supervisor
+leases *slots* instead of spawning processes.  Each slot owns a private
+duplex pipe; dispatch is one pickled ``(spec, workdir, epoch)`` tuple
+down the pipe, completion is one exit-protocol code back up.
+
+The crash-safety story is unchanged from per-job workers, by
+construction:
+
+* **Same execution body.**  A pooled task runs :func:`execute_job` —
+  the exact heartbeat-thread + guarded :func:`~repro.service.jobs.run_job`
+  body the per-job worker runs — so fencing, drain, result publication,
+  and the exit-code protocol are shared code, not a parallel
+  implementation.
+* **Kill-then-fence still works.**  Expiring a lease SIGKILLs the
+  slot's worker process exactly as it would a per-job worker; the pool
+  then *respawns* the slot with a fresh process and a fresh pipe
+  (discarding any half-written message), so one expired lease costs one
+  fork — not a poisoned pool.
+* **Work-stealing admission.**  Slots are pull-based: every supervision
+  tick leases the head of the queue to any idle slot, so ``N`` queued
+  jobs saturate ``size`` slots continuously instead of binding jobs to
+  workers up front.
+
+Exit codes double as the pool's completion protocol (sent over the
+pipe) and the per-job worker's ``sys.exit`` status, so the supervisor
+collects both modes through one code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ..log import get_logger
+from ..telemetry import JsonlSink, MetricsRegistry, Telemetry
+from ..telemetry.stream import SpanLatencySink
+from .events import job_metrics_path, job_trace_path
+from .jobs import (
+    ERROR_NAME,
+    RESULT_NAME,
+    DrainRequested,
+    JobGuard,
+    JobSpec,
+    LeaseFencedError,
+    atomic_write_json,
+    run_job,
+)
+
+__all__ = [
+    "SharedWorkerPool",
+    "PoolSlot",
+    "execute_job",
+    "EXIT_DONE",
+    "EXIT_ERROR",
+    "EXIT_FENCED",
+    "EXIT_DRAINED",
+    "SLOT_LOST",
+]
+
+logger = get_logger("service")
+
+HEARTBEAT_NAME = "heartbeat"
+
+#: Worker exit codes (the supervisor's collection protocol).
+EXIT_DONE = 0
+EXIT_ERROR = 1
+EXIT_FENCED = 3
+EXIT_DRAINED = 4
+
+#: Pool poll outcome: the slot's worker died without reporting a code.
+SLOT_LOST = -1
+
+
+def _job_telemetry(workdir: str, max_bytes: int | None = None) -> Telemetry:
+    """Per-job telemetry: a resumable trace sink plus span-latency
+    histograms on the job's own metrics registry (published live for
+    ``GET /metrics`` and tailed by the service event bus)."""
+    metrics = MetricsRegistry()
+    return Telemetry(
+        [
+            JsonlSink(job_trace_path(workdir), max_bytes=max_bytes),
+            SpanLatencySink(metrics),
+        ],
+        metrics=metrics,
+    )
+
+
+def _publish_job_metrics(workdir: str, telemetry: Telemetry | None) -> None:
+    """Atomically publish the worker's metrics snapshot (best-effort)."""
+    if telemetry is None:
+        return
+    try:
+        snap = telemetry.metrics.snapshot()
+    except RuntimeError:  # registry resized under the beat thread
+        return
+    try:
+        atomic_write_json(job_metrics_path(workdir), snap)
+    except OSError:  # pragma: no cover - workdir vanished
+        pass
+
+
+def execute_job(
+    spec_dict: dict[str, Any],
+    workdir: str,
+    epoch: int,
+    heartbeat_interval: float,
+    drain_path: str,
+    job_traces: bool = True,
+    trace_max_bytes: int | None = None,
+    eval_store: str | None = None,
+) -> int:
+    """Run one guarded job attempt; return its exit-protocol code.
+
+    This is the body both worker modes share: the per-job worker calls
+    it once and ``sys.exit``\\ s the code; a pooled worker calls it per
+    task and sends the code up its pipe.  A heartbeat thread advances
+    ``<workdir>/heartbeat`` and republishes the job's metrics snapshot
+    for the whole attempt.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    guard = JobGuard(workdir=workdir, epoch=epoch, drain_path=drain_path)
+    stop = threading.Event()
+    hb_path = os.path.join(workdir, HEARTBEAT_NAME)
+    telemetry = _job_telemetry(workdir, trace_max_bytes) if job_traces else None
+
+    def beat() -> None:
+        n = 0
+        while not stop.is_set():
+            n += 1
+            try:
+                with open(hb_path, "w") as f:
+                    f.write(f"{n}\n")
+            except OSError:  # pragma: no cover - workdir vanished
+                return
+            _publish_job_metrics(workdir, telemetry)
+            stop.wait(heartbeat_interval)
+
+    threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
+    try:
+        result = run_job(
+            spec, workdir, guard=guard, telemetry=telemetry,
+            eval_store=eval_store,
+        )
+        result["epoch"] = epoch
+        if telemetry is not None:
+            # Close the trace *before* the result publishes: the WAL's
+            # terminal transition (which follows the result) must never
+            # precede the final trace lines a live tailer would stream.
+            telemetry.close()
+        # Final fence check *before* publishing: a worker whose lease
+        # expired mid-run must not overwrite its successor's result.
+        guard.check()
+        atomic_write_json(os.path.join(workdir, RESULT_NAME), result)
+        code = EXIT_DONE
+    except DrainRequested:
+        code = EXIT_DRAINED
+    except LeaseFencedError:
+        code = EXIT_FENCED
+    except BaseException as exc:  # noqa: BLE001 - report, then return nonzero
+        try:
+            atomic_write_json(
+                os.path.join(workdir, ERROR_NAME),
+                {"error": repr(exc), "epoch": epoch},
+            )
+        except OSError:  # pragma: no cover - workdir vanished
+            pass
+        code = EXIT_ERROR
+    finally:
+        stop.set()
+        if telemetry is not None:
+            telemetry.close()  # idempotent
+            _publish_job_metrics(workdir, telemetry)
+    return code
+
+
+def _pool_worker_main(
+    conn,
+    slot_index: int,
+    heartbeat_interval: float,
+    drain_path: str,
+    job_traces: bool,
+    trace_max_bytes: int | None,
+    eval_store: str | None,
+) -> None:
+    """Long-lived pool worker: one task at a time over the slot's pipe.
+
+    ``None`` is the shutdown sentinel; a closed pipe (parent died) also
+    ends the loop.  Every task reports exactly one exit-protocol code,
+    so the parent's recv/submit bookkeeping stays one-to-one.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        spec_dict, workdir, epoch = task
+        try:
+            code = execute_job(
+                spec_dict, workdir, epoch, heartbeat_interval, drain_path,
+                job_traces, trace_max_bytes, eval_store,
+            )
+        except BaseException:  # pragma: no cover - execute_job reports itself
+            code = EXIT_ERROR
+        try:
+            conn.send(code)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+@dataclass
+class PoolSlot:
+    """One worker slot: a long-lived process plus its dispatch pipe."""
+
+    index: int
+    process: Any = None
+    conn: Any = None
+    generation: int = 0  #: how many processes have backed this slot
+    job_id: str | None = None  #: currently dispatched job, if any
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+
+class SharedWorkerPool:
+    """Fixed pool of long-lived forked job workers, leased by slot.
+
+    Parameters
+    ----------
+    size:
+        Number of worker processes (= concurrent job slots).
+    heartbeat_interval / drain_path / job_traces / trace_max_bytes /
+    eval_store:
+        Per-task execution knobs, forwarded verbatim to
+        :func:`execute_job` inside each worker — identical semantics to
+        the per-job worker's arguments.
+
+    The pool is crash-transparent: a slot whose worker was SIGKILLed
+    (lease expiry, chaos, OOM) is respawned with a fresh process and a
+    fresh pipe on :meth:`kill`/:meth:`ensure`, so losing a worker never
+    shrinks capacity.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        heartbeat_interval: float = 0.25,
+        drain_path: str | None = None,
+        job_traces: bool = True,
+        trace_max_bytes: int | None = None,
+        eval_store: str | None = None,
+        mp_context=None,
+    ):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = int(size)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.drain_path = drain_path
+        self.job_traces = bool(job_traces)
+        self.trace_max_bytes = trace_max_bytes
+        self.eval_store = eval_store
+        self._mp = mp_context or multiprocessing.get_context("fork")
+        self.slots = [PoolSlot(i) for i in range(self.size)]
+        self.respawns = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Fork the workers (idempotent)."""
+        if self._started:
+            return
+        for slot in self.slots:
+            self._spawn(slot)
+        self._started = True
+        logger.info(
+            "shared pool started: %d workers (pids %s)",
+            self.size, [s.pid for s in self.slots],
+        )
+
+    def _spawn(self, slot: PoolSlot) -> None:
+        parent, child = self._mp.Pipe()
+        proc = self._mp.Process(
+            target=_pool_worker_main,
+            args=(
+                child, slot.index, self.heartbeat_interval, self.drain_path,
+                self.job_traces, self.trace_max_bytes, self.eval_store,
+            ),
+            name=f"repro-pool-{slot.index}",
+            # Daemonic: workers run everything in-process (threads only,
+            # never grandchildren), and a crashing parent must not be
+            # held at interpreter exit by a busy pool worker.
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        slot.process, slot.conn, slot.job_id = proc, parent, None
+        slot.generation += 1
+
+    def ensure(self, slot: PoolSlot) -> None:
+        """Respawn the slot if its worker died (self-healing)."""
+        if slot.process is not None and slot.process.is_alive():
+            return
+        if slot.process is not None:
+            slot.process.join()
+            self._close_conn(slot)
+            self.respawns += 1
+        self._spawn(slot)
+
+    def kill(self, slot: PoolSlot) -> None:
+        """SIGKILL the slot's worker and respawn it fresh.
+
+        The old pipe is discarded wholesale — a kill mid-send must not
+        leave a torn message for the next task's recv.
+        """
+        proc = slot.process
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+        self._close_conn(slot)
+        self.respawns += 1
+        self._spawn(slot)
+
+    @staticmethod
+    def _close_conn(slot: PoolSlot) -> None:
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            slot.conn = None
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop every worker: idle workers get the shutdown sentinel,
+        busy ones are killed (their jobs' checkpoints make the loss
+        safe — the supervisor requeues and resumes them)."""
+        for slot in self.slots:
+            if slot.process is None:
+                continue
+            if slot.job_id is None and slot.process.is_alive():
+                try:
+                    slot.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            elif slot.process.is_alive():
+                slot.process.kill()
+        for slot in self.slots:
+            if slot.process is None:
+                continue
+            slot.process.join(timeout)
+            if slot.process.is_alive():  # pragma: no cover - stuck worker
+                slot.process.kill()
+                slot.process.join()
+            self._close_conn(slot)
+            slot.process, slot.job_id = None, None
+        self._started = False
+
+    # -- dispatch ------------------------------------------------------
+    def acquire(self) -> PoolSlot | None:
+        """An idle slot (respawned if its worker died), or ``None``."""
+        self.start()
+        for slot in self.slots:
+            if slot.job_id is None:
+                self.ensure(slot)
+                return slot
+        return None
+
+    def submit(
+        self,
+        slot: PoolSlot,
+        job_id: str,
+        spec_dict: dict[str, Any],
+        workdir: str,
+        epoch: int,
+    ) -> None:
+        """Dispatch one job attempt to an idle slot."""
+        if slot.job_id is not None:
+            raise RuntimeError(f"slot {slot.index} is busy with {slot.job_id}")
+        slot.conn.send((spec_dict, workdir, epoch))
+        slot.job_id = job_id
+
+    def poll(self, slot: PoolSlot) -> int | None:
+        """Completion state of the slot's current task.
+
+        ``None`` while running; an exit-protocol code on completion;
+        :data:`SLOT_LOST` when the worker died without reporting (the
+        caller should :meth:`ensure` or :meth:`kill` to heal the slot).
+        """
+        try:
+            if slot.conn.poll():
+                try:
+                    return int(slot.conn.recv())
+                except (EOFError, OSError, TypeError, ValueError):
+                    return SLOT_LOST
+        except (OSError, ValueError):
+            return SLOT_LOST
+        if slot.process is None or not slot.process.is_alive():
+            # Died between our poll and liveness check: drain any code
+            # that made it into the pipe before declaring the slot lost.
+            try:
+                if slot.conn.poll():
+                    return int(slot.conn.recv())
+            except (EOFError, OSError, TypeError, ValueError):
+                pass
+            return SLOT_LOST
+        return None
+
+    def release(self, slot: PoolSlot) -> None:
+        """Return a slot to the idle set after its outcome was collected."""
+        slot.job_id = None
+
+    # -- observability -------------------------------------------------
+    @property
+    def busy_count(self) -> int:
+        return sum(1 for s in self.slots if s.job_id is not None)
+
+    @property
+    def idle_count(self) -> int:
+        return self.size - self.busy_count
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "size": self.size,
+            "busy": self.busy_count,
+            "respawns": self.respawns,
+            "generations": [s.generation for s in self.slots],
+            "pids": [s.pid for s in self.slots],
+        }

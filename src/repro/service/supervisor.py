@@ -43,20 +43,28 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..log import get_logger
-from ..telemetry import NULL_TRACER, JsonlSink, MetricsRegistry, Telemetry
-from ..telemetry.stream import SpanLatencySink
+from ..telemetry import NULL_TRACER, MetricsRegistry
 from .admission import AdmissionController, AdmissionDecision
-from .events import ServiceEventBus, job_metrics_path, job_trace_path
+from .events import ServiceEventBus, job_metrics_path
 from .jobs import (
     ERROR_NAME,
     RESULT_NAME,
     DrainRequested,
     JobGuard,
     JobSpec,
-    LeaseFencedError,
-    atomic_write_json,
     run_job,
     write_fence,
+)
+from .pool import (
+    EXIT_DONE,
+    EXIT_DRAINED,
+    EXIT_ERROR,
+    EXIT_FENCED,
+    HEARTBEAT_NAME,
+    SLOT_LOST,
+    SharedWorkerPool,
+    _job_telemetry,
+    execute_job,
 )
 from .registry import JobRecord, JobRegistry, JobState
 
@@ -65,13 +73,6 @@ __all__ = ["Supervisor", "Lease", "DRAIN_NAME"]
 logger = get_logger("service")
 
 DRAIN_NAME = "drain"
-HEARTBEAT_NAME = "heartbeat"
-
-#: Worker exit codes (the supervisor's collection protocol).
-EXIT_DONE = 0
-EXIT_ERROR = 1
-EXIT_FENCED = 3
-EXIT_DRAINED = 4
 
 
 def _read_heartbeat(path: str) -> int:
@@ -82,36 +83,6 @@ def _read_heartbeat(path: str) -> int:
         return 0
 
 
-def _job_telemetry(
-    workdir: str, max_bytes: int | None = None
-) -> Telemetry:
-    """Per-job telemetry: a resumable trace sink plus span-latency
-    histograms on the job's own metrics registry (published live for
-    ``GET /metrics`` and tailed by the service event bus)."""
-    metrics = MetricsRegistry()
-    return Telemetry(
-        [
-            JsonlSink(job_trace_path(workdir), max_bytes=max_bytes),
-            SpanLatencySink(metrics),
-        ],
-        metrics=metrics,
-    )
-
-
-def _publish_job_metrics(workdir: str, telemetry: Telemetry | None) -> None:
-    """Atomically publish the worker's metrics snapshot (best-effort)."""
-    if telemetry is None:
-        return
-    try:
-        snap = telemetry.metrics.snapshot()
-    except RuntimeError:  # registry resized under the beat thread
-        return
-    try:
-        atomic_write_json(job_metrics_path(workdir), snap)
-    except OSError:  # pragma: no cover - workdir vanished
-        pass
-
-
 def _worker_main(
     spec_dict: dict[str, Any],
     workdir: str,
@@ -120,64 +91,30 @@ def _worker_main(
     drain_path: str,
     job_traces: bool = True,
     trace_max_bytes: int | None = None,
+    eval_store: str | None = None,
 ) -> None:
-    """Worker process entry: heartbeat thread + guarded job run."""
-    spec = JobSpec.from_dict(spec_dict)
-    guard = JobGuard(workdir=workdir, epoch=epoch, drain_path=drain_path)
-    stop = threading.Event()
-    hb_path = os.path.join(workdir, HEARTBEAT_NAME)
-    telemetry = _job_telemetry(workdir, trace_max_bytes) if job_traces else None
+    """Per-job worker process entry: run one attempt, exit with its code.
 
-    def beat() -> None:
-        n = 0
-        while not stop.is_set():
-            n += 1
-            try:
-                with open(hb_path, "w") as f:
-                    f.write(f"{n}\n")
-            except OSError:  # pragma: no cover - workdir vanished
-                return
-            _publish_job_metrics(workdir, telemetry)
-            stop.wait(heartbeat_interval)
-
-    threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
-    try:
-        result = run_job(spec, workdir, guard=guard, telemetry=telemetry)
-        result["epoch"] = epoch
-        if telemetry is not None:
-            # Close the trace *before* the result publishes: the WAL's
-            # terminal transition (which follows the result) must never
-            # precede the final trace lines a live tailer would stream.
-            telemetry.close()
-        # Final fence check *before* publishing: a worker whose lease
-        # expired mid-run must not overwrite its successor's result.
-        guard.check()
-        atomic_write_json(os.path.join(workdir, RESULT_NAME), result)
-        code = EXIT_DONE
-    except DrainRequested:
-        code = EXIT_DRAINED
-    except LeaseFencedError:
-        code = EXIT_FENCED
-    except BaseException as exc:  # noqa: BLE001 - report, then exit nonzero
-        try:
-            atomic_write_json(
-                os.path.join(workdir, ERROR_NAME),
-                {"error": repr(exc), "epoch": epoch},
-            )
-        except OSError:  # pragma: no cover - workdir vanished
-            pass
-        code = EXIT_ERROR
-    finally:
-        stop.set()
-        if telemetry is not None:
-            telemetry.close()  # idempotent
-            _publish_job_metrics(workdir, telemetry)
-    sys.exit(code)
+    The body lives in :func:`repro.service.pool.execute_job` — the same
+    code a pooled worker runs per task — so both worker modes share one
+    heartbeat/guard/publication implementation.
+    """
+    sys.exit(
+        execute_job(
+            spec_dict, workdir, epoch, heartbeat_interval, drain_path,
+            job_traces, trace_max_bytes, eval_store,
+        )
+    )
 
 
 @dataclass
 class Lease:
-    """One in-flight (job, worker process) binding."""
+    """One in-flight (job, worker) binding.
+
+    ``slot`` is set in shared-pool mode: the lease then binds the job to
+    a pool *slot* (whose long-lived process backs ``process``) instead
+    of a dedicated per-job worker.
+    """
 
     job_id: str
     epoch: int
@@ -187,6 +124,7 @@ class Lease:
     last_beat: int = 0
     last_beat_at: float = 0.0
     cancel_requested: bool = False
+    slot: Any = None
 
     @property
     def pid(self) -> int | None:
@@ -233,6 +171,20 @@ class Supervisor:
         the trace-free baseline the overhead benchmarks compare against.
     job_trace_max_bytes:
         Optional rotation threshold for per-job trace files.
+    pool_size:
+        Run jobs on a :class:`~repro.service.pool.SharedWorkerPool` of
+        this many long-lived forked workers instead of forking one
+        process per job.  Implies ``workers = pool_size`` concurrent
+        leases.  Fencing, heartbeats, and kill-then-fence expiry are
+        unchanged (an expired pooled lease SIGKILLs the slot's worker
+        and respawns the slot); results are bit-identical to per-job
+        workers.  ``None`` (default) keeps per-job processes.
+    eval_store:
+        Optional path to the service-wide cross-job
+        :class:`~repro.search.EvaluationStore` JSONL file.  Every job
+        (pooled, per-job, or inline) pre-seeds its memoization cache
+        from the store and writes fresh measurements back, so jobs on
+        the same space never pay twice for a configuration.
     """
 
     def __init__(
@@ -249,16 +201,25 @@ class Supervisor:
         telemetry=None,
         job_traces: bool = True,
         job_trace_max_bytes: int | None = None,
+        pool_size: int | None = None,
+        eval_store: str | os.PathLike | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if pool_size is not None and pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if pool_size is not None and inline:
+            raise ValueError("pool_size and inline are mutually exclusive")
         self.registry = registry
         self.jobs_dir = os.fspath(jobs_dir)
         os.makedirs(self.jobs_dir, exist_ok=True)
         self.admission = admission
-        self.workers = int(workers)
+        self.workers = int(pool_size) if pool_size is not None else int(workers)
+        self.eval_store = (
+            os.fspath(eval_store) if eval_store is not None else None
+        )
         self.heartbeat_interval = float(heartbeat_interval)
         self.max_missed = int(max_missed)
         self.max_attempts = int(max_attempts)
@@ -278,6 +239,19 @@ class Supervisor:
         self._lock = threading.RLock()
         self._leases: dict[str, Lease] = {}
         self._mp = multiprocessing.get_context("fork")
+        self.pool: SharedWorkerPool | None = None
+        if pool_size is not None:
+            # Workers fork lazily on the first lease (SharedWorkerPool
+            # .start() is idempotent and called from acquire()).
+            self.pool = SharedWorkerPool(
+                int(pool_size),
+                heartbeat_interval=self.heartbeat_interval,
+                drain_path=self.drain_path,
+                job_traces=self.job_traces,
+                trace_max_bytes=self.job_trace_max_bytes,
+                eval_store=self.eval_store,
+                mp_context=self._mp,
+            )
         # Metrics folded in from finished jobs (workers publish
         # snapshots; inline jobs merge their registries directly).
         self._job_metrics = MetricsRegistry()
@@ -389,8 +363,10 @@ class Supervisor:
             if self.draining and not self._leases:
                 self.tracer.event("drained")
                 logger.info("drained: all workers stopped, queue persisted")
+                self.close_pool()
                 return True
             if drain_when_idle and not busy and not self.draining:
+                self.close_pool()
                 return True
             if (
                 max_seconds is not None
@@ -441,21 +417,34 @@ class Supervisor:
         if self.inline:
             self._run_inline(rec, workdir)
             return True
-        proc = self._mp.Process(
-            target=_worker_main,
-            args=(
-                rec.spec.to_dict(), workdir, rec.epoch,
-                self.heartbeat_interval, self.drain_path,
-                self.job_traces, self.job_trace_max_bytes,
-            ),
-            name=f"repro-job-{rec.job_id}",
-        )
-        proc.start()
+        slot = None
+        if self.pool is not None:
+            slot = self.pool.acquire()
+            if slot is None:  # pragma: no cover - leases are capped at size
+                requeued = self.registry.requeue(rec.job_id, "no_idle_slot")
+                write_fence(workdir, requeued.epoch)
+                return False
+            self.pool.submit(
+                slot, rec.job_id, rec.spec.to_dict(), workdir, rec.epoch
+            )
+            proc = slot.process
+        else:
+            proc = self._mp.Process(
+                target=_worker_main,
+                args=(
+                    rec.spec.to_dict(), workdir, rec.epoch,
+                    self.heartbeat_interval, self.drain_path,
+                    self.job_traces, self.job_trace_max_bytes,
+                    self.eval_store,
+                ),
+                name=f"repro-job-{rec.job_id}",
+            )
+            proc.start()
         self.registry.transition(rec.job_id, JobState.RUNNING, owner=rec.owner)
         now = time.monotonic()
         self._leases[rec.job_id] = Lease(
             job_id=rec.job_id, epoch=rec.epoch, workdir=workdir,
-            process=proc, started=now, last_beat_at=now,
+            process=proc, started=now, last_beat_at=now, slot=slot,
         )
         return True
 
@@ -475,7 +464,8 @@ class Supervisor:
             # the trace complete when it performs its final drain.
             try:
                 result = run_job(
-                    rec.spec, workdir, guard=guard, telemetry=job_telemetry
+                    rec.spec, workdir, guard=guard, telemetry=job_telemetry,
+                    eval_store=self.eval_store,
                 )
                 result["epoch"] = rec.epoch
             finally:
@@ -509,6 +499,9 @@ class Supervisor:
     # -- collection ----------------------------------------------------
     def _poll_leases(self) -> None:
         for lease in list(self._leases.values()):
+            if lease.slot is not None:
+                self._poll_pooled_lease(lease)
+                continue
             proc = lease.process
             if proc.is_alive():
                 if lease.cancel_requested:
@@ -519,6 +512,34 @@ class Supervisor:
             proc.join()
             del self._leases[lease.job_id]
             self._collect(lease, proc.exitcode)
+
+    def _poll_pooled_lease(self, lease: Lease) -> None:
+        """Pooled collection: the slot reports an exit-protocol code over
+        its pipe instead of a process exit status; everything downstream
+        (:meth:`_collect`) is shared with per-job workers."""
+        outcome = self.pool.poll(lease.slot)
+        if outcome is None:
+            if lease.cancel_requested:
+                self._expire(lease, cancel=True)
+                return
+            self._check_heartbeat(lease)
+            return
+        del self._leases[lease.job_id]
+        slot = lease.slot
+        self.pool.release(slot)
+        if outcome == SLOT_LOST:
+            # The slot's worker died without reporting (SIGKILL, OOM):
+            # heal the slot, then treat it as a crashed worker.
+            self.pool.ensure(slot)
+            self.metrics.counter(
+                "service_pool_respawns", reason="worker_lost"
+            ).inc()
+            self.tracer.event(
+                "pool_slot_respawned", slot=slot.index, reason="worker_lost",
+            )
+            self._collect(lease, None)
+            return
+        self._collect(lease, outcome)
 
     def _check_heartbeat(self, lease: Lease) -> None:
         beat = _read_heartbeat(os.path.join(lease.workdir, HEARTBEAT_NAME))
@@ -542,11 +563,25 @@ class Supervisor:
     def _expire(self, lease: Lease, *, cancel: bool = False) -> None:
         """Kill-then-fence: SIGKILL the worker, then bump the epoch (in
         the registry *and* the fence file) so any straggler that somehow
-        survives is rejected at its next guard check or publish."""
-        proc = lease.process
-        if proc.is_alive():
-            proc.kill()
-        proc.join()
+        survives is rejected at its next guard check or publish.
+
+        In pool mode the slot's long-lived worker is what gets killed —
+        same SIGKILL, same ordering — and the slot respawns with a fresh
+        process and pipe, so one expired lease never poisons the pool."""
+        if lease.slot is not None:
+            self.pool.kill(lease.slot)
+            self.pool.release(lease.slot)
+            self.metrics.counter(
+                "service_pool_respawns", reason="expired"
+            ).inc()
+            self.tracer.event(
+                "pool_slot_respawned", slot=lease.slot.index, reason="expired",
+            )
+        else:
+            proc = lease.process
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
         del self._leases[lease.job_id]
         if cancel:
             self.registry.transition(
@@ -704,8 +739,23 @@ class Supervisor:
         if bus is not None:
             bus.close()
 
+    def close_pool(self) -> None:
+        """Stop the shared pool's workers (no-op without a pool, or when
+        it was never started).  A later lease restarts it — the pool
+        forks lazily — so this is safe to call between bursts of work."""
+        with self._lock:
+            if self.pool is not None:
+                self.pool.close()
+
     # ------------------------------------------------------------------
     def _gauge_queue_depth(self) -> None:
         self.metrics.gauge("service_queue_depth").set(
             self.registry.queue_depth()
         )
+        if self.pool is not None:
+            self.metrics.gauge("service_pool_slots", state="busy").set(
+                self.pool.busy_count
+            )
+            self.metrics.gauge("service_pool_slots", state="idle").set(
+                self.pool.idle_count
+            )

@@ -43,6 +43,7 @@ the inherent unpredictability encountered in HPC applications".  Set
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -116,6 +117,12 @@ class SyntheticFunction:
         non-interdependent groups.
     random_state:
         Seed / generator for the noise stream.
+    eval_cost:
+        Seconds of wall-clock to burn per application run (default 0).
+        The real workloads the paper tunes cost minutes per measurement;
+        this knob lets service/caching benchmarks reproduce that regime
+        — where the evaluation dominates and a served cache hit is a
+        genuine saving — without shipping an HPC kernel.
 
     The object is callable on configuration dicts (``{"x0": .., ...,
     "x19": ..}``) and also accepts plain 20-vectors via
@@ -131,13 +138,17 @@ class SyntheticFunction:
         *,
         noise_scale: float = 0.001,
         random_state: int | np.random.Generator | None = None,
+        eval_cost: float = 0.0,
     ):
         if case not in CASE_INFLUENCE:
             raise ValueError(f"case must be 1..5, got {case}")
         if noise_scale < 0:
             raise ValueError("noise_scale must be >= 0")
+        if eval_cost < 0:
+            raise ValueError("eval_cost must be >= 0")
         self.case = int(case)
         self.noise_scale = float(noise_scale)
+        self.eval_cost = float(eval_cost)
         self.rng = (
             random_state
             if isinstance(random_state, np.random.Generator)
@@ -198,7 +209,9 @@ class SyntheticFunction:
     # Objective interface
     # ------------------------------------------------------------------
     def group_raw_values(self, config: Mapping[str, Any]) -> dict[str, float]:
-        """Raw (pre-transform) group values."""
+        """Raw (pre-transform) group values (one "application run")."""
+        if self.eval_cost > 0.0:
+            time.sleep(self.eval_cost)
         x = self.config_to_vector(config)
         return {
             "Group 1": self.group1_raw(x),

@@ -1,0 +1,58 @@
+"""Float canonicalization of ``canonical_key``: equal configs, one key."""
+
+import json
+
+import numpy as np
+
+from repro.search import canonical_key
+
+
+class TestSignedZero:
+    def test_negative_zero_matches_positive_zero(self):
+        assert canonical_key({"x": -0.0}) == canonical_key({"x": 0.0})
+
+    def test_numpy_negative_zero(self):
+        assert canonical_key({"x": np.float64(-0.0)}) == canonical_key({"x": 0.0})
+        assert canonical_key({"x": np.float32(-0.0)}) == canonical_key({"x": 0.0})
+
+    def test_zero_in_array_value(self):
+        assert canonical_key({"x": np.array([-0.0, 1.0])}) == canonical_key(
+            {"x": [0.0, 1.0]}
+        )
+
+
+class TestNarrowFloats:
+    def test_float32_matches_python_float(self):
+        # float(np.float32(0.1)) widens to 0.10000000149011612; the key
+        # must recover the intended 0.1 or equal configs miss the cache.
+        assert canonical_key({"x": np.float32(0.1)}) == canonical_key({"x": 0.1})
+
+    def test_float16_matches_its_shortest_decimal(self):
+        assert canonical_key({"x": np.float16(0.5)}) == canonical_key({"x": 0.5})
+
+    def test_float64_unchanged(self):
+        assert canonical_key({"x": np.float64(0.1)}) == canonical_key({"x": 0.1})
+
+    def test_distinct_float32_values_stay_distinct(self):
+        grid = np.linspace(0.0, 1.0, 33, dtype=np.float32)
+        keys = {canonical_key({"x": v}) for v in grid}
+        assert len(keys) == len(grid)
+
+    def test_float32_array_elements(self):
+        a = np.array([0.1, 0.2], dtype=np.float32)
+        assert canonical_key({"x": a}) == canonical_key({"x": [0.1, 0.2]})
+
+
+class TestKeyStability:
+    def test_key_order_independent(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+
+    def test_numpy_scalars_coerced(self):
+        key = canonical_key(
+            {"i": np.int64(3), "f": np.float64(2.5), "b": np.bool_(True)}
+        )
+        assert key == canonical_key({"i": 3, "f": 2.5, "b": True})
+
+    def test_key_is_json(self):
+        decoded = json.loads(canonical_key({"x": 1, "y": "cat"}))
+        assert decoded == {"x": 1, "y": "cat"}
